@@ -1,0 +1,30 @@
+# Convenience targets for the DistMIS reproduction.
+
+PYTHON ?= python3
+
+.PHONY: install test bench examples report api-docs results clean
+
+install:
+	PIP_NO_BUILD_ISOLATION=false pip install -e .
+
+test:
+	$(PYTHON) -m pytest tests/
+
+bench:
+	$(PYTHON) -m pytest benchmarks/ --benchmark-only -s
+
+examples:
+	for ex in examples/*.py; do echo "== $$ex"; $(PYTHON) $$ex || exit 1; done
+
+report:
+	$(PYTHON) -m repro.cli report --output report.md
+
+api-docs:
+	$(PYTHON) tools/gen_api_docs.py
+
+results:
+	$(PYTHON) examples/generate_all_results.py results/
+
+clean:
+	rm -rf results report.md .pytest_cache
+	find . -name __pycache__ -type d -exec rm -rf {} +

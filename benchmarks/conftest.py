@@ -1,0 +1,34 @@
+"""Shared fixtures for the benchmark harness.
+
+Every benchmark regenerates one of the paper's tables or figures and
+prints the reproduction next to the paper's reported values.  Heavy
+computations run once via ``benchmark.pedantic(rounds=1)`` -- the goal
+is regeneration, not statistical micro-timing (micro-kernels get real
+multi-round treatment in test_microkernels.py).
+"""
+
+import pytest
+
+from repro.core import ExperimentSettings, MISPipeline
+
+
+def once(benchmark, fn, *args, **kwargs):
+    """Run ``fn`` exactly once under pytest-benchmark timing."""
+    return benchmark.pedantic(fn, args=args, kwargs=kwargs,
+                              rounds=1, iterations=1, warmup_rounds=0)
+
+
+@pytest.fixture(scope="session")
+def learn_settings():
+    """Shared laptop-scale training scale for the in-process benches."""
+    return ExperimentSettings(
+        num_subjects=10, volume_shape=(16, 16, 16), epochs=20,
+        base_filters=4, depth=2, seed=1,
+    )
+
+
+@pytest.fixture(scope="session")
+def learn_pipeline(learn_settings, tmp_path_factory):
+    return MISPipeline(
+        learn_settings, record_dir=tmp_path_factory.mktemp("bench_records")
+    )

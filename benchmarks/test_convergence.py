@@ -1,0 +1,52 @@
+"""E7 -- Section IV-B: training converges well before the epoch budget.
+
+The paper trains 250 epochs but observes training and validation
+stabilise around epoch 90 (~36% of the budget).  The in-process backend
+reproduces the phenomenon at reduced scale: convergence is detected at
+a fraction of the epoch budget, and the simulated backend prices how
+much of Table I's wall-clock an early-stopped budget would save.
+"""
+
+from conftest import once
+
+from repro.core import train_trial
+from repro.perf import TrialConfig, calibrated_model
+
+PAPER_BUDGET = 250
+PAPER_CONVERGENCE = 90
+
+
+def _train(settings, pipeline):
+    return train_trial(
+        {"learning_rate": 3e-3, "loss": "dice"},
+        settings, pipeline, num_replicas=1,
+        convergence_patience=4, convergence_tol=5e-3,
+    )
+
+
+def test_convergence_before_budget(benchmark, learn_settings, learn_pipeline):
+    out = once(benchmark, _train, learn_settings, learn_pipeline)
+
+    budget = learn_settings.epochs
+    conv = out.converged_epoch
+    print("\n=== Section IV-B: convergence vs epoch budget ===")
+    print(f"epoch budget            : {budget} (paper: {PAPER_BUDGET})")
+    print(f"converged at epoch      : {conv} "
+          f"(paper: ~{PAPER_CONVERGENCE})")
+    print(f"fraction of budget used : {conv / budget:.2f} "
+          f"(paper: {PAPER_CONVERGENCE / PAPER_BUDGET:.2f})")
+    print("val dice trajectory     : "
+          + " ".join(f"{r.val_dice:.2f}" for r in out.history))
+
+    assert conv is not None, "no convergence detected within the budget"
+    assert conv < budget
+    assert out.val_dice > 0.8
+
+    # simulated savings if the budget were cut at the convergence point
+    model = calibrated_model()
+    full = model.trial_time(TrialConfig(epochs=PAPER_BUDGET), 1)
+    early = model.trial_time(TrialConfig(epochs=PAPER_CONVERGENCE + 20), 1)
+    print(f"simulated paper-scale trial: full budget {full/3600:.2f} h, "
+          f"stop at epoch {PAPER_CONVERGENCE + 20}: {early/3600:.2f} h "
+          f"({100 * (1 - early / full):.0f}% saved)")
+    assert early < full * 0.5

@@ -1,0 +1,45 @@
+"""E12 -- cost decomposition behind Table I's data-parallel curve.
+
+Not a table in the paper; this regenerates the *explanation* the paper
+gives in prose (Section IV-C: "using more [GPUs] implies a communication
+overhead when distributing a single model across nodes ... every
+parallel run is self-contained"): the per-category share of one trial's
+wall-clock as GPUs scale.
+"""
+
+from conftest import once
+
+from repro.perf import TrialConfig, calibrated_model, epoch_breakdown
+
+
+def _sweep():
+    model = calibrated_model()
+    cfg = TrialConfig()
+    return {
+        n: epoch_breakdown(model, cfg, n).fractions()
+        for n in (1, 2, 4, 8, 16, 32)
+    }
+
+
+def test_data_parallel_cost_breakdown(benchmark):
+    result = once(benchmark, _sweep)
+
+    cats = ["compute", "straggler_wait", "allreduce", "input",
+            "framework", "validation", "fixed"]
+    print("\n=== E12: where a data-parallel trial's time goes (%) ===")
+    print(f"{'#GPUs':>5} " + " ".join(f"{c:>15}" for c in cats))
+    for n, fr in result.items():
+        print(f"{n:>5} " + " ".join(f"{100 * fr[c]:>15.1f}" for c in cats))
+
+    # Compute share shrinks, synchronisation share grows -- the
+    # structural reason experiment parallelism wins at scale.
+    assert result[1]["compute"] > result[32]["compute"]
+    assert result[32]["straggler_wait"] > result[2]["straggler_wait"]
+    assert result[1]["straggler_wait"] == 0.0
+    # At 32 GPUs a single trial is only ~10 simulated minutes, so the
+    # per-node startup ("fixed") becomes a first-class cost alongside
+    # the straggler wait -- compute drops to roughly a third.
+    assert result[32]["compute"] > 0.25
+    assert result[32]["fixed"] > result[2]["fixed"]
+    for fr in result.values():
+        assert abs(sum(fr.values()) - 1.0) < 1e-9

@@ -1,0 +1,107 @@
+"""E11 -- Sections I / II-A: full-volume vs sub-patch processing.
+
+The paper's core design argument: sub-volume patching fits GPU memory
+but "loses spatial information ... and has very poor performing time
+for both training and inference", while full-volume input keeps
+accuracy and converges faster.  This bench trains the same architecture
+both ways under an equal gradient-step budget, then compares inference
+cost and segmentation quality.
+"""
+
+import numpy as np
+from conftest import once
+
+from repro.core import (
+    full_volume_inference,
+    sliding_window_inference,
+    train_on_patches,
+)
+from repro.core.pipeline import MISPipeline
+from repro.core.config import ExperimentSettings, build_model
+from repro.nn import Adam, SoftDiceLoss, batch_dice
+
+PATCH = (8, 8, 8)
+STEPS = 60
+
+
+def _setup():
+    settings = ExperimentSettings(
+        num_subjects=10, volume_shape=(16, 16, 16), epochs=1,
+        base_filters=4, depth=2, seed=1, use_batchnorm=False,
+        scale_learning_rate=False,
+    )
+    pipeline = MISPipeline(settings)
+    train_x, train_y = pipeline.load_split_arrays("train")
+    test_x, test_y = pipeline.load_split_arrays("test")
+    return settings, train_x, train_y, test_x, test_y
+
+
+def _train_full(settings, train_x, train_y):
+    net = build_model({"learning_rate": 3e-3}, settings)
+    opt = Adam(net, lr=3e-3)
+    loss = SoftDiceLoss()
+    rng = np.random.default_rng(0)
+    n = train_x.shape[0]
+    for _ in range(STEPS):
+        idx = rng.choice(n, size=2, replace=False)
+        net.zero_grad()
+        pred = net(train_x[idx])
+        _, dpred = loss.forward(pred, train_y[idx])
+        net.backward(dpred)
+        opt.step()
+    return net
+
+
+def _train_patches(settings, train_x, train_y):
+    net = build_model({"learning_rate": 3e-3}, settings)
+    opt = Adam(net, lr=3e-3)
+    train_on_patches(
+        net, SoftDiceLoss(), opt, train_x, train_y,
+        patch_shape=PATCH, steps=STEPS, patches_per_step=2,
+        rng=np.random.default_rng(0),
+    )
+    return net
+
+
+def _compare():
+    settings, train_x, train_y, test_x, test_y = _setup()
+    full_net = _train_full(settings, train_x, train_y)
+    patch_net = _train_patches(settings, train_x, train_y)
+
+    full_res = full_volume_inference(full_net, test_x)
+    patch_res = sliding_window_inference(patch_net, test_x, PATCH,
+                                         overlap=0.5)
+    full_dice = float(batch_dice(full_res.prediction, test_y).mean())
+    patch_dice = float(batch_dice(patch_res.prediction, test_y).mean())
+    return full_res, patch_res, full_dice, patch_dice
+
+
+def test_full_volume_vs_patches(benchmark):
+    full_res, patch_res, full_dice, patch_dice = once(benchmark, _compare)
+
+    print("\n=== E11: full-volume vs sub-patch processing "
+          f"(equal {STEPS}-step budget) ===")
+    print(f"{'strategy':<22} {'test DSC':>9} {'fwd passes':>11} "
+          f"{'overcompute':>12} {'infer s':>8}")
+    print(f"{'full volume (paper)':<22} {full_dice:>9.3f} "
+          f"{full_res.forward_passes:>11} "
+          f"{full_res.overcompute_factor():>12.2f} "
+          f"{full_res.seconds:>8.2f}")
+    print(f"{'sub-patches':<22} {patch_dice:>9.3f} "
+          f"{patch_res.forward_passes:>11} "
+          f"{patch_res.overcompute_factor():>12.2f} "
+          f"{patch_res.seconds:>8.2f}")
+
+    # The paper's inference-COST claim reproduces robustly: sliding
+    # windows redo work and multiply the forward passes.
+    assert patch_res.overcompute_factor() > 2.0
+    assert patch_res.forward_passes > full_res.forward_passes
+    assert patch_res.seconds > full_res.seconds
+    # The ACCURACY claim ("sub-patching loses spatial information") is
+    # task-dependent and does NOT discriminate on the synthetic task:
+    # tumours here are locally determined by intensity, and the
+    # foreground-biased patch sampler even counteracts class imbalance,
+    # so patches can win at small scale (EXPERIMENTS.md discusses).
+    # Assert only that both strategies learn.
+    assert full_dice > 0.5
+    assert patch_dice > 0.5

@@ -1,0 +1,78 @@
+"""Micro-benchmarks of the hot kernels (real multi-round timing).
+
+Not a paper artefact; establishes the compute substrate's throughput so
+regressions in the NumPy kernels are visible: conv3d forward/backward,
+the exact ring all-reduce, record serialisation and the Dice loss.
+"""
+
+import numpy as np
+import pytest
+
+from repro.cluster import ring_allreduce
+from repro.data import decode_example, encode_example
+from repro.nn import SoftDiceLoss, UNet3D
+from repro.nn.functional import conv3d_backward, conv3d_forward
+
+rng = np.random.default_rng(0)
+
+
+@pytest.fixture(scope="module")
+def conv_tensors():
+    x = rng.normal(size=(2, 8, 24, 24, 16))
+    w = rng.normal(size=(16, 8, 3, 3, 3))
+    b = rng.normal(size=16)
+    return x, w, b
+
+
+def test_conv3d_forward_kernel(benchmark, conv_tensors):
+    x, w, b = conv_tensors
+    y = benchmark(conv3d_forward, x, w, b, 1, 1)
+    assert y.shape == (2, 16, 24, 24, 16)
+
+
+def test_conv3d_backward_kernel(benchmark, conv_tensors):
+    x, w, b = conv_tensors
+    dy = rng.normal(size=(2, 16, 24, 24, 16))
+    dx, dw, db = benchmark(conv3d_backward, dy, x, w, 1, 1)
+    assert dx.shape == x.shape
+
+
+def test_unet_train_step_kernel(benchmark):
+    net = UNet3D(4, 1, 4, 3, rng=np.random.default_rng(0))
+    loss = SoftDiceLoss()
+    x = rng.normal(size=(2, 4, 24, 24, 16))
+    t = (rng.uniform(size=(2, 1, 24, 24, 16)) > 0.9).astype(float)
+
+    def step():
+        net.zero_grad()
+        pred = net(x)
+        _, dpred = loss.forward(pred, t)
+        net.backward(dpred)
+        return pred
+
+    pred = benchmark(step)
+    assert pred.shape == t.shape
+
+
+def test_ring_allreduce_kernel(benchmark):
+    """Gradient-sized buffers (406,793 params) over 4 replicas."""
+    bufs = [rng.normal(size=406_793) for _ in range(4)]
+    out = benchmark(ring_allreduce, bufs)
+    np.testing.assert_allclose(out[0][:5], sum(bufs)[:5])
+
+
+def test_example_encode_kernel(benchmark):
+    ex = {
+        "image": rng.normal(size=(4, 24, 24, 16)).astype(np.float32),
+        "mask": (rng.uniform(size=(1, 24, 24, 16)) > 0.9).astype(np.float32),
+    }
+    payload = benchmark(encode_example, ex)
+    assert decode_example(payload)["image"].shape == (4, 24, 24, 16)
+
+
+def test_dice_loss_kernel(benchmark):
+    pred = rng.uniform(size=(2, 1, 48, 48, 32))
+    target = (rng.uniform(size=pred.shape) > 0.95).astype(float)
+    loss_fn = SoftDiceLoss()
+    loss, grad = benchmark(loss_fn.forward, pred, target)
+    assert 0 <= loss <= 1

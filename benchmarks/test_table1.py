@@ -1,0 +1,63 @@
+"""E1 -- Table I: elapsed time and speed-up, both methods, 1..32 GPUs.
+
+Regenerates the paper's headline table from the calibrated simulator
+and prints it next to the paper's values.  Shape assertions: both
+methods scale near-linearly, experiment parallelism wins at every n>1,
+and the 32-GPU speed-ups land in the paper's x12-x14 / x14-x16 bands.
+"""
+
+from conftest import once
+
+from repro.perf import (
+    TABLE1_DATA_PARALLEL_S,
+    TABLE1_DP_SPEEDUPS,
+    TABLE1_EP_SPEEDUPS,
+    TABLE1_EXPERIMENT_PARALLEL_S,
+    SpeedupTable,
+    calibrated_model,
+    format_hms,
+)
+
+
+def _build_table():
+    return SpeedupTable(calibrated_model()).compute()
+
+
+def test_table1_reproduction(benchmark):
+    rows = once(benchmark, _build_table)
+
+    print("\n=== Table I reproduction (simulated MareNostrum-CTE) ===")
+    print(f"{'':8}| {'Data Parallel':^25} | {'Experiment Parallel':^25}")
+    print(f"{'# GPUs':8}| {'ours':>12} {'paper':>12} | {'ours':>12} {'paper':>12}")
+    for r in rows:
+        n = r.num_gpus
+        print(
+            f"{n:>7} | {format_hms(r.dp_seconds):>12} "
+            f"{format_hms(TABLE1_DATA_PARALLEL_S[n]):>12} | "
+            f"{format_hms(r.ep_seconds):>12} "
+            f"{format_hms(TABLE1_EXPERIMENT_PARALLEL_S[n]):>12}"
+        )
+    print(f"\n{'# GPUs':8}| {'dp x ours':>10} {'dp x paper':>11} | "
+          f"{'ep x ours':>10} {'ep x paper':>11}")
+    for r in rows:
+        n = r.num_gpus
+        print(
+            f"{n:>7} | {r.dp_speedup:>10.2f} {TABLE1_DP_SPEEDUPS[n]:>11.2f} | "
+            f"{r.ep_speedup:>10.2f} {TABLE1_EP_SPEEDUPS[n]:>11.2f}"
+        )
+
+    # --- shape assertions ---------------------------------------------------
+    for prev, cur in zip(rows, rows[1:]):
+        assert cur.dp_seconds < prev.dp_seconds
+        assert cur.ep_seconds < prev.ep_seconds
+    for r in rows:
+        if r.num_gpus > 1:
+            assert r.ep_speedup > r.dp_speedup
+        assert r.dp_speedup <= r.num_gpus
+    r32 = rows[-1]
+    assert 12.0 <= r32.dp_speedup <= 14.0, "paper band: x12-x14"
+    assert 14.0 <= r32.ep_speedup <= 16.5, "paper band: x14-x16"
+    # every cell within 15% of the paper's elapsed time
+    for r in rows:
+        assert abs(r.dp_seconds / TABLE1_DATA_PARALLEL_S[r.num_gpus] - 1) < 0.15
+        assert abs(r.ep_seconds / TABLE1_EXPERIMENT_PARALLEL_S[r.num_gpus] - 1) < 0.15

@@ -1,0 +1,109 @@
+#!/usr/bin/env python3
+"""What would ASHA have saved on the paper's search?  (simulation)
+
+The paper runs every configuration to the full 250-epoch budget.  This
+example composes three of the repo's pieces to estimate what adaptive
+early stopping would have changed at paper scale:
+
+* the calibrated cost model prices each trial's wall-clock per epoch;
+* a synthetic quality model produces plausible learning curves per
+  configuration (better learning rates plateau higher and sooner --
+  the *shape* every HPO paper assumes, with seeded noise);
+* the real ASHA scheduler decides, rung by rung, which trials stop.
+
+The output: epochs run, simulated elapsed time at 32 GPUs, and whether
+the winner survives.  (Synthetic quality model -- an estimate of
+mechanism, not a measured claim.)
+
+Run:  python examples/adaptive_search_simulation.py
+"""
+
+import numpy as np
+
+from repro.perf import calibrated_model, format_hms, paper_search_grid
+from repro.raysim import ASHAScheduler, GridSearch, fifo_schedule, tune_run
+
+
+def quality_curve(config: dict, epochs: int, rng: np.random.Generator):
+    """Plausible validation-dice trajectory for one configuration."""
+    lr = config["learning_rate"]
+    # sweet spot near 1e-4; width/loss nudge the ceiling slightly
+    ceiling = 0.89 - 0.08 * abs(np.log10(lr) + 4.0)
+    if config["loss"] == "quadratic_dice":
+        ceiling -= 0.01
+    if config["base_filters"] == 11:
+        ceiling += 0.005
+    speed = 25.0 / max(lr / 1e-4, 0.25)  # small lr converges slower
+    curve = ceiling * (1.0 - np.exp(-np.arange(1, epochs + 1) / speed))
+    return curve + rng.normal(0, 0.004, size=epochs)
+
+
+def main() -> None:
+    model = calibrated_model()
+    grid = paper_search_grid()
+    rng = np.random.default_rng(0)
+    epochs = 250
+
+    # Pre-draw every trial's learning curve (the 'ground truth').
+    configs = [
+        {"learning_rate": c.learning_rate, "loss": c.loss,
+         "base_filters": c.base_filters}
+        for c in grid
+    ]
+    curves = [quality_curve(cfg, epochs, rng) for cfg in configs]
+    curve_by_key = {str(cfg): crv for cfg, crv in zip(configs, curves)}
+
+    def trainable(config, reporter):
+        curve = curve_by_key[str(config)]
+        for epoch in range(1, epochs + 1):
+            if not reporter(epoch=epoch, val_dice=float(curve[epoch - 1])):
+                return None
+        return None
+
+    space = {
+        "learning_rate": sorted({c["learning_rate"] for c in configs}),
+        "loss": ["dice", "quadratic_dice"],
+        "base_filters": [8, 11],
+    }
+
+    # FIFO (the paper's setting) vs ASHA.
+    fifo = tune_run(trainable, GridSearch(space))
+    asha = tune_run(
+        trainable, GridSearch(space),
+        scheduler=ASHAScheduler("val_dice", grace_period=10,
+                                reduction_factor=3, max_t=epochs),
+    )
+
+    def costs_at_32(analysis):
+        durations = []
+        for trial, cfg in zip(analysis.trials, grid):
+            frac = len(trial.results) / epochs
+            durations.append(model.trial_time(cfg, 1) * frac)
+        return fifo_schedule(durations, 32).makespan, sum(durations)
+
+    for name, analysis in (("FIFO (paper)", fifo), ("ASHA", asha)):
+        total_epochs = sum(len(t.results) for t in analysis.trials)
+        best = analysis.best_trial("val_dice")
+        makespan, gpu_seconds = costs_at_32(analysis)
+        print(f"{name:<13} epochs run {total_epochs:>5} "
+              f"({100 * total_epochs / (len(grid) * epochs):>3.0f}%)  "
+              f"elapsed@32GPUs {format_hms(makespan)}  "
+              f"GPU-hours {gpu_seconds / 3600:>5.1f}  "
+              f"best lr={best.config['learning_rate']:.0e} "
+              f"dice={best.best_metric('val_dice'):.3f}")
+
+    print("\nnote the asymmetry: ASHA cuts GPU-HOURS hard but barely the "
+          "32-GPU MAKESPAN -- the survivors still run 250 epochs and pin "
+          "the critical path (the same floor that caps the paper's x15).")
+
+    same_winner = (
+        fifo.best_config("val_dice")["learning_rate"]
+        == asha.best_config("val_dice")["learning_rate"]
+    )
+    print(f"\nsame winning learning rate under both schedulers: {same_winner}")
+    print("(quality curves are synthetic; the saving mechanism -- rungs "
+          "cutting the bottom 2/3 -- is the real ASHA implementation)")
+
+
+if __name__ == "__main__":
+    main()

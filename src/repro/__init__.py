@@ -1,0 +1,33 @@
+"""DistMIS reproduction.
+
+Reproduction of Berral et al., *Distributing Deep Learning
+Hyperparameter Tuning for 3D Medical Image Segmentation* (IPDPS
+Workshops 2022): data-parallel vs experiment-parallel distribution of a
+3D U-Net hyper-parameter search, rebuilt from scratch in NumPy with a
+calibrated cluster simulator standing in for the BSC MareNostrum-CTE
+GPU cluster.
+
+Subpackages
+-----------
+``repro.nn``
+    NumPy deep-learning engine (TensorFlow substitute): 3D conv layers,
+    the Fig 2 U-Net, Dice losses, Adam, cyclic LR.
+``repro.data``
+    Dataset substrate: synthetic BraTS cohort, NIfTI-1 codec,
+    TFRecord-style files, tf.data-style pipeline.
+``repro.cluster``
+    Discrete-event cluster hardware model: V100 nodes, NVLink /
+    InfiniBand links, collective cost models.
+``repro.raysim``
+    Ray-like runtime: tasks, actors, placement scheduler, Tune-like
+    trial runner with grid/random/ASHA search.
+``repro.perf``
+    Calibrated performance model behind the Table I reproduction.
+``repro.core``
+    The paper's pipeline: configuration spaces, data-parallel and
+    experiment-parallel drivers, the DistMIS runner, profiling.
+"""
+
+__version__ = "1.0.0"
+
+__all__ = ["nn", "data", "cluster", "raysim", "perf", "core", "__version__"]

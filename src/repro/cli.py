@@ -1,0 +1,259 @@
+"""Command-line interface: ``distmis <command>``.
+
+The paper ships its framework as deployable tooling for researchers
+adapting their own MIS workloads (Section V-B); the CLI is that
+surface:
+
+* ``distmis table1``   -- reproduce Table I on the simulated cluster;
+* ``distmis fig4``     -- reproduce the Fig 4 series (3 jittered runs);
+* ``distmis train``    -- train one configuration in-process;
+* ``distmis search``   -- run a hyper-parameter search in-process;
+* ``distmis simulate`` -- price one (method, #GPUs) cell, optionally
+  exporting the Chrome trace;
+* ``distmis profile``  -- the Section III-B1 pipeline bottleneck report;
+* ``distmis calibrate``-- re-fit the cost model against Table I.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+
+def _add_scale_args(p: argparse.ArgumentParser) -> None:
+    p.add_argument("--subjects", type=int, default=10,
+                   help="synthetic cohort size (paper: 484)")
+    p.add_argument("--volume", type=int, nargs=3, default=(16, 16, 16),
+                   metavar=("D", "H", "W"),
+                   help="volume shape (paper: 240 240 155)")
+    p.add_argument("--epochs", type=int, default=15, help="epoch budget")
+    p.add_argument("--base-filters", type=int, default=4,
+                   help="first-level filters (paper: 8)")
+    p.add_argument("--depth", type=int, default=2,
+                   help="resolution steps (paper: 4)")
+    p.add_argument("--seed", type=int, default=0)
+
+
+def _settings(args):
+    from .core import ExperimentSettings
+
+    return ExperimentSettings(
+        num_subjects=args.subjects,
+        volume_shape=tuple(args.volume),
+        epochs=args.epochs,
+        base_filters=args.base_filters,
+        depth=args.depth,
+        seed=args.seed,
+    )
+
+
+def cmd_table1(args) -> int:
+    from .perf import SpeedupTable, calibrated_model
+
+    print(SpeedupTable(calibrated_model()).render())
+    return 0
+
+
+def cmd_fig4(args) -> int:
+    from .core import DistMISRunner
+
+    report = DistMISRunner().simulate_comparison(num_runs=args.runs,
+                                                 base_seed=args.seed)
+    print(report.render_figure_series())
+    return 0
+
+
+def cmd_train(args) -> int:
+    from .core import MISPipeline, train_trial
+
+    settings = _settings(args)
+    pipeline = MISPipeline(settings)
+    out = train_trial(
+        {"learning_rate": args.lr, "loss": args.loss},
+        settings, pipeline, num_replicas=args.gpus,
+        convergence_patience=4,
+    )
+    for rec in out.history:
+        print(f"epoch {rec.epoch:>3}  loss {rec.train_loss:.4f}  "
+              f"val DSC {rec.val_dice:.4f}  lr {rec.lr:.2e}")
+    print(f"best val DSC {out.val_dice:.4f}   test DSC {out.test_dice:.4f}")
+    if out.converged_epoch is not None:
+        print(f"converged at epoch {out.converged_epoch}")
+    return 0
+
+
+def cmd_search(args) -> int:
+    from .core import DistMISRunner, HyperparameterSpace
+
+    space = HyperparameterSpace(
+        {"learning_rate": args.lr, "loss": args.losses}
+    )
+    runner = DistMISRunner(space=space, settings=_settings(args))
+    if args.method == "data_parallel":
+        result = runner.run_inprocess("data_parallel", num_gpus=args.gpus)
+        for o in result.outcomes:
+            print(f"{o.config}  val DSC {o.val_dice:.4f}")
+        best = result.best()
+        print(f"best: {best.config} (val DSC {best.val_dice:.4f})")
+    else:
+        result = runner.run_inprocess("experiment_parallel")
+        for row in result.analysis.results_table("val_dice"):
+            print(f"{row['trial_id']} {row['config']} "
+                  f"val DSC {row['val_dice']:.4f} [{row['status']}]")
+        print(f"best: {result.analysis.best_config('val_dice')}")
+    return 0
+
+
+def cmd_simulate(args) -> int:
+    from .core import DistMISRunner
+    from .perf import format_hms
+
+    runner = DistMISRunner()
+    run = runner.simulate(args.method, args.gpus, seed=args.seed,
+                          gpus_per_trial=args.gpus_per_trial)
+    print(f"{args.method} @ {args.gpus} GPUs: "
+          f"{format_hms(run.elapsed_seconds)} "
+          f"({run.elapsed_seconds:.0f} s), "
+          f"mean GPU utilisation {run.timeline.mean_utilization():.0%}")
+    if args.trace:
+        run.timeline.to_chrome_trace(args.trace)
+        print(f"chrome trace written to {args.trace}")
+    return 0
+
+
+def cmd_profile(args) -> int:
+    from .core import profile_online_vs_offline
+
+    report = profile_online_vs_offline(
+        num_subjects=args.subjects,
+        volume_shape=tuple(args.volume),
+        epochs=args.epochs,
+    )
+    print(report.render())
+    return 0
+
+
+def cmd_summary(args) -> int:
+    import numpy as np
+
+    from .nn import UNet3D, format_summary
+
+    net = UNet3D(
+        4, 1, args.base_filters, args.depth,
+        transpose_halves=not args.transpose_keeps_channels,
+        rng=np.random.default_rng(0),
+    )
+    print(format_summary(net, (1, 4, *args.volume)))
+    return 0
+
+
+def cmd_report(args) -> int:
+    from .core.report import build_report
+
+    text = build_report(num_runs=args.runs, base_seed=args.seed)
+    if args.output:
+        from pathlib import Path
+
+        Path(args.output).write_text(text)
+        print(f"report written to {args.output}")
+    else:
+        print(text)
+    return 0
+
+
+def cmd_calibrate(args) -> int:
+    from .perf import fit_to_table1
+
+    result = fit_to_table1(max_nfev=args.max_nfev)
+    print("fitted parameters:")
+    for name in ("gpu_efficiency", "straggler_sigma", "mirrored_overhead_s",
+                 "internode_overhead_s", "epoch_fixed_s", "startup_base_s",
+                 "startup_per_node_s", "tune_trial_overhead_s"):
+        print(f"  {name} = {getattr(result.params, name):.6g}")
+    print(f"max |error| {result.max_abs_pct_error:.1f}%, "
+          f"mean {result.mean_abs_pct_error:.1f}%")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="distmis",
+        description="DistMIS reproduction: distributed hyper-parameter "
+                    "tuning for 3D medical image segmentation",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("table1", help="reproduce Table I").set_defaults(
+        fn=cmd_table1
+    )
+
+    p = sub.add_parser("fig4", help="reproduce Figure 4 series")
+    p.add_argument("--runs", type=int, default=3)
+    p.add_argument("--seed", type=int, default=0)
+    p.set_defaults(fn=cmd_fig4)
+
+    p = sub.add_parser("train", help="train one configuration in-process")
+    _add_scale_args(p)
+    p.add_argument("--lr", type=float, default=3e-3)
+    p.add_argument("--loss", default="dice",
+                   choices=["dice", "quadratic_dice", "bce"])
+    p.add_argument("--gpus", type=int, default=1,
+                   help="virtual data-parallel replicas")
+    p.set_defaults(fn=cmd_train)
+
+    p = sub.add_parser("search", help="hyper-parameter search in-process")
+    _add_scale_args(p)
+    p.add_argument("--lr", type=float, nargs="+", default=[3e-3, 1e-3])
+    p.add_argument("--losses", nargs="+", default=["dice"])
+    p.add_argument("--method", default="experiment_parallel",
+                   choices=["data_parallel", "experiment_parallel"])
+    p.add_argument("--gpus", type=int, default=1)
+    p.set_defaults(fn=cmd_search)
+
+    p = sub.add_parser("simulate", help="price one cell on the simulator")
+    p.add_argument("method",
+                   choices=["data_parallel", "experiment_parallel", "hybrid"])
+    p.add_argument("gpus", type=int)
+    p.add_argument("--gpus-per-trial", type=int, default=None,
+                   help="hybrid method: GPUs per trial (default: one node)")
+    p.add_argument("--seed", type=int, default=None)
+    p.add_argument("--trace", help="write a Chrome trace JSON here")
+    p.set_defaults(fn=cmd_simulate)
+
+    p = sub.add_parser("profile", help="input-pipeline bottleneck report")
+    p.add_argument("--subjects", type=int, default=6)
+    p.add_argument("--volume", type=int, nargs=3, default=(48, 48, 32))
+    p.add_argument("--epochs", type=int, default=3)
+    p.set_defaults(fn=cmd_profile)
+
+    p = sub.add_parser("summary", help="print the model's layer summary")
+    p.add_argument("--base-filters", type=int, default=8)
+    p.add_argument("--depth", type=int, default=4)
+    p.add_argument("--volume", type=int, nargs=3, default=(16, 16, 16),
+                   metavar=("D", "H", "W"),
+                   help="probe volume for output shapes (paper: 240 240 152)")
+    p.add_argument("--transpose-keeps-channels", action="store_true",
+                   help="use the 410k-parameter synthesis variant")
+    p.set_defaults(fn=cmd_summary)
+
+    p = sub.add_parser("report",
+                       help="regenerate the full reproduction report")
+    p.add_argument("--runs", type=int, default=3)
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--output", help="write markdown here instead of stdout")
+    p.set_defaults(fn=cmd_report)
+
+    p = sub.add_parser("calibrate", help="re-fit the cost model to Table I")
+    p.add_argument("--max-nfev", type=int, default=300)
+    p.set_defaults(fn=cmd_calibrate)
+
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.fn(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

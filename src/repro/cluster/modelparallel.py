@@ -1,0 +1,112 @@
+"""Model/pipeline parallelism cost extension (the paper's future work).
+
+Section V-C motivates model parallelism: 16 GB V100s cap the batch at
+2 full volumes, so splitting a *single* model across devices would
+unlock larger inputs/batches at the price of inter-stage communication
+and pipeline bubbles.  This module prices that design so the ablation
+benches (E10) can compare it against data and experiment parallelism:
+
+* the U-Net is cut into ``num_stages`` contiguous stages of roughly
+  equal FLOPs; stage boundaries ship activation tensors
+  (GPipe-style pipelining with ``num_microbatches`` micro-batches);
+* per-step time = per-stage compute x (microbatches + stages - 1) /
+  microbatches  + activation transfers;
+* per-stage memory ~ footprint / stages + in-flight microbatch
+  activations, which is what allows the bigger batch.
+"""
+
+from __future__ import annotations
+
+
+from dataclasses import dataclass
+
+from .network import LinkSpec
+from .resources import GPUSpec, unet3d_activation_bytes
+
+__all__ = ["PipelineParallelPlan", "plan_pipeline_parallel"]
+
+
+@dataclass(frozen=True)
+class PipelineParallelPlan:
+    """A priced pipeline-parallel execution of one training step."""
+
+    num_stages: int
+    num_microbatches: int
+    batch_per_step: int
+    step_time_s: float
+    bubble_fraction: float
+    per_stage_memory_bytes: float
+    max_feasible_batch: int
+
+    def throughput_samples_per_s(self) -> float:
+        return self.batch_per_step / self.step_time_s
+
+
+def plan_pipeline_parallel(
+    total_step_flops: float,
+    spatial: tuple[int, int, int],
+    gpu: GPUSpec,
+    link: LinkSpec,
+    num_stages: int,
+    batch_per_step: int,
+    num_microbatches: int | None = None,
+    gpu_efficiency: float = 0.6,
+    base_filters: int = 8,
+    model_params: int = 406_793,
+) -> PipelineParallelPlan:
+    """Price one training step of a ``num_stages``-way pipeline split.
+
+    ``total_step_flops`` is fwd+bwd FLOPs for the whole batch on one
+    device.  Defaults to one micro-batch per sample (GPipe's natural
+    choice for full-volume 3D inputs where a sample is already huge).
+    """
+    if num_stages < 1:
+        raise ValueError("num_stages must be >= 1")
+    if batch_per_step < 1:
+        raise ValueError("batch_per_step must be >= 1")
+    m = num_microbatches if num_microbatches is not None else batch_per_step
+    if m < 1 or m > batch_per_step * 16:
+        raise ValueError("num_microbatches out of range")
+
+    peak = gpu.fp32_tflops * 1e12 * gpu_efficiency
+    per_stage_flops = total_step_flops / num_stages
+    stage_time = per_stage_flops / peak  # whole batch through one stage
+
+    # GPipe bubble: (m + S - 1) micro-slots instead of m.
+    bubble = (num_stages - 1) / (m + num_stages - 1)
+    compute_time = stage_time * (m + num_stages - 1) / m
+
+    # Boundary activations: a full-resolution feature map per sample
+    # per boundary, forward + backward.
+    voxels = spatial[0] * spatial[1] * spatial[2]
+    boundary_bytes = base_filters * voxels * 4 * batch_per_step
+    comm_time = (
+        2 * (num_stages - 1)
+        * (link.latency_s + boundary_bytes / link.bandwidth_bytes_per_s)
+    )
+
+    # Memory: weights split across stages, activations split across
+    # stages but multiplied by in-flight microbatches (capped at S).
+    act = unet3d_activation_bytes(spatial, base_filters=base_filters,
+                                  batch_per_replica=batch_per_step)
+    inflight = min(m, num_stages)
+    per_stage_mem = (
+        model_params * 4 * 3 / num_stages
+        + act / num_stages * inflight / max(1, m)
+        * max(1, m / batch_per_step)
+    )
+    # Largest batch that keeps per-stage memory under the device budget.
+    budget = gpu.memory_bytes * 0.92
+    per_sample_act = act / batch_per_step / num_stages
+    weights_share = model_params * 4 * 3 / num_stages
+    max_batch = max(1, int((budget - weights_share) / max(per_sample_act, 1)))
+
+    return PipelineParallelPlan(
+        num_stages=num_stages,
+        num_microbatches=m,
+        batch_per_step=batch_per_step,
+        step_time_s=compute_time + comm_time,
+        bubble_fraction=bubble,
+        per_stage_memory_bytes=per_stage_mem,
+        max_feasible_batch=max_batch,
+    )

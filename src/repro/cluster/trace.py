@@ -1,0 +1,124 @@
+"""Execution traces and timelines.
+
+Simulated runs record ``TraceEvent`` spans (what ran where, from when to
+when); :class:`Timeline` aggregates them into makespan / utilisation
+statistics and can export Chrome-trace JSON (`chrome://tracing`,
+Perfetto) for visual inspection -- the counterpart of the paper's
+TensorBoard profiling step.
+"""
+
+from __future__ import annotations
+
+import json
+from collections import defaultdict
+from dataclasses import dataclass, field
+from pathlib import Path
+
+__all__ = ["TraceEvent", "Timeline"]
+
+
+@dataclass(frozen=True)
+class TraceEvent:
+    """A half-open span ``[start, end)`` on a named resource lane."""
+
+    name: str
+    start: float
+    end: float
+    resource: str
+    category: str = "span"
+    meta: dict = field(default_factory=dict, compare=False, hash=False)
+
+    def __post_init__(self):
+        if self.end < self.start:
+            raise ValueError(f"event ends before it starts: {self}")
+
+    @property
+    def duration(self) -> float:
+        return self.end - self.start
+
+
+class Timeline:
+    """Ordered collection of trace events with summary statistics."""
+
+    def __init__(self):
+        self.events: list[TraceEvent] = []
+
+    def record(self, name: str, start: float, end: float, resource: str,
+               category: str = "span", **meta) -> TraceEvent:
+        ev = TraceEvent(name=name, start=start, end=end, resource=resource,
+                        category=category, meta=meta)
+        self.events.append(ev)
+        return ev
+
+    def __len__(self) -> int:
+        return len(self.events)
+
+    def makespan(self) -> float:
+        """End of the last event (0 when empty)."""
+        return max((e.end for e in self.events), default=0.0)
+
+    def start_time(self) -> float:
+        return min((e.start for e in self.events), default=0.0)
+
+    def resources(self) -> list[str]:
+        return sorted({e.resource for e in self.events})
+
+    def busy_time(self, resource: str) -> float:
+        """Union length of the resource's busy intervals (overlaps merged)."""
+        spans = sorted(
+            ((e.start, e.end) for e in self.events if e.resource == resource)
+        )
+        total = 0.0
+        cur_start: float | None = None
+        cur_end = 0.0
+        for s, e in spans:
+            if cur_start is None:
+                cur_start, cur_end = s, e
+            elif s <= cur_end:
+                cur_end = max(cur_end, e)
+            else:
+                total += cur_end - cur_start
+                cur_start, cur_end = s, e
+        if cur_start is not None:
+            total += cur_end - cur_start
+        return total
+
+    def utilization(self, resource: str, horizon: float | None = None) -> float:
+        """Busy fraction of ``resource`` over the run (or ``horizon``)."""
+        span = horizon if horizon is not None else self.makespan()
+        if span <= 0:
+            return 0.0
+        return min(1.0, self.busy_time(resource) / span)
+
+    def mean_utilization(self, horizon: float | None = None) -> float:
+        res = self.resources()
+        if not res:
+            return 0.0
+        return sum(self.utilization(r, horizon) for r in res) / len(res)
+
+    def by_category(self) -> dict[str, float]:
+        """Total duration per event category (compute vs comm vs io...)."""
+        out: dict[str, float] = defaultdict(float)
+        for e in self.events:
+            out[e.category] += e.duration
+        return dict(out)
+
+    def to_chrome_trace(self, path=None) -> list[dict]:
+        """Chrome-trace 'X' (complete) events, microsecond timestamps."""
+        lanes = {r: i for i, r in enumerate(self.resources())}
+        out = [
+            {
+                "name": e.name,
+                "cat": e.category,
+                "ph": "X",
+                "ts": e.start * 1e6,
+                "dur": e.duration * 1e6,
+                "pid": 0,
+                "tid": lanes[e.resource],
+                "args": dict(e.meta),
+            }
+            for e in sorted(self.events, key=lambda e: e.start)
+        ]
+        if path is not None:
+            Path(path).write_text(json.dumps(out))
+        return out

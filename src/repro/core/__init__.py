@@ -1,0 +1,75 @@
+"""``repro.core`` -- the paper's contribution: distributed MIS training.
+
+Configuration spaces (:mod:`~repro.core.config`), the Fig 1 pipeline
+(:mod:`~repro.core.pipeline`), the two distribution methods
+(:mod:`~repro.core.data_parallel`,
+:mod:`~repro.core.experiment_parallel`), the pipeline profiler
+(:mod:`~repro.core.profiling`), result reports
+(:mod:`~repro.core.results`) and the :class:`DistMISRunner` facade
+(:mod:`~repro.core.runner`).
+"""
+
+from . import data_parallel, experiment_parallel
+from .checkpoint import CheckpointManager, load_checkpoint, save_checkpoint
+from .hybrid import HybridResult, best_gpus_per_trial, simulate_hybrid_search
+from .report import build_report
+from .tracking import RunTracker, TrialRecord, resume_search
+from .inference import (
+    InferenceResult,
+    full_volume_inference,
+    sliding_window_inference,
+    train_on_patches,
+)
+from .config import (
+    DEFAULT_SPACE,
+    ExperimentSettings,
+    HyperparameterSpace,
+    build_loss,
+    build_model,
+    build_optimizer,
+)
+from .data_parallel import DataParallelSearchResult, placement_case
+from .experiment_parallel import ExperimentParallelSearchResult
+from .pipeline import EpochRecord, MISPipeline, TrialOutcome, train_trial
+from .profiling import BottleneckReport, StageTiming, profile_online_vs_offline
+from .results import ComparisonReport, MethodSeries
+from .runner import DistMISRunner, SimulatedRun
+
+__all__ = [
+    "HyperparameterSpace",
+    "ExperimentSettings",
+    "DEFAULT_SPACE",
+    "build_model",
+    "build_loss",
+    "build_optimizer",
+    "MISPipeline",
+    "EpochRecord",
+    "TrialOutcome",
+    "train_trial",
+    "DataParallelSearchResult",
+    "ExperimentParallelSearchResult",
+    "placement_case",
+    "data_parallel",
+    "experiment_parallel",
+    "BottleneckReport",
+    "StageTiming",
+    "profile_online_vs_offline",
+    "MethodSeries",
+    "ComparisonReport",
+    "DistMISRunner",
+    "SimulatedRun",
+    "CheckpointManager",
+    "save_checkpoint",
+    "load_checkpoint",
+    "InferenceResult",
+    "full_volume_inference",
+    "sliding_window_inference",
+    "train_on_patches",
+    "RunTracker",
+    "TrialRecord",
+    "resume_search",
+    "build_report",
+    "HybridResult",
+    "simulate_hybrid_search",
+    "best_gpus_per_trial",
+]

@@ -1,0 +1,168 @@
+"""Checkpointing: persist and restore model + optimizer + trial state.
+
+Long cluster runs need restartability (a 44-hour search on a shared
+machine *will* be preempted).  Checkpoints are ``.npz`` archives holding
+the model's state dict, the optimizer's slot variables and arbitrary
+JSON-serialisable metadata (epoch counter, best dice, RNG-free -- the
+training loop re-seeds per epoch, so resume is exact).
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import numpy as np
+
+from ..nn.module import Module
+from ..nn.optimizers import Optimizer
+
+__all__ = ["save_checkpoint", "load_checkpoint", "CheckpointManager"]
+
+_META_KEY = "__meta_json__"
+_OPT_PREFIX = "__opt__/"
+
+
+def _flatten_opt_state(state: dict, prefix: str = "") -> dict[str, np.ndarray]:
+    """Flatten the nested optimizer state into array entries."""
+    out: dict[str, np.ndarray] = {}
+    for key, value in state.items():
+        name = f"{prefix}{key}"
+        if isinstance(value, dict):
+            out.update(_flatten_opt_state(value, prefix=f"{name}/"))
+        else:
+            out[name] = np.asarray(value)
+    return out
+
+
+def _unflatten_opt_state(entries: dict[str, np.ndarray]) -> dict:
+    root: dict = {}
+    for name, value in entries.items():
+        parts = name.split("/")
+        node = root
+        for part in parts[:-1]:
+            node = node.setdefault(part, {})
+        leaf = parts[-1]
+        if value.ndim == 0:
+            node[leaf] = value.item()
+        else:
+            node[leaf] = value
+    # integer dict keys (slot indices) were stringified by the flattener
+    def fix(node):
+        if not isinstance(node, dict):
+            return node
+        out = {}
+        for k, v in node.items():
+            key = int(k) if k.lstrip("-").isdigit() else k
+            out[key] = fix(v)
+        return out
+    return fix(root)
+
+
+def save_checkpoint(
+    path,
+    model: Module,
+    optimizer: Optimizer | None = None,
+    **metadata,
+) -> Path:
+    """Write a single-file checkpoint; returns the (normalised) path."""
+    path = Path(path)
+    if path.suffix != ".npz":
+        path = path.with_suffix(path.suffix + ".npz")
+    payload: dict[str, np.ndarray] = {
+        f"model/{name}": value for name, value in model.state_dict().items()
+    }
+    if optimizer is not None:
+        payload.update(
+            {
+                _OPT_PREFIX + k: v
+                for k, v in _flatten_opt_state(optimizer.state_dict()).items()
+            }
+        )
+    payload[_META_KEY] = np.frombuffer(
+        json.dumps(metadata).encode(), dtype=np.uint8
+    )
+    path.parent.mkdir(parents=True, exist_ok=True)
+    np.savez(path, **payload)
+    return path
+
+
+def load_checkpoint(
+    path,
+    model: Module,
+    optimizer: Optimizer | None = None,
+) -> dict:
+    """Restore ``model`` (and ``optimizer``) in place; returns metadata."""
+    path = Path(path)
+    if not path.exists() and path.with_suffix(path.suffix + ".npz").exists():
+        path = path.with_suffix(path.suffix + ".npz")
+    with np.load(path, allow_pickle=False) as archive:
+        model_state = {
+            name[len("model/"):]: archive[name]
+            for name in archive.files
+            if name.startswith("model/")
+        }
+        model.load_state_dict(model_state)
+        if optimizer is not None:
+            opt_entries = {
+                name[len(_OPT_PREFIX):]: archive[name]
+                for name in archive.files
+                if name.startswith(_OPT_PREFIX)
+            }
+            if not opt_entries:
+                raise KeyError(f"{path} holds no optimizer state")
+            optimizer.load_state_dict(_unflatten_opt_state(opt_entries))
+        meta_raw = archive[_META_KEY].tobytes().decode()
+    return json.loads(meta_raw)
+
+
+class CheckpointManager:
+    """Rolling checkpoints with best-metric tracking for one trial.
+
+    >>> mgr = CheckpointManager(dir, keep=2)
+    >>> mgr.save(model, opt, epoch=3, val_dice=0.91)
+    >>> mgr.best_path  # checkpoint of the best val_dice so far
+    """
+
+    def __init__(self, directory, keep: int = 3, metric: str = "val_dice",
+                 mode: str = "max"):
+        if keep < 1:
+            raise ValueError("keep must be >= 1")
+        if mode not in ("max", "min"):
+            raise ValueError("mode must be 'max' or 'min'")
+        self.directory = Path(directory)
+        self.directory.mkdir(parents=True, exist_ok=True)
+        self.keep = keep
+        self.metric = metric
+        self.mode = mode
+        self._saved: list[Path] = []
+        self.best_path: Path | None = None
+        self._best_value: float | None = None
+
+    def save(self, model: Module, optimizer: Optimizer | None = None,
+             **metadata) -> Path:
+        epoch = metadata.get("epoch", len(self._saved))
+        path = self.directory / f"ckpt_epoch{epoch:04d}.npz"
+        save_checkpoint(path, model, optimizer, **metadata)
+        self._saved.append(path)
+
+        value = metadata.get(self.metric)
+        if value is not None:
+            better = (
+                self._best_value is None
+                or (self.mode == "max" and value > self._best_value)
+                or (self.mode == "min" and value < self._best_value)
+            )
+            if better:
+                self._best_value = float(value)
+                best = self.directory / "ckpt_best.npz"
+                save_checkpoint(best, model, optimizer, **metadata)
+                self.best_path = best
+
+        while len(self._saved) > self.keep:
+            old = self._saved.pop(0)
+            old.unlink(missing_ok=True)
+        return path
+
+    def latest_path(self) -> Path | None:
+        return self._saved[-1] if self._saved else None

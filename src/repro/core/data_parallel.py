@@ -1,0 +1,122 @@
+"""Data-parallel distribution of the hyper-parameter search (method 1).
+
+The paper's first architecture (Fig 1, top): experiments run one after
+another, each training on *all* available GPUs with batch sharding and
+gradient all-reduce.  Section III-B2's three cases decide the machinery:
+
+* ``n == 1`` -- plain sequential training;
+* ``1 < n <= M`` -- Distributed TensorFlow ``MirroredStrategy`` inside
+  one node;
+* ``n > M`` -- Ray cluster + Ray SGD across nodes.
+
+Two backends share this module:
+
+* :func:`run_search_inprocess` really trains every configuration with
+  ``num_gpus`` *virtual* replicas (exact semantics, laptop scale);
+* :func:`simulate_search` prices the same search at paper scale on the
+  discrete-event simulator with the calibrated cost model, emitting a
+  timeline of per-trial spans.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..cluster.simulator import Simulator
+from ..cluster.trace import Timeline
+from ..perf.costs import StepCostModel, TrialConfig
+from ..perf.speedup import _trial_jitters
+from ..raysim.cluster import RayCluster
+from .config import ExperimentSettings, HyperparameterSpace
+from .pipeline import MISPipeline, TrialOutcome, train_trial
+
+__all__ = ["DataParallelSearchResult", "run_search_inprocess",
+           "simulate_search", "placement_case"]
+
+
+def placement_case(num_gpus: int, gpus_per_node: int = 4) -> str:
+    """The Section III-B2 trichotomy (string tag used in logs/traces)."""
+    if num_gpus < 1:
+        raise ValueError("num_gpus must be >= 1")
+    if num_gpus == 1:
+        return "sequential"
+    if num_gpus <= gpus_per_node:
+        return "mirrored"
+    return "ray_sgd"
+
+
+@dataclass
+class DataParallelSearchResult:
+    num_gpus: int
+    outcomes: list[TrialOutcome] = field(default_factory=list)
+    elapsed_seconds: float = 0.0
+    timeline: Timeline | None = None
+
+    def best(self, key: str = "val_dice") -> TrialOutcome:
+        if not self.outcomes:
+            raise ValueError("empty search result")
+        return max(self.outcomes, key=lambda o: getattr(o, key))
+
+
+def run_search_inprocess(
+    space: HyperparameterSpace,
+    settings: ExperimentSettings,
+    num_gpus: int,
+    pipeline: MISPipeline | None = None,
+) -> DataParallelSearchResult:
+    """Execute the search for real: every config trains sequentially on
+    ``num_gpus`` virtual replicas."""
+    import time
+
+    pipeline = pipeline or MISPipeline(settings)
+    result = DataParallelSearchResult(num_gpus=num_gpus)
+    t0 = time.perf_counter()
+    for config in space:
+        outcome = train_trial(config, settings, pipeline,
+                              num_replicas=num_gpus)
+        result.outcomes.append(outcome)
+    result.elapsed_seconds = time.perf_counter() - t0
+    return result
+
+
+def simulate_search(
+    trials: list[TrialConfig],
+    model: StepCostModel,
+    num_gpus: int,
+    seed: int | None = None,
+) -> tuple[float, Timeline]:
+    """Paper-scale simulation: trials run back-to-back, each occupying
+    the full ``num_gpus`` allocation; returns (elapsed seconds,
+    timeline).  Matches
+    :func:`repro.perf.speedup.data_parallel_search_time` exactly -- the
+    event simulator adds the audited execution trace (allocation,
+    placement case, per-trial spans)."""
+    if num_gpus > model.cluster.total_gpus:
+        raise ValueError(
+            f"{num_gpus} GPUs requested, cluster has {model.cluster.total_gpus}"
+        )
+    ray_cluster = RayCluster(model.cluster)
+    alloc = ray_cluster.allocate_gpus(num_gpus, strategy="pack")
+    case = placement_case(num_gpus, model.cluster.node.num_gpus)
+
+    jitters = _trial_jitters(model, len(trials), seed)
+    sim = Simulator()
+    timeline = Timeline()
+
+    def run_all():
+        for idx, (cfg, jit) in enumerate(zip(trials, jitters)):
+            start = sim.now
+            duration = model.trial_time(cfg, num_gpus, jitter=float(jit))
+            yield sim.timeout(duration)
+            for dev in alloc.devices:
+                timeline.record(
+                    name=f"trial_{idx:02d}", start=start, end=sim.now,
+                    resource=str(dev), category="train",
+                    case=case, loss=cfg.loss, lr=cfg.learning_rate,
+                    base_filters=cfg.base_filters,
+                )
+
+    sim.process(run_all())
+    elapsed = sim.run()
+    ray_cluster.release(alloc)
+    return elapsed, timeline

@@ -1,0 +1,142 @@
+"""Experiment-parallel distribution of the search (method 2, Ray Tune).
+
+The paper's second architecture (Fig 1, bottom): ``Ray.Cluster`` is
+launched over the available resources, then ``Ray.Tune`` places each
+hyper-parameter configuration on its own GPU; runs are self-contained,
+so no gradient synchronisation or data shuffling crosses trials -- the
+property that buys the extra speed-up at scale (Section IV-C).
+
+Backends:
+
+* :func:`run_search_inprocess` -- the Tune-analogue trial runner really
+  trains every configuration (1 virtual GPU each) at laptop scale;
+* :func:`simulate_search` -- paper-scale: the discrete-event simulator
+  executes Ray Tune's greedy FIFO placement over a GPU pool with the
+  calibrated per-trial durations, producing the makespan and a
+  timeline.  A test pins this to the analytic
+  :func:`repro.raysim.scheduler.fifo_schedule` makespan.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..cluster.simulator import Resource, Simulator
+from ..cluster.trace import Timeline
+from ..perf.costs import StepCostModel, TrialConfig
+from ..perf.speedup import _trial_jitters
+from ..raysim.search import GridSearch
+from ..raysim.tune import ExperimentAnalysis, TrialScheduler, tune_run
+from .config import ExperimentSettings, HyperparameterSpace
+from .pipeline import MISPipeline, TrialOutcome, train_trial
+
+__all__ = ["ExperimentParallelSearchResult", "run_search_inprocess",
+           "simulate_search"]
+
+
+@dataclass
+class ExperimentParallelSearchResult:
+    num_gpus: int
+    outcomes: list[TrialOutcome] = field(default_factory=list)
+    analysis: ExperimentAnalysis | None = None
+    elapsed_seconds: float = 0.0
+    timeline: Timeline | None = None
+
+    def best(self, key: str = "val_dice") -> TrialOutcome:
+        if not self.outcomes:
+            raise ValueError("empty search result")
+        return max(self.outcomes, key=lambda o: getattr(o, key))
+
+
+def run_search_inprocess(
+    space: HyperparameterSpace,
+    settings: ExperimentSettings,
+    pipeline: MISPipeline | None = None,
+    scheduler: TrialScheduler | None = None,
+) -> ExperimentParallelSearchResult:
+    """Run the search through the Tune-analogue runner: every trial is a
+    single-replica training (concurrent placement affects wall-clock,
+    not results, so executing them in sequence is result-identical)."""
+    import time
+
+    pipeline = pipeline or MISPipeline(settings)
+    outcomes: list[TrialOutcome] = []
+
+    def trainable(config: dict, reporter):
+        outcome = train_trial(config, settings, pipeline,
+                              num_replicas=1, reporter=reporter)
+        outcomes.append(outcome)
+        return {"val_dice": outcome.val_dice, "test_dice": outcome.test_dice}
+
+    t0 = time.perf_counter()
+    analysis = tune_run(
+        trainable,
+        search_alg=GridSearch(space.axes),
+        scheduler=scheduler,
+        metric="val_dice",
+        raise_on_error=True,
+    )
+    result = ExperimentParallelSearchResult(
+        num_gpus=1, outcomes=outcomes, analysis=analysis,
+        elapsed_seconds=time.perf_counter() - t0,
+    )
+    return result
+
+
+def simulate_search(
+    trials: list[TrialConfig],
+    model: StepCostModel,
+    num_gpus: int,
+    seed: int | None = None,
+) -> tuple[float, Timeline]:
+    """Paper-scale simulation of Ray Tune's placement.
+
+    A :class:`Resource` pool of ``num_gpus`` GPUs; trial processes are
+    submitted FIFO and each acquires one GPU, holds it for
+    ``tune_overhead + duration`` and releases it; the elapsed time is
+    the makespan plus the Ray cluster spin-up over the hosting nodes.
+    """
+    if num_gpus < 1:
+        raise ValueError("num_gpus must be >= 1")
+    if num_gpus > model.cluster.total_gpus:
+        raise ValueError(
+            f"{num_gpus} GPUs requested, cluster has {model.cluster.total_gpus}"
+        )
+    jitters = _trial_jitters(model, len(trials), seed)
+    durations = [
+        model.trial_time(cfg, 1, jitter=float(j))
+        for cfg, j in zip(trials, jitters)
+    ]
+    overhead = model.params.tune_trial_overhead_s
+
+    sim = Simulator()
+    pool = Resource(sim, capacity=num_gpus, name="gpu_pool")
+    timeline = Timeline()
+    # Track which physical GPU each acquisition maps to, for the trace.
+    free_slots = list(range(num_gpus))
+
+    def trial_proc(idx: int, duration: float):
+        yield pool.request()
+        slot = free_slots.pop()
+        start = sim.now
+        yield sim.timeout(overhead + duration)
+        cfg = trials[idx]
+        timeline.record(
+            name=f"trial_{idx:02d}", start=start, end=sim.now,
+            resource=str(model.cluster.device(slot)), category="train",
+            loss=cfg.loss, lr=cfg.learning_rate,
+            base_filters=cfg.base_filters,
+        )
+        free_slots.append(slot)
+        pool.release()
+
+    # FIFO submission order == grid enumeration order (Ray Tune).
+    for idx, d in enumerate(durations):
+        sim.process(trial_proc(idx, d))
+    makespan = sim.run()
+
+    nodes = model.cluster.nodes_for(num_gpus)
+    cluster_startup = (
+        model.params.startup_per_node_s * nodes if num_gpus > 1 else 0.0
+    )
+    return makespan + cluster_startup, timeline

@@ -1,0 +1,134 @@
+"""Hybrid distribution: experiment parallelism over multi-GPU trials.
+
+The paper benchmarks the two extremes -- every trial on ALL GPUs (data
+parallel) or every trial on ONE GPU (experiment parallel) -- and cites
+hybrid-parallelism work as related (Section II-A).  The middle ground
+matters precisely in the paper's own configuration: with 20 trials on
+32 GPUs, pure experiment parallelism leaves 12 GPUs idle and its
+makespan is pinned to the longest trial.  Giving each trial ``g`` GPUs
+trades per-trial speed-up (sub-linear, it pays the data-parallel
+overheads) against trial concurrency (``floor(n / g)`` at a time).
+
+:func:`simulate_hybrid_search` prices any ``gpus_per_trial`` on the
+event simulator; :func:`best_gpus_per_trial` sweeps the feasible
+values.  ``g = 1`` recovers the experiment-parallel method, ``g = n``
+the data-parallel method (both asserted by tests).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..cluster.simulator import Resource, Simulator
+from ..cluster.trace import Timeline
+from ..perf.costs import StepCostModel, TrialConfig
+from ..perf.speedup import _trial_jitters
+
+__all__ = ["HybridResult", "simulate_hybrid_search", "best_gpus_per_trial"]
+
+
+@dataclass(frozen=True)
+class HybridResult:
+    gpus_per_trial: int
+    concurrent_slots: int
+    elapsed_seconds: float
+    mean_gpu_utilization: float
+
+
+def simulate_hybrid_search(
+    trials: list[TrialConfig],
+    model: StepCostModel,
+    num_gpus: int,
+    gpus_per_trial: int,
+    seed: int | None = None,
+) -> tuple[HybridResult, Timeline]:
+    """FIFO placement of ``g``-GPU trials onto ``floor(n/g)`` slots.
+
+    Each trial's duration is the *data-parallel* trial time at ``g``
+    GPUs (so it inherits the straggler/comm overheads), plus the Tune
+    per-trial overhead; Ray cluster startup over the hosting nodes is
+    charged once, as in the pure methods.
+    """
+    if gpus_per_trial < 1:
+        raise ValueError("gpus_per_trial must be >= 1")
+    if gpus_per_trial > num_gpus:
+        raise ValueError(
+            f"gpus_per_trial {gpus_per_trial} exceeds {num_gpus} GPUs"
+        )
+    if num_gpus > model.cluster.total_gpus:
+        raise ValueError(
+            f"{num_gpus} GPUs requested, cluster has {model.cluster.total_gpus}"
+        )
+    slots = num_gpus // gpus_per_trial
+    jitters = _trial_jitters(model, len(trials), seed)
+    durations = [
+        model.trial_time(cfg, gpus_per_trial, jitter=float(j))
+        + model.params.tune_trial_overhead_s
+        for cfg, j in zip(trials, jitters)
+    ]
+
+    sim = Simulator()
+    pool = Resource(sim, capacity=slots, name="trial_slots")
+    timeline = Timeline()
+
+    def trial_proc(idx: int, duration: float):
+        yield pool.request()
+        start = sim.now
+        yield sim.timeout(duration)
+        timeline.record(
+            f"trial_{idx:02d}", start, sim.now,
+            resource=f"slot{idx % slots}", category="train",
+            gpus=gpus_per_trial,
+        )
+        pool.release()
+
+    for idx, d in enumerate(durations):
+        sim.process(trial_proc(idx, d))
+    makespan = sim.run()
+
+    nodes = model.cluster.nodes_for(num_gpus)
+    startup = model.params.startup_per_node_s * nodes if num_gpus > 1 else 0.0
+    elapsed = makespan + startup
+
+    busy_gpu_seconds = sum(durations) * gpus_per_trial
+    util = busy_gpu_seconds / (elapsed * num_gpus) if elapsed > 0 else 0.0
+    return (
+        HybridResult(
+            gpus_per_trial=gpus_per_trial,
+            concurrent_slots=slots,
+            elapsed_seconds=elapsed,
+            mean_gpu_utilization=min(1.0, util),
+        ),
+        timeline,
+    )
+
+
+def best_gpus_per_trial(
+    trials: list[TrialConfig],
+    model: StepCostModel,
+    num_gpus: int,
+    candidates: tuple[int, ...] | None = None,
+    seed: int | None = None,
+) -> dict[int, HybridResult]:
+    """Sweep feasible ``gpus_per_trial`` values; returns {g: result}.
+
+    Default candidates: powers of two up to one node's GPUs, plus the
+    extremes (1 and ``num_gpus``), filtered to divisors of sensible
+    slot counts.
+    """
+    if candidates is None:
+        m = model.cluster.node.num_gpus
+        cand = [1]
+        g = 2
+        while g <= min(num_gpus, m * 2):
+            cand.append(g)
+            g *= 2
+        if num_gpus not in cand:
+            cand.append(num_gpus)
+        candidates = tuple(c for c in cand if c <= num_gpus)
+    out: dict[int, HybridResult] = {}
+    for g in candidates:
+        result, _ = simulate_hybrid_search(trials, model, num_gpus, g,
+                                           seed=seed)
+        out[g] = result
+    return out

@@ -1,0 +1,146 @@
+"""Inference strategies: full-volume vs sliding-window sub-patches.
+
+The paper argues (Sections I, II-A) for end-to-end *full-volume* input:
+sub-patching fits memory but loses spatial context and is slower at
+inference (many overlapping windows per subject).  This module makes
+both strategies first-class so experiment E11 can compare them:
+
+* :func:`full_volume_inference` -- one forward pass per subject;
+* :func:`sliding_window_inference` -- tile, predict per patch, stitch
+  with overlap averaging;
+* :func:`train_on_patches` -- the sub-patch *training* baseline
+  (foreground-biased random patches per step).
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..data.patches import (
+    PatchSpec,
+    extract_patches,
+    sample_random_patches,
+    stitch_patches,
+)
+from ..nn.losses import Loss
+
+from ..nn.module import Module
+from ..nn.optimizers import Optimizer
+
+__all__ = [
+    "InferenceResult",
+    "full_volume_inference",
+    "sliding_window_inference",
+    "train_on_patches",
+]
+
+
+@dataclass
+class InferenceResult:
+    """Prediction plus accounting for the strategy comparison."""
+
+    prediction: np.ndarray        # (N, C, D, H, W)
+    seconds: float
+    forward_passes: int
+    voxels_computed: int          # total voxels pushed through the net
+
+    def overcompute_factor(self) -> float:
+        """Computed voxels / output voxels (1.0 = no redundancy)."""
+        out_voxels = int(np.prod(self.prediction.shape))
+        return self.voxels_computed / out_voxels
+
+
+def full_volume_inference(model: Module, images: np.ndarray) -> InferenceResult:
+    """One forward pass per subject at native resolution."""
+    t0 = time.perf_counter()
+    preds = []
+    for i in range(images.shape[0]):
+        preds.append(model.predict(images[i : i + 1])[0])
+    pred = np.stack(preds)
+    return InferenceResult(
+        prediction=pred,
+        seconds=time.perf_counter() - t0,
+        forward_passes=images.shape[0],
+        voxels_computed=int(np.prod(pred.shape)),
+    )
+
+
+def sliding_window_inference(
+    model: Module,
+    images: np.ndarray,
+    patch_shape: tuple[int, int, int],
+    overlap: float = 0.5,
+    batch_size: int = 4,
+) -> InferenceResult:
+    """Tile each subject, run the model per patch batch, stitch back.
+
+    ``overlap`` in [0, 1) sets the stride to ``patch * (1 - overlap)``,
+    the usual sliding-window configuration.
+    """
+    if not 0.0 <= overlap < 1.0:
+        raise ValueError("overlap must be in [0, 1)")
+    stride = tuple(max(1, int(round(p * (1.0 - overlap)))) for p in patch_shape)
+    spec = PatchSpec(patch_shape=patch_shape, stride=stride)
+
+    t0 = time.perf_counter()
+    out = []
+    passes = 0
+    voxels = 0
+    for i in range(images.shape[0]):
+        patches, offsets = extract_patches(images[i], spec)
+        preds = []
+        for start in range(0, len(patches), batch_size):
+            chunk = patches[start : start + batch_size]
+            pred = model.predict(chunk)
+            preds.append(pred)
+            passes += 1
+            voxels += int(np.prod(pred.shape))
+        pred_patches = np.concatenate(preds, axis=0)
+        out.append(
+            stitch_patches(pred_patches, offsets, images.shape[2:])
+        )
+    prediction = np.stack(out)
+    return InferenceResult(
+        prediction=prediction,
+        seconds=time.perf_counter() - t0,
+        forward_passes=passes,
+        voxels_computed=voxels,
+    )
+
+
+def train_on_patches(
+    model: Module,
+    loss: Loss,
+    optimizer: Optimizer,
+    images: np.ndarray,
+    masks: np.ndarray,
+    patch_shape: tuple[int, int, int],
+    steps: int,
+    patches_per_step: int = 2,
+    rng: np.random.Generator | None = None,
+    foreground_fraction: float = 0.5,
+) -> list[float]:
+    """The sub-patch training baseline: each step draws random
+    (foreground-biased) patches from random subjects.  Returns the
+    per-step loss trajectory."""
+    if steps < 1:
+        raise ValueError("steps must be >= 1")
+    rng = rng if rng is not None else np.random.default_rng()
+    losses = []
+    n = images.shape[0]
+    for _ in range(steps):
+        subject = int(rng.integers(n))
+        px, pm = sample_random_patches(
+            images[subject], masks[subject], patch_shape,
+            patches_per_step, rng, foreground_fraction,
+        )
+        model.zero_grad()
+        pred = model(px)
+        value, dpred = loss.forward(pred, pm)
+        model.backward(dpred)
+        optimizer.step()
+        losses.append(float(value))
+    return losses

@@ -1,0 +1,181 @@
+"""Input-pipeline profiling (the Section III-B1 experiment).
+
+The paper's TensorBoard-profiler analysis showed data loading and
+binarisation to be the pre-processing bottleneck, motivating *offline*
+binarisation: transform once before training instead of at every epoch.
+This module reproduces that analysis end to end:
+
+* :func:`profile_online_vs_offline` measures, with real I/O on real
+  (synthetic) volumes, the per-epoch input cost of (a) re-running
+  decode + crop + standardise + binarise every epoch vs (b) reading the
+  pre-binarised record file;
+* :class:`BottleneckReport` ranks pipeline stages by time, the
+  profiler-screenshot equivalent.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from ..data.dataset import Dataset, PipelineStats
+from ..data.nifti import read_nifti, write_nifti
+from ..data.preprocess import preprocess_subject
+from ..data.records import read_example_file, write_example_file
+from ..data.synthetic_brats import Subject, SyntheticBraTS
+
+__all__ = ["StageTiming", "BottleneckReport", "profile_online_vs_offline"]
+
+
+@dataclass(frozen=True)
+class StageTiming:
+    stage: str
+    seconds: float
+    elements: int
+
+    @property
+    def per_element_ms(self) -> float:
+        return 1e3 * self.seconds / max(1, self.elements)
+
+
+@dataclass
+class BottleneckReport:
+    """Ranked stage timings plus the headline numbers of E5."""
+
+    stages: list[StageTiming] = field(default_factory=list)
+    online_epoch_s: float = 0.0
+    offline_epoch_s: float = 0.0
+    binarize_once_s: float = 0.0
+    epochs_to_amortize: float = 0.0
+
+    def bottleneck(self) -> StageTiming:
+        if not self.stages:
+            raise ValueError("no stages profiled")
+        return max(self.stages, key=lambda s: s.seconds)
+
+    def speedup_per_epoch(self) -> float:
+        if self.offline_epoch_s <= 0:
+            return float("inf")
+        return self.online_epoch_s / self.offline_epoch_s
+
+    def render(self) -> str:
+        lines = ["pipeline stage profile (per-epoch):"]
+        for s in sorted(self.stages, key=lambda s: -s.seconds):
+            lines.append(
+                f"  {s.stage:<24} {s.seconds*1e3:9.1f} ms total  "
+                f"({s.per_element_ms:7.2f} ms/elem, n={s.elements})"
+            )
+        lines.append(
+            f"online epoch input cost : {self.online_epoch_s*1e3:9.1f} ms"
+        )
+        lines.append(
+            f"offline epoch input cost: {self.offline_epoch_s*1e3:9.1f} ms"
+        )
+        lines.append(
+            f"one-off binarisation    : {self.binarize_once_s*1e3:9.1f} ms"
+            f"  (amortised after {self.epochs_to_amortize:.1f} epochs)"
+        )
+        lines.append(f"per-epoch input speed-up: x{self.speedup_per_epoch():.1f}")
+        return "\n".join(lines)
+
+
+def _write_nifti_cohort(subjects: list[Subject], directory: Path) -> list[Path]:
+    """Materialise the cohort as on-disk NIfTI files, like the MSD layout."""
+    paths = []
+    for s in subjects:
+        p = directory / f"{s.subject_id}.nii"
+        write_nifti(p, s.image, spacing=s.spacing, description=s.subject_id)
+        lp = directory / f"{s.subject_id}_label.nii"
+        write_nifti(lp, s.label, spacing=s.spacing)
+        paths.append(p)
+    return paths
+
+
+def profile_online_vs_offline(
+    num_subjects: int = 6,
+    volume_shape: tuple[int, int, int] = (48, 48, 32),
+    epochs: int = 3,
+    workdir: str | Path | None = None,
+    seed: int = 0,
+) -> BottleneckReport:
+    """Measure the two pipeline variants on real files.
+
+    *Online*: every epoch reads the NIfTI files and re-runs the full
+    transform (decode -> crop -> standardise -> binarise), tf.data-style.
+    *Offline*: the transform runs once into a record file; epochs only
+    read records.  Stage timings are collected through
+    :class:`~repro.data.dataset.PipelineStats`.
+    """
+    import tempfile
+
+    workdir = Path(workdir) if workdir else Path(
+        tempfile.mkdtemp(prefix="distmis_profile_")
+    )
+    gen = SyntheticBraTS(num_subjects=num_subjects, volume_shape=volume_shape,
+                         seed=seed)
+    subjects = list(gen)
+    nifti_paths = _write_nifti_cohort(subjects, workdir)
+    label_paths = [workdir / f"{s.subject_id}_label.nii" for s in subjects]
+
+    report = BottleneckReport()
+    stats = PipelineStats()
+
+    # --- online: full transform every epoch ---------------------------------
+    def decode(paths):
+        img_p, lab_p = paths
+        img = read_nifti(img_p)
+        lab = read_nifti(lab_p)
+        return Subject(subject_id=img.description, image=img.data,
+                       label=lab.data)
+
+    t0 = time.perf_counter()
+    for _ in range(epochs):
+        ds = (
+            Dataset.from_list(list(zip(nifti_paths, label_paths)))
+            .with_stats(stats)
+            .map(decode, stage="nifti_decode")
+            .map(lambda s: preprocess_subject(s, divisor=4),
+                 stage="transform")
+            .map(lambda ex: (ex.image, ex.mask), stage="to_tensors")
+        )
+        for _ in ds:
+            pass
+    online_total = time.perf_counter() - t0
+    report.online_epoch_s = online_total / epochs
+
+    # --- offline: binarise once, epochs read records ---------------------------
+    rec_path = workdir / "train.rec"
+    t0 = time.perf_counter()
+    write_example_file(
+        rec_path,
+        (
+            {"image": ex.image, "mask": ex.mask}
+            for ex in (preprocess_subject(s, divisor=4) for s in subjects)
+        ),
+    )
+    report.binarize_once_s = time.perf_counter() - t0
+
+    t0 = time.perf_counter()
+    for _ in range(epochs):
+        ds = (
+            Dataset.from_generator(lambda: read_example_file(rec_path))
+            .with_stats(stats)
+            .map(lambda ex: (ex["image"], ex["mask"]), stage="record_read")
+        )
+        for _ in ds:
+            pass
+    offline_total = time.perf_counter() - t0
+    report.offline_epoch_s = offline_total / epochs
+
+    saved_per_epoch = report.online_epoch_s - report.offline_epoch_s
+    report.epochs_to_amortize = (
+        report.binarize_once_s / saved_per_epoch
+        if saved_per_epoch > 0
+        else float("inf")
+    )
+    report.stages = [
+        StageTiming(stage=k, seconds=stats.seconds[k], elements=stats.elements[k])
+        for k in stats.seconds
+    ]
+    return report

@@ -1,0 +1,96 @@
+"""Reproduction report builder.
+
+Assembles the full paper-vs-measured report programmatically (the
+machine-generated core of EXPERIMENTS.md): Table I, the Fig 4 series,
+the speed-up gap evidence and the cost decomposition, as one markdown
+string.  Exposed on the CLI as ``distmis report``.
+"""
+
+from __future__ import annotations
+
+from ..perf import (
+    TABLE1_DATA_PARALLEL_S,
+    TABLE1_DP_SPEEDUPS,
+    TABLE1_EP_SPEEDUPS,
+    TABLE1_EXPERIMENT_PARALLEL_S,
+    TrialConfig,
+    calibrated_model,
+    epoch_breakdown,
+    format_hms,
+    summarize,
+)
+from ..perf.calibration import MARENOSTRUM_CTE_PROFILE
+from .runner import DistMISRunner
+
+__all__ = ["build_report"]
+
+
+def build_report(num_runs: int = 3, base_seed: int = 0) -> str:
+    """Regenerate the quantitative reproduction report as markdown."""
+    runner = DistMISRunner()
+    comparison = runner.simulate_comparison(num_runs=num_runs,
+                                            base_seed=base_seed)
+    calib = summarize(MARENOSTRUM_CTE_PROFILE)
+    model = calibrated_model()
+
+    lines: list[str] = []
+    add = lines.append
+    add("# DistMIS reproduction report (auto-generated)")
+    add("")
+    add(f"Calibration fit vs Table I: max cell error "
+        f"{calib.max_abs_pct_error:.1f}%, mean "
+        f"{calib.mean_abs_pct_error:.1f}% "
+        "(see EXPERIMENTS.md for the disclosure).")
+    add("")
+
+    # --- Table I --------------------------------------------------------
+    add("## Table I (ours vs paper)")
+    add("")
+    add("| #GPUs | dp ours | dp paper | ep ours | ep paper "
+        "| ×dp ours | ×dp paper | ×ep ours | ×ep paper |")
+    add("|---:|---:|---:|---:|---:|---:|---:|---:|---:|")
+    for row in comparison.table_rows():
+        n = row["num_gpus"]
+        add(
+            f"| {n} | {format_hms(row['dp_elapsed'])} "
+            f"| {format_hms(TABLE1_DATA_PARALLEL_S[n])} "
+            f"| {format_hms(row['ep_elapsed'])} "
+            f"| {format_hms(TABLE1_EXPERIMENT_PARALLEL_S[n])} "
+            f"| {row['dp_speedup']:.2f} | {TABLE1_DP_SPEEDUPS[n]:.2f} "
+            f"| {row['ep_speedup']:.2f} | {TABLE1_EP_SPEEDUPS[n]:.2f} |"
+        )
+    add("")
+
+    # --- Fig 4 ----------------------------------------------------------
+    add("## Figure 4 series")
+    add("")
+    add("```")
+    add(comparison.render_figure_series())
+    add("```")
+    add("")
+
+    gaps = dict(comparison.crossover_gap())
+    add(f"Speed-up gap (experiment − data parallel) at 32 GPUs: "
+        f"**+{gaps[32]:.2f}** (paper: +{15.19 - 13.18:.2f}); the gap is "
+        f"positive at every n > 1 and widest at 32 GPUs: "
+        f"{max(gaps, key=gaps.get) == 32}.")
+    add("")
+
+    # --- cost decomposition ------------------------------------------------
+    add("## Data-parallel cost decomposition (one trial)")
+    add("")
+    cats = ["compute", "straggler_wait", "allreduce", "input",
+            "framework", "validation", "fixed"]
+    add("| #GPUs | " + " | ".join(cats) + " |")
+    add("|---:|" + "---:|" * len(cats))
+    cfg = TrialConfig()
+    for n in (1, 4, 32):
+        fr = epoch_breakdown(model, cfg, n).fractions()
+        add(f"| {n} | " + " | ".join(f"{100 * fr[c]:.1f}%" for c in cats)
+            + " |")
+    add("")
+    add("Useful compute share shrinks with scale while synchronisation "
+        "grows — the structural reason the self-contained experiment-"
+        "parallel trials win (paper Section IV-C).")
+    add("")
+    return "\n".join(lines)

@@ -1,0 +1,119 @@
+"""Result containers and report formatting for full comparisons."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..perf.speedup import format_hms
+
+__all__ = ["MethodSeries", "ComparisonReport"]
+
+
+@dataclass
+class MethodSeries:
+    """Elapsed-time measurements of one method over GPU counts x runs."""
+
+    method: str
+    gpu_counts: list[int]
+    # runs[i][j]: elapsed seconds at gpu_counts[i], repetition j
+    runs: list[list[float]] = field(default_factory=list)
+
+    def mean(self) -> list[float]:
+        return [float(np.mean(r)) for r in self.runs]
+
+    def minimum(self) -> list[float]:
+        return [float(np.min(r)) for r in self.runs]
+
+    def maximum(self) -> list[float]:
+        return [float(np.max(r)) for r in self.runs]
+
+    def speedups(self) -> list[float]:
+        means = self.mean()
+        base = means[0]
+        return [base / m for m in means]
+
+    def row(self, i: int) -> dict:
+        means = self.mean()
+        return {
+            "method": self.method,
+            "num_gpus": self.gpu_counts[i],
+            "mean_s": means[i],
+            "min_s": self.minimum()[i],
+            "max_s": self.maximum()[i],
+            "speedup": means[0] / means[i],
+        }
+
+
+class ComparisonReport:
+    """Joint Table I / Fig 4 style report over both methods."""
+
+    def __init__(self, data_parallel: MethodSeries,
+                 experiment_parallel: MethodSeries):
+        if data_parallel.gpu_counts != experiment_parallel.gpu_counts:
+            raise ValueError("methods measured at different GPU counts")
+        self.dp = data_parallel
+        self.ep = experiment_parallel
+
+    @property
+    def gpu_counts(self) -> list[int]:
+        return self.dp.gpu_counts
+
+    def table_rows(self) -> list[dict]:
+        rows = []
+        dp_means, ep_means = self.dp.mean(), self.ep.mean()
+        dp_sp, ep_sp = self.dp.speedups(), self.ep.speedups()
+        for i, n in enumerate(self.gpu_counts):
+            rows.append(
+                {
+                    "num_gpus": n,
+                    "dp_elapsed": dp_means[i],
+                    "dp_speedup": dp_sp[i],
+                    "ep_elapsed": ep_means[i],
+                    "ep_speedup": ep_sp[i],
+                }
+            )
+        return rows
+
+    def render_table(self) -> str:
+        lines = [
+            "        |  Data Parallel Method   | Experiment Parallel Method",
+            "# GPUs  | Elapsed time | Speedup  | Elapsed time | Speedup",
+            "-" * 64,
+        ]
+        for r in self.table_rows():
+            lines.append(
+                f"{r['num_gpus']:>6}  | {format_hms(r['dp_elapsed']):>12} | "
+                f"{r['dp_speedup']:>7.2f}  | {format_hms(r['ep_elapsed']):>12} | "
+                f"{r['ep_speedup']:>7.2f}"
+            )
+        return "\n".join(lines)
+
+    def render_figure_series(self) -> str:
+        """Fig 4 as text: per-GPU-count mean elapsed (with min/max) and
+        mean speed-up for both methods."""
+        lines = ["Fig 4a: mean elapsed hours per #GPUs (min..max over runs)"]
+        for series in (self.dp, self.ep):
+            means = series.mean()
+            mins, maxs = series.minimum(), series.maximum()
+            pts = ", ".join(
+                f"{n}: {m/3600:.2f}h ({lo/3600:.2f}..{hi/3600:.2f})"
+                for n, m, lo, hi in zip(series.gpu_counts, means, mins, maxs)
+            )
+            lines.append(f"  {series.method}: {pts}")
+        lines.append("Fig 4b: mean speed-up per #GPUs")
+        for series in (self.dp, self.ep):
+            pts = ", ".join(
+                f"{n}: x{s:.2f}"
+                for n, s in zip(series.gpu_counts, series.speedups())
+            )
+            lines.append(f"  {series.method}: {pts}")
+        return "\n".join(lines)
+
+    def crossover_gap(self) -> list[tuple[int, float]]:
+        """(n, ep_speedup - dp_speedup) -- the widening-gap evidence."""
+        return [
+            (r["num_gpus"], r["ep_speedup"] - r["dp_speedup"])
+            for r in self.table_rows()
+        ]

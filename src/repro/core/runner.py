@@ -1,0 +1,145 @@
+"""``DistMISRunner`` -- the public facade of the reproduction.
+
+One object that exposes the paper's whole workflow:
+
+* ``run_inprocess(method, num_gpus)`` -- really trains the search at
+  laptop scale with exact distribution semantics (claims C2/C4);
+* ``simulate(method, num_gpus)`` -- prices the search at paper scale on
+  the calibrated MareNostrum model (claims C1/C3);
+* ``simulate_comparison(...)`` -- the full Table I / Fig 4 sweep with
+  repeated jittered runs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..cluster.trace import Timeline
+from ..perf.calibration import calibrated_model
+from ..perf.costs import StepCostModel, TrialConfig
+from ..perf.speedup import PAPER_GPU_COUNTS, paper_search_grid
+from . import data_parallel, experiment_parallel
+from .config import DEFAULT_SPACE, ExperimentSettings, HyperparameterSpace
+from .pipeline import MISPipeline
+from .results import ComparisonReport, MethodSeries
+
+__all__ = ["DistMISRunner", "SimulatedRun"]
+
+_METHODS = ("data_parallel", "experiment_parallel")
+
+
+@dataclass
+class SimulatedRun:
+    method: str
+    num_gpus: int
+    elapsed_seconds: float
+    timeline: Timeline
+
+
+class DistMISRunner:
+    """Entry point mirroring the paper's published framework."""
+
+    def __init__(
+        self,
+        space: HyperparameterSpace | None = None,
+        settings: ExperimentSettings | None = None,
+        cost_model: StepCostModel | None = None,
+        sim_trials: list[TrialConfig] | None = None,
+    ):
+        self.space = space or DEFAULT_SPACE
+        self.settings = settings or ExperimentSettings()
+        self.cost_model = cost_model or calibrated_model()
+        self.sim_trials = sim_trials or paper_search_grid()
+        self._pipeline: MISPipeline | None = None
+
+    # -- shared dataset pipeline -------------------------------------------
+    @property
+    def pipeline(self) -> MISPipeline:
+        if self._pipeline is None:
+            self._pipeline = MISPipeline(self.settings)
+        return self._pipeline
+
+    # -- in-process (functional) backend --------------------------------------
+    def run_inprocess(self, method: str, num_gpus: int = 1):
+        """Execute the search for real at the configured laptop scale."""
+        self._check_method(method)
+        if method == "data_parallel":
+            return data_parallel.run_search_inprocess(
+                self.space, self.settings, num_gpus, pipeline=self.pipeline
+            )
+        if num_gpus != 1:
+            # Trials are independent 1-GPU runs; concurrency changes
+            # wall-clock only, which the simulated backend prices.
+            raise ValueError(
+                "in-process experiment parallelism executes trials as "
+                "1-GPU runs; use simulate() for multi-GPU timing"
+            )
+        return experiment_parallel.run_search_inprocess(
+            self.space, self.settings, pipeline=self.pipeline
+        )
+
+    # -- simulated (paper-scale) backend ---------------------------------------
+    def simulate(self, method: str, num_gpus: int,
+                 seed: int | None = None,
+                 gpus_per_trial: int | None = None) -> SimulatedRun:
+        """Price the full-scale search on the calibrated cluster model.
+
+        ``method`` may also be ``"hybrid"`` (multi-GPU trials under Tune
+        placement, see :mod:`repro.core.hybrid`); ``gpus_per_trial``
+        then selects the per-trial width (default: one node).
+        """
+        if method == "hybrid":
+            from .hybrid import simulate_hybrid_search
+
+            g = gpus_per_trial or min(num_gpus,
+                                      self.cost_model.cluster.node.num_gpus)
+            result, timeline = simulate_hybrid_search(
+                self.sim_trials, self.cost_model, num_gpus, g, seed=seed
+            )
+            return SimulatedRun(method=f"hybrid[g={g}]", num_gpus=num_gpus,
+                                elapsed_seconds=result.elapsed_seconds,
+                                timeline=timeline)
+        self._check_method(method)
+        mod = (
+            data_parallel if method == "data_parallel" else experiment_parallel
+        )
+        elapsed, timeline = mod.simulate_search(
+            self.sim_trials, self.cost_model, num_gpus, seed=seed
+        )
+        return SimulatedRun(method=method, num_gpus=num_gpus,
+                            elapsed_seconds=elapsed, timeline=timeline)
+
+    def simulate_comparison(
+        self,
+        gpu_counts: tuple[int, ...] = PAPER_GPU_COUNTS,
+        num_runs: int = 3,
+        base_seed: int = 0,
+    ) -> ComparisonReport:
+        """The Table I / Fig 4 experiment: both methods at every GPU
+        count, ``num_runs`` jittered repetitions each (the paper ran
+        every execution three times and reports the average)."""
+        if num_runs < 1:
+            raise ValueError("num_runs must be >= 1")
+        series = {}
+        for method in _METHODS:
+            runs = []
+            for n in gpu_counts:
+                runs.append(
+                    [
+                        self.simulate(method, n, seed=base_seed + 17 * r + 1)
+                        .elapsed_seconds
+                        for r in range(num_runs)
+                    ]
+                )
+            series[method] = MethodSeries(
+                method=method, gpu_counts=list(gpu_counts), runs=runs
+            )
+        return ComparisonReport(series["data_parallel"],
+                                series["experiment_parallel"])
+
+    @staticmethod
+    def _check_method(method: str) -> None:
+        if method not in _METHODS:
+            raise ValueError(
+                f"unknown method {method!r}; expected one of {_METHODS}"
+            )

@@ -1,0 +1,104 @@
+"""Experiment tracking: append-only JSONL run logs and search resume.
+
+A 44-hour search must survive interruption.  The tracker writes one
+JSON line per completed trial (config, metrics, status); on restart,
+:func:`resume_search` filters the remaining configurations so finished
+work is never repeated -- the minimal persistent layer a Tune-style
+runner needs, kept deliberately file-based (no database) so logs can be
+inspected and diffed.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Iterator
+
+__all__ = ["TrialRecord", "RunTracker", "resume_search"]
+
+
+def _canonical(config: dict) -> str:
+    """Order-independent, hashable identity of a configuration."""
+    return json.dumps(config, sort_keys=True, default=str)
+
+
+@dataclass(frozen=True)
+class TrialRecord:
+    config: dict
+    status: str
+    metrics: dict
+
+    def key(self) -> str:
+        return _canonical(self.config)
+
+
+class RunTracker:
+    """Append-only JSONL log of trial outcomes for one search run."""
+
+    def __init__(self, path):
+        self.path = Path(path)
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+
+    def log_trial(self, config: dict, status: str, **metrics) -> TrialRecord:
+        record = TrialRecord(config=dict(config), status=status,
+                            metrics=dict(metrics))
+        line = json.dumps(
+            {"config": record.config, "status": status, "metrics": metrics},
+            sort_keys=True, default=str,
+        )
+        with open(self.path, "a") as f:
+            f.write(line + "\n")
+        return record
+
+    def records(self) -> Iterator[TrialRecord]:
+        if not self.path.exists():
+            return
+        with open(self.path) as f:
+            for lineno, line in enumerate(f, 1):
+                line = line.strip()
+                if not line:
+                    continue
+                try:
+                    obj = json.loads(line)
+                except json.JSONDecodeError:
+                    # a crash mid-write leaves a torn final line; skip it
+                    continue
+                yield TrialRecord(
+                    config=obj["config"], status=obj["status"],
+                    metrics=obj.get("metrics", {}),
+                )
+
+    def completed_configs(self) -> set[str]:
+        """Canonical keys of trials that finished (any terminal state
+        except 'error', which should be retried)."""
+        done = set()
+        for rec in self.records():
+            if rec.status in ("terminated", "stopped"):
+                done.add(rec.key())
+        return done
+
+    def best(self, metric: str, mode: str = "max") -> TrialRecord | None:
+        scored = [
+            r for r in self.records()
+            if metric in r.metrics and r.status in ("terminated", "stopped")
+        ]
+        if not scored:
+            return None
+        key = (lambda r: r.metrics[metric])
+        return max(scored, key=key) if mode == "max" else min(scored, key=key)
+
+    def summary(self) -> dict[str, int]:
+        out: dict[str, int] = {}
+        for rec in self.records():
+            out[rec.status] = out.get(rec.status, 0) + 1
+        return out
+
+
+def resume_search(configs, tracker: RunTracker) -> list[dict]:
+    """Return the configurations not yet completed according to the log.
+
+    Order is preserved; errored trials reappear (so they get retried).
+    """
+    done = tracker.completed_configs()
+    return [c for c in configs if _canonical(c) not in done]

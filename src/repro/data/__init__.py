@@ -1,0 +1,99 @@
+"""``repro.data`` -- dataset substrate.
+
+Stands in for the MSD Task 1 download plus TensorFlow's input stack:
+a seeded synthetic BraTS-like cohort (:mod:`~repro.data.synthetic_brats`),
+a minimal NIfTI-1 codec (:mod:`~repro.data.nifti`), TFRecord-style framed
+record files (:mod:`~repro.data.records`), a tf.data-style pipeline
+(:mod:`~repro.data.dataset`), the paper's pre-processing transforms
+(:mod:`~repro.data.preprocess`) and the 70/15/15 split
+(:mod:`~repro.data.splits`).
+"""
+
+from .augment import (
+    Augmenter,
+    random_flip,
+    random_gaussian_noise,
+    random_intensity_scale,
+    random_intensity_shift,
+)
+from .dataset import Dataset, PipelineStats
+from .nifti import NiftiImage, read_nifti, write_nifti
+from .patches import (
+    PatchSpec,
+    extract_patches,
+    patch_grid,
+    sample_random_patches,
+    stitch_patches,
+)
+from .preprocess import (
+    TrainingExample,
+    center_crop,
+    crop_to_divisible,
+    merge_labels_binary,
+    one_hot,
+    preprocess_subject,
+    standardize,
+)
+from .records import (
+    RecordCorruptionError,
+    RecordReader,
+    RecordWriter,
+    decode_example,
+    encode_example,
+    read_example_file,
+    read_sharded_examples,
+    write_example_file,
+    write_sharded_examples,
+)
+from .splits import PAPER_FRACTIONS, DatasetSplit, split_indices
+from .synthetic_brats import (
+    CLASS_NAMES,
+    MODALITIES,
+    PAPER_NUM_SUBJECTS,
+    PAPER_VOLUME_SHAPE,
+    Subject,
+    SyntheticBraTS,
+)
+
+__all__ = [
+    "Dataset",
+    "PipelineStats",
+    "NiftiImage",
+    "read_nifti",
+    "write_nifti",
+    "TrainingExample",
+    "standardize",
+    "center_crop",
+    "crop_to_divisible",
+    "merge_labels_binary",
+    "one_hot",
+    "preprocess_subject",
+    "RecordWriter",
+    "RecordReader",
+    "RecordCorruptionError",
+    "encode_example",
+    "decode_example",
+    "write_example_file",
+    "read_example_file",
+    "write_sharded_examples",
+    "read_sharded_examples",
+    "DatasetSplit",
+    "split_indices",
+    "PAPER_FRACTIONS",
+    "Subject",
+    "SyntheticBraTS",
+    "MODALITIES",
+    "CLASS_NAMES",
+    "PAPER_VOLUME_SHAPE",
+    "PAPER_NUM_SUBJECTS",
+    "PatchSpec",
+    "patch_grid",
+    "extract_patches",
+    "stitch_patches",
+    "sample_random_patches",
+    "Augmenter",
+    "random_flip",
+    "random_intensity_shift",
+    "random_intensity_scale",
+    "random_gaussian_noise",
+]

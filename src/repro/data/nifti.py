@@ -1,0 +1,147 @@
+"""Minimal NIfTI-1 reader/writer.
+
+The MSD data ships as NIfTI (the paper's Section I cites the format as
+one of the non-trivial ingestion steps), so the reproduction includes a
+real single-file NIfTI-1 implementation: the standard 348-byte header,
+``vox_offset`` 352, magic ``n+1``, and a useful subset of datatypes.
+Optionally gzip-compressed (``.nii.gz``), like the originals.
+
+Only the fields the pipeline needs are interpreted (dim, datatype,
+pixdim, scl_slope/inter); everything else is written as zeros, which
+conformant readers accept.
+"""
+
+from __future__ import annotations
+
+import gzip
+import struct
+from dataclasses import dataclass
+from pathlib import Path
+
+import numpy as np
+
+__all__ = ["NiftiImage", "read_nifti", "write_nifti", "NIFTI_DTYPES"]
+
+_HDR_SIZE = 348
+_VOX_OFFSET = 352.0
+_MAGIC = b"n+1\x00"
+
+# NIfTI-1 datatype codes -> numpy dtypes (subset).
+NIFTI_DTYPES = {
+    2: np.dtype(np.uint8),
+    4: np.dtype(np.int16),
+    8: np.dtype(np.int32),
+    16: np.dtype(np.float32),
+    64: np.dtype(np.float64),
+    256: np.dtype(np.int8),
+    512: np.dtype(np.uint16),
+}
+_DTYPE_CODES = {v: k for k, v in NIFTI_DTYPES.items()}
+
+
+@dataclass
+class NiftiImage:
+    """In-memory NIfTI volume: data plus the header fields we keep."""
+
+    data: np.ndarray
+    spacing: tuple[float, ...] = (1.0, 1.0, 1.0)
+    description: str = ""
+
+    @property
+    def shape(self) -> tuple[int, ...]:
+        return self.data.shape
+
+
+def write_nifti(path, image: NiftiImage | np.ndarray, spacing=None,
+                description: str = "") -> Path:
+    """Serialise a volume to ``.nii`` (or ``.nii.gz`` by extension).
+
+    Arrays of up to 7 dimensions are supported (NIfTI dim[0] limit).
+    """
+    path = Path(path)
+    if isinstance(image, np.ndarray):
+        image = NiftiImage(
+            data=image,
+            spacing=tuple(spacing) if spacing else (1.0,) * min(image.ndim, 3),
+            description=description,
+        )
+    data = np.ascontiguousarray(image.data)
+    if data.ndim < 1 or data.ndim > 7:
+        raise ValueError(f"NIfTI supports 1..7 dims, got {data.ndim}")
+    try:
+        code = _DTYPE_CODES[data.dtype]
+    except KeyError:
+        raise ValueError(
+            f"dtype {data.dtype} not supported; use one of "
+            f"{sorted(str(d) for d in _DTYPE_CODES)}"
+        ) from None
+
+    dim = [data.ndim] + list(data.shape) + [1] * (7 - data.ndim)
+    pixdim = [0.0] + list(image.spacing) + [1.0] * (7 - len(image.spacing))
+    pixdim = pixdim[:8]
+
+    hdr = bytearray(_HDR_SIZE)
+    struct.pack_into("<i", hdr, 0, _HDR_SIZE)            # sizeof_hdr
+    struct.pack_into("<8h", hdr, 40, *dim)               # dim
+    struct.pack_into("<h", hdr, 70, code)                # datatype
+    struct.pack_into("<h", hdr, 72, data.dtype.itemsize * 8)  # bitpix
+    struct.pack_into("<8f", hdr, 76, *pixdim)            # pixdim
+    struct.pack_into("<f", hdr, 108, _VOX_OFFSET)        # vox_offset
+    struct.pack_into("<f", hdr, 112, 1.0)                # scl_slope
+    struct.pack_into("<f", hdr, 116, 0.0)                # scl_inter
+    desc = image.description.encode()[:80]
+    hdr[148 : 148 + len(desc)] = desc                    # descrip
+    hdr[344:348] = _MAGIC                                # magic
+
+    payload = bytes(hdr) + b"\x00" * 4 + data.tobytes()  # 4-byte extension pad
+    opener = gzip.open if path.suffix == ".gz" else open
+    with opener(path, "wb") as f:
+        f.write(payload)
+    return path
+
+
+def read_nifti(path) -> NiftiImage:
+    """Load a ``.nii`` / ``.nii.gz`` file written by any NIfTI-1 writer
+    (little-endian, uncompressed-in-file data, supported datatype)."""
+    path = Path(path)
+    opener = gzip.open if path.suffix == ".gz" else open
+    with opener(path, "rb") as f:
+        blob = f.read()
+    if len(blob) < _HDR_SIZE + 4:
+        raise ValueError(f"{path} too small to be a NIfTI-1 file")
+    (sizeof_hdr,) = struct.unpack_from("<i", blob, 0)
+    if sizeof_hdr != _HDR_SIZE:
+        raise ValueError(
+            f"{path}: bad sizeof_hdr {sizeof_hdr} (big-endian or not NIfTI-1?)"
+        )
+    magic = blob[344:348]
+    if magic not in (b"n+1\x00", b"ni1\x00"):
+        raise ValueError(f"{path}: bad NIfTI magic {magic!r}")
+
+    dim = struct.unpack_from("<8h", blob, 40)
+    ndim = dim[0]
+    if not 1 <= ndim <= 7:
+        raise ValueError(f"{path}: invalid dim[0]={ndim}")
+    shape = tuple(dim[1 : 1 + ndim])
+
+    (datatype,) = struct.unpack_from("<h", blob, 70)
+    try:
+        dtype = NIFTI_DTYPES[datatype]
+    except KeyError:
+        raise ValueError(f"{path}: unsupported datatype code {datatype}") from None
+
+    pixdim = struct.unpack_from("<8f", blob, 76)
+    (vox_offset,) = struct.unpack_from("<f", blob, 108)
+    (scl_slope,) = struct.unpack_from("<f", blob, 112)
+    (scl_inter,) = struct.unpack_from("<f", blob, 116)
+    descrip = blob[148:228].split(b"\x00", 1)[0].decode(errors="replace")
+
+    offset = int(vox_offset) if vox_offset else _HDR_SIZE + 4
+    count = int(np.prod(shape))
+    data = np.frombuffer(blob, dtype=dtype, count=count, offset=offset)
+    data = data.reshape(shape).copy()
+    if scl_slope not in (0.0, 1.0) or scl_inter != 0.0:
+        data = data * scl_slope + scl_inter
+
+    spacing = tuple(float(p) for p in pixdim[1 : 1 + min(ndim, 3)])
+    return NiftiImage(data=data, spacing=spacing, description=descrip)

@@ -1,0 +1,70 @@
+"""Train / validation / test splitting (paper: 70% / 15% / 15%)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = ["DatasetSplit", "split_indices", "PAPER_FRACTIONS"]
+
+PAPER_FRACTIONS = (0.70, 0.15, 0.15)
+
+
+@dataclass(frozen=True)
+class DatasetSplit:
+    """Index partitions of a cohort."""
+
+    train: tuple[int, ...]
+    val: tuple[int, ...]
+    test: tuple[int, ...]
+
+    def __post_init__(self):
+        all_idx = list(self.train) + list(self.val) + list(self.test)
+        if len(set(all_idx)) != len(all_idx):
+            raise ValueError("split partitions overlap")
+
+    @property
+    def sizes(self) -> tuple[int, int, int]:
+        return (len(self.train), len(self.val), len(self.test))
+
+    def total(self) -> int:
+        return sum(self.sizes)
+
+
+def split_indices(
+    num_items: int,
+    fractions: tuple[float, float, float] = PAPER_FRACTIONS,
+    seed: int | None = 0,
+) -> DatasetSplit:
+    """Randomly partition ``range(num_items)``.
+
+    Fractions must sum to 1 (within rounding); sizes are assigned by
+    floor-then-distribute so every item lands in exactly one partition.
+    With the paper's 484 subjects and 70/15/15 this gives 338/73/73.
+    """
+    if num_items < 3:
+        raise ValueError("need at least 3 items to build a 3-way split")
+    if len(fractions) != 3:
+        raise ValueError("fractions must have exactly 3 entries")
+    if any(f <= 0 for f in fractions):
+        raise ValueError("all fractions must be positive")
+    if abs(sum(fractions) - 1.0) > 1e-6:
+        raise ValueError(f"fractions must sum to 1, got {sum(fractions)}")
+
+    order = np.arange(num_items)
+    if seed is not None:
+        np.random.default_rng(seed).shuffle(order)
+
+    n_train = int(num_items * fractions[0])
+    n_val = int(num_items * fractions[1])
+    # Remainder goes to test; guarantee every partition is non-empty.
+    n_train = max(1, n_train)
+    n_val = max(1, n_val)
+    if n_train + n_val >= num_items:
+        n_train, n_val = num_items - 2, 1
+
+    train = tuple(int(i) for i in order[:n_train])
+    val = tuple(int(i) for i in order[n_train : n_train + n_val])
+    test = tuple(int(i) for i in order[n_train + n_val :])
+    return DatasetSplit(train=train, val=val, test=test)

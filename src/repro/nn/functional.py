@@ -1,0 +1,299 @@
+"""Low-level vectorised NumPy kernels for 3D neural-network layers.
+
+All tensors are *channels-first*, matching the paper's data format
+(Section III-A): activations are ``(N, C, D, H, W)`` and convolution
+weights are ``(C_out, C_in, kD, kH, kW)``.
+
+The convolution kernels are written as a small number of large vectorised
+operations (``sliding_window_view`` + ``einsum`` on the forward path, one
+scatter-add per kernel offset on the backward path) rather than per-voxel
+Python loops: a 3x3x3 kernel costs 27 fused updates regardless of volume
+size, which keeps everything in BLAS/ufunc territory.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from numpy.lib.stride_tricks import sliding_window_view
+
+__all__ = [
+    "pad_volume",
+    "conv3d_forward",
+    "conv3d_backward",
+    "conv_transpose3d_forward",
+    "conv_transpose3d_backward",
+    "maxpool3d_forward",
+    "maxpool3d_backward",
+    "avgpool3d_forward",
+    "avgpool3d_backward",
+    "conv3d_output_shape",
+    "conv_transpose3d_output_shape",
+]
+
+
+def _triple(v) -> tuple[int, int, int]:
+    """Normalise an int-or-3-sequence into a 3-tuple."""
+    if isinstance(v, (int, np.integer)):
+        return (int(v), int(v), int(v))
+    t = tuple(int(x) for x in v)
+    if len(t) != 3:
+        raise ValueError(f"expected an int or a length-3 sequence, got {v!r}")
+    return t
+
+
+def pad_volume(x: np.ndarray, pad: tuple[int, int, int]) -> np.ndarray:
+    """Zero-pad the three spatial axes of a ``(N, C, D, H, W)`` tensor."""
+    pd, ph, pw = pad
+    if pd == ph == pw == 0:
+        return x
+    return np.pad(x, ((0, 0), (0, 0), (pd, pd), (ph, ph), (pw, pw)))
+
+
+def conv3d_output_shape(
+    spatial: tuple[int, int, int],
+    kernel,
+    stride=1,
+    pad=0,
+) -> tuple[int, int, int]:
+    """Spatial output shape of a 3D convolution."""
+    k, s, p = _triple(kernel), _triple(stride), _triple(pad)
+    out = []
+    for dim, kk, ss, pp in zip(spatial, k, s, p):
+        o = (dim + 2 * pp - kk) // ss + 1
+        if o <= 0:
+            raise ValueError(
+                f"conv3d output dim <= 0 (input {dim}, kernel {kk}, "
+                f"stride {ss}, pad {pp})"
+            )
+        out.append(o)
+    return tuple(out)
+
+
+def conv_transpose3d_output_shape(
+    spatial: tuple[int, int, int],
+    kernel,
+    stride=1,
+) -> tuple[int, int, int]:
+    """Spatial output shape of a 3D transposed convolution (no padding)."""
+    k, s = _triple(kernel), _triple(stride)
+    return tuple((dim - 1) * ss + kk for dim, kk, ss in zip(spatial, k, s))
+
+
+def conv3d_forward(
+    x: np.ndarray,
+    w: np.ndarray,
+    b: np.ndarray | None = None,
+    stride=1,
+    pad=0,
+) -> np.ndarray:
+    """3D cross-correlation.
+
+    Parameters
+    ----------
+    x : (N, C_in, D, H, W)
+    w : (C_out, C_in, kD, kH, kW)
+    b : (C_out,) or None
+    stride, pad : int or 3-tuple
+
+    Returns
+    -------
+    (N, C_out, D_out, H_out, W_out)
+    """
+    s, p = _triple(stride), _triple(pad)
+    if x.ndim != 5 or w.ndim != 5:
+        raise ValueError("conv3d expects 5-D activations and weights")
+    if x.shape[1] != w.shape[1]:
+        raise ValueError(
+            f"channel mismatch: input has {x.shape[1]}, weight expects {w.shape[1]}"
+        )
+    xp = pad_volume(x, p)
+    kd, kh, kw = w.shape[2:]
+    # (N, C, D', H', W', kd, kh, kw) view -- no copy.
+    cols = sliding_window_view(xp, (kd, kh, kw), axis=(2, 3, 4))
+    cols = cols[:, :, :: s[0], :: s[1], :: s[2]]
+    y = np.einsum("ncdhwxyz,ocxyz->nodhw", cols, w, optimize=True)
+    if b is not None:
+        y += b.reshape(1, -1, 1, 1, 1)
+    return np.ascontiguousarray(y)
+
+
+def conv3d_backward(
+    dy: np.ndarray,
+    x: np.ndarray,
+    w: np.ndarray,
+    stride=1,
+    pad=0,
+    with_bias: bool = True,
+):
+    """Gradients of :func:`conv3d_forward`.
+
+    Returns ``(dx, dw, db)`` where ``db`` is None when ``with_bias`` is
+    False.  The input gradient is accumulated with one strided
+    scatter-add per kernel offset, which is fully vectorised over the
+    batch and spatial axes.
+    """
+    s, p = _triple(stride), _triple(pad)
+    kd, kh, kw = w.shape[2:]
+    Do, Ho, Wo = dy.shape[2:]
+
+    xp = pad_volume(x, p)
+    cols = sliding_window_view(xp, (kd, kh, kw), axis=(2, 3, 4))
+    cols = cols[:, :, :: s[0], :: s[1], :: s[2]]
+    dw = np.einsum("nodhw,ncdhwxyz->ocxyz", dy, cols, optimize=True)
+
+    db = dy.sum(axis=(0, 2, 3, 4)) if with_bias else None
+
+    dxp = np.zeros_like(xp)
+    # dy (N,O,Do,Ho,Wo) x w[:,:,i,j,k] (O,C) -> contribution at offset (i,j,k)
+    for i in range(kd):
+        di = slice(i, i + s[0] * Do, s[0])
+        for j in range(kh):
+            dj = slice(j, j + s[1] * Ho, s[1])
+            for k in range(kw):
+                dk = slice(k, k + s[2] * Wo, s[2])
+                dxp[:, :, di, dj, dk] += np.einsum(
+                    "nodhw,oc->ncdhw", dy, w[:, :, i, j, k], optimize=True
+                )
+    pd, ph, pw = p
+    dx = dxp[
+        :,
+        :,
+        pd : dxp.shape[2] - pd or None,
+        ph : dxp.shape[3] - ph or None,
+        pw : dxp.shape[4] - pw or None,
+    ]
+    return np.ascontiguousarray(dx), dw, db
+
+
+def conv_transpose3d_forward(
+    x: np.ndarray,
+    w: np.ndarray,
+    b: np.ndarray | None = None,
+    stride=1,
+) -> np.ndarray:
+    """3D transposed convolution (a.k.a. up-convolution), no padding.
+
+    Parameters
+    ----------
+    x : (N, C_in, D, H, W)
+    w : (C_in, C_out, kD, kH, kW) -- note the transposed channel layout,
+        matching ``tf.keras.layers.Conv3DTranspose`` semantics.
+    """
+    s = _triple(stride)
+    if x.shape[1] != w.shape[0]:
+        raise ValueError(
+            f"channel mismatch: input has {x.shape[1]}, weight expects {w.shape[0]}"
+        )
+    n, _, D, H, W = x.shape
+    kd, kh, kw = w.shape[2:]
+    Do, Ho, Wo = conv_transpose3d_output_shape((D, H, W), (kd, kh, kw), s)
+    y = np.zeros((n, w.shape[1], Do, Ho, Wo), dtype=x.dtype)
+    for i in range(kd):
+        di = slice(i, i + s[0] * D, s[0])
+        for j in range(kh):
+            dj = slice(j, j + s[1] * H, s[1])
+            for k in range(kw):
+                dk = slice(k, k + s[2] * W, s[2])
+                y[:, :, di, dj, dk] += np.einsum(
+                    "ncdhw,co->nodhw", x, w[:, :, i, j, k], optimize=True
+                )
+    if b is not None:
+        y += b.reshape(1, -1, 1, 1, 1)
+    return y
+
+
+def conv_transpose3d_backward(
+    dy: np.ndarray,
+    x: np.ndarray,
+    w: np.ndarray,
+    stride=1,
+    with_bias: bool = True,
+):
+    """Gradients of :func:`conv_transpose3d_forward`.
+
+    Returns ``(dx, dw, db)``.
+    """
+    s = _triple(stride)
+    kd, kh, kw = w.shape[2:]
+    n, _, D, H, W = x.shape
+
+    dx = np.zeros_like(x)
+    dw = np.zeros_like(w)
+    for i in range(kd):
+        di = slice(i, i + s[0] * D, s[0])
+        for j in range(kh):
+            dj = slice(j, j + s[1] * H, s[1])
+            for k in range(kw):
+                dk = slice(k, k + s[2] * W, s[2])
+                dy_off = dy[:, :, di, dj, dk]
+                dx += np.einsum("nodhw,co->ncdhw", dy_off, w[:, :, i, j, k],
+                                optimize=True)
+                dw[:, :, i, j, k] = np.einsum(
+                    "ncdhw,nodhw->co", x, dy_off, optimize=True
+                )
+    db = dy.sum(axis=(0, 2, 3, 4)) if with_bias else None
+    return dx, dw, db
+
+
+def _pool_windows(x: np.ndarray, k: tuple[int, int, int]):
+    """Reshape ``(N,C,D,H,W)`` into non-overlapping pooling windows.
+
+    Returns a ``(N, C, D', H', W', kd*kh*kw)`` array.  Requires each
+    spatial dim to be divisible by the corresponding kernel dim (the
+    paper crops its volumes to guarantee exactly this, Section IV-A).
+    """
+    n, c, D, H, W = x.shape
+    kd, kh, kw = k
+    if D % kd or H % kh or W % kw:
+        raise ValueError(
+            f"pooling requires divisible spatial dims, got {(D, H, W)} "
+            f"with kernel {k}; crop the input first (see repro.data.preprocess)"
+        )
+    v = x.reshape(n, c, D // kd, kd, H // kh, kh, W // kw, kw)
+    v = v.transpose(0, 1, 2, 4, 6, 3, 5, 7)
+    return v.reshape(n, c, D // kd, H // kh, W // kw, kd * kh * kw)
+
+
+def maxpool3d_forward(x: np.ndarray, kernel=2):
+    """Non-overlapping 3D max pooling (stride == kernel).
+
+    Returns ``(y, argmax)`` where ``argmax`` indexes the flattened window
+    and is consumed by :func:`maxpool3d_backward`.
+    """
+    k = _triple(kernel)
+    win = _pool_windows(x, k)
+    arg = win.argmax(axis=-1)
+    y = np.take_along_axis(win, arg[..., None], axis=-1)[..., 0]
+    return y, arg
+
+
+def maxpool3d_backward(dy: np.ndarray, arg: np.ndarray, x_shape, kernel=2):
+    """Scatter pooled gradients back to the argmax positions."""
+    k = _triple(kernel)
+    kd, kh, kw = k
+    n, c, D, H, W = x_shape
+    win = np.zeros((*dy.shape, kd * kh * kw), dtype=dy.dtype)
+    np.put_along_axis(win, arg[..., None], dy[..., None], axis=-1)
+    v = win.reshape(n, c, D // kd, H // kh, W // kw, kd, kh, kw)
+    v = v.transpose(0, 1, 2, 5, 3, 6, 4, 7)
+    return v.reshape(n, c, D, H, W)
+
+
+def avgpool3d_forward(x: np.ndarray, kernel=2) -> np.ndarray:
+    """Non-overlapping 3D average pooling (stride == kernel)."""
+    k = _triple(kernel)
+    return _pool_windows(x, k).mean(axis=-1)
+
+
+def avgpool3d_backward(dy: np.ndarray, x_shape, kernel=2) -> np.ndarray:
+    """Spread pooled gradients uniformly over each window."""
+    k = _triple(kernel)
+    kd, kh, kw = k
+    n, c, D, H, W = x_shape
+    scale = 1.0 / (kd * kh * kw)
+    win = np.broadcast_to(
+        (dy * scale)[..., None], (*dy.shape, kd * kh * kw)
+    ).copy()
+    v = win.reshape(n, c, D // kd, H // kh, W // kw, kd, kh, kw)
+    v = v.transpose(0, 1, 2, 5, 3, 6, 4, 7)
+    return v.reshape(n, c, D, H, W)

@@ -1,0 +1,26 @@
+"""Layer zoo for the NumPy deep-learning engine."""
+
+from .activations import Identity, LeakyReLU, ReLU, Sigmoid, Softmax, Tanh
+from .batchnorm import BatchNorm
+from .groupnorm import GroupNorm, InstanceNorm
+from .conv3d import Conv3D
+from .conv_transpose3d import ConvTranspose3D
+from .dropout import Dropout
+from .pooling import AvgPool3D, MaxPool3D
+
+__all__ = [
+    "Conv3D",
+    "ConvTranspose3D",
+    "MaxPool3D",
+    "AvgPool3D",
+    "BatchNorm",
+    "GroupNorm",
+    "InstanceNorm",
+    "Dropout",
+    "ReLU",
+    "LeakyReLU",
+    "Sigmoid",
+    "Tanh",
+    "Identity",
+    "Softmax",
+]

@@ -1,0 +1,141 @@
+"""Batch normalisation over channels-first 3D activations.
+
+The paper applies batch normalisation before each ReLU (Section III-A).
+Per-replica statistics are the TensorFlow ``MirroredStrategy`` default --
+each replica normalises with the statistics of its *own* batch shard --
+so data-parallel training is not bit-identical to single-device training
+when BN is present.  A ``stats_reducer`` hook enables synchronous BN
+(global statistics via all-reduce), which restores exact equivalence and
+is exercised by the training-equivalence tests.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+import numpy as np
+
+from ..module import Module
+
+__all__ = ["BatchNorm"]
+
+# A stats reducer receives (sum, sum_of_squares, count) computed on the
+# local shard and returns the globally reduced triple.
+StatsReducer = Callable[
+    [np.ndarray, np.ndarray, float], tuple[np.ndarray, np.ndarray, float]
+]
+
+
+class BatchNorm(Module):
+    """Normalise each channel over the batch and spatial axes.
+
+    Parameters
+    ----------
+    num_channels:
+        Size of axis 1 of the input.
+    momentum:
+        Exponential moving-average factor for the running statistics used
+        at evaluation time (Keras convention: ``running = momentum *
+        running + (1 - momentum) * batch``).
+    eps:
+        Variance floor.
+    stats_reducer:
+        Optional hook for synchronous (cross-replica) statistics.
+    """
+
+    def __init__(
+        self,
+        num_channels: int,
+        momentum: float = 0.9,
+        eps: float = 1e-5,
+        stats_reducer: StatsReducer | None = None,
+    ):
+        super().__init__()
+        if num_channels <= 0:
+            raise ValueError("num_channels must be positive")
+        self.num_channels = int(num_channels)
+        self.momentum = float(momentum)
+        self.eps = float(eps)
+        self.stats_reducer = stats_reducer
+
+        self.add_parameter("gamma", np.ones(num_channels))
+        self.add_parameter("beta", np.zeros(num_channels))
+        self.add_parameter("running_mean", np.zeros(num_channels), trainable=False)
+        self.add_parameter("running_var", np.ones(num_channels), trainable=False)
+
+        self._cache: tuple | None = None
+
+    @staticmethod
+    def _reshape(v: np.ndarray) -> np.ndarray:
+        """Broadcast a per-channel vector over (N, C, *spatial)."""
+        return v.reshape(1, -1, 1, 1, 1)
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        if x.ndim != 5:
+            raise ValueError(f"BatchNorm expects (N,C,D,H,W), got {x.shape}")
+        if x.shape[1] != self.num_channels:
+            raise ValueError(
+                f"BatchNorm built for {self.num_channels} channels, "
+                f"input has {x.shape[1]}"
+            )
+        axes = (0, 2, 3, 4)
+        if self.training:
+            count = float(x.shape[0] * x.shape[2] * x.shape[3] * x.shape[4])
+            total = x.sum(axis=axes)
+            sq_total = np.einsum("ncdhw,ncdhw->c", x, x)
+            if self.stats_reducer is not None:
+                total, sq_total, count = self.stats_reducer(total, sq_total, count)
+            mean = total / count
+            var = sq_total / count - mean**2
+            var = np.maximum(var, 0.0)  # numerical guard
+
+            m = self.momentum
+            self.running_mean.value = m * self.running_mean.value + (1 - m) * mean
+            self.running_var.value = m * self.running_var.value + (1 - m) * var
+        else:
+            mean, var = self.running_mean.value, self.running_var.value
+            count = 0.0
+
+        inv_std = 1.0 / np.sqrt(var + self.eps)
+        x_hat = (x - self._reshape(mean)) * self._reshape(inv_std)
+        y = self._reshape(self.gamma.value) * x_hat + self._reshape(self.beta.value)
+        self._cache = (x_hat, inv_std, count, self.training)
+        return y
+
+    def backward(self, dy: np.ndarray) -> np.ndarray:
+        if self._cache is None:
+            raise RuntimeError("backward called before forward")
+        x_hat, inv_std, count, was_training = self._cache
+        self._cache = None
+        axes = (0, 2, 3, 4)
+
+        self.gamma.grad += np.einsum("ncdhw,ncdhw->c", dy, x_hat)
+        self.beta.grad += dy.sum(axis=axes)
+
+        g = self._reshape(self.gamma.value)
+        if not was_training:
+            # Running statistics are constants w.r.t. the input.
+            return dy * g * self._reshape(inv_std)
+
+        # Standard batch-norm input gradient:
+        # dx = gamma*inv_std/m * (m*dxhat - sum(dxhat) - xhat*sum(dxhat*xhat))
+        dxhat = dy * g
+        m = count
+        sum_dxhat = dxhat.sum(axis=axes)
+        sum_dxhat_xhat = np.einsum("ncdhw,ncdhw->c", dxhat, x_hat)
+        if self.stats_reducer is not None:
+            # Synchronous BN: the input gradient depends on the *global*
+            # batch sums, so reduce them exactly as the forward stats were.
+            sum_dxhat, sum_dxhat_xhat, _ = self.stats_reducer(
+                sum_dxhat, sum_dxhat_xhat, 0.0
+            )
+        dx = (
+            self._reshape(inv_std)
+            / m
+            * (
+                m * dxhat
+                - self._reshape(sum_dxhat)
+                - x_hat * self._reshape(sum_dxhat_xhat)
+            )
+        )
+        return dx

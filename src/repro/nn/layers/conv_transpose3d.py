@@ -1,0 +1,84 @@
+"""3D transposed convolution, the synthesis-path up-sampling of the U-Net."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..functional import (
+    conv_transpose3d_backward,
+    conv_transpose3d_forward,
+    conv_transpose3d_output_shape,
+)
+from ..initializers import TruncatedNormal, Zeros, get_initializer
+from ..module import Module
+
+__all__ = ["ConvTranspose3D"]
+
+
+class ConvTranspose3D(Module):
+    """Transposed 3D convolution with weight shape
+    ``(in_channels, out_channels, kD, kH, kW)`` and no padding.
+
+    The paper uses 2x2x2 kernels with stride 2 in every synthesis layer
+    (Section II-B1), which exactly doubles each spatial dimension.
+    """
+
+    def __init__(
+        self,
+        in_channels: int,
+        out_channels: int,
+        kernel_size=2,
+        stride=2,
+        use_bias: bool = True,
+        kernel_initializer=None,
+        bias_initializer=None,
+        rng: np.random.Generator | None = None,
+    ):
+        super().__init__()
+        k = kernel_size
+        self.kernel = (k, k, k) if isinstance(k, int) else tuple(int(v) for v in k)
+        self.stride = stride
+        self.in_channels = int(in_channels)
+        self.out_channels = int(out_channels)
+        self.use_bias = bool(use_bias)
+
+        rng = rng if rng is not None else np.random.default_rng()
+        k_init = get_initializer(kernel_initializer or TruncatedNormal())
+        b_init = get_initializer(bias_initializer or Zeros())
+        self.add_parameter(
+            "w", k_init((in_channels, out_channels, *self.kernel), rng)
+        )
+        if self.use_bias:
+            self.add_parameter("b", b_init((out_channels,), rng))
+
+        self._x: np.ndarray | None = None
+
+    def output_shape(self, spatial: tuple[int, int, int]) -> tuple[int, int, int]:
+        return conv_transpose3d_output_shape(spatial, self.kernel, self.stride)
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        self._x = x
+        return conv_transpose3d_forward(
+            x,
+            self.w.value,
+            self.b.value if self.use_bias else None,
+            stride=self.stride,
+        )
+
+    def backward(self, dy: np.ndarray) -> np.ndarray:
+        if self._x is None:
+            raise RuntimeError("backward called before forward")
+        dx, dw, db = conv_transpose3d_backward(
+            dy, self._x, self.w.value, stride=self.stride, with_bias=self.use_bias
+        )
+        self.w.grad += dw
+        if self.use_bias:
+            self.b.grad += db
+        self._x = None
+        return dx
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"ConvTranspose3D({self.in_channels}->{self.out_channels}, "
+            f"k={self.kernel}, stride={self.stride})"
+        )

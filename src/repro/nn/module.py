@@ -1,0 +1,218 @@
+"""Module system: parameters, gradient bookkeeping, train/eval modes.
+
+This is the minimal object model a layer-graph engine needs: every layer
+is a :class:`Module` that implements an explicit ``forward`` and
+``backward`` (no tape autograd -- gradients are hand-derived per layer and
+validated by finite differences in ``repro.nn.gradcheck``).  Composite
+architectures such as the 3D U-Net wire modules together and route
+gradients through the same structure in reverse.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Iterator
+
+import numpy as np
+
+__all__ = ["Parameter", "Module", "Sequential"]
+
+
+class Parameter:
+    """A trainable (or frozen) tensor with an accumulated gradient."""
+
+    __slots__ = ("value", "grad", "trainable")
+
+    def __init__(self, value: np.ndarray, trainable: bool = True):
+        self.value = np.asarray(value, dtype=np.float64)
+        self.grad = np.zeros_like(self.value)
+        self.trainable = bool(trainable)
+
+    @property
+    def shape(self) -> tuple[int, ...]:
+        return self.value.shape
+
+    @property
+    def size(self) -> int:
+        return int(self.value.size)
+
+    def zero_grad(self) -> None:
+        self.grad.fill(0.0)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        kind = "param" if self.trainable else "buffer"
+        return f"Parameter({kind}, shape={self.value.shape})"
+
+
+class Module:
+    """Base class for all layers and models.
+
+    Subclasses register parameters with :meth:`add_parameter` and
+    submodules by plain attribute assignment.  ``forward`` must cache
+    whatever ``backward`` needs on ``self``; ``backward`` receives the
+    gradient of the loss w.r.t. the output and must (a) accumulate
+    parameter gradients into ``Parameter.grad`` and (b) return the
+    gradient w.r.t. the input.
+    """
+
+    def __init__(self) -> None:
+        self._params: "OrderedDict[str, Parameter]" = OrderedDict()
+        self._modules: "OrderedDict[str, Module]" = OrderedDict()
+        self.training: bool = True
+
+    # -- registration -------------------------------------------------
+    def __setattr__(self, name, value):
+        if isinstance(value, Module):
+            self.__dict__.setdefault("_modules", OrderedDict())[name] = value
+        object.__setattr__(self, name, value)
+
+    def add_parameter(
+        self, name: str, value: np.ndarray, trainable: bool = True
+    ) -> Parameter:
+        p = Parameter(value, trainable=trainable)
+        self._params[name] = p
+        object.__setattr__(self, name, p)
+        return p
+
+    # -- traversal ----------------------------------------------------
+    def named_parameters(self, prefix: str = "") -> Iterator[tuple[str, Parameter]]:
+        for name, p in self._params.items():
+            yield (f"{prefix}{name}", p)
+        for mname, mod in self._modules.items():
+            yield from mod.named_parameters(prefix=f"{prefix}{mname}.")
+
+    def parameters(self) -> Iterator[Parameter]:
+        for _, p in self.named_parameters():
+            yield p
+
+    def named_modules(self, prefix: str = "") -> Iterator[tuple[str, "Module"]]:
+        yield (prefix.rstrip("."), self)
+        for mname, mod in self._modules.items():
+            yield from mod.named_modules(prefix=f"{prefix}{mname}.")
+
+    def num_params(self, trainable_only: bool = False) -> int:
+        """Total number of scalar parameters (Keras-style ``count_params``)."""
+        return sum(
+            p.size
+            for p in self.parameters()
+            if p.trainable or not trainable_only
+        )
+
+    # -- modes / grads ------------------------------------------------
+    def train(self, mode: bool = True) -> "Module":
+        self.training = mode
+        for mod in self._modules.values():
+            mod.train(mode)
+        return self
+
+    def eval(self) -> "Module":
+        return self.train(False)
+
+    def zero_grad(self) -> None:
+        for p in self.parameters():
+            p.zero_grad()
+
+    # -- state --------------------------------------------------------
+    def state_dict(self) -> dict[str, np.ndarray]:
+        """Flat name -> array snapshot (copies, safe to serialise)."""
+        return {name: p.value.copy() for name, p in self.named_parameters()}
+
+    def load_state_dict(self, state: dict[str, np.ndarray]) -> None:
+        own = dict(self.named_parameters())
+        missing = set(own) - set(state)
+        extra = set(state) - set(own)
+        if missing or extra:
+            raise KeyError(
+                f"state dict mismatch: missing={sorted(missing)}, "
+                f"unexpected={sorted(extra)}"
+            )
+        for name, p in own.items():
+            arr = np.asarray(state[name], dtype=np.float64)
+            if arr.shape != p.value.shape:
+                raise ValueError(
+                    f"shape mismatch for {name}: "
+                    f"model {p.value.shape} vs state {arr.shape}"
+                )
+            p.value = arr.copy()
+
+    def get_flat_params(self) -> np.ndarray:
+        """Concatenate all trainable parameter values into one vector."""
+        vecs = [p.value.ravel() for p in self.parameters() if p.trainable]
+        return np.concatenate(vecs) if vecs else np.zeros(0)
+
+    def set_flat_params(self, flat: np.ndarray) -> None:
+        """Inverse of :meth:`get_flat_params`."""
+        offset = 0
+        for p in self.parameters():
+            if not p.trainable:
+                continue
+            n = p.size
+            p.value = flat[offset : offset + n].reshape(p.value.shape).copy()
+            offset += n
+        if offset != flat.size:
+            raise ValueError(
+                f"flat vector has {flat.size} entries, model needs {offset}"
+            )
+
+    def get_flat_grads(self) -> np.ndarray:
+        """Concatenate all trainable parameter gradients into one vector."""
+        vecs = [p.grad.ravel() for p in self.parameters() if p.trainable]
+        return np.concatenate(vecs) if vecs else np.zeros(0)
+
+    def set_flat_grads(self, flat: np.ndarray) -> None:
+        """Overwrite trainable gradients from one flat vector (post all-reduce)."""
+        offset = 0
+        for p in self.parameters():
+            if not p.trainable:
+                continue
+            n = p.size
+            p.grad = flat[offset : offset + n].reshape(p.grad.shape).copy()
+            offset += n
+        if offset != flat.size:
+            raise ValueError(
+                f"flat vector has {flat.size} entries, model needs {offset}"
+            )
+
+    # -- computation --------------------------------------------------
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        raise NotImplementedError
+
+    def backward(self, dy: np.ndarray) -> np.ndarray:
+        raise NotImplementedError
+
+    def __call__(self, x: np.ndarray) -> np.ndarray:
+        return self.forward(x)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"{type(self).__name__}(params={self.num_params()})"
+
+
+class Sequential(Module):
+    """Chain of modules applied in order; backward runs in reverse."""
+
+    def __init__(self, *layers: Module):
+        super().__init__()
+        self.layers = list(layers)
+        for i, layer in enumerate(self.layers):
+            setattr(self, f"layer{i}", layer)
+
+    def append(self, layer: Module) -> None:
+        idx = len(self.layers)
+        self.layers.append(layer)
+        setattr(self, f"layer{idx}", layer)
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        for layer in self.layers:
+            x = layer(x)
+        return x
+
+    def backward(self, dy: np.ndarray) -> np.ndarray:
+        for layer in reversed(self.layers):
+            dy = layer.backward(dy)
+        return dy
+
+    def __len__(self) -> int:
+        return len(self.layers)
+
+    def __getitem__(self, idx: int) -> Module:
+        return self.layers[idx]

@@ -1,0 +1,102 @@
+"""Keras-style model summary.
+
+Walks a model's leaf modules, temporarily instruments their forward
+methods, runs one probe pass and reports per-layer output shapes and
+parameter counts -- the "406,793 total parameters" table the paper
+quotes came from exactly this kind of summary.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from .module import Module
+
+__all__ = ["LayerInfo", "model_summary", "format_summary"]
+
+
+@dataclass(frozen=True)
+class LayerInfo:
+    name: str
+    kind: str
+    output_shape: tuple[int, ...] | None
+    params: int
+
+
+def model_summary(model: Module, input_shape: tuple[int, ...],
+                  rng: np.random.Generator | None = None) -> list[LayerInfo]:
+    """Instrument leaf modules, run a probe forward pass, return rows.
+
+    ``input_shape`` includes the batch axis, e.g. ``(1, 4, 48, 48, 32)``.
+    The model is left exactly as found (methods restored, eval/train
+    mode preserved, no gradient side effects).
+    """
+    rng = rng if rng is not None else np.random.default_rng(0)
+    leaves = [
+        (name, mod)
+        for name, mod in model.named_modules()
+        if name and not mod._modules  # leaf = no submodules
+    ]
+    shapes: dict[str, tuple[int, ...]] = {}
+    originals = {}
+
+    def instrument(name: str, mod: Module):
+        orig = mod.forward
+
+        def wrapped(x, _name=name, _orig=orig):
+            out = _orig(x)
+            if isinstance(out, np.ndarray):
+                shapes[_name] = out.shape
+            return out
+
+        mod.forward = wrapped
+        originals[name] = (mod, orig)
+
+    was_training = model.training
+    try:
+        for name, mod in leaves:
+            instrument(name, mod)
+        model.eval()
+        probe = rng.normal(size=input_shape)
+        model(probe)
+    finally:
+        for mod, _orig in originals.values():
+            mod.__dict__.pop("forward", None)  # unshadow the class method
+        model.train(was_training)
+
+    rows = []
+    for name, mod in leaves:
+        own_params = sum(p.size for p in mod._params.values())
+        rows.append(
+            LayerInfo(
+                name=name,
+                kind=type(mod).__name__,
+                output_shape=shapes.get(name),
+                params=own_params,
+            )
+        )
+    return rows
+
+
+def format_summary(model: Module, input_shape: tuple[int, ...]) -> str:
+    """Render the table plus the Keras-style totals footer."""
+    rows = model_summary(model, input_shape)
+    name_w = max(24, max(len(r.name) for r in rows) + 2)
+    lines = [
+        f"{'layer':<{name_w}} {'type':<18} {'output shape':<22} {'params':>10}",
+        "-" * (name_w + 52),
+    ]
+    for r in rows:
+        shape = str(r.output_shape) if r.output_shape else "-"
+        lines.append(
+            f"{r.name:<{name_w}} {r.kind:<18} {shape:<22} {r.params:>10,}"
+        )
+    total = model.num_params()
+    trainable = model.num_params(trainable_only=True)
+    lines.append("-" * (name_w + 52))
+    lines.append(f"total params: {total:,}  "
+                 f"(trainable {trainable:,}, "
+                 f"non-trainable {total - trainable:,})")
+    return "\n".join(lines)

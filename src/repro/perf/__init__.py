@@ -1,0 +1,89 @@
+"""``repro.perf`` -- the calibrated performance model.
+
+Analytic cost accounting for 3D U-Net training at cluster scale
+(:mod:`~repro.perf.costs`), straggler order statistics
+(:mod:`~repro.perf.straggler`), search-level elapsed-time / speed-up
+tables (:mod:`~repro.perf.speedup`) and the Table I calibration
+(:mod:`~repro.perf.calibration`).
+"""
+
+from .calibration import (
+    MARENOSTRUM_CTE_PROFILE,
+    TABLE1_DATA_PARALLEL_S,
+    TABLE1_DP_SPEEDUPS,
+    TABLE1_EP_SPEEDUPS,
+    TABLE1_EXPERIMENT_PARALLEL_S,
+    CalibrationResult,
+    calibrated_model,
+    fit_to_table1,
+    summarize,
+)
+from .deployment import (
+    PAPER_DATASET_BYTES,
+    DatasetFootprint,
+    DeploymentPlan,
+    plan_deployment,
+    staging_time,
+)
+from .costs import (
+    PAPER_EPOCHS,
+    PAPER_SPATIAL,
+    PAPER_TRAIN_SAMPLES,
+    PAPER_VAL_SAMPLES,
+    CostModelParams,
+    StepCostModel,
+    TrialConfig,
+    conv3d_flops,
+    unet3d_forward_flops,
+    unet3d_param_count,
+)
+from .speedup import (
+    PAPER_GPU_COUNTS,
+    SpeedupRow,
+    SpeedupTable,
+    data_parallel_search_time,
+    experiment_parallel_search_time,
+    format_hms,
+    paper_search_grid,
+)
+from .straggler import expected_max_factor, sample_max_factor
+from .trace_model import TrialBreakdown, epoch_breakdown, simulate_trial_timeline
+
+__all__ = [
+    "conv3d_flops",
+    "unet3d_forward_flops",
+    "unet3d_param_count",
+    "TrialConfig",
+    "CostModelParams",
+    "StepCostModel",
+    "PAPER_TRAIN_SAMPLES",
+    "PAPER_VAL_SAMPLES",
+    "PAPER_EPOCHS",
+    "PAPER_SPATIAL",
+    "PAPER_GPU_COUNTS",
+    "paper_search_grid",
+    "data_parallel_search_time",
+    "experiment_parallel_search_time",
+    "SpeedupRow",
+    "SpeedupTable",
+    "format_hms",
+    "expected_max_factor",
+    "sample_max_factor",
+    "fit_to_table1",
+    "summarize",
+    "CalibrationResult",
+    "calibrated_model",
+    "MARENOSTRUM_CTE_PROFILE",
+    "TABLE1_DATA_PARALLEL_S",
+    "TABLE1_EXPERIMENT_PARALLEL_S",
+    "TABLE1_DP_SPEEDUPS",
+    "TABLE1_EP_SPEEDUPS",
+    "DatasetFootprint",
+    "DeploymentPlan",
+    "staging_time",
+    "plan_deployment",
+    "PAPER_DATASET_BYTES",
+    "TrialBreakdown",
+    "epoch_breakdown",
+    "simulate_trial_timeline",
+]

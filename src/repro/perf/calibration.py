@@ -1,0 +1,195 @@
+"""Calibration of the cost model against the paper's Table I.
+
+The cost model has a small number of non-physical constants (sustained
+GPU efficiency, straggler sigma, framework overheads, startup costs).
+:func:`fit_to_table1` fits them once by bounded least squares on the
+log-ratios of modelled vs reported elapsed times for all 14 Table I
+cells; the resulting profile is frozen as
+:data:`MARENOSTRUM_CTE_PROFILE` and used by every benchmark.
+
+EXPERIMENTS.md records the per-cell residuals.  The point of the
+exercise is *not* to re-measure V100 step times -- it is that with one
+consistent parameter set, both methods' scaling curves (and the gap
+between them) emerge from the model's structure: batch quantisation,
+max-of-n stragglers, hierarchical all-reduce, and trial-placement
+makespans.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from .costs import CostModelParams, StepCostModel
+from .speedup import (
+    PAPER_GPU_COUNTS,
+    data_parallel_search_time,
+    experiment_parallel_search_time,
+    paper_search_grid,
+)
+
+__all__ = [
+    "TABLE1_DATA_PARALLEL_S",
+    "TABLE1_EXPERIMENT_PARALLEL_S",
+    "TABLE1_DP_SPEEDUPS",
+    "TABLE1_EP_SPEEDUPS",
+    "CalibrationResult",
+    "fit_to_table1",
+    "MARENOSTRUM_CTE_PROFILE",
+    "calibrated_model",
+]
+
+# Table I, elapsed times converted to seconds.
+TABLE1_DATA_PARALLEL_S = {
+    1: 159482,   # 44:18:02
+    2: 83368,    # 23:09:28
+    4: 54575,    # 15:09:35
+    8: 27672,    # 7:41:12
+    12: 21599,   # 5:59:59
+    16: 16010,   # 4:26:50
+    32: 12104,   # 3:21:44
+}
+TABLE1_EXPERIMENT_PARALLEL_S = {
+    1: 159619,   # 44:20:19
+    2: 80679,    # 22:24:39
+    4: 41540,    # 11:32:20
+    8: 25397,    # 7:03:17
+    12: 20122,   # 5:35:22
+    16: 15114,   # 4:11:54
+    32: 10506,   # 2:55:06
+}
+TABLE1_DP_SPEEDUPS = {1: 1.00, 2: 1.91, 4: 2.92, 8: 5.76, 12: 7.38,
+                      16: 9.96, 32: 13.18}
+TABLE1_EP_SPEEDUPS = {1: 1.00, 2: 1.98, 4: 3.84, 8: 6.28, 12: 7.93,
+                      16: 10.56, 32: 15.19}
+
+# Free parameters: (name, lower, upper).
+_FIT_SPEC = [
+    ("gpu_efficiency", 0.2, 0.95),
+    ("straggler_sigma", 0.0, 0.5),
+    ("mirrored_overhead_s", 0.0, 1.0),
+    ("internode_overhead_s", 0.0, 0.5),
+    ("epoch_fixed_s", 0.0, 120.0),
+    ("startup_base_s", 0.0, 1800.0),
+    ("startup_per_node_s", 0.0, 900.0),
+    ("tune_trial_overhead_s", 0.0, 3600.0),
+]
+
+
+@dataclass(frozen=True)
+class CalibrationResult:
+    params: CostModelParams
+    residuals: dict[str, float]      # per-cell log-ratio model/paper
+    max_abs_pct_error: float
+    mean_abs_pct_error: float
+
+
+def _model_times(params: CostModelParams) -> tuple[dict[int, float], dict[int, float]]:
+    model = StepCostModel(params=params)
+    grid = paper_search_grid()
+    dp = {
+        n: data_parallel_search_time(model, grid, n)
+        for n in PAPER_GPU_COUNTS
+    }
+    ep = {
+        n: experiment_parallel_search_time(model, grid, n)
+        for n in PAPER_GPU_COUNTS
+    }
+    return dp, ep
+
+
+def _residual_vector(values: np.ndarray) -> np.ndarray:
+    names = [name for name, _, _ in _FIT_SPEC]
+    params = CostModelParams(**dict(zip(names, values)))
+    dp, ep = _model_times(params)
+    res = []
+    for n in PAPER_GPU_COUNTS:
+        res.append(np.log(dp[n] / TABLE1_DATA_PARALLEL_S[n]))
+        res.append(np.log(ep[n] / TABLE1_EXPERIMENT_PARALLEL_S[n]))
+    return np.asarray(res)
+
+
+def fit_to_table1(max_nfev: int = 400) -> CalibrationResult:
+    """Bounded least-squares fit of the free constants to Table I."""
+    from scipy.optimize import least_squares
+
+    x0 = np.array([(lo + hi) / 2 for _, lo, hi in _FIT_SPEC])
+    # Sensible starting point near physical expectations.
+    start = dict(gpu_efficiency=0.5, straggler_sigma=0.1,
+                 mirrored_overhead_s=0.1, internode_overhead_s=0.02,
+                 epoch_fixed_s=10.0, startup_base_s=120.0,
+                 startup_per_node_s=60.0, tune_trial_overhead_s=300.0)
+    for i, (name, lo, hi) in enumerate(_FIT_SPEC):
+        x0[i] = np.clip(start[name], lo, hi)
+    sol = least_squares(
+        _residual_vector,
+        x0,
+        bounds=([lo for _, lo, _ in _FIT_SPEC], [hi for _, _, hi in _FIT_SPEC]),
+        max_nfev=max_nfev,
+    )
+    names = [name for name, _, _ in _FIT_SPEC]
+    params = CostModelParams(**dict(zip(names, sol.x)))
+    return summarize(params)
+
+
+def summarize(params: CostModelParams) -> CalibrationResult:
+    """Per-cell residual report for a parameter set."""
+    dp, ep = _model_times(params)
+    residuals: dict[str, float] = {}
+    for n in PAPER_GPU_COUNTS:
+        residuals[f"dp_{n}"] = float(np.log(dp[n] / TABLE1_DATA_PARALLEL_S[n]))
+        residuals[f"ep_{n}"] = float(
+            np.log(ep[n] / TABLE1_EXPERIMENT_PARALLEL_S[n])
+        )
+    pct = {k: abs(np.expm1(v)) * 100 for k, v in residuals.items()}
+    return CalibrationResult(
+        params=params,
+        residuals=residuals,
+        max_abs_pct_error=float(max(pct.values())),
+        mean_abs_pct_error=float(np.mean(list(pct.values()))),
+    )
+
+
+# Frozen result of fit_to_table1() -- regenerate with
+# `python -m repro.perf.calibration`; the calibration test asserts this
+# profile still matches Table I within tolerance (max cell error 8.4%,
+# mean 3.3%).
+#
+# Two caveats the fit makes explicit:
+# * ``gpu_efficiency`` is an *effective* throughput constant: the FLOPs
+#   model counts convolution multiply-adds only, so BN / ReLU / pooling
+#   / data movement costs are absorbed here -- 0.94 of peak under
+#   conv-only counting corresponds to a realistic ~0.6 of peak under
+#   full op counting.
+# * the fit drives the per-step framework overheads and fixed startups
+#   to ~0: Table I alone cannot separate them from the straggler term,
+#   which lands at sigma = 0.25 (heavy jitter, consistent with a shared
+#   GPFS-backed cluster).  They remain in the model for the ablation
+#   sweeps (E9).
+MARENOSTRUM_CTE_PROFILE = CostModelParams(
+    gpu_efficiency=0.937787,
+    straggler_sigma=0.252028,
+    mirrored_overhead_s=0.0,
+    internode_overhead_s=0.0,
+    epoch_fixed_s=0.0,
+    startup_base_s=0.0,
+    startup_per_node_s=18.1123,
+    tune_trial_overhead_s=0.0,
+)
+
+
+def calibrated_model() -> StepCostModel:
+    """The cost model under the frozen MareNostrum-CTE calibration."""
+    return StepCostModel(params=MARENOSTRUM_CTE_PROFILE)
+
+
+if __name__ == "__main__":  # pragma: no cover - calibration utility
+    result = fit_to_table1()
+    print("fitted parameters:")
+    for name, _, _ in _FIT_SPEC:
+        print(f"  {name} = {getattr(result.params, name)!r},")
+    print(f"max |error| = {result.max_abs_pct_error:.1f}%  "
+          f"mean = {result.mean_abs_pct_error:.1f}%")
+    for k, v in result.residuals.items():
+        print(f"  {k}: {np.expm1(v) * 100:+.1f}%")

@@ -1,0 +1,133 @@
+"""Detailed (per-epoch, per-category) simulation of one training trial.
+
+Table I only needs trial totals; understanding *why* data parallelism
+scales sub-linearly needs the breakdown this module provides: for every
+epoch, how much wall-clock went to useful compute, to waiting at the
+synchronisation barrier for stragglers, to the all-reduce, to the input
+pipeline and to framework overhead.  The per-epoch straggler factor is
+*sampled* (not its expectation), so repeated runs exhibit the epoch-time
+variance behind Fig 4a's error bars.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..cluster.collectives import allreduce_time
+from ..cluster.trace import Timeline
+from .costs import StepCostModel, TrialConfig
+from .straggler import sample_max_factor
+
+__all__ = ["epoch_breakdown", "simulate_trial_timeline", "TrialBreakdown"]
+
+
+@dataclass(frozen=True)
+class TrialBreakdown:
+    """Seconds per cost category for one full trial."""
+
+    compute: float
+    straggler_wait: float
+    allreduce: float
+    input: float
+    framework: float
+    validation: float
+    fixed: float
+
+    def total(self) -> float:
+        return (self.compute + self.straggler_wait + self.allreduce
+                + self.input + self.framework + self.validation + self.fixed)
+
+    def fractions(self) -> dict[str, float]:
+        t = self.total()
+        return {
+            "compute": self.compute / t,
+            "straggler_wait": self.straggler_wait / t,
+            "allreduce": self.allreduce / t,
+            "input": self.input / t,
+            "framework": self.framework / t,
+            "validation": self.validation / t,
+            "fixed": self.fixed / t,
+        }
+
+
+def epoch_breakdown(
+    model: StepCostModel, config: TrialConfig, num_gpus: int
+) -> TrialBreakdown:
+    """Analytic per-trial cost decomposition (expected values)."""
+    steps = model.steps_per_epoch(config, num_gpus)
+    compute = model.step_compute_time(config)
+    sync = compute * (model.sync_factor(num_gpus) - 1.0)
+    m = model.cluster.node.num_gpus
+    comm = allreduce_time(
+        model.gradient_bytes(config), num_gpus, m,
+        model.cluster.node.intra_link, model.cluster.inter_link,
+    )
+    e = config.epochs
+    return TrialBreakdown(
+        compute=e * steps * compute,
+        straggler_wait=e * steps * sync,
+        allreduce=e * steps * comm,
+        input=e * steps * model.input_time(config),
+        framework=e * steps * model.framework_overhead(num_gpus),
+        validation=e * model.validation_time(config, num_gpus),
+        fixed=e * model.params.epoch_fixed_s + model.startup_time(num_gpus),
+    )
+
+
+def simulate_trial_timeline(
+    model: StepCostModel,
+    config: TrialConfig,
+    num_gpus: int,
+    seed: int = 0,
+    epochs: int | None = None,
+) -> Timeline:
+    """Per-epoch trace with sampled straggler waits.
+
+    One lane per cost category (epoch spans laid back-to-back), so
+    ``timeline.by_category()`` gives the realised breakdown and
+    ``timeline.makespan()`` the realised trial duration.
+    """
+    rng = np.random.default_rng(seed)
+    e_total = epochs if epochs is not None else config.epochs
+    if e_total < 1:
+        raise ValueError("epochs must be >= 1")
+
+    steps = model.steps_per_epoch(config, num_gpus)
+    compute = model.step_compute_time(config)
+    m = model.cluster.node.num_gpus
+    comm = allreduce_time(
+        model.gradient_bytes(config), num_gpus, m,
+        model.cluster.node.intra_link, model.cluster.inter_link,
+    )
+    inp = model.input_time(config)
+    fw = model.framework_overhead(num_gpus)
+    val = model.validation_time(config, num_gpus)
+    fixed = model.params.epoch_fixed_s
+
+    timeline = Timeline()
+    now = model.startup_time(num_gpus)
+    if now > 0:
+        timeline.record("startup", 0.0, now, "trial", category="fixed")
+    sigma = model.params.straggler_sigma
+    for epoch in range(e_total):
+        factor = sample_max_factor(num_gpus, sigma, rng, num_steps=steps)
+        seg = [
+            ("compute", steps * compute),
+            ("straggler_wait", steps * compute * max(0.0, factor - 1.0)),
+            ("allreduce", steps * comm),
+            ("input", steps * inp),
+            ("framework", steps * fw),
+            ("validation", val),
+            ("fixed", fixed),
+        ]
+        for category, dur in seg:
+            if dur <= 0:
+                continue
+            timeline.record(
+                f"epoch{epoch:03d}.{category}", now, now + dur, "trial",
+                category=category, epoch=epoch,
+            )
+            now += dur
+    return timeline

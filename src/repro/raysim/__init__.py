@@ -1,0 +1,77 @@
+"""``repro.raysim`` -- a Ray-like runtime.
+
+Stands in for Ray 1.4.1: object store + remote tasks + actors
+(:mod:`~repro.raysim.remote`, :mod:`~repro.raysim.actor`), a cluster
+resource registry with pack/spread GPU placement
+(:mod:`~repro.raysim.cluster`), synchronous data-parallel SGD with exact
+ring all-reduce and optional sync-BatchNorm (:mod:`~repro.raysim.sgd`),
+a Tune-like trial runner with FIFO/ASHA scheduling
+(:mod:`~repro.raysim.tune`), grid/random/TPE-lite search
+(:mod:`~repro.raysim.search`) and placement/makespan policies
+(:mod:`~repro.raysim.scheduler`).
+"""
+
+from . import actor as _actor  # attaches RaySession.actor / get_blocking
+from .actor import ActorClass, ActorHandle
+from .cluster import Allocation, InsufficientResources, NodeResources, RayCluster
+from .object_store import ObjectRef, ObjectStore, ObjectStoreError
+from .placement import STRATEGIES, PlacementGroup, create_placement_group
+from .remote import RaySession, RemoteFunction, TaskError
+from .scheduler import (
+    PlacementResult,
+    fifo_schedule,
+    lpt_schedule,
+    makespan_lower_bound,
+)
+from .search import GridSearch, RandomSearch, SearchAlgorithm, TPELite
+from .sgd import DataParallelTrainer, SyncGroup
+from .tune import (
+    ASHAScheduler,
+    ExperimentAnalysis,
+    FIFOScheduler,
+    HyperbandScheduler,
+    Reporter,
+    StopTrial,
+    Trial,
+    TrialScheduler,
+    TrialStatus,
+    tune_run,
+)
+
+__all__ = [
+    "ObjectRef",
+    "ObjectStore",
+    "ObjectStoreError",
+    "RaySession",
+    "RemoteFunction",
+    "TaskError",
+    "ActorClass",
+    "ActorHandle",
+    "RayCluster",
+    "NodeResources",
+    "Allocation",
+    "InsufficientResources",
+    "DataParallelTrainer",
+    "SyncGroup",
+    "GridSearch",
+    "RandomSearch",
+    "TPELite",
+    "SearchAlgorithm",
+    "Trial",
+    "TrialStatus",
+    "TrialScheduler",
+    "FIFOScheduler",
+    "ASHAScheduler",
+    "HyperbandScheduler",
+    "Reporter",
+    "ExperimentAnalysis",
+    "tune_run",
+    "StopTrial",
+    "PlacementResult",
+    "fifo_schedule",
+    "lpt_schedule",
+    "makespan_lower_bound",
+    "PlacementGroup",
+    "create_placement_group",
+    "STRATEGIES",
+]

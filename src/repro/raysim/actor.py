@@ -1,0 +1,132 @@
+"""Actors: stateful workers with serialised method execution.
+
+``session.actor(Cls).remote(*ctor_args)`` creates an :class:`ActorHandle`
+whose methods gain a ``.remote(...)`` form returning :class:`ObjectRef`.
+Method calls on one actor execute in submission order on a dedicated
+worker thread (Ray's single-threaded actor semantics), so actor state
+never needs locking -- the property the Ray SGD parameter-holder relies
+on.
+"""
+
+from __future__ import annotations
+
+import queue
+import threading
+
+from .object_store import ObjectRef
+from .remote import RaySession, TaskError
+
+__all__ = ["ActorHandle", "ActorClass", "ActorMethod"]
+
+_SHUTDOWN = object()
+
+
+class ActorMethod:
+    def __init__(self, handle: "ActorHandle", name: str):
+        self._handle = handle
+        self._name = name
+
+    def remote(self, *args, **kwargs) -> ObjectRef:
+        return self._handle._enqueue(self._name, args, kwargs)
+
+    def __call__(self, *args, **kwargs):
+        raise TypeError(
+            f"actor methods must be called with .remote(); "
+            f"got direct call of {self._name!r}"
+        )
+
+
+class ActorHandle:
+    """Driver-side proxy for a live actor."""
+
+    def __init__(self, session: RaySession, cls, args, kwargs):
+        self._session = session
+        self._cls = cls
+        self._queue: "queue.Queue" = queue.Queue()
+        self._alive = True
+        self._thread = threading.Thread(
+            target=self._loop, args=(args, kwargs), daemon=True
+        )
+        self._ready = threading.Event()
+        self._init_error: BaseException | None = None
+        self._thread.start()
+        self._ready.wait()
+        if self._init_error is not None:
+            err = TaskError(f"actor {cls.__name__} failed to construct")
+            err.__cause__ = self._init_error
+            raise err
+
+    def _loop(self, args, kwargs) -> None:
+        try:
+            instance = self._cls(*args, **kwargs)
+        except BaseException as exc:
+            self._init_error = exc
+            self._ready.set()
+            return
+        self._ready.set()
+        while True:
+            item = self._queue.get()
+            if item is _SHUTDOWN:
+                return
+            name, cargs, ckwargs, ref = item
+            try:
+                value = getattr(instance, name)(*cargs, **ckwargs)
+            except Exception as exc:
+                value = TaskError(f"actor method {name} failed: {exc}")
+                value.__cause__ = exc
+            self._session.store.fulfill(ref, value)
+
+    def _enqueue(self, name, args, kwargs) -> ObjectRef:
+        if not self._alive:
+            raise RuntimeError("actor has been terminated")
+        ref = self._session.store.reserve(owner=f"{self._cls.__name__}.{name}")
+        self._queue.put((name, args, kwargs, ref))
+        return ref
+
+    def __getattr__(self, name: str) -> ActorMethod:
+        if name.startswith("_"):
+            raise AttributeError(name)
+        return ActorMethod(self, name)
+
+    def terminate(self) -> None:
+        if self._alive:
+            self._alive = False
+            self._queue.put(_SHUTDOWN)
+            self._thread.join(timeout=10)
+
+
+class ActorClass:
+    """Factory returned by ``session.actor(Cls)``."""
+
+    def __init__(self, session: RaySession, cls):
+        self._session = session
+        self._cls = cls
+
+    def remote(self, *args, **kwargs) -> ActorHandle:
+        return ActorHandle(self._session, self._cls, args, kwargs)
+
+
+def _session_actor(self: RaySession, cls) -> ActorClass:
+    return ActorClass(self, cls)
+
+
+def _session_get_blocking(self: RaySession, ref, timeout: float = 30.0):
+    """Actor results are fulfilled asynchronously; poll with a deadline."""
+    import time
+
+    deadline = time.monotonic() + timeout
+    while True:
+        if isinstance(ref, ObjectRef) and not self.store.contains(ref):
+            with self._lock:
+                pending = ref.ref_id in self._pending
+            if not pending:
+                if time.monotonic() > deadline:
+                    raise TimeoutError(f"{ref!r} not fulfilled in {timeout}s")
+                time.sleep(0.0005)
+                continue
+        return self.get(ref)
+
+
+# Attach the actor API to RaySession (kept here to avoid a circular import).
+RaySession.actor = _session_actor
+RaySession.get_blocking = _session_get_blocking

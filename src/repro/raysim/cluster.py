@@ -1,0 +1,151 @@
+"""Cluster resource registry (the ``ray.cluster`` analogue).
+
+Tracks per-node resource pools ({"GPU": 4, "CPU": 40}, ...) built from a
+:class:`repro.cluster.ClusterSpec`, and grants/returns allocations.  The
+paper's Section III-B2 three-way dispatch (single GPU / single node /
+Ray cluster across nodes) reads this registry to decide which
+distribution machinery to launch.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..cluster.resources import ClusterSpec, DeviceId
+
+__all__ = ["NodeResources", "RayCluster", "Allocation", "InsufficientResources"]
+
+
+class InsufficientResources(RuntimeError):
+    """The request cannot be satisfied by the current free pool."""
+
+
+@dataclass
+class NodeResources:
+    """Mutable free-resource counters for one node."""
+
+    node_id: int
+    total: dict[str, float]
+    free: dict[str, float] = field(default_factory=dict)
+
+    def __post_init__(self):
+        if not self.free:
+            self.free = dict(self.total)
+
+    def can_fit(self, request: dict[str, float]) -> bool:
+        return all(self.free.get(k, 0.0) >= v for k, v in request.items())
+
+    def acquire(self, request: dict[str, float]) -> None:
+        if not self.can_fit(request):
+            raise InsufficientResources(
+                f"node {self.node_id}: cannot satisfy {request}, free={self.free}"
+            )
+        for k, v in request.items():
+            self.free[k] -= v
+
+    def release(self, request: dict[str, float]) -> None:
+        for k, v in request.items():
+            new = self.free.get(k, 0.0) + v
+            if new > self.total.get(k, 0.0) + 1e-9:
+                raise ValueError(
+                    f"node {self.node_id}: releasing more {k} than acquired"
+                )
+            self.free[k] = new
+
+
+@dataclass(frozen=True)
+class Allocation:
+    """A granted bundle of devices; hand back via ``RayCluster.release``."""
+
+    devices: tuple[DeviceId, ...]
+    request_per_device: dict[str, float] = field(
+        default_factory=lambda: {"GPU": 1.0}
+    )
+
+    @property
+    def num_gpus(self) -> int:
+        return len(self.devices)
+
+    def nodes(self) -> list[int]:
+        return sorted({d.node for d in self.devices})
+
+
+class RayCluster:
+    """Resource view over a hardware spec with pack-or-spread placement."""
+
+    def __init__(self, spec: ClusterSpec):
+        self.spec = spec
+        self.nodes = [
+            NodeResources(
+                node_id=i,
+                total={"GPU": float(spec.node.num_gpus),
+                       "CPU": float(spec.node.cpu_cores)},
+            )
+            for i in range(spec.num_nodes)
+        ]
+
+    @property
+    def total_gpus(self) -> int:
+        return self.spec.total_gpus
+
+    def free_gpus(self) -> int:
+        return int(sum(n.free["GPU"] for n in self.nodes))
+
+    def allocate_gpus(self, count: int, strategy: str = "pack") -> Allocation:
+        """Grant ``count`` GPUs.
+
+        ``pack`` fills nodes densely (fewest nodes -> cheapest
+        collectives, the layout the paper's data-parallel runs use);
+        ``spread`` round-robins across nodes (Ray's default soft-spread,
+        which experiment-parallel trials tolerate because they never
+        communicate).
+        """
+        if count < 1:
+            raise ValueError("count must be >= 1")
+        if count > self.free_gpus():
+            raise InsufficientResources(
+                f"requested {count} GPUs, only {self.free_gpus()} free"
+            )
+        if strategy not in ("pack", "spread"):
+            raise ValueError(f"unknown strategy {strategy!r}")
+
+        devices: list[DeviceId] = []
+        if strategy == "pack":
+            for node in self.nodes:
+                while node.free["GPU"] >= 1 and len(devices) < count:
+                    local = int(node.total["GPU"] - node.free["GPU"])
+                    node.acquire({"GPU": 1.0})
+                    devices.append(DeviceId(node=node.node_id, local=local))
+                if len(devices) == count:
+                    break
+        else:  # spread
+            while len(devices) < count:
+                candidates = [n for n in self.nodes if n.free["GPU"] >= 1]
+                if not candidates:  # pragma: no cover - guarded above
+                    raise InsufficientResources("ran out of GPUs mid-spread")
+                node = max(candidates, key=lambda n: n.free["GPU"])
+                local = int(node.total["GPU"] - node.free["GPU"])
+                node.acquire({"GPU": 1.0})
+                devices.append(DeviceId(node=node.node_id, local=local))
+        return Allocation(devices=tuple(devices))
+
+    def release(self, alloc: Allocation) -> None:
+        for d in alloc.devices:
+            self.nodes[d.node].release({"GPU": 1.0})
+
+    def placement_case(self, num_gpus: int) -> str:
+        """The paper's Section III-B2 trichotomy for data parallelism:
+
+        * ``"sequential"`` -- n == 1, plain single-device training;
+        * ``"mirrored"`` -- 1 < n <= M (GPUs of one node), Distributed
+          TensorFlow MirroredStrategy;
+        * ``"ray_sgd"`` -- n > M, Ray cluster + Ray SGD across nodes.
+        """
+        if num_gpus < 1:
+            raise ValueError("num_gpus must be >= 1")
+        m = self.spec.node.num_gpus
+        if num_gpus == 1:
+            return "sequential"
+        if num_gpus <= m:
+            return "mirrored"
+        return "ray_sgd"

@@ -1,0 +1,126 @@
+"""In-memory object store (the Ray plasma-store analogue).
+
+Values are stored once and referenced by :class:`ObjectRef`; ``get``
+resolves a ref (or nested lists of refs).  A capacity bound with
+LRU eviction models the paper-scale concern that full-volume batches
+are large objects whose lifetime must be managed.
+"""
+
+from __future__ import annotations
+
+import itertools
+import sys
+from collections import OrderedDict
+from dataclasses import dataclass, field
+
+__all__ = ["ObjectRef", "ObjectStore", "ObjectStoreError"]
+
+_ref_counter = itertools.count()
+
+
+class ObjectStoreError(KeyError):
+    """Missing or evicted object."""
+
+
+@dataclass(frozen=True)
+class ObjectRef:
+    """Opaque handle to a stored value."""
+
+    ref_id: int
+    owner: str = "driver"
+    _repr_hint: str = field(default="", compare=False)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"ObjectRef({self.ref_id}{', ' + self._repr_hint if self._repr_hint else ''})"
+
+
+def _sizeof(value) -> int:
+    nbytes = getattr(value, "nbytes", None)
+    if nbytes is not None:
+        return int(nbytes)
+    return sys.getsizeof(value)
+
+
+class ObjectStore:
+    """LRU-bounded key-value store for task results and shared data."""
+
+    def __init__(self, capacity_bytes: int | None = None):
+        if capacity_bytes is not None and capacity_bytes <= 0:
+            raise ValueError("capacity must be positive (or None)")
+        self.capacity_bytes = capacity_bytes
+        self._data: "OrderedDict[int, object]" = OrderedDict()
+        self._sizes: dict[int, int] = {}
+        self.bytes_used = 0
+        self.evictions = 0
+        self.puts = 0
+        self.hits = 0
+
+    def reserve(self, owner: str = "driver") -> ObjectRef:
+        """Mint a ref with no value yet (fulfilled later by a task)."""
+        return ObjectRef(next(_ref_counter), owner=owner)
+
+    def fulfill(self, ref: ObjectRef, value) -> ObjectRef:
+        """Store ``value`` under a previously reserved ref."""
+        size = _sizeof(value)
+        if self.capacity_bytes is not None and size > self.capacity_bytes:
+            raise ObjectStoreError(
+                f"object of {size} bytes exceeds store capacity "
+                f"{self.capacity_bytes}"
+            )
+        self._evict_until_fits(size)
+        self._data[ref.ref_id] = value
+        self._sizes[ref.ref_id] = size
+        self.bytes_used += size
+        self.puts += 1
+        return ref
+
+    def put(self, value, owner: str = "driver") -> ObjectRef:
+        ref = ObjectRef(next(_ref_counter), owner=owner,
+                        _repr_hint=type(value).__name__)
+        size = _sizeof(value)
+        if self.capacity_bytes is not None and size > self.capacity_bytes:
+            raise ObjectStoreError(
+                f"object of {size} bytes exceeds store capacity "
+                f"{self.capacity_bytes}"
+            )
+        self._evict_until_fits(size)
+        self._data[ref.ref_id] = value
+        self._sizes[ref.ref_id] = size
+        self.bytes_used += size
+        self.puts += 1
+        return ref
+
+    def _evict_until_fits(self, incoming: int) -> None:
+        if self.capacity_bytes is None:
+            return
+        while self.bytes_used + incoming > self.capacity_bytes and self._data:
+            old_id, _ = self._data.popitem(last=False)
+            self.bytes_used -= self._sizes.pop(old_id)
+            self.evictions += 1
+
+    def get(self, ref):
+        """Resolve a ref, a list/tuple of refs, or pass through values."""
+        if isinstance(ref, (list, tuple)):
+            return type(ref)(self.get(r) for r in ref)
+        if not isinstance(ref, ObjectRef):
+            return ref
+        try:
+            value = self._data[ref.ref_id]
+        except KeyError:
+            raise ObjectStoreError(
+                f"{ref!r} not found (evicted or never stored)"
+            ) from None
+        self._data.move_to_end(ref.ref_id)  # LRU touch
+        self.hits += 1
+        return value
+
+    def contains(self, ref: ObjectRef) -> bool:
+        return ref.ref_id in self._data
+
+    def delete(self, ref: ObjectRef) -> None:
+        if ref.ref_id in self._data:
+            del self._data[ref.ref_id]
+            self.bytes_used -= self._sizes.pop(ref.ref_id)
+
+    def __len__(self) -> int:
+        return len(self._data)

@@ -1,0 +1,149 @@
+"""Placement groups: reserving resource bundles with a strategy.
+
+Ray's placement groups are how multi-GPU work (the paper's data-parallel
+trials) reserves its devices atomically before launch: a list of
+*bundles* (each e.g. ``{"GPU": 1}``) plus a strategy controlling their
+spread over nodes.
+
+* ``STRICT_PACK`` -- all bundles on one node (MirroredStrategy: the
+  replicas must share NVLink);
+* ``PACK``        -- as few nodes as possible (Ray SGD across nodes);
+* ``SPREAD``      -- balanced across nodes, best effort;
+* ``STRICT_SPREAD`` -- one bundle per node, or fail.
+"""
+
+from __future__ import annotations
+
+
+from dataclasses import dataclass, field
+
+from .cluster import InsufficientResources, RayCluster
+
+__all__ = ["PlacementGroup", "create_placement_group", "STRATEGIES"]
+
+STRATEGIES = ("STRICT_PACK", "PACK", "SPREAD", "STRICT_SPREAD")
+
+
+@dataclass
+class PlacementGroup:
+    """A granted reservation; release with :meth:`remove`."""
+
+    strategy: str
+    bundles: list[dict]
+    # node id per bundle, parallel to `bundles`
+    bundle_nodes: list[int] = field(default_factory=list)
+    _cluster: RayCluster | None = None
+    _released: bool = False
+
+    def nodes(self) -> list[int]:
+        return sorted(set(self.bundle_nodes))
+
+    @property
+    def num_bundles(self) -> int:
+        return len(self.bundles)
+
+    def remove(self) -> None:
+        """Return the reserved resources (idempotent)."""
+        if self._released or self._cluster is None:
+            return
+        for node_id, bundle in zip(self.bundle_nodes, self.bundles):
+            self._cluster.nodes[node_id].release(bundle)
+        self._released = True
+
+
+def _gpu_count(bundle: dict) -> float:
+    return float(bundle.get("GPU", 0.0))
+
+
+def create_placement_group(
+    cluster: RayCluster,
+    bundles: list[dict],
+    strategy: str = "PACK",
+) -> PlacementGroup:
+    """Reserve ``bundles`` on ``cluster`` atomically.
+
+    Either every bundle is granted or none is (an
+    :class:`InsufficientResources` is raised and the cluster state is
+    unchanged) -- the all-or-nothing semantics that prevent deadlock
+    when several multi-GPU trials race for devices.
+    """
+    if strategy not in STRATEGIES:
+        raise ValueError(f"unknown strategy {strategy!r}; one of {STRATEGIES}")
+    if not bundles:
+        raise ValueError("need at least one bundle")
+    for b in bundles:
+        if not b or any(v <= 0 for v in b.values()):
+            raise ValueError(f"invalid bundle {b!r}")
+
+    assignment: list[int] = [-1] * len(bundles)
+    # Work on a copy of the free vectors so failure leaves no residue.
+    free = [dict(n.free) for n in cluster.nodes]
+
+    def fits(node_idx: int, bundle: dict) -> bool:
+        return all(free[node_idx].get(k, 0.0) >= v for k, v in bundle.items())
+
+    def take(node_idx: int, bundle: dict) -> None:
+        for k, v in bundle.items():
+            free[node_idx][k] -= v
+
+    order = range(len(bundles))
+    if strategy == "STRICT_PACK":
+        placed = False
+        for ni in range(len(cluster.nodes)):
+            trial_free = dict(free[ni])
+            ok = True
+            for b in bundles:
+                if all(trial_free.get(k, 0.0) >= v for k, v in b.items()):
+                    for k, v in b.items():
+                        trial_free[k] -= v
+                else:
+                    ok = False
+                    break
+            if ok:
+                for i in order:
+                    assignment[i] = ni
+                    take(ni, bundles[i])
+                placed = True
+                break
+        if not placed:
+            raise InsufficientResources(
+                "STRICT_PACK: no single node fits all bundles"
+            )
+    elif strategy == "PACK":
+        for i in order:
+            # densest node that fits -> fewest nodes overall
+            candidates = [
+                ni for ni in range(len(cluster.nodes)) if fits(ni, bundles[i])
+            ]
+            if not candidates:
+                raise InsufficientResources(f"PACK: bundle {i} does not fit")
+            ni = min(candidates, key=lambda n: free[n].get("GPU", 0.0))
+            assignment[i] = ni
+            take(ni, bundles[i])
+    elif strategy in ("SPREAD", "STRICT_SPREAD"):
+        used_nodes: set[int] = set()
+        for i in order:
+            candidates = [
+                ni for ni in range(len(cluster.nodes)) if fits(ni, bundles[i])
+            ]
+            if strategy == "STRICT_SPREAD":
+                candidates = [ni for ni in candidates if ni not in used_nodes]
+            if not candidates:
+                raise InsufficientResources(
+                    f"{strategy}: bundle {i} cannot be placed"
+                )
+            # emptiest node first -> balanced spread
+            ni = max(candidates, key=lambda n: free[n].get("GPU", 0.0))
+            assignment[i] = ni
+            used_nodes.add(ni)
+            take(ni, bundles[i])
+
+    # Commit: acquire for real (cannot fail -- we checked against copies).
+    for i, ni in enumerate(assignment):
+        cluster.nodes[ni].acquire(bundles[i])
+    return PlacementGroup(
+        strategy=strategy,
+        bundles=[dict(b) for b in bundles],
+        bundle_nodes=assignment,
+        _cluster=cluster,
+    )

@@ -1,0 +1,174 @@
+"""Remote tasks and futures (the ``@ray.remote`` analogue).
+
+A :class:`RaySession` owns an object store and an executor; decorating a
+function with ``session.remote`` gives it a ``.remote(*args)`` method
+that submits the call and immediately returns an :class:`ObjectRef`.
+``session.get`` blocks on (resolves) refs; refs passed as arguments are
+resolved before the task body runs, exactly like Ray's dataflow
+semantics.
+
+Execution is eager-local by default (``num_workers=0``: the call runs
+inline at submission, which keeps tests deterministic) or via a thread
+pool (``num_workers>0``) for genuine overlap -- NumPy kernels release
+the GIL, so the pool gives real parallel speedup for array-heavy tasks.
+"""
+
+from __future__ import annotations
+
+import functools
+import threading
+from concurrent.futures import Future, ThreadPoolExecutor
+
+from .object_store import ObjectRef, ObjectStore
+
+__all__ = ["RaySession", "RemoteFunction", "TaskError"]
+
+
+class TaskError(RuntimeError):
+    """A remote task raised; carries the original exception as __cause__."""
+
+
+class RemoteFunction:
+    """Wrapper produced by ``session.remote``."""
+
+    def __init__(self, session: "RaySession", fn):
+        self._session = session
+        self._fn = fn
+        functools.update_wrapper(self, fn)
+
+    def remote(self, *args, **kwargs) -> ObjectRef:
+        return self._session._submit(self._fn, args, kwargs)
+
+    def __call__(self, *args, **kwargs):
+        """Direct (non-remote) invocation stays available."""
+        return self._fn(*args, **kwargs)
+
+
+class RaySession:
+    """Driver-side runtime: object store + executor + bookkeeping."""
+
+    def __init__(self, num_workers: int = 0,
+                 object_store_capacity: int | None = None):
+        if num_workers < 0:
+            raise ValueError("num_workers must be >= 0")
+        self.store = ObjectStore(capacity_bytes=object_store_capacity)
+        self.num_workers = num_workers
+        self._pool = (
+            ThreadPoolExecutor(max_workers=num_workers) if num_workers else None
+        )
+        self._pending: dict[int, Future] = {}
+        self._lock = threading.Lock()
+        self.tasks_submitted = 0
+
+    # -- decorator ------------------------------------------------------
+    def remote(self, fn) -> RemoteFunction:
+        return RemoteFunction(self, fn)
+
+    # -- submission ------------------------------------------------------
+    def _resolve_value(self, value):
+        """Resolve refs anywhere in a (possibly nested) container."""
+        if isinstance(value, ObjectRef):
+            return self.store.get(value)
+        if isinstance(value, (list, tuple)):
+            return type(value)(self._resolve_value(v) for v in value)
+        if isinstance(value, dict):
+            return {k: self._resolve_value(v) for k, v in value.items()}
+        return value
+
+    def _resolve_args(self, args, kwargs):
+        args = tuple(self._resolve_value(a) for a in args)
+        kwargs = {k: self._resolve_value(v) for k, v in kwargs.items()}
+        return args, kwargs
+
+    def _submit(self, fn, args, kwargs) -> ObjectRef:
+        self.tasks_submitted += 1
+        if self._pool is None:
+            rargs, rkwargs = self._resolve_args(args, kwargs)
+            try:
+                value = fn(*rargs, **rkwargs)
+            except Exception as exc:
+                value = TaskError(f"task {fn.__name__} failed: {exc}")
+                value.__cause__ = exc
+            return self.store.put(value, owner=fn.__name__)
+
+        ref = self.store.reserve(owner=fn.__name__)
+
+        def run():
+            rargs, rkwargs = self._resolve_args(args, kwargs)
+            return fn(*rargs, **rkwargs)
+
+        fut = self._pool.submit(run)
+        with self._lock:
+            self._pending[ref.ref_id] = fut
+        return ref
+
+    # -- retrieval ---------------------------------------------------------
+    def get(self, ref):
+        """Resolve refs (or nested lists) to values, raising TaskError for
+        failed tasks."""
+        if isinstance(ref, (list, tuple)):
+            return type(ref)(self.get(r) for r in ref)
+        if not isinstance(ref, ObjectRef):
+            return ref
+        with self._lock:
+            fut = self._pending.pop(ref.ref_id, None)
+        if fut is not None:
+            try:
+                value = fut.result()
+            except Exception as exc:
+                value = TaskError(f"task failed: {exc}")
+                value.__cause__ = exc
+            self.store.fulfill(ref, value)
+        value = self.store.get(ref)
+        if isinstance(value, TaskError):
+            raise value
+        return value
+
+    def put(self, value) -> ObjectRef:
+        return self.store.put(value)
+
+    def wait_all(self, refs):
+        """Resolve every ref, returning values in order."""
+        return [self.get(r) for r in refs]
+
+    def wait(self, refs, num_returns: int = 1):
+        """``ray.wait`` analogue: split refs into (ready, pending).
+
+        Returns once at least ``num_returns`` tasks have completed;
+        completed means the backing future is done (eager-mode tasks are
+        always done).  Unlike ``get``, does not raise for failed tasks
+        -- failures count as ready and surface at ``get`` time.
+        """
+        refs = list(refs)
+        if not 1 <= num_returns <= len(refs):
+            raise ValueError(
+                f"num_returns must be in [1, {len(refs)}], got {num_returns}"
+            )
+
+        def is_ready(ref: ObjectRef) -> bool:
+            if self.store.contains(ref):
+                return True
+            with self._lock:
+                fut = self._pending.get(ref.ref_id)
+            return fut is not None and fut.done()
+
+        import time as _time
+
+        while True:
+            ready = [r for r in refs if is_ready(r)]
+            if len(ready) >= num_returns:
+                ready_ids = {r.ref_id for r in ready}
+                pending = [r for r in refs if r.ref_id not in ready_ids]
+                return ready, pending
+            _time.sleep(0.0005)
+
+    def shutdown(self) -> None:
+        if self._pool is not None:
+            self._pool.shutdown(wait=True)
+            self._pool = None
+
+    def __enter__(self) -> "RaySession":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.shutdown()

@@ -1,0 +1,80 @@
+"""Trial-to-worker placement policies and makespan computation.
+
+Experiment parallelism's elapsed time is the *makespan* of placing the
+search's trials onto single-GPU workers.  Ray Tune's behaviour is
+greedy FIFO: trials start in submission order, each on the earliest
+available GPU.  LPT (longest-processing-time-first) is the classic
+makespan heuristic, provided for the scheduling ablation (E9).
+
+These are pure functions over (durations, worker count) so they can be
+property-tested against the makespan lower bounds; the event-simulator
+execution in ``repro.core.experiment_parallel`` must agree with them
+exactly (and a test asserts it does).
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass
+
+__all__ = ["PlacementResult", "fifo_schedule", "lpt_schedule", "makespan_lower_bound"]
+
+
+@dataclass(frozen=True)
+class PlacementResult:
+    """Outcome of a static schedule."""
+
+    makespan: float
+    # per-trial (worker, start, end), in input order
+    assignments: tuple[tuple[int, float, float], ...]
+
+    def worker_loads(self, num_workers: int) -> list[float]:
+        loads = [0.0] * num_workers
+        for w, s, e in self.assignments:
+            loads[w] += e - s
+        return loads
+
+
+def _greedy(durations, order, num_workers: int, per_trial_overhead: float):
+    if num_workers < 1:
+        raise ValueError("num_workers must be >= 1")
+    if any(d < 0 for d in durations):
+        raise ValueError("durations must be non-negative")
+    # (available_time, worker_id) min-heap
+    heap = [(0.0, w) for w in range(num_workers)]
+    heapq.heapify(heap)
+    assignments: list[tuple[int, float, float] | None] = [None] * len(durations)
+    for idx in order:
+        avail, w = heapq.heappop(heap)
+        start = avail
+        end = start + per_trial_overhead + durations[idx]
+        assignments[idx] = (w, start, end)
+        heapq.heappush(heap, (end, w))
+    makespan = max((a[2] for a in assignments), default=0.0)
+    return PlacementResult(makespan=makespan, assignments=tuple(assignments))
+
+
+def fifo_schedule(
+    durations, num_workers: int, per_trial_overhead: float = 0.0
+) -> PlacementResult:
+    """Greedy earliest-available-worker in submission order (Ray Tune)."""
+    return _greedy(durations, range(len(durations)), num_workers, per_trial_overhead)
+
+
+def lpt_schedule(
+    durations, num_workers: int, per_trial_overhead: float = 0.0
+) -> PlacementResult:
+    """Longest-processing-time-first; 4/3-approximate minimum makespan."""
+    order = sorted(range(len(durations)), key=lambda i: -durations[i])
+    return _greedy(durations, order, num_workers, per_trial_overhead)
+
+
+def makespan_lower_bound(durations, num_workers: int,
+                         per_trial_overhead: float = 0.0) -> float:
+    """max(longest trial, total work / workers) -- no schedule beats it."""
+    if num_workers < 1:
+        raise ValueError("num_workers must be >= 1")
+    padded = [d + per_trial_overhead for d in durations]
+    if not padded:
+        return 0.0
+    return max(max(padded), sum(padded) / num_workers)

@@ -1,0 +1,325 @@
+"""Trial runner (the Ray Tune analogue).
+
+The paper adapts its training loop to "the standard Ray API": a
+*trainable* function taking a hyper-parameter dict, plus a *reporting
+callback* delivering per-epoch results (Section III-B2); ``Tune.Run``
+then executes the batch of experiments.  This module reproduces that
+contract:
+
+>>> def trainable(config, reporter):
+...     for epoch in range(config["epochs"]):
+...         dice = train_one_epoch(...)
+...         if not reporter(epoch=epoch, dice=dice):
+...             break                       # scheduler said stop (ASHA)
+...     return {"dice": dice}
+>>> analysis = tune_run(trainable, search_alg=GridSearch(space))
+>>> analysis.best_trial("dice").config
+
+``tune_run`` executes trials in-process (functional reproduction); the
+*timing* of concurrent trial placement at cluster scale is what
+``repro.core.experiment_parallel`` simulates with the event simulator,
+using this module's Trial/scheduler data model.
+"""
+
+from __future__ import annotations
+
+import enum
+import time
+from dataclasses import dataclass, field
+from typing import Callable
+
+from .search import SearchAlgorithm
+
+__all__ = [
+    "TrialStatus",
+    "Trial",
+    "Reporter",
+    "TrialScheduler",
+    "FIFOScheduler",
+    "ASHAScheduler",
+    "ExperimentAnalysis",
+    "tune_run",
+    "StopTrial",
+]
+
+
+class StopTrial(Exception):
+    """Raisable from a trainable to end the trial early (counts as
+    TERMINATED, not ERROR)."""
+
+
+class TrialStatus(enum.Enum):
+    PENDING = "pending"
+    RUNNING = "running"
+    TERMINATED = "terminated"
+    STOPPED = "stopped"   # early-stopped by a scheduler
+    ERROR = "error"
+
+
+@dataclass
+class Trial:
+    """One hyper-parameter configuration's lifecycle."""
+
+    trial_id: str
+    config: dict
+    status: TrialStatus = TrialStatus.PENDING
+    results: list[dict] = field(default_factory=list)
+    final: dict | None = None
+    error: str | None = None
+    runtime_s: float = 0.0
+    retries: int = 0
+
+    def last_result(self) -> dict | None:
+        return self.results[-1] if self.results else None
+
+    def best_metric(self, metric: str, mode: str = "max") -> float | None:
+        vals = [r[metric] for r in self.results if metric in r]
+        if self.final and metric in self.final:
+            vals.append(self.final[metric])
+        if not vals:
+            return None
+        return max(vals) if mode == "max" else min(vals)
+
+
+class TrialScheduler:
+    """Decides, per reported result, whether a trial continues."""
+
+    CONTINUE = "continue"
+    STOP = "stop"
+
+    def on_result(self, trial: Trial, result: dict) -> str:
+        return self.CONTINUE
+
+    def on_trial_complete(self, trial: Trial) -> None:
+        pass
+
+
+class FIFOScheduler(TrialScheduler):
+    """Run every trial to completion (the paper's setting: all 250-epoch
+    experiments run fully)."""
+
+
+class ASHAScheduler(TrialScheduler):
+    """Asynchronous Successive Halving (Li et al.), the early-stopping
+    scheduler Ray Tune pairs with grid/random search.
+
+    A trial reaching rung ``r`` (time ``grace_period * reduction**r``)
+    survives only if its metric is within the top ``1/reduction``
+    fraction of everything seen at that rung so far.
+    """
+
+    def __init__(
+        self,
+        metric: str,
+        mode: str = "max",
+        time_attr: str = "epoch",
+        grace_period: int = 10,
+        reduction_factor: int = 3,
+        max_t: int = 250,
+    ):
+        if mode not in ("max", "min"):
+            raise ValueError("mode must be 'max' or 'min'")
+        if grace_period < 1 or reduction_factor < 2 or max_t < grace_period:
+            raise ValueError("invalid ASHA parameters")
+        self.metric = metric
+        self.mode = mode
+        self.time_attr = time_attr
+        self.grace = grace_period
+        self.rf = reduction_factor
+        self.max_t = max_t
+        # rung level -> list of recorded metric values
+        self._rungs: dict[int, list[float]] = {}
+        r = 0
+        t = grace_period
+        self.rung_times = []
+        while t < max_t:
+            self.rung_times.append(t)
+            r += 1
+            t = grace_period * reduction_factor**r
+
+    def on_result(self, trial: Trial, result: dict) -> str:
+        if self.metric not in result or self.time_attr not in result:
+            return self.CONTINUE
+        t = result[self.time_attr]
+        val = float(result[self.metric])
+        for level, rung_t in enumerate(self.rung_times):
+            if t == rung_t:
+                recorded = self._rungs.setdefault(level, [])
+                recorded.append(val)
+                ordered = sorted(recorded, reverse=(self.mode == "max"))
+                k = max(1, len(ordered) // self.rf)
+                cutoff = ordered[k - 1]
+                survives = (
+                    val >= cutoff if self.mode == "max" else val <= cutoff
+                )
+                if not survives:
+                    return self.STOP
+        return self.CONTINUE
+
+
+class HyperbandScheduler(TrialScheduler):
+    """Asynchronous Hyperband: trials are dealt round-robin into
+    brackets, each bracket running successive halving with a different
+    grace period -- aggressive early stopping for most trials while one
+    bracket guards against "slow starters" (the standard Ray Tune
+    ``HyperBandScheduler`` trade-off).
+    """
+
+    def __init__(
+        self,
+        metric: str,
+        mode: str = "max",
+        time_attr: str = "epoch",
+        max_t: int = 250,
+        reduction_factor: int = 3,
+        num_brackets: int = 3,
+    ):
+        if num_brackets < 1:
+            raise ValueError("num_brackets must be >= 1")
+        self.metric, self.mode, self.time_attr = metric, mode, time_attr
+        self.max_t = max_t
+        self.brackets = []
+        for b in range(num_brackets):
+            grace = max(1, max_t // (reduction_factor ** (num_brackets - b)))
+            self.brackets.append(
+                ASHAScheduler(
+                    metric, mode=mode, time_attr=time_attr,
+                    grace_period=grace, reduction_factor=reduction_factor,
+                    max_t=max_t,
+                )
+            )
+        self._assignment: dict[str, int] = {}
+        self._next = 0
+
+    def bracket_of(self, trial: Trial) -> ASHAScheduler:
+        idx = self._assignment.get(trial.trial_id)
+        if idx is None:
+            idx = self._next % len(self.brackets)
+            self._assignment[trial.trial_id] = idx
+            self._next += 1
+        return self.brackets[idx]
+
+    def on_result(self, trial: Trial, result: dict) -> str:
+        return self.bracket_of(trial).on_result(trial, result)
+
+
+class Reporter:
+    """The per-trial reporting callback handed to trainables.
+
+    Calling it records a result row and returns True while the scheduler
+    wants the trial to continue.
+    """
+
+    def __init__(self, trial: Trial, scheduler: TrialScheduler):
+        self._trial = trial
+        self._scheduler = scheduler
+        self.stopped = False
+
+    def __call__(self, **metrics) -> bool:
+        self._trial.results.append(dict(metrics))
+        decision = self._scheduler.on_result(self._trial, metrics)
+        if decision == TrialScheduler.STOP:
+            self.stopped = True
+            return False
+        return True
+
+
+class ExperimentAnalysis:
+    """Results of a ``tune_run``: the trial set plus query helpers."""
+
+    def __init__(self, trials: list[Trial]):
+        self.trials = trials
+
+    def best_trial(self, metric: str, mode: str = "max") -> Trial:
+        scored = [
+            (t, t.best_metric(metric, mode))
+            for t in self.trials
+            if t.best_metric(metric, mode) is not None
+        ]
+        if not scored:
+            raise ValueError(f"no trial reported metric {metric!r}")
+        key = (lambda tv: tv[1]) if mode == "min" else (lambda tv: -tv[1])
+        return min(scored, key=key)[0]
+
+    def best_config(self, metric: str, mode: str = "max") -> dict:
+        return self.best_trial(metric, mode).config
+
+    def results_table(self, metric: str, mode: str = "max") -> list[dict]:
+        rows = []
+        for t in self.trials:
+            rows.append(
+                {
+                    "trial_id": t.trial_id,
+                    "status": t.status.value,
+                    "config": dict(t.config),
+                    metric: t.best_metric(metric, mode),
+                    "epochs_run": len(t.results),
+                }
+            )
+        return rows
+
+    def num_errors(self) -> int:
+        return sum(1 for t in self.trials if t.status is TrialStatus.ERROR)
+
+
+def tune_run(
+    trainable: Callable[[dict, Reporter], dict | None],
+    search_alg: SearchAlgorithm,
+    scheduler: TrialScheduler | None = None,
+    metric: str | None = None,
+    mode: str = "max",
+    raise_on_error: bool = False,
+    max_retries: int = 0,
+) -> ExperimentAnalysis:
+    """Execute every configuration the search algorithm proposes.
+
+    The trainable receives ``(config, reporter)`` and may return a final
+    metrics dict.  Adaptive search algorithms are fed each trial's best
+    ``metric`` via :meth:`SearchAlgorithm.observe`.  ``max_retries``
+    re-runs a crashed trial from scratch (the fault-tolerance knob
+    preempted cluster runs need); only the final attempt's status is
+    recorded, with the retry count in ``Trial.final``-independent field
+    ``retries``.
+    """
+    scheduler = scheduler or FIFOScheduler()
+    trials: list[Trial] = []
+    for i, config in enumerate(search_alg.configurations()):
+        trial = Trial(trial_id=f"trial_{i:04d}", config=dict(config))
+        trials.append(trial)
+        trial.status = TrialStatus.RUNNING
+        t0 = time.perf_counter()
+        final = None
+        for attempt in range(max_retries + 1):
+            trial.results.clear()
+            trial.retries = attempt
+            reporter = Reporter(trial, scheduler)
+            try:
+                final = trainable(dict(config), reporter)
+            except StopTrial:
+                trial.status = TrialStatus.STOPPED
+                final = None
+                break
+            except Exception as exc:
+                if raise_on_error:
+                    raise
+                trial.status = TrialStatus.ERROR
+                trial.error = f"{type(exc).__name__}: {exc}"
+                final = None
+                continue  # retry if attempts remain
+            else:
+                trial.status = (
+                    TrialStatus.STOPPED
+                    if reporter.stopped
+                    else TrialStatus.TERMINATED
+                )
+                trial.error = None
+                break
+        trial.runtime_s = time.perf_counter() - t0
+        if isinstance(final, dict):
+            trial.final = final
+        scheduler.on_trial_complete(trial)
+        if metric is not None:
+            score = trial.best_metric(metric, mode)
+            if score is not None:
+                search_alg.observe(config, score)
+    return ExperimentAnalysis(trials)

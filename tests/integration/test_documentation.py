@@ -1,0 +1,67 @@
+"""Documentation guards: the README's code must actually run, the
+examples must at least compile, and the experiment index must point at
+real files."""
+
+import ast
+import py_compile
+import re
+from pathlib import Path
+
+import pytest
+
+REPO = Path(__file__).resolve().parents[2]
+
+
+class TestReadmeSnippet:
+    def test_python_block_executes(self):
+        """Extract the README's Python example and run it (with the
+        expensive simulate_comparison narrowed for test speed)."""
+        text = (REPO / "README.md").read_text()
+        blocks = re.findall(r"```python\n(.*?)```", text, re.DOTALL)
+        assert blocks, "README must contain a python example"
+        code = blocks[0]
+        # narrow the sweep so the doc test stays fast
+        code = code.replace("gpu_counts=(1, 2, 4, 8, 16, 32)",
+                            "gpu_counts=(1, 32), num_runs=1")
+        ast.parse(code)  # must be valid syntax as printed
+        exec(compile(code, "<README>", "exec"), {})  # and actually run
+
+
+class TestExamplesCompile:
+    @pytest.mark.parametrize(
+        "path", sorted((REPO / "examples").glob("*.py")),
+        ids=lambda p: p.stem,
+    )
+    def test_example_compiles(self, path):
+        py_compile.compile(str(path), doraise=True)
+
+    def test_expected_example_set(self):
+        names = {p.stem for p in (REPO / "examples").glob("*.py")}
+        assert {
+            "quickstart",
+            "hyperparameter_search",
+            "data_parallel_training",
+            "reproduce_table1",
+            "pipeline_profiling",
+            "full_volume_vs_patches",
+            "fault_tolerance",
+            "adaptive_search_simulation",
+            "generate_all_results",
+        } <= names
+
+
+class TestExperimentIndex:
+    def test_design_md_references_exist(self):
+        """Every benchmarks/... or examples/... path DESIGN.md's
+        experiment index mentions must exist."""
+        text = (REPO / "DESIGN.md").read_text()
+        refs = set(re.findall(r"`((?:benchmarks|examples)/[\w/]+\.py)`", text))
+        assert refs, "experiment index should reference bench files"
+        for ref in refs:
+            assert (REPO / ref).exists(), f"DESIGN.md references missing {ref}"
+
+    def test_experiments_md_covers_all_ids(self):
+        text = (REPO / "EXPERIMENTS.md").read_text()
+        for eid in [f"E{i}" for i in range(1, 16)]:
+            assert f"{eid} " in text or f"{eid}/" in text or f"{eid}—" in text \
+                or f"{eid} —" in text, f"EXPERIMENTS.md missing {eid}"

@@ -1,0 +1,84 @@
+"""Integration: the pipeline actually learns segmentation (C2/C4/E7/E8)."""
+
+import numpy as np
+import pytest
+
+from repro.core import ExperimentSettings, MISPipeline, train_trial
+
+
+@pytest.fixture(scope="module")
+def learn_settings():
+    return ExperimentSettings(
+        num_subjects=10, volume_shape=(16, 16, 16), epochs=25,
+        base_filters=4, depth=2, seed=1,
+    )
+
+
+@pytest.fixture(scope="module")
+def pipeline(learn_settings, tmp_path_factory):
+    return MISPipeline(learn_settings, record_dir=tmp_path_factory.mktemp("r"))
+
+
+@pytest.fixture(scope="module")
+def trained(learn_settings, pipeline):
+    return train_trial(
+        {"learning_rate": 3e-3, "loss": "dice"},
+        learn_settings, pipeline, num_replicas=1,
+        convergence_patience=5,
+    )
+
+
+class TestLearning:
+    def test_reaches_state_of_art_band(self, trained):
+        """The paper reports DSC ~0.89 on its task; the synthetic task
+        must be learned to at least that band."""
+        assert trained.val_dice >= 0.85
+        assert trained.test_dice >= 0.80
+
+    def test_loss_decreases_over_training(self, trained):
+        """Soft Dice under eps=0.1 on ~60-voxel tumours descends slowly
+        in absolute terms; require a clear, monotone-ish improvement
+        rather than a halving."""
+        losses = [r.train_loss for r in trained.history]
+        assert losses[-1] < losses[0] - 0.05
+        assert min(losses) == pytest.approx(losses[-1], abs=0.05)
+
+    def test_dice_improves_over_training(self, trained):
+        dices = [r.val_dice for r in trained.history]
+        assert dices[-1] > dices[0]
+        assert max(dices) == trained.val_dice
+
+    def test_converges_before_budget(self, trained):
+        """Section IV-B: training stabilises well before the epoch
+        budget (paper: ~epoch 90 of 250)."""
+        assert trained.converged_epoch is not None
+        assert trained.converged_epoch < len(trained.history)
+
+
+class TestLossAblation:
+    def test_both_losses_learn(self, learn_settings, pipeline):
+        """E8 substrate check: both the paper's loss and the quadratic
+        variant train successfully.  Which one validates *better* is
+        task-dependent (the paper saw plain Dice win on BraTS; on the
+        synthetic task the ordering can flip) -- the benchmark
+        regenerates and reports the comparison, EXPERIMENTS.md discusses
+        it, and this test only pins that both are usable losses."""
+        dice = train_trial({"learning_rate": 3e-3, "loss": "dice"},
+                           learn_settings, pipeline)
+        quad = train_trial({"learning_rate": 3e-3, "loss": "quadratic_dice"},
+                           learn_settings, pipeline)
+        assert dice.val_dice > 0.6
+        assert quad.val_dice > 0.6
+        assert abs(dice.val_dice - quad.val_dice) < 0.3
+
+
+class TestLearningRateSensitivity:
+    def test_tiny_lr_underperforms(self, learn_settings, pipeline):
+        """Hyper-parameters matter -- the premise of the whole search."""
+        good = train_trial({"learning_rate": 3e-3}, learn_settings, pipeline)
+        bad_settings = ExperimentSettings(
+            num_subjects=10, volume_shape=(16, 16, 16), epochs=5,
+            base_filters=4, depth=2, seed=1,
+        )
+        bad = train_trial({"learning_rate": 1e-7}, bad_settings, pipeline)
+        assert good.val_dice > bad.val_dice + 0.2

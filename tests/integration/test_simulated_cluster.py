@@ -1,0 +1,71 @@
+"""Integration: paper-scale simulated comparisons (Table I / Fig 4)."""
+
+import pytest
+
+from repro.core import DistMISRunner
+from repro.perf import (
+    TABLE1_DP_SPEEDUPS,
+    TABLE1_EP_SPEEDUPS,
+)
+
+
+@pytest.fixture(scope="module")
+def report():
+    return DistMISRunner().simulate_comparison(
+        gpu_counts=(1, 2, 4, 8, 12, 16, 32), num_runs=3, base_seed=0
+    )
+
+
+class TestComparisonReport:
+    def test_all_rows_present(self, report):
+        rows = report.table_rows()
+        assert [r["num_gpus"] for r in rows] == [1, 2, 4, 8, 12, 16, 32]
+
+    def test_speedups_track_paper(self, report):
+        for row in report.table_rows():
+            n = row["num_gpus"]
+            assert row["dp_speedup"] == pytest.approx(
+                TABLE1_DP_SPEEDUPS[n], rel=0.2
+            ), f"dp at {n}"
+            assert row["ep_speedup"] == pytest.approx(
+                TABLE1_EP_SPEEDUPS[n], rel=0.2
+            ), f"ep at {n}"
+
+    def test_gap_widens_with_scale(self, report):
+        gaps = dict(report.crossover_gap())
+        assert gaps[32] > gaps[2]
+        assert gaps[32] > 1.0
+
+    def test_min_max_band_brackets_mean(self, report):
+        """Fig 4a's error bars: min <= mean <= max per point."""
+        for series in (report.dp, report.ep):
+            for lo, m, hi in zip(series.minimum(), series.mean(),
+                                 series.maximum()):
+                assert lo <= m <= hi
+                assert lo < hi  # three jittered runs genuinely differ
+
+    def test_renderings_nonempty(self, report):
+        assert len(report.render_table().splitlines()) == 10
+        assert "x1" in report.render_figure_series().replace(" ", "")
+
+
+class TestTimelineConsistency:
+    def test_experiment_parallel_trace_accounts_all_trials(self):
+        runner = DistMISRunner()
+        run = runner.simulate("experiment_parallel", 16, seed=2)
+        assert len(run.timeline.events) == len(runner.sim_trials)
+        # Every span ends by the reported elapsed time.
+        assert run.timeline.makespan() <= run.elapsed_seconds + 1e-6
+
+    def test_data_parallel_trace_serialises_trials(self):
+        runner = DistMISRunner()
+        run = runner.simulate("data_parallel", 8, seed=2)
+        # On any single GPU lane, spans must not overlap (one trial at
+        # a time uses the whole allocation).
+        lanes = {}
+        for ev in run.timeline.events:
+            lanes.setdefault(ev.resource, []).append((ev.start, ev.end))
+        for spans in lanes.values():
+            spans.sort()
+            for (s1, e1), (s2, e2) in zip(spans, spans[1:]):
+                assert s2 >= e1 - 1e-9

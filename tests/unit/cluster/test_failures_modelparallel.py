@@ -1,0 +1,148 @@
+"""Failure injection and pipeline-parallel plan tests."""
+
+import numpy as np
+import pytest
+
+from repro.cluster import (
+    NVLINK2,
+    V100_16GB,
+    FailureModel,
+    plan_pipeline_parallel,
+    run_with_failures,
+)
+from repro.cluster.failures import expected_slowdown
+from repro.raysim import fifo_schedule
+
+
+class TestFailureModel:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            FailureModel(mtbf_s=0)
+        with pytest.raises(ValueError):
+            FailureModel(mtbf_s=10, repair_s=-1)
+        with pytest.raises(ValueError):
+            FailureModel(mtbf_s=10, checkpoint_fraction=1.0)
+
+
+class TestRunWithFailures:
+    DURATIONS = [100.0, 80.0, 120.0, 60.0]
+
+    def test_no_failures_matches_fifo(self):
+        model = FailureModel(mtbf_s=1e12)  # failures effectively never
+        res = run_with_failures(self.DURATIONS, 2, model, seed=0)
+        assert res.num_failures == 0
+        assert res.wasted_seconds == 0.0
+        assert res.makespan == pytest.approx(
+            fifo_schedule(self.DURATIONS, 2).makespan
+        )
+
+    def test_failures_extend_makespan(self):
+        healthy = run_with_failures(
+            self.DURATIONS, 2, FailureModel(mtbf_s=1e12), seed=0
+        )
+        flaky = run_with_failures(
+            self.DURATIONS, 2, FailureModel(mtbf_s=150.0, repair_s=30.0),
+            seed=0,
+        )
+        assert flaky.num_failures > 0
+        assert flaky.makespan > healthy.makespan
+        assert flaky.wasted_seconds > 0
+
+    def test_checkpointing_reduces_waste(self):
+        kw = dict(seed=3)
+        scratch = run_with_failures(
+            self.DURATIONS, 2,
+            FailureModel(mtbf_s=120.0, repair_s=10.0,
+                         checkpoint_fraction=0.0), **kw,
+        )
+        ckpt = run_with_failures(
+            self.DURATIONS, 2,
+            FailureModel(mtbf_s=120.0, repair_s=10.0,
+                         checkpoint_fraction=0.9), **kw,
+        )
+        if scratch.num_failures and ckpt.num_failures:
+            assert ckpt.makespan <= scratch.makespan + 1e-9
+
+    def test_all_trials_eventually_finish(self):
+        res = run_with_failures(
+            [50.0] * 6, 3, FailureModel(mtbf_s=80.0, repair_s=5.0), seed=1
+        )
+        finished = [e for e in res.timeline.events if e.category == "train"]
+        assert len(finished) == 6
+
+    def test_seeded_reproducible(self):
+        m = FailureModel(mtbf_s=100.0, repair_s=10.0)
+        a = run_with_failures(self.DURATIONS, 2, m, seed=5)
+        b = run_with_failures(self.DURATIONS, 2, m, seed=5)
+        assert a.makespan == b.makespan
+        assert a.num_failures == b.num_failures
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            run_with_failures([1.0], 0, FailureModel(mtbf_s=10))
+        with pytest.raises(ValueError):
+            run_with_failures([-1.0], 1, FailureModel(mtbf_s=10))
+
+    def test_expected_slowdown_analytic(self):
+        """Monte-Carlo completion time matches the renewal formula."""
+        model = FailureModel(mtbf_s=200.0, repair_s=20.0)
+        d = 100.0
+        rng = np.random.default_rng(0)
+        samples = []
+        for _ in range(4000):
+            t = 0.0
+            while True:
+                f = rng.exponential(model.mtbf_s)
+                if f >= d:
+                    t += d
+                    break
+                t += f + model.repair_s
+            samples.append(t)
+        mc = np.mean(samples) / d
+        assert expected_slowdown(d, model) == pytest.approx(mc, rel=0.05)
+
+
+class TestPipelineParallelPlan:
+    FLOPS = 1.5e12  # fwd+bwd for a batch of 2 full volumes
+
+    def _plan(self, stages, **kw):
+        return plan_pipeline_parallel(
+            total_step_flops=self.FLOPS,
+            spatial=(240, 240, 152),
+            gpu=V100_16GB,
+            link=NVLINK2,
+            num_stages=stages,
+            batch_per_step=2,
+            **kw,
+        )
+
+    def test_single_stage_no_bubble_no_comm(self):
+        p = self._plan(1)
+        assert p.bubble_fraction == 0.0
+
+    def test_memory_drops_with_stages(self):
+        mems = [self._plan(s).per_stage_memory_bytes for s in (1, 2, 4)]
+        assert mems[0] > mems[1] > mems[2]
+
+    def test_max_batch_grows_with_stages(self):
+        batches = [self._plan(s).max_feasible_batch for s in (1, 2, 4)]
+        assert batches[0] < batches[2]
+
+    def test_bubble_shrinks_with_microbatches(self):
+        few = self._plan(4, num_microbatches=2)
+        many = self._plan(4, num_microbatches=16)
+        assert many.bubble_fraction < few.bubble_fraction
+        assert many.step_time_s < few.step_time_s
+
+    def test_throughput_helper(self):
+        p = self._plan(2)
+        assert p.throughput_samples_per_s() == pytest.approx(
+            2 / p.step_time_s
+        )
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            self._plan(0)
+        with pytest.raises(ValueError):
+            plan_pipeline_parallel(self.FLOPS, (8, 8, 8), V100_16GB,
+                                   NVLINK2, 2, 0)

@@ -1,0 +1,91 @@
+"""Hardware spec tests (the MareNostrum-CTE model, Section IV-B)."""
+
+import pytest
+
+from repro.cluster import (
+    POWER9_NODE,
+    V100_16GB,
+    ClusterSpec,
+    DeviceId,
+    fits_in_gpu_memory,
+    marenostrum_cte,
+    unet3d_activation_bytes,
+)
+
+
+class TestSpecs:
+    def test_v100_facts(self):
+        assert V100_16GB.memory_gb == pytest.approx(16.0)
+        assert V100_16GB.fp32_tflops == pytest.approx(15.7)
+
+    def test_power9_node_facts(self):
+        """52 nodes of 2x20-core Power9 with 4 V100s each."""
+        assert POWER9_NODE.num_gpus == 4
+        assert POWER9_NODE.cpu_cores == 40
+        assert POWER9_NODE.gpu is V100_16GB
+
+    def test_marenostrum_preset(self):
+        spec = marenostrum_cte(8)
+        assert spec.total_gpus == 32
+        assert spec.name == "MareNostrum-CTE"
+        assert spec.inter_link.name.startswith("InfiniBand")
+
+    def test_marenostrum_node_limit(self):
+        with pytest.raises(ValueError, match="52"):
+            marenostrum_cte(53)
+        assert marenostrum_cte(52).total_gpus == 208
+
+
+class TestDeviceMapping:
+    def test_dense_packing(self):
+        spec = marenostrum_cte(8)
+        assert spec.device(0) == DeviceId(0, 0)
+        assert spec.device(3) == DeviceId(0, 3)
+        assert spec.device(4) == DeviceId(1, 0)
+        assert spec.device(31) == DeviceId(7, 3)
+
+    def test_out_of_range(self):
+        spec = marenostrum_cte(2)
+        with pytest.raises(ValueError):
+            spec.device(8)
+
+    def test_devices_list(self):
+        spec = marenostrum_cte(2)
+        devs = spec.devices(6)
+        assert len(devs) == 6
+        assert devs[5] == DeviceId(1, 1)
+        with pytest.raises(ValueError):
+            spec.devices(9)
+
+    def test_nodes_for(self):
+        spec = marenostrum_cte(8)
+        assert spec.nodes_for(1) == 1
+        assert spec.nodes_for(4) == 1
+        assert spec.nodes_for(5) == 2
+        assert spec.nodes_for(32) == 8
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ClusterSpec(num_nodes=0)
+
+
+class TestMemoryModel:
+    def test_paper_batch2_fits_batch3_does_not(self):
+        """The 16 GB V100 forces batch <= 2 full volumes (Sections IV-B,
+        V-C): our footprint model must reproduce that feasibility edge."""
+        spatial = (240, 240, 152)
+        params = 406_793
+        act2 = unet3d_activation_bytes(spatial, batch_per_replica=2)
+        act3 = unet3d_activation_bytes(spatial, batch_per_replica=3)
+        assert fits_in_gpu_memory(V100_16GB, params, act2)
+        assert not fits_in_gpu_memory(V100_16GB, params, act3)
+
+    def test_activation_bytes_scale_linearly_with_batch(self):
+        a1 = unet3d_activation_bytes((64, 64, 64), batch_per_replica=1)
+        a2 = unet3d_activation_bytes((64, 64, 64), batch_per_replica=2)
+        assert a2 == pytest.approx(2 * a1)
+
+    def test_inference_cheaper_than_training(self):
+        spatial = (64, 64, 64)
+        assert unet3d_activation_bytes(spatial, train=False) < \
+            unet3d_activation_bytes(spatial, train=True)

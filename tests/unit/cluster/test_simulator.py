@@ -1,0 +1,202 @@
+"""Discrete-event simulator tests."""
+
+import pytest
+
+from repro.cluster import (
+    Resource,
+    SimulationError,
+    Simulator,
+)
+
+
+class TestTimeouts:
+    def test_clock_advances(self):
+        sim = Simulator()
+        seen = []
+
+        def proc():
+            yield sim.timeout(2.5)
+            seen.append(sim.now)
+            yield sim.timeout(1.5)
+            seen.append(sim.now)
+
+        sim.process(proc())
+        assert sim.run() == 4.0
+        assert seen == [2.5, 4.0]
+
+    def test_timeout_value_passed_through(self):
+        sim = Simulator()
+        got = []
+
+        def proc():
+            v = yield sim.timeout(1.0, value="payload")
+            got.append(v)
+
+        sim.process(proc())
+        sim.run()
+        assert got == ["payload"]
+
+    def test_negative_timeout_rejected(self):
+        sim = Simulator()
+        with pytest.raises(ValueError):
+            sim.timeout(-1.0)
+
+    def test_run_until_stops_clock(self):
+        sim = Simulator()
+
+        def proc():
+            yield sim.timeout(10.0)
+
+        sim.process(proc())
+        assert sim.run(until=3.0) == 3.0
+        assert sim.peek() == 10.0
+        assert sim.run() == 10.0
+
+    def test_zero_delay_events_same_time(self):
+        sim = Simulator()
+        order = []
+
+        def a():
+            order.append("a")
+            yield sim.timeout(0.0)
+            order.append("a2")
+
+        def b():
+            order.append("b")
+            yield sim.timeout(0.0)
+            order.append("b2")
+
+        sim.process(a())
+        sim.process(b())
+        sim.run()
+        assert order == ["a", "b", "a2", "b2"]  # FIFO within a timestamp
+        assert sim.now == 0.0
+
+
+class TestProcesses:
+    def test_process_is_joinable_event(self):
+        sim = Simulator()
+        log = []
+
+        def child():
+            yield sim.timeout(2.0)
+            return "child-result"
+
+        def parent():
+            result = yield sim.process(child())
+            log.append((sim.now, result))
+
+        sim.process(parent())
+        sim.run()
+        assert log == [(2.0, "child-result")]
+
+    def test_all_of_join(self):
+        sim = Simulator()
+        got = []
+
+        def worker(d):
+            yield sim.timeout(d)
+            return d
+
+        def parent():
+            vals = yield sim.all_of([sim.process(worker(d)) for d in (3, 1, 2)])
+            got.append((sim.now, vals))
+
+        sim.process(parent())
+        sim.run()
+        assert got == [(3.0, [3, 1, 2])]
+
+    def test_all_of_empty(self):
+        sim = Simulator()
+        got = []
+
+        def parent():
+            vals = yield sim.all_of([])
+            got.append(vals)
+
+        sim.process(parent())
+        sim.run()
+        assert got == [[]]
+
+    def test_yielding_non_event_raises(self):
+        sim = Simulator()
+
+        def bad():
+            yield 42
+
+        sim.process(bad())
+        with pytest.raises(SimulationError, match="must yield Events"):
+            sim.run()
+
+    def test_event_double_trigger_rejected(self):
+        sim = Simulator()
+        ev = sim.event()
+        ev.succeed()
+        with pytest.raises(SimulationError):
+            ev.succeed()
+
+
+class TestResources:
+    def test_capacity_enforced(self):
+        sim = Simulator()
+        res = Resource(sim, capacity=2)
+        finish = []
+
+        def job(i):
+            yield res.request()
+            yield sim.timeout(1.0)
+            res.release()
+            finish.append((i, sim.now))
+
+        for i in range(5):
+            sim.process(job(i))
+        sim.run()
+        # 5 unit jobs over capacity 2 -> makespan 3
+        assert sim.now == 3.0
+        assert [t for _, t in finish] == [1.0, 1.0, 2.0, 2.0, 3.0]
+
+    def test_fifo_grant_order(self):
+        sim = Simulator()
+        res = Resource(sim, capacity=1)
+        order = []
+
+        def job(name, hold):
+            yield res.request()
+            order.append(name)
+            yield sim.timeout(hold)
+            res.release()
+
+        for name, hold in (("a", 2.0), ("b", 1.0), ("c", 1.0)):
+            sim.process(job(name, hold))
+        sim.run()
+        assert order == ["a", "b", "c"]
+
+    def test_release_without_acquire(self):
+        sim = Simulator()
+        res = Resource(sim, capacity=1)
+        with pytest.raises(SimulationError, match="release"):
+            res.release()
+
+    def test_queue_length(self):
+        sim = Simulator()
+        res = Resource(sim, capacity=1)
+
+        def holder():
+            yield res.request()
+            yield sim.timeout(5.0)
+            res.release()
+
+        def waiter():
+            yield res.request()
+            res.release()
+
+        sim.process(holder())
+        sim.process(waiter())
+        sim.run(until=1.0)
+        assert res.queue_length == 1
+        sim.run()
+        assert res.queue_length == 0
+
+    def test_bad_capacity(self):
+        with pytest.raises(ValueError):
+            Resource(Simulator(), capacity=0)

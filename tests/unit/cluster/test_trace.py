@@ -1,0 +1,73 @@
+"""Timeline / trace tests."""
+
+import json
+
+import pytest
+
+from repro.cluster import Timeline, TraceEvent
+
+
+def build_timeline() -> Timeline:
+    tl = Timeline()
+    tl.record("t0", 0.0, 2.0, "gpu0", category="train")
+    tl.record("t1", 1.0, 3.0, "gpu1", category="train")
+    tl.record("c0", 3.0, 3.5, "gpu0", category="comm")
+    return tl
+
+
+class TestTraceEvent:
+    def test_duration(self):
+        ev = TraceEvent("x", 1.0, 4.0, "gpu0")
+        assert ev.duration == 3.0
+
+    def test_backwards_span_rejected(self):
+        with pytest.raises(ValueError):
+            TraceEvent("x", 2.0, 1.0, "gpu0")
+
+
+class TestTimeline:
+    def test_makespan(self):
+        assert build_timeline().makespan() == 3.5
+        assert Timeline().makespan() == 0.0
+
+    def test_resources_sorted(self):
+        assert build_timeline().resources() == ["gpu0", "gpu1"]
+
+    def test_busy_time_merges_overlaps(self):
+        tl = Timeline()
+        tl.record("a", 0.0, 2.0, "r")
+        tl.record("b", 1.0, 3.0, "r")   # overlaps a
+        tl.record("c", 5.0, 6.0, "r")
+        assert tl.busy_time("r") == pytest.approx(4.0)
+
+    def test_utilization(self):
+        tl = build_timeline()
+        assert tl.utilization("gpu0") == pytest.approx(2.5 / 3.5)
+        assert tl.utilization("gpu1") == pytest.approx(2.0 / 3.5)
+        assert 0 < tl.mean_utilization() <= 1
+
+    def test_utilization_horizon(self):
+        tl = build_timeline()
+        assert tl.utilization("gpu1", horizon=10.0) == pytest.approx(0.2)
+
+    def test_by_category(self):
+        cats = build_timeline().by_category()
+        assert cats == {"train": pytest.approx(4.0), "comm": pytest.approx(0.5)}
+
+    def test_chrome_trace_roundtrip(self, tmp_path):
+        tl = build_timeline()
+        path = tmp_path / "trace.json"
+        events = tl.to_chrome_trace(path)
+        assert len(events) == 3
+        assert events[0]["ph"] == "X"
+        loaded = json.loads(path.read_text())
+        assert loaded == events
+        # lanes are stable per resource
+        lanes = {e["name"]: e["tid"] for e in events}
+        assert lanes["t0"] == lanes["c0"]
+        assert lanes["t0"] != lanes["t1"]
+
+    def test_meta_kwargs_recorded(self):
+        tl = Timeline()
+        ev = tl.record("x", 0, 1, "r", case="mirrored", lr=1e-4)
+        assert ev.meta == {"case": "mirrored", "lr": 1e-4}

@@ -1,0 +1,82 @@
+"""Checkpoint round-trips for every optimizer's state structure."""
+
+import numpy as np
+import pytest
+
+from repro.core import load_checkpoint, save_checkpoint
+from repro.core.checkpoint import _flatten_opt_state, _unflatten_opt_state
+from repro.nn import SGD, Adam, Momentum, SoftDiceLoss, UNet3D
+
+
+def tiny(seed=0):
+    return UNet3D(1, 1, 2, 2, use_batchnorm=False,
+                  rng=np.random.default_rng(seed))
+
+
+def train_steps(net, opt, steps=3, seed=2):
+    rng = np.random.default_rng(seed)
+    x = rng.normal(size=(2, 1, 4, 4, 4))
+    t = (rng.uniform(size=(2, 1, 4, 4, 4)) > 0.8).astype(float)
+    loss = SoftDiceLoss()
+    for _ in range(steps):
+        net.zero_grad()
+        _, d = loss.forward(net(x), t)
+        net.backward(d)
+        opt.step()
+    return x, t
+
+
+@pytest.mark.parametrize(
+    "factory",
+    [
+        lambda m: SGD(m, lr=1e-2),
+        lambda m: Momentum(m, lr=1e-2, momentum=0.9),
+        lambda m: Momentum(m, lr=1e-2, momentum=0.9, nesterov=True),
+        lambda m: Adam(m, lr=1e-3),
+    ],
+    ids=["sgd", "momentum", "nesterov", "adam"],
+)
+def test_optimizer_checkpoint_roundtrip(tmp_path, factory):
+    """Nested optimizer state (including integer slot keys) must
+    survive the flatten/npz/unflatten pipeline and keep training in
+    lock-step with the original."""
+    net, opt = tiny(1), None
+    opt = factory(net)
+    x_t = train_steps(net, opt)
+    save_checkpoint(tmp_path / "ck", net, opt, step=3)
+
+    net2 = tiny(9)
+    opt2 = factory(net2)
+    load_checkpoint(tmp_path / "ck", net2, opt2)
+
+    # continue both one more step: identical updates
+    loss = SoftDiceLoss()
+    x, t = x_t
+    for n, o in ((net, opt), (net2, opt2)):
+        n.zero_grad()
+        _, d = loss.forward(n(x), t)
+        n.backward(d)
+        o.step()
+    np.testing.assert_allclose(net.get_flat_params(),
+                               net2.get_flat_params(), atol=1e-12)
+
+
+class TestFlattenHelpers:
+    def test_integer_keys_roundtrip(self):
+        state = {"t": 5, "m": {0: np.ones(2), 3: np.zeros(1)}}
+        flat = _flatten_opt_state(state)
+        back = _unflatten_opt_state(
+            {k: np.asarray(v) for k, v in flat.items()}
+        )
+        assert back["t"] == 5
+        assert set(back["m"]) == {0, 3}
+        np.testing.assert_array_equal(back["m"][0], np.ones(2))
+
+    def test_deep_nesting(self):
+        state = {"a": {"b": {"c": np.arange(3)}}}
+        back = _unflatten_opt_state(_flatten_opt_state(state))
+        np.testing.assert_array_equal(back["a"]["b"]["c"], np.arange(3))
+
+    def test_scalars_restored_as_python(self):
+        back = _unflatten_opt_state(_flatten_opt_state({"t": 7}))
+        assert back["t"] == 7 and not isinstance(back["t"], np.ndarray)

@@ -1,0 +1,94 @@
+"""CLI tests (argparse wiring + command behaviour, in-process)."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_all_subcommands_registered(self):
+        parser = build_parser()
+        subparsers = next(
+            a for a in parser._actions
+            if isinstance(a, type(parser._subparsers._group_actions[0]))
+        )
+        commands = set(subparsers.choices)
+        assert commands == {
+            "table1", "fig4", "train", "search", "simulate", "profile",
+            "calibrate", "report", "summary",
+        }
+
+    def test_missing_command_errors(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_simulate_requires_method_and_gpus(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["simulate"])
+        args = build_parser().parse_args(["simulate", "data_parallel", "8"])
+        assert args.gpus == 8
+
+
+class TestCommands:
+    def test_table1_prints_all_rows(self, capsys):
+        assert main(["table1"]) == 0
+        out = capsys.readouterr().out
+        for n in (1, 2, 4, 8, 12, 16, 32):
+            assert f"{n}  |" in out
+
+    def test_simulate_cell_and_trace(self, capsys, tmp_path):
+        trace = tmp_path / "t.json"
+        assert main(["simulate", "experiment_parallel", "8",
+                     "--trace", str(trace)]) == 0
+        out = capsys.readouterr().out
+        assert "8 GPUs" in out
+        assert trace.exists()
+
+    def test_train_command(self, capsys):
+        rc = main([
+            "train", "--subjects", "6", "--volume", "16", "16", "16",
+            "--epochs", "2", "--base-filters", "2", "--depth", "2",
+        ])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "val DSC" in out and "test DSC" in out
+
+    def test_search_command_experiment_parallel(self, capsys):
+        rc = main([
+            "search", "--subjects", "6", "--volume", "16", "16", "16",
+            "--epochs", "2", "--base-filters", "2", "--depth", "2",
+            "--lr", "0.003", "0.0001",
+        ])
+        assert rc == 0
+        assert "best:" in capsys.readouterr().out
+
+    def test_search_command_data_parallel(self, capsys):
+        rc = main([
+            "search", "--subjects", "6", "--volume", "16", "16", "16",
+            "--epochs", "2", "--base-filters", "2", "--depth", "2",
+            "--lr", "0.003", "--method", "data_parallel", "--gpus", "2",
+        ])
+        assert rc == 0
+        assert "best:" in capsys.readouterr().out
+
+    def test_summary_command(self, capsys):
+        rc = main(["summary", "--volume", "16", "16", "16"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "total params: 352,513" in out
+        assert "MaxPool3D" in out
+
+    def test_report_command_writes_markdown(self, tmp_path, capsys):
+        out_file = tmp_path / "report.md"
+        rc = main(["report", "--runs", "1", "--output", str(out_file)])
+        assert rc == 0
+        text = out_file.read_text()
+        assert "## Table I (ours vs paper)" in text
+        assert "## Data-parallel cost decomposition" in text
+        assert "| 32 |" in text
+
+    def test_profile_command(self, capsys):
+        rc = main(["profile", "--subjects", "3", "--volume", "16", "16", "16",
+                   "--epochs", "1"])
+        assert rc == 0
+        assert "pipeline stage profile" in capsys.readouterr().out

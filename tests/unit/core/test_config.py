@@ -1,0 +1,97 @@
+"""Configuration-space and builder tests."""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    ExperimentSettings,
+    HyperparameterSpace,
+    build_loss,
+    build_model,
+    build_optimizer,
+)
+from repro.nn import Adam, CyclicLR, QuadraticSoftDiceLoss, SoftDiceLoss
+
+
+class TestHyperparameterSpace:
+    def test_cross_product_size_and_content(self):
+        space = HyperparameterSpace({"lr": [1e-3, 1e-4], "loss": ["dice"]})
+        configs = space.configurations()
+        assert len(space) == len(configs) == 2
+        assert {"lr": 1e-3, "loss": "dice"} in configs
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            HyperparameterSpace({})
+        with pytest.raises(ValueError):
+            HyperparameterSpace({"lr": []})
+
+
+class TestSettings:
+    def test_volume_divisibility_enforced(self):
+        with pytest.raises(ValueError, match="divisible"):
+            ExperimentSettings(volume_shape=(15, 16, 16), depth=3)
+
+    def test_subject_floor(self):
+        with pytest.raises(ValueError):
+            ExperimentSettings(num_subjects=2)
+
+    def test_epoch_floor(self):
+        with pytest.raises(ValueError):
+            ExperimentSettings(epochs=0)
+
+
+class TestBuilders:
+    @pytest.fixture
+    def settings(self):
+        return ExperimentSettings(num_subjects=6, volume_shape=(16, 16, 16),
+                                  epochs=2, base_filters=2, depth=2)
+
+    def test_build_model_deterministic(self, settings):
+        a = build_model({"learning_rate": 1e-3}, settings)
+        b = build_model({"learning_rate": 1e-4}, settings)
+        np.testing.assert_array_equal(a.get_flat_params(), b.get_flat_params())
+
+    def test_build_model_honours_config_width(self, settings):
+        small = build_model({}, settings)
+        wide = build_model({"base_filters": 4}, settings)
+        assert wide.num_params() > small.num_params()
+
+    def test_build_loss(self):
+        assert isinstance(build_loss({"loss": "dice"}), SoftDiceLoss)
+        assert isinstance(
+            build_loss({"loss": "quadratic_dice"}), QuadraticSoftDiceLoss
+        )
+        assert isinstance(build_loss({}), SoftDiceLoss)
+
+    def test_optimizer_linear_scaling_rule(self, settings):
+        """Section IV-B: initial LR = base x #GPUs."""
+        model = build_model({}, settings)
+        opt1 = build_optimizer({"learning_rate": 1e-4}, settings, model,
+                               num_replicas=1)
+        opt8 = build_optimizer({"learning_rate": 1e-4}, settings, model,
+                               num_replicas=8)
+        assert isinstance(opt1, Adam)
+        assert opt8.lr == pytest.approx(8 * opt1.lr)
+
+    def test_scaling_disabled(self, settings):
+        settings.scale_learning_rate = False
+        model = build_model({}, settings)
+        opt = build_optimizer({"learning_rate": 1e-4}, settings, model,
+                              num_replicas=8)
+        assert opt.lr == pytest.approx(1e-4)
+
+    def test_cyclic_lr_option(self, settings):
+        """Reference [38]: cyclic learning rates approximate the scaled
+        rate."""
+        settings.cyclic_lr = True
+        model = build_model({}, settings)
+        opt = build_optimizer({"learning_rate": 1e-3}, settings, model,
+                              num_replicas=2, steps_per_epoch=5)
+        assert isinstance(opt.schedule, CyclicLR)
+        assert opt.schedule.max_lr == pytest.approx(2e-3)
+
+    def test_unknown_optimizer(self, settings):
+        model = build_model({}, settings)
+        with pytest.raises(ValueError):
+            build_optimizer({"optimizer": "lamb"}, settings, model)

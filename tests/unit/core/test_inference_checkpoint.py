@@ -1,0 +1,154 @@
+"""Inference strategies (E11 substrate) and checkpointing tests."""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    CheckpointManager,
+    full_volume_inference,
+    load_checkpoint,
+    save_checkpoint,
+    sliding_window_inference,
+    train_on_patches,
+)
+from repro.nn import Adam, SGD, SoftDiceLoss, UNet3D
+
+rng = np.random.default_rng(9)
+
+
+def tiny_net(seed=0):
+    return UNet3D(1, 1, 2, 2, use_batchnorm=False,
+                  rng=np.random.default_rng(seed))
+
+
+class TestInference:
+    @pytest.fixture(scope="class")
+    def net(self):
+        return tiny_net()
+
+    @pytest.fixture(scope="class")
+    def images(self):
+        return rng.normal(size=(2, 1, 8, 8, 8))
+
+    def test_full_volume_shape_and_accounting(self, net, images):
+        res = full_volume_inference(net, images)
+        assert res.prediction.shape == (2, 1, 8, 8, 8)
+        assert res.forward_passes == 2
+        assert res.overcompute_factor() == pytest.approx(1.0)
+
+    def test_sliding_window_covers_volume(self, net, images):
+        res = sliding_window_inference(net, images, patch_shape=(4, 4, 4),
+                                       overlap=0.5)
+        assert res.prediction.shape == images.shape[:1] + (1, 8, 8, 8)
+        assert np.isfinite(res.prediction).all()
+        assert (res.prediction >= 0).all() and (res.prediction <= 1).all()
+
+    def test_sliding_window_overcomputes(self, net, images):
+        """The paper's complaint: overlapping windows redo work."""
+        res = sliding_window_inference(net, images, patch_shape=(4, 4, 4),
+                                       overlap=0.5)
+        assert res.overcompute_factor() > 2.0
+        assert res.forward_passes > 2
+
+    def test_zero_overlap_matches_tiling(self, net, images):
+        res = sliding_window_inference(net, images, patch_shape=(4, 4, 4),
+                                       overlap=0.0)
+        # 8/4 = 2 per axis -> 8 patches per subject, batched by 4
+        assert res.overcompute_factor() == pytest.approx(1.0)
+
+    def test_full_vs_patch_predictions_differ(self, net, images):
+        """Patch inference loses context: the two strategies disagree on
+        a network with receptive field beyond the patch."""
+        full = full_volume_inference(net, images)
+        win = sliding_window_inference(net, images, patch_shape=(4, 4, 4),
+                                       overlap=0.5)
+        assert not np.allclose(full.prediction, win.prediction, atol=1e-6)
+
+    def test_invalid_overlap(self, net, images):
+        with pytest.raises(ValueError):
+            sliding_window_inference(net, images, (4, 4, 4), overlap=1.0)
+
+
+class TestPatchTraining:
+    def test_loss_trajectory_returned(self):
+        net = tiny_net()
+        images = rng.normal(size=(3, 1, 8, 8, 8))
+        masks = (rng.uniform(size=(3, 1, 8, 8, 8)) > 0.85).astype(float)
+        losses = train_on_patches(
+            net, SoftDiceLoss(), Adam(net, lr=1e-3),
+            images, masks, patch_shape=(4, 4, 4), steps=5,
+            rng=np.random.default_rng(0),
+        )
+        assert len(losses) == 5
+        assert all(0 <= l <= 1 for l in losses)
+
+    def test_validation(self):
+        net = tiny_net()
+        with pytest.raises(ValueError):
+            train_on_patches(net, SoftDiceLoss(), SGD(net, lr=0.1),
+                             np.zeros((1, 1, 8, 8, 8)),
+                             np.zeros((1, 1, 8, 8, 8)),
+                             (4, 4, 4), steps=0)
+
+
+class TestCheckpoint:
+    def test_model_roundtrip(self, tmp_path):
+        net = tiny_net(1)
+        x = rng.normal(size=(1, 1, 8, 8, 8))
+        y_before = net.predict(x)
+        meta = save_checkpoint(tmp_path / "ck", net, epoch=7, val_dice=0.9)
+        assert meta.suffix == ".npz"
+
+        net2 = tiny_net(2)  # different init
+        restored_meta = load_checkpoint(tmp_path / "ck", net2)
+        np.testing.assert_allclose(net2.predict(x), y_before)
+        assert restored_meta == {"epoch": 7, "val_dice": 0.9}
+
+    def test_optimizer_state_roundtrip(self, tmp_path):
+        net = tiny_net(1)
+        opt = Adam(net, lr=1e-3)
+        x = rng.normal(size=(2, 1, 8, 8, 8))
+        t = (rng.uniform(size=(2, 1, 8, 8, 8)) > 0.8).astype(float)
+        loss = SoftDiceLoss()
+        for _ in range(3):
+            net.zero_grad()
+            _, d = loss.forward(net(x), t)
+            net.backward(d)
+            opt.step()
+        save_checkpoint(tmp_path / "ck", net, opt, epoch=3)
+
+        net2, opt2 = tiny_net(9), None
+        opt2 = Adam(net2, lr=1e-3)
+        load_checkpoint(tmp_path / "ck", net2, opt2)
+
+        # One more identical step on both must produce identical weights.
+        for n, o in ((net, opt), (net2, opt2)):
+            n.zero_grad()
+            _, d = loss.forward(n(x), t)
+            n.backward(d)
+            o.step()
+        np.testing.assert_allclose(net.get_flat_params(),
+                                   net2.get_flat_params(), atol=1e-12)
+
+    def test_missing_optimizer_state_raises(self, tmp_path):
+        net = tiny_net()
+        save_checkpoint(tmp_path / "ck", net)
+        with pytest.raises(KeyError, match="optimizer"):
+            load_checkpoint(tmp_path / "ck", tiny_net(), Adam(tiny_net()))
+
+    def test_manager_rolls_and_tracks_best(self, tmp_path):
+        net = tiny_net()
+        mgr = CheckpointManager(tmp_path, keep=2, metric="val_dice")
+        for epoch, dice in enumerate([0.5, 0.8, 0.7, 0.6]):
+            mgr.save(net, epoch=epoch, val_dice=dice)
+        # only the last `keep` rolling checkpoints remain (+ best)
+        rolling = sorted(p.name for p in tmp_path.glob("ckpt_epoch*.npz"))
+        assert rolling == ["ckpt_epoch0002.npz", "ckpt_epoch0003.npz"]
+        meta = load_checkpoint(mgr.best_path, tiny_net())
+        assert meta["val_dice"] == 0.8
+
+    def test_manager_validation(self, tmp_path):
+        with pytest.raises(ValueError):
+            CheckpointManager(tmp_path, keep=0)
+        with pytest.raises(ValueError):
+            CheckpointManager(tmp_path, mode="best")

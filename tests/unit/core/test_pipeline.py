@@ -1,0 +1,112 @@
+"""MISPipeline (Fig 1 stages) tests on the in-process backend."""
+
+import numpy as np
+import pytest
+
+from repro.core import ExperimentSettings, MISPipeline, train_trial
+
+
+@pytest.fixture(scope="module")
+def settings():
+    return ExperimentSettings(num_subjects=8, volume_shape=(16, 16, 16),
+                              epochs=2, base_filters=2, depth=2, seed=0)
+
+
+@pytest.fixture(scope="module")
+def pipeline(settings, tmp_path_factory):
+    return MISPipeline(settings, record_dir=tmp_path_factory.mktemp("rec"))
+
+
+class TestBinarization:
+    def test_one_record_file_per_split(self, pipeline):
+        files = pipeline.binarize()
+        assert set(files) == {"train", "val", "test"}
+        for p in files.values():
+            assert p.exists() and p.stat().st_size > 0
+
+    def test_idempotent(self, pipeline):
+        a = pipeline.binarize()
+        b = pipeline.binarize()
+        assert a == b
+
+    def test_split_sizes_70_15_15(self, pipeline):
+        sizes = pipeline.split.sizes
+        assert sum(sizes) == 8
+        assert sizes[0] >= sizes[1] and sizes[0] >= sizes[2]
+
+    def test_stats_recorded(self, pipeline):
+        pipeline.binarize()
+        assert any(k.startswith("binarize.") for k in pipeline.stats.seconds)
+
+
+class TestDataset:
+    def test_batched_tensors(self, pipeline):
+        for x, y in pipeline.dataset("train", batch_size=2):
+            assert x.ndim == 5 and x.shape[1] == 4
+            assert y.shape[1] == 1
+            assert x.shape[0] <= 2
+        arrays_x, arrays_y = pipeline.load_split_arrays("train")
+        assert arrays_x.shape[0] == len(pipeline.split.train)
+
+    def test_unknown_split(self, pipeline):
+        with pytest.raises(ValueError):
+            pipeline.dataset("holdout", 2)
+
+    def test_shuffle_changes_order(self, pipeline):
+        a = [x[0, 0, 0, 0, 0] for x, _ in pipeline.dataset("train", 1,
+                                                           shuffle_seed=1)]
+        b = [x[0, 0, 0, 0, 0] for x, _ in pipeline.dataset("train", 1,
+                                                           shuffle_seed=2)]
+        assert sorted(a) == sorted(b)
+
+    def test_steps_per_epoch(self, pipeline):
+        n_train = len(pipeline.split.train)
+        assert pipeline.steps_per_epoch(2) == -(-n_train // 2)
+
+    def test_prefetch_path(self, pipeline):
+        items = list(pipeline.dataset("val", 1, prefetch=2))
+        assert len(items) == len(pipeline.split.val)
+
+
+class TestTrainTrial:
+    def test_outcome_structure(self, settings, pipeline):
+        out = train_trial({"learning_rate": 1e-2, "loss": "dice"},
+                          settings, pipeline, num_replicas=1)
+        assert len(out.history) == settings.epochs
+        assert 0.0 <= out.val_dice <= 1.0
+        assert 0.0 <= out.test_dice <= 1.0
+        assert out.wall_seconds > 0
+        assert out.num_replicas == 1
+
+    def test_reporter_receives_epochs(self, settings, pipeline):
+        rows = []
+
+        def reporter(**kw):
+            rows.append(kw)
+            return True
+
+        train_trial({"learning_rate": 1e-2}, settings, pipeline,
+                    reporter=reporter)
+        assert len(rows) == settings.epochs
+        assert {"epoch", "train_loss", "val_dice", "lr"} <= set(rows[0])
+
+    def test_reporter_can_stop_early(self, settings, pipeline):
+        out = train_trial({"learning_rate": 1e-2}, settings, pipeline,
+                          reporter=lambda **kw: False)
+        assert len(out.history) == 1
+
+    def test_replica_count_recorded_and_lr_scaled(self, settings, pipeline):
+        out = train_trial({"learning_rate": 1e-3}, settings, pipeline,
+                          num_replicas=2)
+        assert out.num_replicas == 2
+        assert out.history[0].lr == pytest.approx(2e-3)
+
+    def test_convergence_detection(self, settings, pipeline):
+        """A 0-LR run cannot improve, so convergence is flagged at 0."""
+        s = ExperimentSettings(num_subjects=8, volume_shape=(16, 16, 16),
+                               epochs=5, base_filters=2, depth=2, seed=0,
+                               scale_learning_rate=False)
+        out = train_trial({"learning_rate": 1e-12}, s, pipeline,
+                          convergence_patience=2)
+        assert out.converged_epoch is not None
+        assert out.converged_epoch <= 2

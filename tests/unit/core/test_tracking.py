@@ -1,0 +1,103 @@
+"""Run tracking / search-resume tests."""
+
+import json
+
+import pytest
+
+from repro.core import RunTracker, resume_search
+
+
+@pytest.fixture
+def tracker(tmp_path):
+    return RunTracker(tmp_path / "run.jsonl")
+
+
+CONFIGS = [
+    {"learning_rate": 1e-3, "loss": "dice"},
+    {"learning_rate": 1e-4, "loss": "dice"},
+    {"learning_rate": 1e-3, "loss": "quadratic_dice"},
+]
+
+
+class TestRunTracker:
+    def test_log_and_read_back(self, tracker):
+        tracker.log_trial(CONFIGS[0], "terminated", val_dice=0.9, epochs=10)
+        recs = list(tracker.records())
+        assert len(recs) == 1
+        assert recs[0].config == CONFIGS[0]
+        assert recs[0].metrics["val_dice"] == 0.9
+
+    def test_append_only(self, tracker):
+        for cfg in CONFIGS:
+            tracker.log_trial(cfg, "terminated", val_dice=0.5)
+        assert len(list(tracker.records())) == 3
+
+    def test_empty_log(self, tracker):
+        assert list(tracker.records()) == []
+        assert tracker.best("val_dice") is None
+        assert tracker.summary() == {}
+
+    def test_best_by_metric(self, tracker):
+        tracker.log_trial(CONFIGS[0], "terminated", val_dice=0.7)
+        tracker.log_trial(CONFIGS[1], "terminated", val_dice=0.9)
+        tracker.log_trial(CONFIGS[2], "error")
+        best = tracker.best("val_dice")
+        assert best.config == CONFIGS[1]
+        worst = tracker.best("val_dice", mode="min")
+        assert worst.config == CONFIGS[0]
+
+    def test_summary_counts(self, tracker):
+        tracker.log_trial(CONFIGS[0], "terminated")
+        tracker.log_trial(CONFIGS[1], "error")
+        tracker.log_trial(CONFIGS[2], "stopped")
+        assert tracker.summary() == {"terminated": 1, "error": 1, "stopped": 1}
+
+    def test_torn_final_line_skipped(self, tracker, tmp_path):
+        tracker.log_trial(CONFIGS[0], "terminated", val_dice=0.8)
+        with open(tracker.path, "a") as f:
+            f.write('{"config": {"learning_rate"')  # simulated crash
+        recs = list(tracker.records())
+        assert len(recs) == 1
+
+
+class TestResume:
+    def test_completed_trials_filtered(self, tracker):
+        tracker.log_trial(CONFIGS[0], "terminated", val_dice=0.8)
+        remaining = resume_search(CONFIGS, tracker)
+        assert remaining == CONFIGS[1:]
+
+    def test_key_is_order_independent(self, tracker):
+        reordered = dict(reversed(list(CONFIGS[0].items())))
+        tracker.log_trial(reordered, "terminated")
+        remaining = resume_search(CONFIGS, tracker)
+        assert CONFIGS[0] not in remaining
+
+    def test_errored_trials_retried(self, tracker):
+        tracker.log_trial(CONFIGS[0], "error")
+        remaining = resume_search(CONFIGS, tracker)
+        assert CONFIGS[0] in remaining
+
+    def test_fresh_log_runs_everything(self, tracker):
+        assert resume_search(CONFIGS, tracker) == CONFIGS
+
+    def test_end_to_end_interrupted_search(self, tracker):
+        """Simulate a crash after 2 of 3 trials, then resume."""
+        executed = []
+
+        def run(configs):
+            for i, cfg in enumerate(configs):
+                if len(executed) == 2 and cfg == CONFIGS[2]:
+                    raise KeyboardInterrupt  # the 'crash'
+                executed.append(cfg)
+                tracker.log_trial(cfg, "terminated", val_dice=0.1 * i)
+
+        with pytest.raises(KeyboardInterrupt):
+            run(CONFIGS)
+        # resume: only the unfinished config remains
+        remaining = resume_search(CONFIGS, tracker)
+        assert remaining == [CONFIGS[2]]
+        for cfg in remaining:
+            executed.append(cfg)
+            tracker.log_trial(cfg, "terminated", val_dice=0.99)
+        assert len(executed) == 3
+        assert tracker.best("val_dice").config == CONFIGS[2]

@@ -1,0 +1,227 @@
+"""tf.data-style pipeline tests."""
+
+import threading
+import time
+
+import numpy as np
+import pytest
+
+from repro.data import Dataset, PipelineStats
+
+
+class TestConstructors:
+    def test_from_list_restartable(self):
+        ds = Dataset.from_list([1, 2, 3])
+        assert ds.to_list() == [1, 2, 3]
+        assert ds.to_list() == [1, 2, 3]  # second pass identical
+
+    def test_from_generator_restartable(self):
+        ds = Dataset.from_generator(lambda: (i * i for i in range(4)))
+        assert ds.to_list() == [0, 1, 4, 9]
+        assert ds.to_list() == [0, 1, 4, 9]
+
+    def test_range(self):
+        assert Dataset.range(5).to_list() == [0, 1, 2, 3, 4]
+
+
+class TestMap:
+    def test_sequential_map(self):
+        assert Dataset.range(4).map(lambda x: x + 10).to_list() == [10, 11, 12, 13]
+
+    def test_parallel_map_preserves_order(self):
+        def slow_inverse(x):
+            time.sleep(0.002 * (5 - x))  # later elements finish sooner
+            return x * 2
+
+        out = Dataset.range(5).map(slow_inverse, num_parallel_calls=4).to_list()
+        assert out == [0, 2, 4, 6, 8]
+
+    def test_parallel_map_actually_overlaps(self):
+        barrier = threading.Barrier(3, timeout=5)
+
+        def wait(x):
+            barrier.wait()  # deadlocks unless >=3 run concurrently
+            return x
+
+        out = Dataset.range(3).map(wait, num_parallel_calls=3).to_list()
+        assert out == [0, 1, 2]
+
+    def test_invalid_parallelism(self):
+        with pytest.raises(ValueError):
+            Dataset.range(3).map(lambda x: x, num_parallel_calls=0)
+
+    def test_chained_maps(self):
+        out = Dataset.range(3).map(lambda x: x + 1).map(lambda x: x * 2).to_list()
+        assert out == [2, 4, 6]
+
+
+class TestInterleave:
+    def test_round_robin_order(self):
+        ds = Dataset.from_list([0, 10]).interleave(
+            lambda base: [base + i for i in range(3)], cycle_length=2
+        )
+        assert ds.to_list() == [0, 10, 1, 11, 2, 12]
+
+    def test_uneven_substreams(self):
+        ds = Dataset.from_list([2, 0, 1]).interleave(
+            lambda n: ["x"] * n, cycle_length=3
+        )
+        assert ds.to_list() == ["x", "x", "x"]
+
+    def test_cycle_length_one_is_flat_map(self):
+        ds = Dataset.from_list([1, 2]).interleave(lambda n: [n] * n, cycle_length=1)
+        assert ds.to_list() == [1, 2, 2]
+
+    def test_refills_as_streams_finish(self):
+        ds = Dataset.from_list(["a", "b", "c"]).interleave(
+            lambda s: [s] * 2, cycle_length=2
+        )
+        out = ds.to_list()
+        assert sorted(out) == ["a", "a", "b", "b", "c", "c"]
+        assert out[:2] == ["a", "b"]
+
+
+class TestShuffleBatch:
+    def test_shuffle_is_permutation(self):
+        out = Dataset.range(20).shuffle(buffer_size=8, seed=1).to_list()
+        assert sorted(out) == list(range(20))
+        assert out != list(range(20))
+
+    def test_shuffle_seeded_reproducible(self):
+        a = Dataset.range(20).shuffle(8, seed=3).to_list()
+        b = Dataset.range(20).shuffle(8, seed=3).to_list()
+        assert a == b
+
+    def test_batch_stacks_arrays(self):
+        ds = Dataset.from_list([np.ones(3) * i for i in range(4)]).batch(2)
+        batches = ds.to_list()
+        assert len(batches) == 2
+        assert batches[0].shape == (2, 3)
+
+    def test_batch_remainder(self):
+        assert Dataset.range(5).batch(2).to_list() == [[0, 1], [2, 3], [4]]
+        assert Dataset.range(5).batch(2, drop_remainder=True).to_list() == [
+            [0, 1], [2, 3]
+        ]
+
+    def test_batch_tuples(self):
+        ds = Dataset.from_list(
+            [(np.ones(2) * i, np.zeros(1)) for i in range(4)]
+        ).batch(2)
+        x, y = ds.to_list()[0]
+        assert x.shape == (2, 2) and y.shape == (2, 1)
+
+    def test_unbatch_inverts_batch(self):
+        items = [np.full((2,), i, dtype=float) for i in range(6)]
+        out = Dataset.from_list(items).batch(4).unbatch().to_list()
+        assert len(out) == 6
+        np.testing.assert_array_equal(out[5], items[5])
+
+
+class TestControlFlow:
+    def test_repeat_finite(self):
+        assert Dataset.range(2).repeat(3).to_list() == [0, 1] * 3
+
+    def test_repeat_then_take(self):
+        assert Dataset.range(3).repeat(None).take(7).to_list() == [0, 1, 2, 0, 1, 2, 0]
+
+    def test_take_skip(self):
+        assert Dataset.range(10).skip(7).to_list() == [7, 8, 9]
+        assert Dataset.range(10).take(2).to_list() == [0, 1]
+
+    def test_filter(self):
+        assert Dataset.range(6).filter(lambda x: x % 2 == 0).to_list() == [0, 2, 4]
+
+    def test_shard_partition(self):
+        """Shards are disjoint and cover the stream -- the data-parallel
+        subject partitioning invariant."""
+        full = set(range(11))
+        shards = [Dataset.range(11).shard(3, i).to_list() for i in range(3)]
+        assert set().union(*shards) == full
+        assert sum(len(s) for s in shards) == 11
+
+    def test_shard_bad_index(self):
+        with pytest.raises(ValueError):
+            Dataset.range(5).shard(2, 2)
+
+    def test_count_reduce(self):
+        assert Dataset.range(5).count() == 5
+        assert Dataset.range(5).reduce(0, lambda a, b: a + b) == 10
+
+
+class TestCachePrefetch:
+    def test_cache_avoids_recompute(self):
+        calls = []
+
+        def expensive(x):
+            calls.append(x)
+            return x
+
+        ds = Dataset.range(3).map(expensive).cache()
+        assert ds.to_list() == [0, 1, 2]
+        assert ds.to_list() == [0, 1, 2]
+        assert len(calls) == 3  # second pass served from cache
+
+    def test_prefetch_preserves_order_and_content(self):
+        out = Dataset.range(50).map(lambda x: x * 3).prefetch(4).to_list()
+        assert out == [x * 3 for x in range(50)]
+
+    def test_prefetch_propagates_errors(self):
+        def boom(x):
+            if x == 3:
+                raise RuntimeError("bad element")
+            return x
+
+        ds = Dataset.range(5).map(boom).prefetch(2)
+        with pytest.raises(RuntimeError, match="bad element"):
+            ds.to_list()
+
+    def test_prefetch_overlaps_producer(self):
+        """With prefetch, producer time and consumer time overlap.
+
+        Timing-based: take the best of three attempts so a loaded CI
+        machine cannot flake the assertion.
+        """
+        def produce(x):
+            time.sleep(0.01)
+            return x
+
+        def consume(items):
+            t0 = time.perf_counter()
+            for _ in items:
+                time.sleep(0.01)
+            return time.perf_counter() - t0
+
+        n = 12
+        ratios = []
+        for _ in range(3):
+            seq = consume(Dataset.range(n).map(produce))
+            ovl = consume(Dataset.range(n).map(produce).prefetch(4))
+            ratios.append(ovl / seq)
+        assert min(ratios) < 0.9
+
+
+class TestStats:
+    def test_stage_timing_recorded(self):
+        stats = PipelineStats()
+        ds = Dataset.range(5).with_stats(stats).map(
+            lambda x: (time.sleep(0.001), x)[1], stage="binarize"
+        )
+        ds.to_list()
+        assert stats.elements["binarize"] == 5
+        assert stats.seconds["binarize"] > 0
+
+    def test_bottleneck_identifies_slowest_stage(self):
+        stats = PipelineStats()
+        ds = (
+            Dataset.range(4)
+            .with_stats(stats)
+            .map(lambda x: x, stage="fast")
+            .map(lambda x: (time.sleep(0.003), x)[1], stage="slow")
+        )
+        ds.to_list()
+        assert stats.bottleneck() == "slow"
+
+    def test_empty_stats(self):
+        assert PipelineStats().bottleneck() is None
+        assert PipelineStats().report() == []

@@ -1,0 +1,119 @@
+"""NIfTI-1 codec tests."""
+
+import gzip
+import struct
+
+import numpy as np
+import pytest
+
+from repro.data import NiftiImage, read_nifti, write_nifti
+
+rng = np.random.default_rng(5)
+
+
+class TestRoundtrip:
+    @pytest.mark.parametrize("dtype", ["uint8", "int16", "int32", "float32", "float64"])
+    def test_dtype_roundtrip(self, tmp_path, dtype):
+        arr = (rng.normal(size=(5, 4, 3)) * 10).astype(dtype)
+        p = write_nifti(tmp_path / "vol.nii", arr)
+        back = read_nifti(p)
+        np.testing.assert_array_equal(back.data, arr)
+        assert back.data.dtype == arr.dtype
+
+    def test_4d_volume(self, tmp_path):
+        arr = rng.normal(size=(4, 6, 5, 3)).astype(np.float32)
+        p = write_nifti(tmp_path / "vol.nii", arr)
+        assert read_nifti(p).data.shape == (4, 6, 5, 3)
+
+    def test_gzip_roundtrip(self, tmp_path):
+        arr = rng.normal(size=(8, 8, 8)).astype(np.float32)
+        p = write_nifti(tmp_path / "vol.nii.gz", arr)
+        with open(p, "rb") as f:
+            assert f.read(2) == b"\x1f\x8b"  # gzip magic
+        np.testing.assert_array_equal(read_nifti(p).data, arr)
+
+    def test_spacing_and_description(self, tmp_path):
+        img = NiftiImage(
+            data=np.zeros((4, 4, 4), dtype=np.float32),
+            spacing=(1.0, 1.0, 1.0),
+            description="MSD Task01 BrainTumour",
+        )
+        p = write_nifti(tmp_path / "vol.nii", img)
+        back = read_nifti(p)
+        assert back.spacing == (1.0, 1.0, 1.0)
+        assert back.description == "MSD Task01 BrainTumour"
+
+    def test_anisotropic_spacing(self, tmp_path):
+        p = write_nifti(
+            tmp_path / "v.nii", np.zeros((2, 2, 2), dtype=np.int16),
+            spacing=(0.5, 0.5, 2.0),
+        )
+        assert read_nifti(p).spacing == (0.5, 0.5, 2.0)
+
+
+class TestHeader:
+    def test_standard_header_fields(self, tmp_path):
+        p = write_nifti(tmp_path / "v.nii", np.zeros((3, 4, 5), dtype=np.float32))
+        blob = open(p, "rb").read()
+        assert struct.unpack_from("<i", blob, 0)[0] == 348       # sizeof_hdr
+        assert blob[344:348] == b"n+1\x00"                        # magic
+        dim = struct.unpack_from("<8h", blob, 40)
+        assert dim[0] == 3 and dim[1:4] == (3, 4, 5)
+        assert struct.unpack_from("<f", blob, 108)[0] == 352.0   # vox_offset
+        assert struct.unpack_from("<h", blob, 70)[0] == 16       # float32 code
+
+    def test_file_size_is_offset_plus_data(self, tmp_path):
+        arr = np.zeros((3, 4, 5), dtype=np.float32)
+        p = write_nifti(tmp_path / "v.nii", arr)
+        assert p.stat().st_size == 352 + arr.nbytes
+
+
+class TestErrors:
+    def test_unsupported_dtype(self, tmp_path):
+        with pytest.raises(ValueError, match="dtype"):
+            write_nifti(tmp_path / "v.nii", np.zeros((2, 2), dtype=np.complex64))
+
+    def test_too_many_dims(self, tmp_path):
+        with pytest.raises(ValueError, match="dims"):
+            write_nifti(tmp_path / "v.nii", np.zeros((1,) * 8, dtype=np.float32))
+
+    def test_truncated_file(self, tmp_path):
+        p = tmp_path / "bad.nii"
+        p.write_bytes(b"x" * 10)
+        with pytest.raises(ValueError, match="too small"):
+            read_nifti(p)
+
+    def test_bad_magic(self, tmp_path):
+        p = write_nifti(tmp_path / "v.nii", np.zeros((2, 2, 2), dtype=np.float32))
+        blob = bytearray(open(p, "rb").read())
+        blob[344:348] = b"XXXX"
+        p2 = tmp_path / "bad.nii"
+        p2.write_bytes(bytes(blob))
+        with pytest.raises(ValueError, match="magic"):
+            read_nifti(p2)
+
+    def test_bad_sizeof_hdr(self, tmp_path):
+        p = tmp_path / "bad.nii"
+        p.write_bytes(struct.pack("<i", 999) + b"\x00" * 400)
+        with pytest.raises(ValueError, match="sizeof_hdr"):
+            read_nifti(p)
+
+    def test_unsupported_datatype_code(self, tmp_path):
+        p = write_nifti(tmp_path / "v.nii", np.zeros((2, 2, 2), dtype=np.float32))
+        blob = bytearray(open(p, "rb").read())
+        struct.pack_into("<h", blob, 70, 1234)
+        p2 = tmp_path / "bad.nii"
+        p2.write_bytes(bytes(blob))
+        with pytest.raises(ValueError, match="datatype"):
+            read_nifti(p2)
+
+
+class TestScaling:
+    def test_scl_slope_applied(self, tmp_path):
+        p = write_nifti(tmp_path / "v.nii", np.ones((2, 2, 2), dtype=np.int16))
+        blob = bytearray(open(p, "rb").read())
+        struct.pack_into("<f", blob, 112, 2.0)   # scl_slope
+        struct.pack_into("<f", blob, 116, 0.5)   # scl_inter
+        p2 = tmp_path / "scaled.nii"
+        p2.write_bytes(bytes(blob))
+        np.testing.assert_allclose(read_nifti(p2).data, 2.5)

@@ -1,0 +1,124 @@
+"""Patch extraction / stitching tests (the sub-patch baseline of E11)."""
+
+import numpy as np
+import pytest
+
+from repro.data import (
+    PatchSpec,
+    extract_patches,
+    patch_grid,
+    sample_random_patches,
+    stitch_patches,
+)
+
+rng = np.random.default_rng(8)
+
+
+class TestPatchGrid:
+    def test_exact_tiling(self):
+        spec = PatchSpec((4, 4, 4), (4, 4, 4))
+        offsets = patch_grid((8, 8, 8), spec)
+        assert len(offsets) == 8
+        assert (0, 0, 0) in offsets and (4, 4, 4) in offsets
+
+    def test_clamped_final_patch(self):
+        spec = PatchSpec((4, 4, 4), (3, 3, 3))
+        offsets = patch_grid((10, 4, 4), spec)
+        ds = sorted({d for d, _, _ in offsets})
+        assert ds == [0, 3, 6]  # 6+4 = 10 exactly, no out-of-range start
+
+    def test_patch_bigger_than_volume(self):
+        with pytest.raises(ValueError, match="exceeds"):
+            patch_grid((3, 8, 8), PatchSpec((4, 4, 4), (4, 4, 4)))
+
+    def test_spec_validation(self):
+        with pytest.raises(ValueError):
+            PatchSpec((0, 4, 4), (1, 1, 1))
+        with pytest.raises(ValueError):
+            PatchSpec((4, 4, 4), (5, 4, 4))  # stride > patch -> gaps
+
+
+class TestExtractStitch:
+    def test_roundtrip_non_overlapping(self):
+        vol = rng.normal(size=(2, 8, 8, 8)).astype(np.float64)
+        spec = PatchSpec((4, 4, 4), (4, 4, 4))
+        patches, offsets = extract_patches(vol, spec)
+        assert patches.shape == (8, 2, 4, 4, 4)
+        back = stitch_patches(patches, offsets, vol.shape[1:])
+        np.testing.assert_allclose(back, vol)
+
+    def test_roundtrip_overlapping_averages(self):
+        vol = rng.normal(size=(1, 8, 8, 8))
+        spec = PatchSpec((4, 4, 4), (2, 2, 2))
+        patches, offsets = extract_patches(vol, spec)
+        back = stitch_patches(patches, offsets, vol.shape[1:])
+        # averaging identical overlapping copies reproduces the volume
+        np.testing.assert_allclose(back, vol, atol=1e-12)
+
+    def test_every_voxel_covered(self):
+        spec = PatchSpec((3, 3, 3), (2, 2, 2))
+        vol = np.ones((1, 7, 7, 7))
+        patches, offsets = extract_patches(vol, spec)
+        back = stitch_patches(patches, offsets, (7, 7, 7))
+        np.testing.assert_allclose(back, 1.0)
+
+    def test_mismatched_counts_rejected(self):
+        with pytest.raises(ValueError):
+            stitch_patches(np.zeros((2, 1, 2, 2, 2)), [(0, 0, 0)], (4, 4, 4))
+
+    def test_wrong_ndim_rejected(self):
+        with pytest.raises(ValueError):
+            extract_patches(np.zeros((8, 8, 8)), PatchSpec((4, 4, 4), (4, 4, 4)))
+
+
+class TestRandomSampling:
+    def test_shapes(self):
+        img = rng.normal(size=(4, 16, 16, 16))
+        mask = np.zeros((1, 16, 16, 16))
+        mask[0, 5:8, 5:8, 5:8] = 1.0
+        px, pm = sample_random_patches(img, mask, (8, 8, 8), 6,
+                                       np.random.default_rng(0))
+        assert px.shape == (6, 4, 8, 8, 8)
+        assert pm.shape == (6, 1, 8, 8, 8)
+
+    def test_foreground_bias_hits_tumour(self):
+        img = rng.normal(size=(1, 16, 16, 16))
+        mask = np.zeros((1, 16, 16, 16))
+        mask[0, 7:9, 7:9, 7:9] = 1.0  # tiny tumour
+        px, pm = sample_random_patches(
+            img, mask, (4, 4, 4), 20, np.random.default_rng(0),
+            foreground_fraction=1.0,
+        )
+        assert all(pm[i].sum() > 0 for i in range(20)), \
+            "fully-biased sampling must always include tumour voxels"
+
+    def test_no_foreground_falls_back_to_uniform(self):
+        img = rng.normal(size=(1, 8, 8, 8))
+        mask = np.zeros((1, 8, 8, 8))
+        px, pm = sample_random_patches(img, mask, (4, 4, 4), 5,
+                                       np.random.default_rng(0),
+                                       foreground_fraction=1.0)
+        assert pm.sum() == 0
+
+    def test_seeded_reproducible(self):
+        img = rng.normal(size=(1, 8, 8, 8))
+        mask = (rng.uniform(size=(1, 8, 8, 8)) > 0.9).astype(float)
+        a = sample_random_patches(img, mask, (4, 4, 4), 3,
+                                  np.random.default_rng(7))
+        b = sample_random_patches(img, mask, (4, 4, 4), 3,
+                                  np.random.default_rng(7))
+        np.testing.assert_array_equal(a[0], b[0])
+
+    def test_validation(self):
+        img = np.zeros((1, 8, 8, 8))
+        mask = np.zeros((1, 8, 8, 8))
+        with pytest.raises(ValueError):
+            sample_random_patches(img, mask, (4, 4, 4), 0,
+                                  np.random.default_rng(0))
+        with pytest.raises(ValueError):
+            sample_random_patches(img, mask, (16, 4, 4), 1,
+                                  np.random.default_rng(0))
+        with pytest.raises(ValueError):
+            sample_random_patches(img, mask, (4, 4, 4), 1,
+                                  np.random.default_rng(0),
+                                  foreground_fraction=2.0)

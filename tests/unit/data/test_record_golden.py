@@ -1,0 +1,56 @@
+"""Golden-bytes tests: the record wire format must stay stable.
+
+Binarised datasets are expensive to produce (the whole point of offline
+binarisation), so the on-disk format is a compatibility contract: a
+byte-for-byte golden sample guards against accidental format changes.
+"""
+
+import numpy as np
+
+from repro.data import decode_example, encode_example
+from repro.data.records import _masked_crc
+
+
+class TestGoldenBytes:
+    def test_masked_crc_golden(self):
+        """Fixed inputs -> fixed masked CRCs (TensorFlow masking rule
+        over zlib.crc32)."""
+        assert _masked_crc(b"") == 0xA282EAD8
+        assert _masked_crc(b"hello") == 0xEF8F56F9
+
+    def test_example_encoding_golden(self):
+        feats = {
+            "a": np.array([1, 2], dtype=np.int32),
+            "b": np.array(3.5, dtype=np.float64),
+        }
+        payload = encode_example(feats)
+        expected = bytes.fromhex(
+            "02000000"              # 2 features
+            "0100" "61"             # name "a"
+            "0300" "3c6934"         # dtype "<i4"
+            "01"                    # ndim 1
+            "0200000000000000"      # shape (2,)
+            "0800000000000000"      # 8 bytes
+            "0100000002000000"      # [1, 2] int32 LE
+            "0100" "62"             # name "b"
+            "0300" "3c6638"         # dtype "<f8"
+            "00"                    # ndim 0
+            "0000000000000000"      # shape placeholder
+            "0800000000000000"      # 8 bytes
+            "0000000000000c40"      # 3.5 float64 LE
+        )
+        assert payload == expected
+
+    def test_golden_payload_decodes(self):
+        """The frozen byte string above must keep decoding forever."""
+        payload = bytes.fromhex(
+            "02000000"
+            "0100" "61" "0300" "3c6934" "01"
+            "0200000000000000" "0800000000000000" "0100000002000000"
+            "0100" "62" "0300" "3c6638" "00"
+            "0000000000000000" "0800000000000000" "0000000000000c40"
+        )
+        out = decode_example(payload)
+        np.testing.assert_array_equal(out["a"], np.array([1, 2], np.int32))
+        assert out["b"] == np.float64(3.5)
+        assert out["b"].shape == ()

@@ -1,0 +1,143 @@
+"""TFRecord-style record file tests, including corruption detection."""
+
+import struct
+
+import numpy as np
+import pytest
+
+from repro.data import (
+    RecordCorruptionError,
+    RecordReader,
+    RecordWriter,
+    decode_example,
+    encode_example,
+    read_example_file,
+    write_example_file,
+)
+
+
+class TestFraming:
+    def test_write_read_roundtrip(self, tmp_path):
+        p = tmp_path / "data.rec"
+        payloads = [b"alpha", b"", b"\x00" * 100, b"omega"]
+        with RecordWriter(p) as w:
+            for b in payloads:
+                w.write(b)
+            assert w.num_records == 4
+        assert list(RecordReader(p)) == payloads
+
+    def test_count(self, tmp_path):
+        p = tmp_path / "data.rec"
+        with RecordWriter(p) as w:
+            for i in range(7):
+                w.write(bytes([i]))
+        assert RecordReader(p).count() == 7
+
+    def test_empty_file(self, tmp_path):
+        p = tmp_path / "empty.rec"
+        with RecordWriter(p):
+            pass
+        assert list(RecordReader(p)) == []
+
+    def test_closed_writer_rejects(self, tmp_path):
+        w = RecordWriter(tmp_path / "x.rec")
+        w.close()
+        with pytest.raises(RuntimeError):
+            w.write(b"late")
+
+    def test_frame_layout(self, tmp_path):
+        """length(8) + crc(4) + payload + crc(4), TFRecord-style."""
+        p = tmp_path / "one.rec"
+        with RecordWriter(p) as w:
+            w.write(b"hello")
+        blob = open(p, "rb").read()
+        assert len(blob) == 8 + 4 + 5 + 4
+        assert struct.unpack("<Q", blob[:8])[0] == 5
+        assert blob[12:17] == b"hello"
+
+
+class TestCorruption:
+    def _write_one(self, tmp_path, payload=b"hello world"):
+        p = tmp_path / "x.rec"
+        with RecordWriter(p) as w:
+            w.write(payload)
+        return p
+
+    def test_flipped_payload_byte_detected(self, tmp_path):
+        p = self._write_one(tmp_path)
+        blob = bytearray(open(p, "rb").read())
+        blob[14] ^= 0xFF
+        p.write_bytes(bytes(blob))
+        with pytest.raises(RecordCorruptionError, match="payload CRC"):
+            list(RecordReader(p))
+
+    def test_flipped_length_detected(self, tmp_path):
+        p = self._write_one(tmp_path)
+        blob = bytearray(open(p, "rb").read())
+        blob[0] ^= 0x01
+        p.write_bytes(bytes(blob))
+        with pytest.raises(RecordCorruptionError):
+            list(RecordReader(p))
+
+    def test_truncation_detected(self, tmp_path):
+        p = self._write_one(tmp_path)
+        blob = open(p, "rb").read()
+        p.write_bytes(blob[:-6])
+        with pytest.raises(RecordCorruptionError, match="truncated"):
+            list(RecordReader(p))
+
+    def test_verify_false_skips_crc(self, tmp_path):
+        p = self._write_one(tmp_path)
+        blob = bytearray(open(p, "rb").read())
+        blob[14] ^= 0xFF
+        p.write_bytes(bytes(blob))
+        out = list(RecordReader(p, verify=False))
+        assert len(out) == 1  # corrupted but read through
+
+
+class TestExamples:
+    def test_feature_map_roundtrip(self):
+        rng = np.random.default_rng(0)
+        feats = {
+            "image": rng.normal(size=(4, 6, 6, 4)).astype(np.float32),
+            "label": rng.integers(0, 4, size=(6, 6, 4)).astype(np.uint8),
+            "id": np.frombuffer(b"BRATS_0001", dtype=np.uint8),
+        }
+        back = decode_example(encode_example(feats))
+        assert set(back) == set(feats)
+        for k in feats:
+            np.testing.assert_array_equal(back[k], feats[k])
+            assert back[k].dtype == feats[k].dtype
+
+    def test_scalar_and_1d(self):
+        feats = {"epoch": np.array(90), "dice": np.array([0.89])}
+        back = decode_example(encode_example(feats))
+        assert back["epoch"].shape == ()
+        assert back["epoch"] == 90
+        np.testing.assert_allclose(back["dice"], [0.89])
+
+    def test_empty_feature_map(self):
+        assert decode_example(encode_example({})) == {}
+
+    def test_trailing_garbage_detected(self):
+        payload = encode_example({"a": np.zeros(2)}) + b"junk"
+        with pytest.raises(RecordCorruptionError, match="trailing"):
+            decode_example(payload)
+
+    def test_example_file_roundtrip(self, tmp_path):
+        p = tmp_path / "shard.rec"
+        examples = [
+            {"x": np.full((2, 2), i, dtype=np.float32), "i": np.array(i)}
+            for i in range(5)
+        ]
+        n = write_example_file(p, examples)
+        assert n == 5
+        back = list(read_example_file(p))
+        assert len(back) == 5
+        for i, ex in enumerate(back):
+            assert ex["i"] == i
+            np.testing.assert_array_equal(ex["x"], examples[i]["x"])
+
+    def test_deterministic_encoding(self):
+        feats = {"b": np.ones(3), "a": np.zeros(2)}
+        assert encode_example(feats) == encode_example(dict(reversed(feats.items())))

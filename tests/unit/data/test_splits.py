@@ -1,0 +1,53 @@
+"""Dataset split tests (paper: 70/15/15 over 484 subjects)."""
+
+import pytest
+
+from repro.data import PAPER_FRACTIONS, PAPER_NUM_SUBJECTS, DatasetSplit, split_indices
+
+
+class TestSplitIndices:
+    def test_paper_split_sizes(self):
+        s = split_indices(PAPER_NUM_SUBJECTS, PAPER_FRACTIONS, seed=0)
+        assert s.sizes == (338, 72, 74)  # floor(484*.7)=338, floor(484*.15)=72
+        assert s.total() == 484
+
+    def test_partitions_disjoint_and_complete(self):
+        s = split_indices(100, seed=1)
+        all_idx = set(s.train) | set(s.val) | set(s.test)
+        assert all_idx == set(range(100))
+        assert len(s.train) + len(s.val) + len(s.test) == 100
+
+    def test_seeded_reproducible(self):
+        assert split_indices(50, seed=5) == split_indices(50, seed=5)
+
+    def test_different_seed_differs(self):
+        assert split_indices(50, seed=1).train != split_indices(50, seed=2).train
+
+    def test_no_shuffle_when_seed_none(self):
+        s = split_indices(10, (0.5, 0.3, 0.2), seed=None)
+        assert s.train == (0, 1, 2, 3, 4)
+
+    def test_tiny_cohort_all_partitions_nonempty(self):
+        s = split_indices(3, seed=0)
+        assert all(n >= 1 for n in s.sizes)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            split_indices(2)
+        with pytest.raises(ValueError):
+            split_indices(10, (0.5, 0.5))
+        with pytest.raises(ValueError):
+            split_indices(10, (0.7, 0.2, 0.2))
+        with pytest.raises(ValueError):
+            split_indices(10, (1.0, -0.5, 0.5))
+
+
+class TestDatasetSplit:
+    def test_overlap_rejected(self):
+        with pytest.raises(ValueError, match="overlap"):
+            DatasetSplit(train=(0, 1), val=(1,), test=(2,))
+
+    def test_sizes(self):
+        s = DatasetSplit(train=(0, 1, 2), val=(3,), test=(4, 5))
+        assert s.sizes == (3, 1, 2)
+        assert s.total() == 6

@@ -1,0 +1,69 @@
+"""Gradient-clipping tests."""
+
+import numpy as np
+import pytest
+
+from repro.nn import Module, clip_grad_norm
+
+
+class Toy(Module):
+    def __init__(self, grads):
+        super().__init__()
+        for i, g in enumerate(grads):
+            p = self.add_parameter(f"p{i}", np.zeros_like(np.asarray(g, float)))
+            p.grad = np.asarray(g, dtype=float)
+
+
+class TestClipGradNorm:
+    def test_below_threshold_untouched(self):
+        m = Toy([[3.0, 4.0]])  # norm 5
+        norm = clip_grad_norm(m, max_norm=10.0)
+        assert norm == pytest.approx(5.0)
+        np.testing.assert_allclose(m.p0.grad, [3.0, 4.0])
+
+    def test_above_threshold_rescaled(self):
+        m = Toy([[3.0, 4.0]])
+        norm = clip_grad_norm(m, max_norm=1.0)
+        assert norm == pytest.approx(5.0)  # returns PRE-clip norm
+        np.testing.assert_allclose(
+            np.linalg.norm(m.p0.grad), 1.0, rtol=1e-9
+        )
+        # direction preserved
+        np.testing.assert_allclose(m.p0.grad, [0.6, 0.8], rtol=1e-9)
+
+    def test_global_norm_across_parameters(self):
+        m = Toy([[3.0], [4.0]])
+        clip_grad_norm(m, max_norm=1.0)
+        total = float(np.sqrt(m.p0.grad[0] ** 2 + m.p1.grad[0] ** 2))
+        assert total == pytest.approx(1.0)
+
+    def test_frozen_params_excluded(self):
+        m = Toy([[100.0], [3.0, 4.0]])
+        m.p0.trainable = False
+        norm = clip_grad_norm(m, max_norm=10.0)
+        assert norm == pytest.approx(5.0)  # only p1 counted
+        np.testing.assert_allclose(m.p0.grad, [100.0])  # untouched
+
+    def test_zero_gradients(self):
+        m = Toy([[0.0, 0.0]])
+        assert clip_grad_norm(m, 1.0) == 0.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            clip_grad_norm(Toy([[1.0]]), 0.0)
+
+    def test_stabilises_scaled_lr_training(self):
+        """With the LR x #GPUs rule at large n, clipping keeps a step
+        bounded: post-clip update magnitude <= lr * max_norm."""
+        from repro.nn import SGD, UNet3D
+
+        net = UNet3D(1, 1, 2, 2, use_batchnorm=False,
+                     rng=np.random.default_rng(0))
+        x = np.random.default_rng(1).normal(size=(1, 1, 4, 4, 4)) * 50
+        y = net(x)
+        net.backward(np.ones_like(y) * 100)  # pathological gradient
+        before = net.get_flat_params()
+        clip_grad_norm(net, max_norm=1.0)
+        SGD(net, lr=0.5).step()
+        delta = np.linalg.norm(net.get_flat_params() - before)
+        assert delta <= 0.5 * 1.0 + 1e-9

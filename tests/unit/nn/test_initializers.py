@@ -1,0 +1,79 @@
+"""Initializer tests, including the paper's truncated normal."""
+
+import numpy as np
+import pytest
+
+from repro.nn import GlorotUniform, HeNormal, TruncatedNormal, get_initializer
+from repro.nn.initializers import Constant, Ones, RandomNormal, Zeros, _fan_in_out
+
+rng = np.random.default_rng(11)
+
+
+class TestTruncatedNormal:
+    def test_all_samples_within_two_sigma(self):
+        init = TruncatedNormal(mean=0.0, stddev=0.05)
+        w = init((50, 50), rng)
+        assert np.abs(w).max() <= 0.1 + 1e-12
+
+    def test_mean_approximately_centred(self):
+        init = TruncatedNormal(mean=1.0, stddev=0.1)
+        w = init((200, 200), rng)
+        assert abs(w.mean() - 1.0) < 0.01
+        assert w.min() >= 0.8 and w.max() <= 1.2
+
+    def test_deterministic_with_seed(self):
+        init = TruncatedNormal()
+        a = init((10,), np.random.default_rng(1))
+        b = init((10,), np.random.default_rng(1))
+        np.testing.assert_array_equal(a, b)
+
+
+class TestFanComputation:
+    def test_dense(self):
+        assert _fan_in_out((20, 30)) == (20, 30)
+
+    def test_conv_channels_first(self):
+        # (C_out=8, C_in=4, 3,3,3): fan_in = 4*27, fan_out = 8*27
+        assert _fan_in_out((8, 4, 3, 3, 3)) == (108, 216)
+
+
+class TestGlorotHe:
+    def test_glorot_bounds(self):
+        w = GlorotUniform()((16, 4, 3, 3, 3), rng)
+        limit = np.sqrt(6.0 / (4 * 27 + 16 * 27))
+        assert np.abs(w).max() <= limit
+
+    def test_he_variance(self):
+        w = HeNormal()((64, 32, 3, 3, 3), rng)
+        expected_std = np.sqrt(2.0 / (32 * 27))
+        assert abs(w.std() - expected_std) / expected_std < 0.05
+
+
+class TestSimple:
+    def test_zeros_ones_constant(self):
+        assert (Zeros()((3,), rng) == 0).all()
+        assert (Ones()((3,), rng) == 1).all()
+        assert (Constant(2.5)((3,), rng) == 2.5).all()
+
+    def test_random_normal_std(self):
+        w = RandomNormal(stddev=0.2)((10000,), rng)
+        assert abs(w.std() - 0.2) < 0.01
+
+
+class TestRegistry:
+    def test_lookup(self):
+        assert isinstance(get_initializer("truncated_normal"), TruncatedNormal)
+        assert isinstance(get_initializer("glorot_uniform"), GlorotUniform)
+        assert isinstance(get_initializer("he_normal"), HeNormal)
+
+    def test_passthrough(self):
+        inst = TruncatedNormal(stddev=0.3)
+        assert get_initializer(inst) is inst
+
+    def test_unknown(self):
+        with pytest.raises(ValueError, match="unknown initializer"):
+            get_initializer("orthogonal")
+
+    def test_bad_type(self):
+        with pytest.raises(TypeError):
+            get_initializer(42)

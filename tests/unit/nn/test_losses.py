@@ -1,0 +1,145 @@
+"""Loss function tests: values, analytic gradients, registry."""
+
+import numpy as np
+import pytest
+
+from repro.nn import (
+    BinaryCrossEntropy,
+    ComboLoss,
+    QuadraticSoftDiceLoss,
+    SoftDiceLoss,
+    get_loss,
+    numeric_gradient,
+    relative_error,
+)
+
+rng = np.random.default_rng(99)
+
+
+def _rand_pred_target(shape=(2, 1, 3, 3, 3)):
+    pred = rng.uniform(0.05, 0.95, size=shape)
+    target = (rng.uniform(size=shape) > 0.6).astype(float)
+    return pred, target
+
+
+class TestSoftDice:
+    def test_perfect_match_is_zero_loss(self):
+        t = np.zeros((1, 1, 4, 4, 4))
+        t[0, 0, :2] = 1.0
+        loss, _ = SoftDiceLoss().forward(t.copy(), t)
+        assert loss == pytest.approx(0.0, abs=1e-9)
+
+    def test_complete_mismatch_near_one(self):
+        pred = np.zeros((1, 1, 4, 4, 4))
+        pred[0, 0, :2] = 1.0
+        target = np.zeros_like(pred)
+        target[0, 0, 2:] = 1.0
+        loss, _ = SoftDiceLoss(eps=1e-6).forward(pred, target)
+        assert loss == pytest.approx(1.0, abs=1e-4)
+
+    def test_empty_masks_give_zero_loss(self):
+        """eps keeps 0/0 at dice=1 (loss 0) for empty prediction+target."""
+        z = np.zeros((1, 1, 2, 2, 2))
+        loss, _ = SoftDiceLoss(eps=0.1).forward(z, z.copy())
+        assert loss == pytest.approx(0.0)
+
+    def test_loss_in_unit_interval(self):
+        pred, target = _rand_pred_target()
+        loss, _ = SoftDiceLoss().forward(pred, target)
+        assert 0.0 <= loss <= 1.0
+
+    def test_gradient_matches_numeric(self):
+        pred, target = _rand_pred_target((2, 1, 2, 2, 2))
+        loss_fn = SoftDiceLoss()
+        _, grad = loss_fn.forward(pred, target)
+        num = numeric_gradient(lambda p: loss_fn.forward(p, target)[0], pred.copy())
+        assert relative_error(grad, num) < 1e-5
+
+    def test_batch_mean_semantics(self):
+        """Loss of a batch == mean of per-sample losses (claim C2 lever)."""
+        pred, target = _rand_pred_target((4, 1, 2, 2, 2))
+        loss_fn = SoftDiceLoss()
+        full, _ = loss_fn.forward(pred, target)
+        singles = [
+            loss_fn.forward(pred[i : i + 1], target[i : i + 1])[0]
+            for i in range(4)
+        ]
+        assert full == pytest.approx(np.mean(singles))
+
+    def test_shape_mismatch_raises(self):
+        with pytest.raises(ValueError, match="mismatch"):
+            SoftDiceLoss().forward(np.zeros((1, 2)), np.zeros((1, 3)))
+
+    def test_bad_eps_rejected(self):
+        with pytest.raises(ValueError):
+            SoftDiceLoss(eps=0.0)
+
+
+class TestQuadraticSoftDice:
+    def test_gradient_matches_numeric(self):
+        pred, target = _rand_pred_target((2, 1, 2, 2, 2))
+        loss_fn = QuadraticSoftDiceLoss()
+        _, grad = loss_fn.forward(pred, target)
+        num = numeric_gradient(lambda p: loss_fn.forward(p, target)[0], pred.copy())
+        assert relative_error(grad, num) < 1e-5
+
+    def test_perfect_binary_match_is_zero(self):
+        t = np.zeros((1, 1, 2, 2, 2))
+        t[0, 0, 0] = 1.0
+        loss, _ = QuadraticSoftDiceLoss().forward(t.copy(), t)
+        assert loss == pytest.approx(0.0, abs=1e-9)
+
+    def test_differs_from_plain_dice_on_soft_preds(self):
+        pred, target = _rand_pred_target()
+        l1, _ = SoftDiceLoss().forward(pred, target)
+        l2, _ = QuadraticSoftDiceLoss().forward(pred, target)
+        assert l1 != pytest.approx(l2)
+
+
+class TestBCE:
+    def test_gradient_matches_numeric(self):
+        pred, target = _rand_pred_target((2, 1, 2, 2, 2))
+        loss_fn = BinaryCrossEntropy()
+        _, grad = loss_fn.forward(pred, target)
+        num = numeric_gradient(lambda p: loss_fn.forward(p, target)[0], pred.copy())
+        assert relative_error(grad, num) < 1e-4
+
+    def test_clipping_handles_extremes(self):
+        pred = np.array([[0.0, 1.0]])
+        target = np.array([[1.0, 0.0]])
+        loss, grad = BinaryCrossEntropy().forward(pred, target)
+        assert np.isfinite(loss) and np.isfinite(grad).all()
+
+
+class TestComboLoss:
+    def test_alpha_blend(self):
+        pred, target = _rand_pred_target()
+        d, b = SoftDiceLoss(), BinaryCrossEntropy()
+        combo = ComboLoss(d, b, alpha=0.3)
+        lc, gc = combo.forward(pred, target)
+        ld, gd = d.forward(pred, target)
+        lb, gb = b.forward(pred, target)
+        assert lc == pytest.approx(0.3 * ld + 0.7 * lb)
+        np.testing.assert_allclose(gc, 0.3 * gd + 0.7 * gb)
+
+    def test_invalid_alpha(self):
+        with pytest.raises(ValueError):
+            ComboLoss(SoftDiceLoss(), BinaryCrossEntropy(), alpha=1.5)
+
+
+class TestRegistry:
+    def test_lookup_by_name(self):
+        assert isinstance(get_loss("dice"), SoftDiceLoss)
+        assert isinstance(get_loss("quadratic_dice"), QuadraticSoftDiceLoss)
+        assert isinstance(get_loss("bce"), BinaryCrossEntropy)
+
+    def test_instance_passthrough(self):
+        inst = SoftDiceLoss(eps=0.5)
+        assert get_loss(inst) is inst
+
+    def test_unknown_name(self):
+        with pytest.raises(ValueError, match="unknown loss"):
+            get_loss("focal")
+
+    def test_kwargs_forwarded(self):
+        assert get_loss("dice", eps=0.25).eps == 0.25

@@ -1,0 +1,114 @@
+"""Metric tests: Dice, IoU, precision/recall, confusion counts."""
+
+import numpy as np
+import pytest
+
+from repro.nn import (
+    batch_dice,
+    dice_coefficient,
+    iou,
+    precision,
+    recall,
+    soft_dice_coefficient,
+    voxel_accuracy,
+)
+from repro.nn.metrics import confusion_counts
+
+
+def _masks():
+    pred = np.zeros((4, 4, 4))
+    target = np.zeros((4, 4, 4))
+    pred[:2] = 1.0       # 32 voxels predicted
+    target[1:3] = 1.0    # 32 voxels true, overlap = 16
+    return pred, target
+
+
+class TestDice:
+    def test_half_overlap(self):
+        pred, target = _masks()
+        # dice = 2*16 / (32+32) = 0.5
+        assert dice_coefficient(pred, target) == pytest.approx(0.5)
+
+    def test_perfect(self):
+        pred, target = _masks()
+        assert dice_coefficient(target, target) == pytest.approx(1.0)
+
+    def test_disjoint(self):
+        pred = np.zeros((4, 4, 4)); pred[0] = 1
+        target = np.zeros((4, 4, 4)); target[3] = 1
+        assert dice_coefficient(pred, target) == pytest.approx(0.0)
+
+    def test_both_empty_returns_empty_value(self):
+        z = np.zeros((2, 2, 2))
+        assert dice_coefficient(z, z) == 1.0
+        assert dice_coefficient(z, z, empty_value=0.0) == 0.0
+
+    def test_threshold_applied_to_probabilities(self):
+        pred = np.full((2, 2, 2), 0.6)
+        target = np.ones((2, 2, 2))
+        assert dice_coefficient(pred, target, threshold=0.5) == pytest.approx(1.0)
+        assert dice_coefficient(pred, target, threshold=0.7) == pytest.approx(0.0)
+
+    def test_symmetry(self):
+        pred, target = _masks()
+        assert dice_coefficient(pred, target) == dice_coefficient(target, pred)
+
+    def test_dice_vs_iou_relation(self):
+        """dice = 2*iou / (1 + iou) for any pair of hard masks."""
+        pred, target = _masks()
+        d = dice_coefficient(pred, target)
+        j = iou(pred, target)
+        assert d == pytest.approx(2 * j / (1 + j))
+
+
+class TestSoftDice:
+    def test_matches_hard_dice_on_binary(self):
+        pred, target = _masks()
+        assert soft_dice_coefficient(pred, target, eps=1e-12) == pytest.approx(
+            0.5, abs=1e-9
+        )
+
+    def test_shape_mismatch(self):
+        with pytest.raises(ValueError):
+            soft_dice_coefficient(np.zeros(3), np.zeros(4))
+
+
+class TestPrecisionRecall:
+    def test_values(self):
+        pred, target = _masks()
+        # TP=16, FP=16, FN=16
+        assert precision(pred, target) == pytest.approx(0.5)
+        assert recall(pred, target) == pytest.approx(0.5)
+
+    def test_empty_prediction_precision_is_one(self):
+        z = np.zeros((2, 2, 2))
+        t = np.ones((2, 2, 2))
+        assert precision(z, t) == 1.0
+        assert recall(z, t) == 0.0
+
+    def test_accuracy(self):
+        pred, target = _masks()
+        # TP=16 TN=16 of 64
+        assert voxel_accuracy(pred, target) == pytest.approx(0.5)
+
+
+class TestConfusion:
+    def test_counts_sum_to_total(self):
+        pred, target = _masks()
+        tp, fp, fn, tn = confusion_counts(pred, target)
+        assert tp + fp + fn + tn == pred.size
+        assert (tp, fp, fn, tn) == (16, 16, 16, 16)
+
+
+class TestBatchDice:
+    def test_per_sample(self):
+        pred = np.stack([np.ones((2, 2, 2)), np.zeros((2, 2, 2))])
+        target = np.ones((2, 2, 2, 2))
+        out = batch_dice(pred, target)
+        assert out.shape == (2,)
+        assert out[0] == pytest.approx(1.0)
+        assert out[1] == pytest.approx(0.0)
+
+    def test_shape_mismatch(self):
+        with pytest.raises(ValueError):
+            batch_dice(np.zeros((2, 2)), np.zeros((3, 2)))

@@ -1,0 +1,131 @@
+"""Module system tests: registration, traversal, state, flat views."""
+
+import numpy as np
+import pytest
+
+from repro.nn import Conv3D, Module, Parameter, ReLU, Sequential
+
+
+class Toy(Module):
+    def __init__(self):
+        super().__init__()
+        self.add_parameter("a", np.ones(3))
+        self.child = Sequential(Conv3D(1, 2, 1, rng=np.random.default_rng(0)))
+
+    def forward(self, x):
+        return x
+
+    def backward(self, dy):
+        return dy
+
+
+class TestParameter:
+    def test_grad_starts_zero(self):
+        p = Parameter(np.ones((2, 2)))
+        assert p.grad.shape == (2, 2)
+        assert (p.grad == 0).all()
+
+    def test_zero_grad(self):
+        p = Parameter(np.ones(3))
+        p.grad += 5.0
+        p.zero_grad()
+        assert (p.grad == 0).all()
+
+    def test_shape_size(self):
+        p = Parameter(np.zeros((2, 3)))
+        assert p.shape == (2, 3) and p.size == 6
+
+
+class TestTraversal:
+    def test_named_parameters_qualified(self):
+        toy = Toy()
+        names = dict(toy.named_parameters())
+        assert "a" in names
+        assert "child.layer0.w" in names
+        assert "child.layer0.b" in names
+
+    def test_num_params(self):
+        toy = Toy()
+        # a: 3, conv 1x1x1 (1->2): w=2, b=2
+        assert toy.num_params() == 3 + 2 + 2
+
+    def test_named_modules(self):
+        toy = Toy()
+        mods = dict(toy.named_modules())
+        assert "" in mods and "child" in mods and "child.layer0" in mods
+
+
+class TestState:
+    def test_state_dict_roundtrip(self):
+        toy = Toy()
+        state = toy.state_dict()
+        toy.a.value[:] = 99.0
+        toy.load_state_dict(state)
+        np.testing.assert_array_equal(toy.a.value, np.ones(3))
+
+    def test_state_dict_is_copy(self):
+        toy = Toy()
+        state = toy.state_dict()
+        state["a"][:] = 7.0
+        assert (toy.a.value == 1.0).all()
+
+    def test_missing_key_raises(self):
+        toy = Toy()
+        state = toy.state_dict()
+        del state["a"]
+        with pytest.raises(KeyError, match="missing"):
+            toy.load_state_dict(state)
+
+    def test_shape_mismatch_raises(self):
+        toy = Toy()
+        state = toy.state_dict()
+        state["a"] = np.zeros(5)
+        with pytest.raises(ValueError, match="shape mismatch"):
+            toy.load_state_dict(state)
+
+
+class TestFlatViews:
+    def test_flat_params_roundtrip(self):
+        toy = Toy()
+        flat = toy.get_flat_params()
+        assert flat.size == toy.num_params(trainable_only=True)
+        toy.set_flat_params(flat * 2)
+        np.testing.assert_array_equal(toy.a.value, 2 * np.ones(3))
+
+    def test_flat_grads_roundtrip(self):
+        toy = Toy()
+        g = np.arange(float(toy.num_params(trainable_only=True)))
+        toy.set_flat_grads(g)
+        np.testing.assert_array_equal(toy.get_flat_grads(), g)
+
+    def test_wrong_size_rejected(self):
+        toy = Toy()
+        with pytest.raises(ValueError):
+            toy.set_flat_params(np.zeros(1))
+
+    def test_flat_excludes_buffers(self):
+        from repro.nn import BatchNorm
+
+        bn = BatchNorm(4)
+        # gamma(4) + beta(4) trainable; running stats excluded
+        assert bn.get_flat_params().size == 8
+        assert bn.num_params() == 16
+
+
+class TestModes:
+    def test_train_eval_recursive(self):
+        toy = Toy()
+        toy.eval()
+        assert not toy.training and not toy.child.training
+        toy.train()
+        assert toy.training and toy.child.training
+
+    def test_zero_grad_recursive(self):
+        toy = Toy()
+        for p in toy.parameters():
+            p.grad += 1.0
+        toy.zero_grad()
+        assert all((p.grad == 0).all() for p in toy.parameters())
+
+    def test_call_dispatches_forward(self):
+        assert ReLU()(np.array([[-1.0, 2.0]])).tolist() == [[0.0, 2.0]]

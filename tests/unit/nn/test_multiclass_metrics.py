@@ -1,0 +1,76 @@
+"""Multi-class Dice tests (the original 4-class MSD problem)."""
+
+import numpy as np
+import pytest
+
+from repro.nn.metrics import mean_multiclass_dice, multiclass_dice
+
+
+def label_maps():
+    target = np.zeros((4, 4, 4), dtype=np.uint8)
+    target[:2] = 1
+    target[2] = 2
+    target[3, :2] = 3
+    pred = target.copy()
+    pred[0] = 2  # corrupt a slab of class 1 into class 2
+    return pred, target
+
+
+class TestMulticlassDice:
+    def test_perfect_prediction(self):
+        _, target = label_maps()
+        scores = multiclass_dice(target, target, num_classes=4)
+        assert set(scores) == {1, 2, 3}
+        assert all(v == 1.0 for v in scores.values())
+
+    def test_partial_overlap_scores(self):
+        pred, target = label_maps()
+        scores = multiclass_dice(pred, target, num_classes=4)
+        assert scores[1] < 1.0       # class 1 lost half its voxels
+        assert scores[3] == 1.0      # class 3 untouched
+
+    def test_background_excluded_by_default(self):
+        pred, target = label_maps()
+        assert 0 not in multiclass_dice(pred, target, 4)
+        assert 0 in multiclass_dice(pred, target, 4, include_background=True)
+
+    def test_probability_input_argmaxed(self):
+        _, target = label_maps()
+        probs = np.zeros((4, 4, 4, 4))
+        for c in range(4):
+            probs[c][target == c] = 1.0
+        scores = multiclass_dice(probs, target, num_classes=4)
+        assert all(v == 1.0 for v in scores.values())
+
+    def test_absent_class_scores_empty_convention(self):
+        target = np.zeros((2, 2, 2), dtype=np.uint8)
+        pred = np.zeros_like(target)
+        scores = multiclass_dice(pred, target, num_classes=4)
+        assert scores == {1: 1.0, 2: 1.0, 3: 1.0}  # both empty = match
+
+    def test_mean_summary(self):
+        pred, target = label_maps()
+        per = multiclass_dice(pred, target, 4)
+        assert mean_multiclass_dice(pred, target, 4) == pytest.approx(
+            np.mean(list(per.values()))
+        )
+
+    def test_bad_shapes(self):
+        with pytest.raises(ValueError):
+            multiclass_dice(np.zeros((3, 2, 2)), np.zeros((2, 2, 2)), 4)
+
+
+class TestBinaryReductionConsistency:
+    def test_whole_tumour_equals_binary_dice(self):
+        """Joining classes {1,2,3} then scoring binary == scoring the
+        'whole tumour' region directly -- the paper's label reduction."""
+        from repro.nn.metrics import dice_coefficient
+
+        rng = np.random.default_rng(0)
+        target = rng.integers(0, 4, size=(6, 6, 6)).astype(np.uint8)
+        pred = rng.integers(0, 4, size=(6, 6, 6)).astype(np.uint8)
+        whole = dice_coefficient(pred > 0, target > 0)
+        assert 0.0 <= whole <= 1.0
+        # and it generally differs from macro Dice over classes
+        macro = mean_multiclass_dice(pred, target, 4)
+        assert whole != pytest.approx(macro)

@@ -1,0 +1,48 @@
+"""Model-summary tests."""
+
+import numpy as np
+import pytest
+
+from repro.nn import Conv3D, ReLU, Sequential, UNet3D, format_summary, model_summary
+
+
+class TestModelSummary:
+    def test_sequential_rows(self):
+        net = Sequential(
+            Conv3D(1, 4, 3, rng=np.random.default_rng(0)),
+            ReLU(),
+            Conv3D(4, 2, 3, rng=np.random.default_rng(1)),
+        )
+        rows = model_summary(net, (1, 1, 4, 4, 4))
+        kinds = [r.kind for r in rows]
+        assert kinds == ["Conv3D", "ReLU", "Conv3D"]
+        assert rows[0].output_shape == (1, 4, 4, 4, 4)
+        assert rows[0].params == 1 * 4 * 27 + 4
+        assert rows[1].params == 0
+
+    def test_param_totals_match_model(self):
+        net = UNet3D(2, 1, 2, 2, rng=np.random.default_rng(0))
+        rows = model_summary(net, (1, 2, 4, 4, 4))
+        assert sum(r.params for r in rows) == net.num_params()
+
+    def test_model_left_intact(self):
+        net = UNet3D(2, 1, 2, 2, rng=np.random.default_rng(0))
+        x = np.random.default_rng(1).normal(size=(1, 2, 4, 4, 4))
+        before = net.predict(x)
+        model_summary(net, (1, 2, 4, 4, 4))
+        assert net.training  # mode restored
+        np.testing.assert_array_equal(net.predict(x), before)
+        # forward no longer shadowed by the probe wrapper
+        assert "forward" not in net.enc_blocks[0].body.layers[0].__dict__
+
+    def test_format_contains_totals(self):
+        net = UNet3D(4, 1, 8, 4, rng=np.random.default_rng(0))
+        text = format_summary(net, (1, 4, 16, 16, 16))
+        assert "total params: 352,513" in text
+        assert "Conv3D" in text and "BatchNorm" in text
+
+    def test_shapes_follow_unet_contraction(self):
+        net = UNet3D(1, 1, 2, 3, rng=np.random.default_rng(0))
+        rows = model_summary(net, (1, 1, 8, 8, 8))
+        pool_shapes = [r.output_shape for r in rows if r.kind == "MaxPool3D"]
+        assert pool_shapes == [(1, 2, 4, 4, 4), (1, 4, 2, 2, 2)]

@@ -1,0 +1,146 @@
+"""Cost model tests: FLOPs, step pricing, quantisation, memory constants."""
+
+import math
+
+import pytest
+
+from repro.perf import (
+    PAPER_EPOCHS,
+    PAPER_TRAIN_SAMPLES,
+    PAPER_VAL_SAMPLES,
+    CostModelParams,
+    StepCostModel,
+    TrialConfig,
+    conv3d_flops,
+    unet3d_forward_flops,
+    unet3d_param_count,
+)
+
+
+class TestPaperConstants:
+    def test_split_sizes(self):
+        """484 x 70% = 338 train, 484 x 15% = ~73 val (Section IV-A)."""
+        assert PAPER_TRAIN_SAMPLES == 338
+        assert PAPER_VAL_SAMPLES == 73
+        assert PAPER_EPOCHS == 250
+
+
+class TestFlops:
+    def test_conv_flops_formula(self):
+        assert conv3d_flops(10, 4, 8, kernel=3) == 2 * 10 * 4 * 8 * 27
+
+    def test_unet_flops_scale_quadratically_with_width(self):
+        f8 = unet3d_forward_flops(base_filters=8)
+        f16 = unet3d_forward_flops(base_filters=16)
+        assert 3.2 < f16 / f8 < 4.2
+
+    def test_flops_scale_linearly_with_voxels(self):
+        a = unet3d_forward_flops(spatial=(64, 64, 64))
+        b = unet3d_forward_flops(spatial=(64, 64, 128))
+        assert b / a == pytest.approx(2.0, rel=1e-6)
+
+    def test_paper_scale_magnitude(self):
+        """~0.5 TFLOPs forward per full 240x240x152 sample."""
+        f = unet3d_forward_flops()
+        assert 1e11 < f < 2e12
+
+    def test_param_count_matches_real_model(self):
+        """Analytic count == real layer-graph count (trainable params)."""
+        import numpy as np
+
+        from repro.nn import UNet3D
+
+        for base, halves in ((8, True), (8, False), (4, True)):
+            net = UNet3D(4, 1, base, 4, transpose_halves=halves,
+                         rng=np.random.default_rng(0))
+            assert unet3d_param_count(
+                base_filters=base, transpose_halves=halves
+            ) == net.num_params(trainable_only=True)
+
+
+class TestTrialConfig:
+    def test_defaults_are_papers(self):
+        cfg = TrialConfig()
+        assert cfg.batch_per_replica == 2
+        assert cfg.epochs == 250
+
+    def test_batch_3_rejected(self):
+        with pytest.raises(ValueError, match="16 GB"):
+            TrialConfig(batch_per_replica=3)
+
+    def test_unknown_loss_rejected(self):
+        with pytest.raises(ValueError):
+            TrialConfig(loss="focal")
+
+    def test_compute_scale(self):
+        assert TrialConfig().compute_scale() == pytest.approx(1.0)
+        assert TrialConfig(loss="quadratic_dice").compute_scale() == \
+            pytest.approx(1.02)
+        assert TrialConfig(base_filters=11).compute_scale() > 1.5
+
+
+class TestStepModel:
+    @pytest.fixture
+    def model(self):
+        return StepCostModel(params=CostModelParams())
+
+    def test_steps_per_epoch_quantisation(self, model):
+        cfg = TrialConfig()
+        # 338 / (2*1) = 169; 338/(2*32) = 5.28 -> 6
+        assert model.steps_per_epoch(cfg, 1) == 169
+        assert model.steps_per_epoch(cfg, 32) == 6
+        assert model.steps_per_epoch(cfg, 32) > 338 / 64
+
+    def test_step_time_positive_and_increasing_in_gpus(self, model):
+        cfg = TrialConfig()
+        t1 = model.step_time(cfg, 1)
+        t4 = model.step_time(cfg, 4)
+        t32 = model.step_time(cfg, 32)
+        assert 0 < t1 < t4 < t32  # sync + comm grow with n
+
+    def test_epoch_time_decreases_with_gpus(self, model):
+        cfg = TrialConfig()
+        times = [model.epoch_time(cfg, n) for n in (1, 2, 4, 8, 16, 32)]
+        assert all(a > b for a, b in zip(times, times[1:]))
+
+    def test_trial_time_dominated_by_epochs(self, model):
+        cfg = TrialConfig()
+        t = model.trial_time(cfg, 1)
+        assert t == pytest.approx(
+            250 * model.epoch_time(cfg, 1) + model.startup_time(1)
+        )
+
+    def test_framework_overhead_cases(self, model):
+        """Section III-B2: none / mirrored / ray_sgd."""
+        assert model.framework_overhead(1) == 0.0
+        m = model.framework_overhead(4)
+        r = model.framework_overhead(8)
+        assert r >= m >= 0
+
+    def test_sync_factor_growth(self, model):
+        assert model.sync_factor(1) == 1.0
+        assert model.sync_factor(32) > model.sync_factor(4) > 1.0
+
+    def test_jitter_scales_epochs_not_startup(self, model):
+        cfg = TrialConfig()
+        base = model.trial_time(cfg, 1, jitter=1.0)
+        double = model.trial_time(cfg, 1, jitter=2.0)
+        startup = model.startup_time(1)
+        assert double - startup == pytest.approx(2 * (base - startup))
+
+    def test_invalid_inputs(self, model):
+        cfg = TrialConfig()
+        with pytest.raises(ValueError):
+            model.step_time(cfg, 0)
+        with pytest.raises(ValueError):
+            model.trial_time(cfg, 1, jitter=0.0)
+
+    def test_params_validation(self):
+        with pytest.raises(ValueError):
+            CostModelParams(gpu_efficiency=0.0).validate()
+        with pytest.raises(ValueError):
+            CostModelParams(straggler_sigma=-1).validate()
+
+    def test_gradient_bytes(self, model):
+        cfg = TrialConfig()
+        assert model.gradient_bytes(cfg) == unet3d_param_count() * 4

@@ -1,0 +1,129 @@
+"""Gradient accumulation and ray.wait analogue tests."""
+
+import time
+
+import numpy as np
+import pytest
+
+from repro.nn import SGD, Adam, SoftDiceLoss, UNet3D
+from repro.raysim import DataParallelTrainer, RaySession
+
+
+def factory(seed=0):
+    return lambda: UNet3D(1, 1, 2, 2, use_batchnorm=False,
+                          rng=np.random.default_rng(seed))
+
+
+def batch(n, seed=2):
+    r = np.random.default_rng(seed)
+    x = r.normal(size=(n, 1, 4, 4, 4))
+    y = (r.uniform(size=(n, 1, 4, 4, 4)) > 0.8).astype(float)
+    return x, y
+
+
+class TestGradientAccumulation:
+    def test_equivalent_to_big_batch(self):
+        """k micro-batches == one big batch, bit-for-bit (the Section
+        V-C memory workaround must not change the optimisation)."""
+        x, y = batch(8)
+        big = DataParallelTrainer(factory(), SoftDiceLoss(),
+                                  lambda m: SGD(m, lr=1e-2), 1)
+        acc = DataParallelTrainer(factory(), SoftDiceLoss(),
+                                  lambda m: SGD(m, lr=1e-2), 1)
+        try:
+            for _ in range(3):
+                o1 = big.train_step(x, y)
+                o2 = acc.train_step_accumulated(x, y, accumulation_steps=4)
+                assert o1["loss"] == pytest.approx(o2["loss"], abs=1e-12)
+            np.testing.assert_allclose(
+                big.model.get_flat_params(), acc.model.get_flat_params(),
+                atol=1e-12,
+            )
+        finally:
+            big.shutdown()
+            acc.shutdown()
+
+    def test_combines_with_replicas(self):
+        x, y = batch(8)
+        big = DataParallelTrainer(factory(), SoftDiceLoss(),
+                                  lambda m: Adam(m, lr=1e-3), 1)
+        both = DataParallelTrainer(factory(), SoftDiceLoss(),
+                                   lambda m: Adam(m, lr=1e-3), 2)
+        try:
+            o1 = big.train_step(x, y)
+            o2 = both.train_step_accumulated(x, y, accumulation_steps=2)
+            assert o1["loss"] == pytest.approx(o2["loss"], abs=1e-12)
+            np.testing.assert_allclose(
+                big.model.get_flat_params(), both.model.get_flat_params(),
+                atol=1e-10,
+            )
+        finally:
+            big.shutdown()
+            both.shutdown()
+
+    def test_validation(self):
+        x, y = batch(4)
+        t = DataParallelTrainer(factory(), SoftDiceLoss(),
+                                lambda m: SGD(m, lr=1e-2), 2)
+        try:
+            with pytest.raises(ValueError):
+                t.train_step_accumulated(x, y, accumulation_steps=0)
+            with pytest.raises(ValueError):
+                t.train_step_accumulated(x, y, accumulation_steps=3)
+        finally:
+            t.shutdown()
+
+
+class TestWait:
+    def test_eager_tasks_all_ready(self):
+        with RaySession() as s:
+            @s.remote
+            def f(i):
+                return i
+
+            refs = [f.remote(i) for i in range(4)]
+            ready, pending = s.wait(refs, num_returns=2)
+            assert len(ready) >= 2
+            assert len(ready) + len(pending) == 4
+
+    def test_threaded_wait_returns_fast_task_first(self):
+        with RaySession(num_workers=2) as s:
+            @s.remote
+            def slow():
+                time.sleep(0.5)
+                return "slow"
+
+            @s.remote
+            def fast():
+                return "fast"
+
+            r_slow = slow.remote()
+            r_fast = fast.remote()
+            ready, pending = s.wait([r_slow, r_fast], num_returns=1)
+            assert s.get(ready[0]) == "fast"
+            assert pending and pending[0].ref_id == r_slow.ref_id
+            # eventually both complete
+            ready2, pending2 = s.wait([r_slow, r_fast], num_returns=2)
+            assert not pending2
+
+    def test_failed_task_counts_as_ready(self):
+        with RaySession(num_workers=1) as s:
+            @s.remote
+            def boom():
+                raise RuntimeError("x")
+
+            ref = boom.remote()
+            ready, _ = s.wait([ref], num_returns=1)
+            assert ready
+
+    def test_validation(self):
+        with RaySession() as s:
+            @s.remote
+            def f():
+                return 1
+
+            refs = [f.remote()]
+            with pytest.raises(ValueError):
+                s.wait(refs, num_returns=0)
+            with pytest.raises(ValueError):
+                s.wait(refs, num_returns=2)

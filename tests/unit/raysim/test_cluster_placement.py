@@ -1,0 +1,72 @@
+"""RayCluster resource registry and placement tests."""
+
+import pytest
+
+from repro.cluster import marenostrum_cte
+from repro.raysim import InsufficientResources, RayCluster
+
+
+@pytest.fixture
+def cluster():
+    return RayCluster(marenostrum_cte(4))  # 16 GPUs
+
+
+class TestAllocation:
+    def test_pack_fills_nodes_densely(self, cluster):
+        alloc = cluster.allocate_gpus(6, strategy="pack")
+        assert alloc.num_gpus == 6
+        assert alloc.nodes() == [0, 1]
+        assert sum(1 for d in alloc.devices if d.node == 0) == 4
+
+    def test_spread_balances_nodes(self, cluster):
+        alloc = cluster.allocate_gpus(4, strategy="spread")
+        assert alloc.nodes() == [0, 1, 2, 3]
+
+    def test_free_count_tracks(self, cluster):
+        assert cluster.free_gpus() == 16
+        a = cluster.allocate_gpus(10)
+        assert cluster.free_gpus() == 6
+        cluster.release(a)
+        assert cluster.free_gpus() == 16
+
+    def test_oversubscription_rejected(self, cluster):
+        cluster.allocate_gpus(16)
+        with pytest.raises(InsufficientResources):
+            cluster.allocate_gpus(1)
+
+    def test_release_restores_exact_devices(self, cluster):
+        a = cluster.allocate_gpus(16)
+        cluster.release(a)
+        b = cluster.allocate_gpus(16)
+        assert sorted(d.node for d in b.devices) == sorted(
+            d.node for d in a.devices
+        )
+
+    def test_double_release_rejected(self, cluster):
+        a = cluster.allocate_gpus(2)
+        cluster.release(a)
+        with pytest.raises(ValueError, match="more"):
+            cluster.release(a)
+
+    def test_bad_requests(self, cluster):
+        with pytest.raises(ValueError):
+            cluster.allocate_gpus(0)
+        with pytest.raises(ValueError):
+            cluster.allocate_gpus(2, strategy="random")
+        with pytest.raises(InsufficientResources):
+            cluster.allocate_gpus(17)
+
+
+class TestPlacementCase:
+    """The Section III-B2 trichotomy."""
+
+    def test_cases(self, cluster):
+        assert cluster.placement_case(1) == "sequential"
+        assert cluster.placement_case(2) == "mirrored"
+        assert cluster.placement_case(4) == "mirrored"
+        assert cluster.placement_case(5) == "ray_sgd"
+        assert cluster.placement_case(16) == "ray_sgd"
+
+    def test_invalid(self, cluster):
+        with pytest.raises(ValueError):
+            cluster.placement_case(0)

@@ -1,0 +1,76 @@
+"""Object store tests: refs, resolution, LRU eviction."""
+
+import numpy as np
+import pytest
+
+from repro.raysim import ObjectStore, ObjectStoreError
+
+
+class TestBasics:
+    def test_put_get(self):
+        store = ObjectStore()
+        ref = store.put({"a": 1})
+        assert store.get(ref) == {"a": 1}
+
+    def test_refs_unique(self):
+        store = ObjectStore()
+        r1, r2 = store.put(1), store.put(1)
+        assert r1 != r2
+
+    def test_nested_resolution(self):
+        store = ObjectStore()
+        refs = [store.put(i) for i in range(3)]
+        assert store.get(refs) == [0, 1, 2]
+        assert store.get((refs[0], 5)) == (0, 5)
+
+    def test_non_ref_passthrough(self):
+        assert ObjectStore().get(42) == 42
+
+    def test_missing_ref(self):
+        store = ObjectStore()
+        ref = store.put(1)
+        store.delete(ref)
+        with pytest.raises(ObjectStoreError):
+            store.get(ref)
+
+    def test_reserve_fulfill(self):
+        store = ObjectStore()
+        ref = store.reserve(owner="task")
+        assert not store.contains(ref)
+        store.fulfill(ref, "done")
+        assert store.get(ref) == "done"
+
+    def test_len_and_counters(self):
+        store = ObjectStore()
+        store.put(1)
+        store.put(2)
+        assert len(store) == 2
+        assert store.puts == 2
+
+
+class TestEviction:
+    def test_lru_eviction_under_capacity(self):
+        store = ObjectStore(capacity_bytes=3000)
+        a = store.put(np.zeros(128))   # 1024 B
+        b = store.put(np.zeros(128))
+        store.get(a)                   # touch a -> b is now LRU
+        c = store.put(np.zeros(256))   # 2048 B, must evict b
+        assert store.contains(a) is False or store.contains(b) is False
+        # b (LRU) evicted first
+        assert not store.contains(b)
+        assert store.contains(c)
+        assert store.evictions >= 1
+
+    def test_oversized_object_rejected(self):
+        store = ObjectStore(capacity_bytes=100)
+        with pytest.raises(ObjectStoreError, match="exceeds"):
+            store.put(np.zeros(1000))
+
+    def test_bytes_used_tracks(self):
+        store = ObjectStore()
+        store.put(np.zeros(128))
+        assert store.bytes_used == 1024
+
+    def test_bad_capacity(self):
+        with pytest.raises(ValueError):
+            ObjectStore(capacity_bytes=0)

@@ -1,0 +1,117 @@
+"""Placement-group tests."""
+
+import pytest
+
+from repro.cluster import marenostrum_cte
+from repro.raysim import (
+    InsufficientResources,
+    RayCluster,
+    create_placement_group,
+)
+
+
+@pytest.fixture
+def cluster():
+    return RayCluster(marenostrum_cte(4))  # 4 nodes x 4 GPUs
+
+
+def gpu_bundles(n):
+    return [{"GPU": 1.0} for _ in range(n)]
+
+
+class TestStrictPack:
+    def test_fits_one_node(self, cluster):
+        pg = create_placement_group(cluster, gpu_bundles(4), "STRICT_PACK")
+        assert pg.nodes() == [pg.bundle_nodes[0]]
+        assert len(set(pg.bundle_nodes)) == 1
+
+    def test_too_big_for_any_node_fails_atomically(self, cluster):
+        with pytest.raises(InsufficientResources):
+            create_placement_group(cluster, gpu_bundles(5), "STRICT_PACK")
+        assert cluster.free_gpus() == 16  # nothing leaked
+
+    def test_skips_partially_used_nodes(self, cluster):
+        cluster.allocate_gpus(2, strategy="pack")  # node 0 partially used
+        pg = create_placement_group(cluster, gpu_bundles(4), "STRICT_PACK")
+        assert pg.nodes() != [0]
+
+
+class TestPack:
+    def test_minimises_nodes(self, cluster):
+        pg = create_placement_group(cluster, gpu_bundles(6), "PACK")
+        assert len(pg.nodes()) == 2
+
+    def test_fills_fragmented_capacity(self, cluster):
+        cluster.allocate_gpus(3, strategy="spread")
+        pg = create_placement_group(cluster, gpu_bundles(13), "PACK")
+        assert pg.num_bundles == 13
+        assert cluster.free_gpus() == 0
+
+
+class TestSpread:
+    def test_spread_balances(self, cluster):
+        pg = create_placement_group(cluster, gpu_bundles(4), "SPREAD")
+        assert len(pg.nodes()) == 4
+
+    def test_strict_spread_requires_distinct_nodes(self, cluster):
+        pg = create_placement_group(cluster, gpu_bundles(4), "STRICT_SPREAD")
+        assert len(pg.nodes()) == 4
+        with pytest.raises(InsufficientResources):
+            create_placement_group(cluster, gpu_bundles(5), "STRICT_SPREAD")
+
+    def test_strict_spread_atomic_failure(self, cluster):
+        free_before = cluster.free_gpus()
+        with pytest.raises(InsufficientResources):
+            create_placement_group(cluster, gpu_bundles(5), "STRICT_SPREAD")
+        assert cluster.free_gpus() == free_before
+
+
+class TestLifecycle:
+    def test_remove_returns_resources(self, cluster):
+        pg = create_placement_group(cluster, gpu_bundles(8), "PACK")
+        assert cluster.free_gpus() == 8
+        pg.remove()
+        assert cluster.free_gpus() == 16
+
+    def test_remove_idempotent(self, cluster):
+        pg = create_placement_group(cluster, gpu_bundles(2), "PACK")
+        pg.remove()
+        pg.remove()
+        assert cluster.free_gpus() == 16
+
+    def test_mixed_resource_bundles(self, cluster):
+        pg = create_placement_group(
+            cluster, [{"GPU": 2.0, "CPU": 8.0}, {"GPU": 1.0}], "PACK"
+        )
+        assert pg.num_bundles == 2
+        pg.remove()
+        assert cluster.free_gpus() == 16
+
+    def test_validation(self, cluster):
+        with pytest.raises(ValueError):
+            create_placement_group(cluster, [], "PACK")
+        with pytest.raises(ValueError):
+            create_placement_group(cluster, [{"GPU": 0.0}], "PACK")
+        with pytest.raises(ValueError):
+            create_placement_group(cluster, gpu_bundles(1), "BESTFIT")
+
+
+class TestPaperUsage:
+    def test_mirrored_strategy_reservation(self, cluster):
+        """The paper's 1 < n <= M case: all replicas of one trial must
+        share a node's NVLink -> STRICT_PACK of n GPU bundles."""
+        pg = create_placement_group(cluster, gpu_bundles(4), "STRICT_PACK")
+        assert len(pg.nodes()) == 1
+
+    def test_tune_trials_spread(self, cluster):
+        """Experiment parallelism: independent 1-GPU trials can SPREAD
+        for thermal/host-memory balance, no communication to lose."""
+        groups = [
+            create_placement_group(cluster, gpu_bundles(1), "SPREAD")
+            for _ in range(16)
+        ]
+        assert cluster.free_gpus() == 0
+        per_node = [0, 0, 0, 0]
+        for g in groups:
+            per_node[g.bundle_nodes[0]] += 1
+        assert per_node == [4, 4, 4, 4]

@@ -1,0 +1,169 @@
+"""Remote task and actor tests."""
+
+import threading
+import time
+
+import numpy as np
+import pytest
+
+from repro.raysim import RaySession, TaskError
+
+
+class TestRemoteTasks:
+    def test_eager_mode_roundtrip(self):
+        with RaySession() as s:
+            @s.remote
+            def add(a, b):
+                return a + b
+
+            ref = add.remote(2, 3)
+            assert s.get(ref) == 5
+
+    def test_refs_as_arguments_resolve(self):
+        with RaySession() as s:
+            @s.remote
+            def double(x):
+                return 2 * x
+
+            r1 = double.remote(5)
+            r2 = double.remote(r1)
+            assert s.get(r2) == 20
+
+    def test_direct_call_still_works(self):
+        with RaySession() as s:
+            @s.remote
+            def f(x):
+                return x + 1
+
+            assert f(1) == 2
+
+    def test_task_error_raised_at_get(self):
+        with RaySession() as s:
+            @s.remote
+            def boom():
+                raise ValueError("inner")
+
+            ref = boom.remote()  # submission does not raise
+            with pytest.raises(TaskError) as exc:
+                s.get(ref)
+            assert "inner" in str(exc.value.__cause__)
+
+    def test_threaded_mode_parallel_execution(self):
+        with RaySession(num_workers=3) as s:
+            barrier = threading.Barrier(3, timeout=5)
+
+            @s.remote
+            def wait(i):
+                barrier.wait()  # requires 3 concurrent tasks
+                return i
+
+            refs = [wait.remote(i) for i in range(3)]
+            assert s.wait_all(refs) == [0, 1, 2]
+
+    def test_threaded_mode_numpy_payload(self):
+        with RaySession(num_workers=2) as s:
+            @s.remote
+            def total(arr):
+                return float(arr.sum())
+
+            data = s.put(np.ones(100))
+            assert s.get(total.remote(data)) == 100.0
+
+    def test_kwargs_ref_resolution(self):
+        with RaySession() as s:
+            @s.remote
+            def sub(a, b=0):
+                return a - b
+
+            assert s.get(sub.remote(10, b=s.put(4))) == 6
+
+    def test_bad_worker_count(self):
+        with pytest.raises(ValueError):
+            RaySession(num_workers=-1)
+
+    def test_tasks_submitted_counter(self):
+        with RaySession() as s:
+            @s.remote
+            def noop():
+                return None
+
+            for _ in range(4):
+                noop.remote()
+            assert s.tasks_submitted == 4
+
+
+class TestActors:
+    def test_state_accumulates_in_order(self):
+        with RaySession() as s:
+            class Acc:
+                def __init__(self, start):
+                    self.total = start
+
+                def add(self, v):
+                    self.total += v
+                    return self.total
+
+            a = s.actor(Acc).remote(10)
+            refs = [a.add.remote(i) for i in (1, 2, 3)]
+            assert [s.get_blocking(r) for r in refs] == [11, 13, 16]
+            a.terminate()
+
+    def test_actor_method_error(self):
+        with RaySession() as s:
+            class Bad:
+                def fail(self):
+                    raise RuntimeError("nope")
+
+            a = s.actor(Bad).remote()
+            ref = a.fail.remote()
+            with pytest.raises(TaskError):
+                s.get_blocking(ref)
+            a.terminate()
+
+    def test_constructor_error_propagates(self):
+        with RaySession() as s:
+            class Broken:
+                def __init__(self):
+                    raise ValueError("ctor")
+
+            with pytest.raises(TaskError):
+                s.actor(Broken).remote()
+
+    def test_terminated_actor_rejects_calls(self):
+        with RaySession() as s:
+            class A:
+                def ping(self):
+                    return "pong"
+
+            a = s.actor(A).remote()
+            a.terminate()
+            with pytest.raises(RuntimeError, match="terminated"):
+                a.ping.remote()
+
+    def test_direct_method_call_rejected(self):
+        with RaySession() as s:
+            class A:
+                def ping(self):
+                    return "pong"
+
+            a = s.actor(A).remote()
+            with pytest.raises(TypeError, match=r"\.remote"):
+                a.ping()
+            a.terminate()
+
+    def test_two_actors_isolated(self):
+        with RaySession() as s:
+            class Counter:
+                def __init__(self):
+                    self.n = 0
+
+                def inc(self):
+                    self.n += 1
+                    return self.n
+
+            a, b = s.actor(Counter).remote(), s.actor(Counter).remote()
+            s.get_blocking(a.inc.remote())
+            s.get_blocking(a.inc.remote())
+            assert s.get_blocking(b.inc.remote()) == 1
+            a.terminate()
+            b.terminate()

@@ -1,0 +1,178 @@
+"""Data-parallel SGD trainer tests -- the machinery behind claim C2."""
+
+import numpy as np
+import pytest
+
+from repro.nn import Adam, SGD, SoftDiceLoss, UNet3D
+from repro.raysim import DataParallelTrainer, SyncGroup
+
+rng = np.random.default_rng(4)
+
+
+def unet_factory(use_bn=False, seed=0):
+    return lambda: UNet3D(1, 1, 2, 2, use_batchnorm=use_bn,
+                          rng=np.random.default_rng(seed))
+
+
+def batch(n=4, seed=2):
+    r = np.random.default_rng(seed)
+    x = r.normal(size=(n, 1, 4, 4, 4))
+    y = (r.uniform(size=(n, 1, 4, 4, 4)) > 0.8).astype(float)
+    return x, y
+
+
+class TestExactEquivalence:
+    @pytest.mark.parametrize("replicas", [2, 4])
+    def test_gradient_sharding_equals_full_batch(self, replicas):
+        """N-replica training == 1-replica large-batch training, to float
+        round-off, when BN is absent (TF MirroredStrategy semantics)."""
+        x, y = batch(4)
+        t1 = DataParallelTrainer(unet_factory(), SoftDiceLoss(),
+                                 lambda m: Adam(m, lr=1e-3), 1)
+        tn = DataParallelTrainer(unet_factory(), SoftDiceLoss(),
+                                 lambda m: Adam(m, lr=1e-3), replicas)
+        try:
+            for _ in range(4):
+                o1 = t1.train_step(x, y)
+                on = tn.train_step(x, y)
+                assert o1["loss"] == pytest.approx(on["loss"], abs=1e-12)
+            np.testing.assert_allclose(
+                t1.model.get_flat_params(), tn.model.get_flat_params(),
+                atol=1e-10,
+            )
+        finally:
+            t1.shutdown()
+            tn.shutdown()
+
+    def test_sync_batchnorm_restores_equivalence(self):
+        x, y = batch(4)
+        t1 = DataParallelTrainer(unet_factory(use_bn=True), SoftDiceLoss(),
+                                 lambda m: SGD(m, lr=1e-2), 1)
+        t2 = DataParallelTrainer(unet_factory(use_bn=True), SoftDiceLoss(),
+                                 lambda m: SGD(m, lr=1e-2), 2,
+                                 sync_batchnorm=True)
+        try:
+            for _ in range(3):
+                o1 = t1.train_step(x, y)
+                o2 = t2.train_step(x, y)
+                assert o1["loss"] == pytest.approx(o2["loss"], abs=1e-10)
+            np.testing.assert_allclose(
+                t1.model.get_flat_params(), t2.model.get_flat_params(),
+                atol=1e-8,
+            )
+        finally:
+            t1.shutdown()
+            t2.shutdown()
+
+    def test_per_replica_bn_differs_from_full_batch(self):
+        """Without sync BN the statistics are per-shard, so the runs
+        diverge -- documenting the MirroredStrategy caveat."""
+        x, y = batch(4)
+        t1 = DataParallelTrainer(unet_factory(use_bn=True), SoftDiceLoss(),
+                                 lambda m: SGD(m, lr=1e-2), 1)
+        t2 = DataParallelTrainer(unet_factory(use_bn=True), SoftDiceLoss(),
+                                 lambda m: SGD(m, lr=1e-2), 2,
+                                 sync_batchnorm=False)
+        try:
+            for _ in range(2):
+                t1.train_step(x, y)
+                t2.train_step(x, y)
+            diff = np.abs(
+                t1.model.get_flat_params() - t2.model.get_flat_params()
+            ).max()
+            assert diff > 1e-9
+        finally:
+            t1.shutdown()
+            t2.shutdown()
+
+
+class TestInvariants:
+    def test_replicas_stay_in_lockstep(self):
+        x, y = batch(6)
+        t = DataParallelTrainer(unet_factory(), SoftDiceLoss(),
+                                lambda m: Adam(m, lr=1e-3), 3)
+        try:
+            for _ in range(3):
+                t.train_step(x, y)
+                assert t.weights_in_sync(atol=1e-12)
+        finally:
+            t.shutdown()
+
+    def test_loss_decreases(self):
+        x, y = batch(4)
+        t = DataParallelTrainer(unet_factory(), SoftDiceLoss(),
+                                lambda m: Adam(m, lr=1e-2), 2)
+        try:
+            first = t.train_step(x, y)["loss"]
+            for _ in range(20):
+                last = t.train_step(x, y)["loss"]
+            assert last < first
+        finally:
+            t.shutdown()
+
+    def test_uneven_shards_weighted_correctly(self):
+        """Batch 5 over 2 replicas (3+2) must still equal full batch."""
+        x, y = batch(5)
+        t1 = DataParallelTrainer(unet_factory(), SoftDiceLoss(),
+                                 lambda m: SGD(m, lr=1e-2), 1)
+        t2 = DataParallelTrainer(unet_factory(), SoftDiceLoss(),
+                                 lambda m: SGD(m, lr=1e-2), 2)
+        try:
+            o1, o2 = t1.train_step(x, y), t2.train_step(x, y)
+            assert o1["loss"] == pytest.approx(o2["loss"], abs=1e-12)
+            np.testing.assert_allclose(
+                t1.model.get_flat_params(), t2.model.get_flat_params(),
+                atol=1e-12,
+            )
+        finally:
+            t1.shutdown()
+            t2.shutdown()
+
+    def test_batch_smaller_than_replicas_rejected(self):
+        x, y = batch(2)
+        t = DataParallelTrainer(unet_factory(), SoftDiceLoss(),
+                                lambda m: SGD(m, lr=1e-2), 3)
+        try:
+            with pytest.raises(ValueError, match="sharded"):
+                t.train_step(x, y)
+        finally:
+            t.shutdown()
+
+    def test_mismatched_xy_rejected(self):
+        t = DataParallelTrainer(unet_factory(), SoftDiceLoss(),
+                                lambda m: SGD(m, lr=1e-2), 1)
+        with pytest.raises(ValueError):
+            t.train_step(np.zeros((2, 1, 4, 4, 4)), np.zeros((3, 1, 4, 4, 4)))
+
+    def test_evaluate_returns_loss_and_prediction(self):
+        x, y = batch(2)
+        t = DataParallelTrainer(unet_factory(), SoftDiceLoss(),
+                                lambda m: SGD(m, lr=1e-2), 1)
+        out = t.evaluate(x, y)
+        assert 0 <= out["loss"] <= 1
+        assert out["prediction"].shape == y.shape
+
+    def test_bad_replica_count(self):
+        with pytest.raises(ValueError):
+            DataParallelTrainer(unet_factory(), SoftDiceLoss(),
+                                lambda m: SGD(m, lr=1e-2), 0)
+
+
+class TestSyncGroup:
+    def test_deterministic_sum(self):
+        import threading
+
+        group = SyncGroup(3)
+        results = [None] * 3
+
+        def worker(i):
+            results[i] = group.reduce(i, np.array([float(i)]), float(i))
+
+        threads = [threading.Thread(target=worker, args=(i,)) for i in range(3)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        for r in results:
+            np.testing.assert_allclose(r[0], [3.0])
+            assert r[1] == 3.0

@@ -1,0 +1,205 @@
+"""Tune-analogue trial runner, search algorithms, ASHA tests."""
+
+import pytest
+
+from repro.raysim import (
+    ASHAScheduler,
+    GridSearch,
+    RandomSearch,
+    StopTrial,
+    TPELite,
+    TrialStatus,
+    tune_run,
+)
+
+
+class TestGridSearch:
+    def test_cross_product(self):
+        g = GridSearch({"a": [1, 2], "b": ["x", "y", "z"]})
+        configs = list(g.configurations())
+        assert len(configs) == len(g) == 6
+        assert {frozenset(c.items()) for c in configs} == {
+            frozenset({("a", a), ("b", b)}.union())
+            for a in (1, 2) for b in ("x", "y", "z")
+        }
+
+    def test_paper_cross_product_quote(self):
+        """Section III-B2: 'the cross-product of the different values
+        for each option in the configuration'."""
+        g = GridSearch({"lr": [1e-3, 1e-4, 1e-5], "loss": ["d", "q"]})
+        assert len(g) == 6
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            GridSearch({})
+        with pytest.raises(ValueError):
+            GridSearch({"a": []})
+
+
+class TestRandomSearch:
+    def test_seeded_reproducible(self):
+        space = {"lr": [1, 2, 3], "x": lambda rng: float(rng.uniform(0, 1))}
+        a = list(RandomSearch(space, 5, seed=3).configurations())
+        b = list(RandomSearch(space, 5, seed=3).configurations())
+        assert a == b
+        assert len(a) == 5
+
+    def test_callable_sampler_support(self):
+        space = {"x": lambda rng: float(rng.uniform(10, 20))}
+        for c in RandomSearch(space, 8, seed=0).configurations():
+            assert 10 <= c["x"] <= 20
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            RandomSearch({"a": [1]}, 0)
+
+
+class TestTPELite:
+    def test_adapts_towards_good_region(self):
+        space = {"x": [0, 1, 2, 3]}
+        alg = TPELite(space, num_samples=60, mode="max", startup_trials=8,
+                      seed=0)
+
+        def score(cfg):
+            return 10.0 if cfg["x"] == 2 else 0.0
+
+        picks = []
+        for cfg in alg.configurations():
+            picks.append(cfg["x"])
+            alg.observe(cfg, score(cfg))
+        late = picks[30:]
+        assert late.count(2) > len(late) * 0.4  # concentrates on the optimum
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            TPELite({"x": [1]}, 5, mode="best")
+
+
+class TestTuneRun:
+    def test_runs_all_trials_and_finds_best(self):
+        def trainable(config, reporter):
+            for e in range(3):
+                reporter(epoch=e, score=config["a"] * 10 + e)
+            return {"score": config["a"] * 10 + 2}
+
+        analysis = tune_run(trainable, GridSearch({"a": [1, 3, 2]}))
+        assert len(analysis.trials) == 3
+        best = analysis.best_trial("score")
+        assert best.config == {"a": 3}
+        assert analysis.best_config("score") == {"a": 3}
+        assert all(t.status is TrialStatus.TERMINATED for t in analysis.trials)
+
+    def test_min_mode(self):
+        def trainable(config, reporter):
+            reporter(loss=config["a"])
+
+        analysis = tune_run(trainable, GridSearch({"a": [3, 1, 2]}))
+        assert analysis.best_trial("loss", mode="min").config == {"a": 1}
+
+    def test_error_trial_recorded_not_raised(self):
+        def trainable(config, reporter):
+            if config["a"] == 2:
+                raise RuntimeError("bad trial")
+            reporter(score=config["a"])
+
+        analysis = tune_run(trainable, GridSearch({"a": [1, 2, 3]}))
+        assert analysis.num_errors() == 1
+        errored = [t for t in analysis.trials if t.status is TrialStatus.ERROR]
+        assert "bad trial" in errored[0].error
+        # the rest still completed and best is found
+        assert analysis.best_trial("score").config == {"a": 3}
+
+    def test_raise_on_error_mode(self):
+        def trainable(config, reporter):
+            raise RuntimeError("boom")
+
+        with pytest.raises(RuntimeError):
+            tune_run(trainable, GridSearch({"a": [1]}), raise_on_error=True)
+
+    def test_stop_trial_exception(self):
+        def trainable(config, reporter):
+            reporter(score=1.0)
+            raise StopTrial()
+
+        analysis = tune_run(trainable, GridSearch({"a": [1]}))
+        assert analysis.trials[0].status is TrialStatus.STOPPED
+
+    def test_results_table(self):
+        def trainable(config, reporter):
+            reporter(score=config["a"])
+
+        analysis = tune_run(trainable, GridSearch({"a": [1, 2]}))
+        rows = analysis.results_table("score")
+        assert len(rows) == 2 and rows[0]["epochs_run"] == 1
+
+    def test_adaptive_search_receives_observations(self):
+        alg = TPELite({"x": [0, 1]}, num_samples=10, seed=0)
+
+        def trainable(config, reporter):
+            reporter(score=float(config["x"]))
+
+        tune_run(trainable, alg, metric="score")
+        assert len(alg.history) == 10
+
+    def test_no_metric_reported_raises_on_best(self):
+        def trainable(config, reporter):
+            return None
+
+        analysis = tune_run(trainable, GridSearch({"a": [1]}))
+        with pytest.raises(ValueError):
+            analysis.best_trial("dice")
+
+
+class TestASHA:
+    def test_rung_times_geometric(self):
+        asha = ASHAScheduler("dice", grace_period=10, reduction_factor=3,
+                             max_t=250)
+        assert asha.rung_times == [10, 30, 90]
+
+    def test_bottom_half_stopped_at_rung(self):
+        asha = ASHAScheduler("dice", grace_period=2, reduction_factor=2,
+                             max_t=20)
+
+        def trainable(config, reporter):
+            for e in range(1, 11):
+                # quality proportional to config value
+                if not reporter(epoch=e, dice=config["q"] / 10 + e * 1e-4):
+                    return None
+
+        # Strong configs first: with sequential execution, ASHA's rung
+        # records then cut the weaker late arrivals (a trial that is
+        # best-so-far at its rung always survives, as in async ASHA).
+        analysis = tune_run(
+            trainable, GridSearch({"q": [8, 7, 6, 5, 4, 3, 2, 1]}),
+            scheduler=asha,
+        )
+        stopped = [t for t in analysis.trials if t.status is TrialStatus.STOPPED]
+        finished = [t for t in analysis.trials if t.status is TrialStatus.TERMINATED]
+        assert stopped, "ASHA should stop weak trials"
+        assert finished, "ASHA should keep strong trials"
+        # epochs saved vs FIFO
+        total_epochs = sum(len(t.results) for t in analysis.trials)
+        assert total_epochs < 8 * 10
+
+    def test_best_survives(self):
+        asha = ASHAScheduler("dice", grace_period=2, reduction_factor=2,
+                             max_t=16)
+
+        def trainable(config, reporter):
+            for e in range(1, 9):
+                if not reporter(epoch=e, dice=config["q"]):
+                    return None
+
+        analysis = tune_run(trainable, GridSearch({"q": [0.1, 0.5, 0.9]}),
+                            scheduler=asha)
+        best = analysis.best_trial("dice")
+        assert best.config == {"q": 0.9}
+        assert best.status is TrialStatus.TERMINATED
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ASHAScheduler("m", mode="bad")
+        with pytest.raises(ValueError):
+            ASHAScheduler("m", grace_period=0)
+        with pytest.raises(ValueError):
+            ASHAScheduler("m", reduction_factor=1)
