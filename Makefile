@@ -2,13 +2,25 @@
 
 PYTHON ?= python3
 
-.PHONY: install test bench examples report api-docs results clean
+.PHONY: install test lint smoke bench examples report api-docs results clean
 
 install:
 	PIP_NO_BUILD_ISOLATION=false pip install -e .
 
 test:
 	$(PYTHON) -m pytest tests/
+
+# ruff when available, else the dependency-free fallback in tools/lint.py
+lint:
+	@if command -v ruff >/dev/null 2>&1; then \
+		ruff check src tests tools examples; \
+	else \
+		echo "ruff not found; using tools/lint.py fallback"; \
+		$(PYTHON) tools/lint.py src tests tools examples; \
+	fi
+
+smoke:
+	PYTHONPATH=src $(PYTHON) examples/quickstart.py
 
 bench:
 	$(PYTHON) -m pytest benchmarks/ --benchmark-only -s

@@ -9,7 +9,6 @@ replicas, ring all-reduce of the gradients, the LR x #GPUs scaling rule
 Run:  python examples/data_parallel_training.py
 """
 
-import numpy as np
 
 from repro.core import ExperimentSettings, MISPipeline, train_trial
 from repro.core.data_parallel import placement_case

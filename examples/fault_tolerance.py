@@ -16,7 +16,6 @@ Run:  python examples/fault_tolerance.py
 import tempfile
 from pathlib import Path
 
-import numpy as np
 
 from repro.cluster.failures import FailureModel, run_with_failures
 from repro.core import (

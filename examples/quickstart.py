@@ -22,7 +22,7 @@ def main() -> None:
                        depth=4, rng=np.random.default_rng(0))
     print("Fig 2 model:", paper_net)
     print(f"  filter progression : {paper_net.filters}")
-    print(f"  input contract     : (N, 4, 240, 240, 152) -> (N, 1, 240, 240, 152)")
+    print("  input contract     : (N, 4, 240, 240, 152) -> (N, 1, 240, 240, 152)")
     paper_net.validate_input_shape((1, 4, 240, 240, 152))
 
     # -- a laptop-scale run of the same pipeline ----------------------------

@@ -23,6 +23,10 @@ Subpackages
     trial runner with grid/random/ASHA search.
 ``repro.perf``
     Calibrated performance model behind the Table I reproduction.
+``repro.telemetry``
+    Unified observability: metrics registry, span tracer, run
+    manifests, and the process-wide hub with its zero-overhead null
+    twin.
 ``repro.core``
     The paper's pipeline: configuration spaces, data-parallel and
     experiment-parallel drivers, the DistMIS runner, profiling.
@@ -30,4 +34,5 @@ Subpackages
 
 __version__ = "1.0.0"
 
-__all__ = ["nn", "data", "cluster", "raysim", "perf", "core", "__version__"]
+__all__ = ["nn", "data", "cluster", "raysim", "perf", "telemetry", "core",
+           "__version__"]

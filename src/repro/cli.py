@@ -11,13 +11,29 @@ surface:
 * ``distmis simulate`` -- price one (method, #GPUs) cell, optionally
   exporting the Chrome trace;
 * ``distmis profile``  -- the Section III-B1 pipeline bottleneck report;
-* ``distmis calibrate``-- re-fit the cost model against Table I.
+* ``distmis calibrate``-- re-fit the cost model against Table I;
+* ``distmis telemetry``-- inspect a telemetry run directory (summary /
+  Prometheus text / merged Chrome trace).
+
+``train``, ``search`` and ``simulate`` accept ``--telemetry DIR`` to
+record the run (manifest + metrics + trace) into ``DIR``.
 """
 
 from __future__ import annotations
 
 import argparse
 import sys
+
+
+def _make_hub(args):
+    """A live hub writing to ``--telemetry DIR``, else the null sink."""
+    if getattr(args, "telemetry", None):
+        from .telemetry import TelemetryHub
+
+        return TelemetryHub(run_dir=args.telemetry)
+    from .telemetry import NULL_HUB
+
+    return NULL_HUB
 
 
 def _add_scale_args(p: argparse.ArgumentParser) -> None:
@@ -66,12 +82,13 @@ def cmd_fig4(args) -> int:
 def cmd_train(args) -> int:
     from .core import MISPipeline, train_trial
 
+    hub = _make_hub(args)
     settings = _settings(args)
-    pipeline = MISPipeline(settings)
+    pipeline = MISPipeline(settings, telemetry=hub)
+    config = {"learning_rate": args.lr, "loss": args.loss}
     out = train_trial(
-        {"learning_rate": args.lr, "loss": args.loss},
-        settings, pipeline, num_replicas=args.gpus,
-        convergence_patience=4,
+        config, settings, pipeline, num_replicas=args.gpus,
+        convergence_patience=4, telemetry=hub,
     )
     for rec in out.history:
         print(f"epoch {rec.epoch:>3}  loss {rec.train_loss:.4f}  "
@@ -79,6 +96,14 @@ def cmd_train(args) -> int:
     print(f"best val DSC {out.val_dice:.4f}   test DSC {out.test_dice:.4f}")
     if out.converged_epoch is not None:
         print(f"converged at epoch {out.converged_epoch}")
+    run_dir = hub.finalize_run(
+        kind="train", config=config, seed=settings.seed,
+        final_metrics={"val_dice": out.val_dice,
+                       "test_dice": out.test_dice,
+                       "wall_seconds": out.wall_seconds},
+    )
+    if run_dir is not None:
+        print(f"telemetry written to {run_dir}")
     return 0
 
 
@@ -88,7 +113,8 @@ def cmd_search(args) -> int:
     space = HyperparameterSpace(
         {"learning_rate": args.lr, "loss": args.losses}
     )
-    runner = DistMISRunner(space=space, settings=_settings(args))
+    runner = DistMISRunner(space=space, settings=_settings(args),
+                           telemetry=_make_hub(args))
     if args.method == "data_parallel":
         result = runner.run_inprocess("data_parallel", num_gpus=args.gpus)
         for o in result.outcomes:
@@ -101,6 +127,8 @@ def cmd_search(args) -> int:
             print(f"{row['trial_id']} {row['config']} "
                   f"val DSC {row['val_dice']:.4f} [{row['status']}]")
         print(f"best: {result.analysis.best_config('val_dice')}")
+    if runner.telemetry.enabled:
+        print(f"telemetry written to {runner.telemetry.run_dir}")
     return 0
 
 
@@ -108,7 +136,7 @@ def cmd_simulate(args) -> int:
     from .core import DistMISRunner
     from .perf import format_hms
 
-    runner = DistMISRunner()
+    runner = DistMISRunner(telemetry=_make_hub(args))
     run = runner.simulate(args.method, args.gpus, seed=args.seed,
                           gpus_per_trial=args.gpus_per_trial)
     print(f"{args.method} @ {args.gpus} GPUs: "
@@ -118,6 +146,89 @@ def cmd_simulate(args) -> int:
     if args.trace:
         run.timeline.to_chrome_trace(args.trace)
         print(f"chrome trace written to {args.trace}")
+    if runner.telemetry.enabled:
+        print(f"telemetry written to {runner.telemetry.run_dir}")
+    return 0
+
+
+def cmd_telemetry(args) -> int:
+    import json
+    from pathlib import Path
+
+    from .telemetry import RunManifest
+    from .telemetry.hub import METRICS_JSONL, METRICS_PROM, TRACE_JSON
+
+    run_dir = Path(args.run_dir)
+    if args.action == "summary":
+        if not run_dir.is_dir():
+            print(f"no run directory at {run_dir}", file=sys.stderr)
+            return 1
+        manifest_path = run_dir / "manifest.json"
+        if manifest_path.exists():
+            m = RunManifest.load(run_dir)
+            print(f"run       : {m.run_id}")
+            print(f"kind      : {m.kind}")
+            created = m.to_dict()["created_iso"]
+            print(f"created   : {created}")
+            print(f"git rev   : {m.git_rev or '(unknown)'}")
+            print(f"host      : {m.host.get('hostname', '?')} "
+                  f"({m.host.get('platform', '?')})")
+            print(f"seed      : {m.seed}")
+            if m.config:
+                print(f"config    : {json.dumps(m.config, sort_keys=True)}")
+            for k, v in sorted(m.final_metrics.items()):
+                print(f"  {k:<20} {v}")
+        else:
+            print(f"no manifest.json in {run_dir}")
+        metrics_path = run_dir / METRICS_JSONL
+        if metrics_path.exists():
+            rows = [json.loads(line)
+                    for line in metrics_path.read_text().splitlines() if line]
+            print(f"metrics   : {len(rows)} series")
+            for row in rows:
+                labels = ",".join(f"{k}={v}"
+                                  for k, v in sorted(row["labels"].items()))
+                name = row["name"] + (f"{{{labels}}}" if labels else "")
+                if row["kind"] == "histogram":
+                    mean = row["sum"] / row["count"] if row["count"] else 0.0
+                    print(f"  {name:<44} n={row['count']} mean={mean:.4g}")
+                else:
+                    print(f"  {name:<44} {row['value']:g}")
+        trace_path = run_dir / TRACE_JSON
+        if trace_path.exists():
+            events = json.loads(trace_path.read_text())
+            cats: dict[str, int] = {}
+            for ev in events:
+                cats[ev.get("cat", "?")] = cats.get(ev.get("cat", "?"), 0) + 1
+            breakdown = ", ".join(f"{k}: {v}" for k, v in sorted(cats.items()))
+            print(f"trace     : {len(events)} spans ({breakdown})")
+        return 0
+    if args.action == "prom":
+        prom = run_dir / METRICS_PROM
+        if not prom.exists():
+            print(f"no {METRICS_PROM} in {run_dir}", file=sys.stderr)
+            return 1
+        sys.stdout.write(prom.read_text())
+        return 0
+    # action == "trace": merge the run dirs' traces into one Perfetto file.
+    # Each run dir may already span several pids (real spans + simulated
+    # timelines), so shift rather than overwrite to keep lanes distinct.
+    merged: list[dict] = []
+    offset = 0
+    for d in [run_dir] + [Path(p) for p in args.extra_runs]:
+        trace_path = d / TRACE_JSON
+        if not trace_path.exists():
+            print(f"no {TRACE_JSON} in {d}", file=sys.stderr)
+            return 1
+        events = json.loads(trace_path.read_text())
+        for ev in events:
+            ev["pid"] = offset + ev.get("pid", 0)
+            merged.append(ev)
+        offset = max((e["pid"] for e in events), default=offset) + 1
+    merged.sort(key=lambda e: e["ts"])
+    out = Path(args.output)
+    out.write_text(json.dumps(merged))
+    print(f"merged chrome trace ({len(merged)} spans) written to {out}")
     return 0
 
 
@@ -199,6 +310,8 @@ def build_parser() -> argparse.ArgumentParser:
                    choices=["dice", "quadratic_dice", "bce"])
     p.add_argument("--gpus", type=int, default=1,
                    help="virtual data-parallel replicas")
+    p.add_argument("--telemetry", metavar="DIR",
+                   help="record manifest/metrics/trace into DIR")
     p.set_defaults(fn=cmd_train)
 
     p = sub.add_parser("search", help="hyper-parameter search in-process")
@@ -208,6 +321,8 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--method", default="experiment_parallel",
                    choices=["data_parallel", "experiment_parallel"])
     p.add_argument("--gpus", type=int, default=1)
+    p.add_argument("--telemetry", metavar="DIR",
+                   help="record manifest/metrics/trace into DIR")
     p.set_defaults(fn=cmd_search)
 
     p = sub.add_parser("simulate", help="price one cell on the simulator")
@@ -218,7 +333,21 @@ def build_parser() -> argparse.ArgumentParser:
                    help="hybrid method: GPUs per trial (default: one node)")
     p.add_argument("--seed", type=int, default=None)
     p.add_argument("--trace", help="write a Chrome trace JSON here")
+    p.add_argument("--telemetry", metavar="DIR",
+                   help="record manifest/metrics/trace into DIR")
     p.set_defaults(fn=cmd_simulate)
+
+    p = sub.add_parser("telemetry",
+                       help="inspect a telemetry run directory")
+    p.add_argument("action", choices=["summary", "prom", "trace"],
+                   help="summary: manifest + metrics overview; prom: dump "
+                        "Prometheus text; trace: merge Chrome traces")
+    p.add_argument("run_dir", help="run directory written by --telemetry")
+    p.add_argument("extra_runs", nargs="*",
+                   help="further run dirs to merge (trace action)")
+    p.add_argument("--output", default="merged_trace.json",
+                   help="output path for the merged trace")
+    p.set_defaults(fn=cmd_telemetry)
 
     p = sub.add_parser("profile", help="input-pipeline bottleneck report")
     p.add_argument("--subjects", type=int, default=6)

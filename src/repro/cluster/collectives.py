@@ -109,16 +109,32 @@ def allreduce_time(
     )
 
 
-def ring_allreduce(buffers: list[np.ndarray], average: bool = False) -> list[np.ndarray]:
+def ring_allreduce(buffers: list[np.ndarray], average: bool = False,
+                   telemetry=None) -> list[np.ndarray]:
     """Exact ring all-reduce over per-replica buffers.
 
     Performs the textbook chunked reduce-scatter followed by an
     all-gather; every returned buffer equals the elementwise sum (or
-    mean) of the inputs.  Inputs are not modified.
+    mean) of the inputs.  Inputs are not modified.  ``telemetry`` (a
+    :class:`repro.telemetry.TelemetryHub`, default the process hub)
+    receives the operation count and the wire bytes the ring would move
+    -- ``2 (n-1)/n`` of the payload per participant, the quantity the
+    cost model prices.
     """
     n = len(buffers)
     if n == 0:
         raise ValueError("need at least one buffer")
+    if telemetry is None:
+        from ..telemetry import get_hub
+
+        telemetry = get_hub()
+    payload = sum(b.nbytes for b in buffers)
+    telemetry.metrics.counter(
+        "allreduce_ops_total", "exact ring all-reduce invocations").inc()
+    telemetry.metrics.counter(
+        "allreduce_bytes_total",
+        "bytes the chunked ring moves over the wire (2(n-1)/n x payload)",
+    ).inc(2 * (n - 1) / n * payload)
     shape = buffers[0].shape
     for b in buffers:
         if b.shape != shape:

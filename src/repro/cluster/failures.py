@@ -82,7 +82,7 @@ def run_with_failures(
             if fail_after >= remaining:
                 yield sim.timeout(remaining)
                 timeline.record(f"trial_{idx:02d}", start, sim.now,
-                                f"gpu", category="train",
+                                "gpu", category="train",
                                 attempt=attempt)
                 pool.release()
                 return

@@ -84,8 +84,15 @@ class Timeline:
         return total
 
     def utilization(self, resource: str, horizon: float | None = None) -> float:
-        """Busy fraction of ``resource`` over the run (or ``horizon``)."""
-        span = horizon if horizon is not None else self.makespan()
+        """Busy fraction of ``resource`` over the run (or ``horizon``).
+
+        The run window is ``makespan() - start_time()``, so a timeline
+        whose first event starts late (e.g. recording began mid-run) is
+        not diluted by the idle lead-in.  An explicit ``horizon`` is an
+        absolute duration measured from time zero.
+        """
+        span = (horizon if horizon is not None
+                else self.makespan() - self.start_time())
         if span <= 0:
             return 0.0
         return min(1.0, self.busy_time(resource) / span)

@@ -63,17 +63,29 @@ def run_search_inprocess(
     settings: ExperimentSettings,
     num_gpus: int,
     pipeline: MISPipeline | None = None,
+    telemetry=None,
 ) -> DataParallelSearchResult:
     """Execute the search for real: every config trains sequentially on
     ``num_gpus`` virtual replicas."""
     import time
 
-    pipeline = pipeline or MISPipeline(settings)
+    if telemetry is None:
+        from ..telemetry import get_hub
+
+        telemetry = get_hub()
+    pipeline = pipeline or MISPipeline(settings, telemetry=telemetry)
+    m_trials = telemetry.metrics.counter(
+        "search_trials_total", "in-process trials trained", ("method",))
     result = DataParallelSearchResult(num_gpus=num_gpus)
     t0 = time.perf_counter()
-    for config in space:
-        outcome = train_trial(config, settings, pipeline,
-                              num_replicas=num_gpus)
+    for idx, config in enumerate(space):
+        with telemetry.tracer.span(f"trial_{idx:04d}", category="trial",
+                                   method="data_parallel",
+                                   **{k: str(v) for k, v in config.items()}):
+            outcome = train_trial(config, settings, pipeline,
+                                  num_replicas=num_gpus,
+                                  telemetry=telemetry)
+        m_trials.labels(method="data_parallel").inc()
         result.outcomes.append(outcome)
     result.elapsed_seconds = time.perf_counter() - t0
     return result

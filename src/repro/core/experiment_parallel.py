@@ -53,18 +53,24 @@ def run_search_inprocess(
     settings: ExperimentSettings,
     pipeline: MISPipeline | None = None,
     scheduler: TrialScheduler | None = None,
+    telemetry=None,
 ) -> ExperimentParallelSearchResult:
     """Run the search through the Tune-analogue runner: every trial is a
     single-replica training (concurrent placement affects wall-clock,
     not results, so executing them in sequence is result-identical)."""
     import time
 
-    pipeline = pipeline or MISPipeline(settings)
+    if telemetry is None:
+        from ..telemetry import get_hub
+
+        telemetry = get_hub()
+    pipeline = pipeline or MISPipeline(settings, telemetry=telemetry)
     outcomes: list[TrialOutcome] = []
 
     def trainable(config: dict, reporter):
         outcome = train_trial(config, settings, pipeline,
-                              num_replicas=1, reporter=reporter)
+                              num_replicas=1, reporter=reporter,
+                              telemetry=telemetry)
         outcomes.append(outcome)
         return {"val_dice": outcome.val_dice, "test_dice": outcome.test_dice}
 
@@ -75,6 +81,7 @@ def run_search_inprocess(
         scheduler=scheduler,
         metric="val_dice",
         raise_on_error=True,
+        telemetry=telemetry,
     )
     result = ExperimentParallelSearchResult(
         num_gpus=1, outcomes=outcomes, analysis=analysis,
@@ -88,6 +95,7 @@ def simulate_search(
     model: StepCostModel,
     num_gpus: int,
     seed: int | None = None,
+    telemetry=None,
 ) -> tuple[float, Timeline]:
     """Paper-scale simulation of Ray Tune's placement.
 
@@ -102,6 +110,14 @@ def simulate_search(
         raise ValueError(
             f"{num_gpus} GPUs requested, cluster has {model.cluster.total_gpus}"
         )
+    if telemetry is None:
+        from ..telemetry import get_hub
+
+        telemetry = get_hub()
+    m_queue = telemetry.metrics.histogram(
+        "sim_queue_depth", "trials waiting for a GPU at each placement",
+        ("method",), buckets=(0, 1, 2, 4, 8, 16, 32, 64, 128),
+    ).labels(method="experiment_parallel")
     jitters = _trial_jitters(model, len(trials), seed)
     durations = [
         model.trial_time(cfg, 1, jitter=float(j))
@@ -114,9 +130,12 @@ def simulate_search(
     timeline = Timeline()
     # Track which physical GPU each acquisition maps to, for the trace.
     free_slots = list(range(num_gpus))
+    waiting = [len(durations)]
 
     def trial_proc(idx: int, duration: float):
         yield pool.request()
+        waiting[0] -= 1
+        m_queue.observe(waiting[0])
         slot = free_slots.pop()
         start = sim.now
         yield sim.timeout(overhead + duration)

@@ -69,9 +69,15 @@ class MISPipeline:
 
     def __init__(self, settings: ExperimentSettings,
                  record_dir: str | Path | None = None,
-                 stats: PipelineStats | None = None):
+                 stats: PipelineStats | None = None,
+                 telemetry=None):
+        if telemetry is None:
+            from ..telemetry import get_hub
+
+            telemetry = get_hub()
+        self.telemetry = telemetry
         self.settings = settings
-        self.stats = stats or PipelineStats()
+        self.stats = stats or PipelineStats(telemetry=telemetry)
         self.generator = SyntheticBraTS(
             num_subjects=settings.num_subjects,
             volume_shape=settings.volume_shape,
@@ -167,6 +173,7 @@ def train_trial(
     reporter=None,
     convergence_patience: int | None = None,
     convergence_tol: float = 5e-3,
+    telemetry=None,
 ) -> TrialOutcome:
     """Train one hyper-parameter configuration end to end.
 
@@ -179,9 +186,17 @@ def train_trial(
     that training stabilises long before the epoch budget (E7): the
     epoch after which the best validation Dice stopped improving by
     ``convergence_tol`` for that many epochs is recorded (training still
-    runs the full budget, as the paper's did).
+    runs the full budget, as the paper's did).  ``telemetry`` (default:
+    the pipeline's hub) receives per-epoch spans and metrics on top of
+    the trainer's per-step stream.
     """
     t_start = time.perf_counter()
+    if telemetry is None:
+        telemetry = getattr(pipeline, "telemetry", None)
+        if telemetry is None:
+            from ..telemetry import get_hub
+
+            telemetry = get_hub()
     global_batch = settings.batch_per_replica * num_replicas
     steps = pipeline.steps_per_epoch(global_batch)
 
@@ -194,7 +209,12 @@ def train_trial(
         ),
         num_replicas=num_replicas,
         sync_batchnorm=settings.sync_batchnorm,
+        telemetry=telemetry,
     )
+    m_epoch_seconds = telemetry.metrics.histogram(
+        "train_epoch_seconds", "wall-clock per training epoch")
+    m_val_dice = telemetry.metrics.gauge(
+        "val_dice", "validation Dice after the last epoch")
     augmenter = None
     if settings.augment:
         from ..data.augment import Augmenter, random_flip, random_gaussian_noise
@@ -213,20 +233,26 @@ def train_trial(
             t0 = time.perf_counter()
             losses = []
             lr = 0.0
-            ds = pipeline.dataset(
-                "train", global_batch,
-                shuffle_seed=settings.seed * 10_007 + epoch,
-                augmenter=augmenter,
-            )
-            for x, y in ds:
-                if x.shape[0] < num_replicas:
-                    continue  # drop a remainder smaller than the replica set
-                out = trainer.train_step(x, y)
-                losses.append(out["loss"])
-                lr = out["lr"]
+            with telemetry.tracer.span("epoch", category="train",
+                                       epoch=epoch):
+                ds = pipeline.dataset(
+                    "train", global_batch,
+                    shuffle_seed=settings.seed * 10_007 + epoch,
+                    augmenter=augmenter,
+                )
+                for x, y in ds:
+                    if x.shape[0] < num_replicas:
+                        continue  # drop a remainder smaller than the replica set
+                    out = trainer.train_step(x, y)
+                    losses.append(out["loss"])
+                    lr = out["lr"]
 
-            pred = trainer.model.predict(val_x)
-            val_dice = float(batch_dice(pred, val_y).mean())
+                with telemetry.tracer.span("validation", category="eval",
+                                           epoch=epoch):
+                    pred = trainer.model.predict(val_x)
+                    val_dice = float(batch_dice(pred, val_y).mean())
+            m_epoch_seconds.observe(time.perf_counter() - t0)
+            m_val_dice.set(val_dice)
             rec = EpochRecord(
                 epoch=epoch,
                 train_loss=float(np.mean(losses)) if losses else float("nan"),
@@ -252,8 +278,9 @@ def train_trial(
 
         outcome.val_dice = outcome.best_val_dice()
         test_x, test_y = pipeline.load_split_arrays("test")
-        pred = trainer.model.predict(test_x)
-        outcome.test_dice = float(batch_dice(pred, test_y).mean())
+        with telemetry.tracer.span("test_eval", category="eval"):
+            pred = trainer.model.predict(test_x)
+            outcome.test_dice = float(batch_dice(pred, test_y).mean())
     finally:
         trainer.shutdown()
     outcome.wall_seconds = time.perf_counter() - t_start

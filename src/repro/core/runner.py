@@ -18,6 +18,7 @@ from ..cluster.trace import Timeline
 from ..perf.calibration import calibrated_model
 from ..perf.costs import StepCostModel, TrialConfig
 from ..perf.speedup import PAPER_GPU_COUNTS, paper_search_grid
+from ..telemetry import get_hub
 from . import data_parallel, experiment_parallel
 from .config import DEFAULT_SPACE, ExperimentSettings, HyperparameterSpace
 from .pipeline import MISPipeline
@@ -45,38 +46,71 @@ class DistMISRunner:
         settings: ExperimentSettings | None = None,
         cost_model: StepCostModel | None = None,
         sim_trials: list[TrialConfig] | None = None,
+        telemetry=None,
     ):
         self.space = space or DEFAULT_SPACE
         self.settings = settings or ExperimentSettings()
         self.cost_model = cost_model or calibrated_model()
         self.sim_trials = sim_trials or paper_search_grid()
+        # default: the process-wide hub (the null sink unless installed)
+        self.telemetry = telemetry if telemetry is not None else get_hub()
         self._pipeline: MISPipeline | None = None
 
     # -- shared dataset pipeline -------------------------------------------
     @property
     def pipeline(self) -> MISPipeline:
         if self._pipeline is None:
-            self._pipeline = MISPipeline(self.settings)
+            self._pipeline = MISPipeline(self.settings,
+                                         telemetry=self.telemetry)
         return self._pipeline
 
     # -- in-process (functional) backend --------------------------------------
     def run_inprocess(self, method: str, num_gpus: int = 1):
-        """Execute the search for real at the configured laptop scale."""
+        """Execute the search for real at the configured laptop scale.
+
+        With a live telemetry hub the run emits per-step / per-epoch
+        metrics and nested spans, and finishes by writing the run
+        directory (manifest, metrics JSONL + Prometheus text, merged
+        Chrome trace) when the hub has one configured.
+        """
         self._check_method(method)
-        if method == "data_parallel":
-            return data_parallel.run_search_inprocess(
-                self.space, self.settings, num_gpus, pipeline=self.pipeline
-            )
-        if num_gpus != 1:
-            # Trials are independent 1-GPU runs; concurrency changes
-            # wall-clock only, which the simulated backend prices.
-            raise ValueError(
-                "in-process experiment parallelism executes trials as "
-                "1-GPU runs; use simulate() for multi-GPU timing"
-            )
-        return experiment_parallel.run_search_inprocess(
-            self.space, self.settings, pipeline=self.pipeline
+        hub = self.telemetry
+        with hub.tracer.span(f"run_inprocess[{method}]", category="run",
+                             num_gpus=num_gpus):
+            if method == "data_parallel":
+                result = data_parallel.run_search_inprocess(
+                    self.space, self.settings, num_gpus,
+                    pipeline=self.pipeline, telemetry=hub,
+                )
+            else:
+                if num_gpus != 1:
+                    # Trials are independent 1-GPU runs; concurrency
+                    # changes wall-clock only, which the simulated
+                    # backend prices.
+                    raise ValueError(
+                        "in-process experiment parallelism executes "
+                        "trials as 1-GPU runs; use simulate() for "
+                        "multi-GPU timing"
+                    )
+                result = experiment_parallel.run_search_inprocess(
+                    self.space, self.settings, pipeline=self.pipeline,
+                    telemetry=hub,
+                )
+        best = result.best()
+        hub.finalize_run(
+            kind=f"inprocess/{method}",
+            config={"space": self.space.axes, "num_gpus": num_gpus,
+                    "epochs": self.settings.epochs},
+            seed=self.settings.seed,
+            final_metrics={
+                "best_val_dice": best.val_dice,
+                "best_test_dice": best.test_dice,
+                "best_config": best.config,
+                "elapsed_seconds": result.elapsed_seconds,
+                "num_trials": len(result.outcomes),
+            },
         )
+        return result
 
     # -- simulated (paper-scale) backend ---------------------------------------
     def simulate(self, method: str, num_gpus: int,
@@ -86,16 +120,38 @@ class DistMISRunner:
 
         ``method`` may also be ``"hybrid"`` (multi-GPU trials under Tune
         placement, see :mod:`repro.core.hybrid`); ``gpus_per_trial``
-        then selects the per-trial width (default: one node).
+        then selects the per-trial width (default: one node).  The run's
+        simulated timeline is attached to the telemetry hub, so the
+        exported Chrome trace merges simulated and real spans.
         """
+        run = self._simulate_one(method, num_gpus, seed=seed,
+                                 gpus_per_trial=gpus_per_trial)
+        self.telemetry.finalize_run(
+            kind=f"simulate/{run.method}",
+            config={"num_gpus": num_gpus, "gpus_per_trial": gpus_per_trial},
+            seed=seed,
+            final_metrics={
+                "elapsed_seconds": run.elapsed_seconds,
+                "mean_utilization": run.timeline.mean_utilization(),
+            },
+        )
+        return run
+
+    def _simulate_one(self, method: str, num_gpus: int,
+                      seed: int | None = None,
+                      gpus_per_trial: int | None = None) -> SimulatedRun:
+        hub = self.telemetry
         if method == "hybrid":
             from .hybrid import simulate_hybrid_search
 
             g = gpus_per_trial or min(num_gpus,
                                       self.cost_model.cluster.node.num_gpus)
-            result, timeline = simulate_hybrid_search(
-                self.sim_trials, self.cost_model, num_gpus, g, seed=seed
-            )
+            with hub.tracer.span(f"simulate[hybrid g={g}]", category="run",
+                                 num_gpus=num_gpus):
+                result, timeline = simulate_hybrid_search(
+                    self.sim_trials, self.cost_model, num_gpus, g, seed=seed
+                )
+            hub.attach_timeline(timeline)
             return SimulatedRun(method=f"hybrid[g={g}]", num_gpus=num_gpus,
                                 elapsed_seconds=result.elapsed_seconds,
                                 timeline=timeline)
@@ -103,9 +159,21 @@ class DistMISRunner:
         mod = (
             data_parallel if method == "data_parallel" else experiment_parallel
         )
-        elapsed, timeline = mod.simulate_search(
-            self.sim_trials, self.cost_model, num_gpus, seed=seed
-        )
+        with hub.tracer.span(f"simulate[{method}]", category="run",
+                             num_gpus=num_gpus):
+            if mod is experiment_parallel:
+                elapsed, timeline = mod.simulate_search(
+                    self.sim_trials, self.cost_model, num_gpus, seed=seed,
+                    telemetry=hub,
+                )
+            else:
+                elapsed, timeline = mod.simulate_search(
+                    self.sim_trials, self.cost_model, num_gpus, seed=seed
+                )
+        hub.attach_timeline(timeline)
+        hub.metrics.gauge(
+            "sim_elapsed_seconds", "simulated search elapsed time",
+            ("method",)).labels(method=method).set(elapsed)
         return SimulatedRun(method=method, num_gpus=num_gpus,
                             elapsed_seconds=elapsed, timeline=timeline)
 
@@ -120,22 +188,36 @@ class DistMISRunner:
         every execution three times and reports the average)."""
         if num_runs < 1:
             raise ValueError("num_runs must be >= 1")
+        hub = self.telemetry
         series = {}
-        for method in _METHODS:
-            runs = []
-            for n in gpu_counts:
-                runs.append(
-                    [
-                        self.simulate(method, n, seed=base_seed + 17 * r + 1)
-                        .elapsed_seconds
-                        for r in range(num_runs)
-                    ]
+        with hub.tracer.span("simulate_comparison", category="run",
+                             num_runs=num_runs):
+            for method in _METHODS:
+                runs = []
+                for n in gpu_counts:
+                    runs.append(
+                        [
+                            self._simulate_one(
+                                method, n, seed=base_seed + 17 * r + 1
+                            ).elapsed_seconds
+                            for r in range(num_runs)
+                        ]
+                    )
+                series[method] = MethodSeries(
+                    method=method, gpu_counts=list(gpu_counts), runs=runs
                 )
-            series[method] = MethodSeries(
-                method=method, gpu_counts=list(gpu_counts), runs=runs
-            )
-        return ComparisonReport(series["data_parallel"],
-                                series["experiment_parallel"])
+        report = ComparisonReport(series["data_parallel"],
+                                  series["experiment_parallel"])
+        hub.finalize_run(
+            kind="simulate_comparison",
+            config={"gpu_counts": list(gpu_counts), "num_runs": num_runs},
+            seed=base_seed,
+            final_metrics={
+                "data_parallel_mean_s": report.dp.mean(),
+                "experiment_parallel_mean_s": report.ep.mean(),
+            },
+        )
+        return report
 
     @staticmethod
     def _check_method(method: str) -> None:

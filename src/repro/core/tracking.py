@@ -11,6 +11,7 @@ inspected and diffed.
 from __future__ import annotations
 
 import json
+import os
 from dataclasses import dataclass
 from pathlib import Path
 from typing import Iterator
@@ -39,6 +40,8 @@ class RunTracker:
     def __init__(self, path):
         self.path = Path(path)
         self.path.parent.mkdir(parents=True, exist_ok=True)
+        #: torn/corrupt lines skipped by the most recent ``records()`` scan
+        self.torn_lines = 0
 
     def log_trial(self, config: dict, status: str, **metrics) -> TrialRecord:
         record = TrialRecord(config=dict(config), status=status,
@@ -47,11 +50,17 @@ class RunTracker:
             {"config": record.config, "status": status, "metrics": metrics},
             sort_keys=True, default=str,
         )
+        # A 44-hour search must not lose a finished trial to a crash: the
+        # record has to be durable, not just in the page cache, before we
+        # report the trial as logged.
         with open(self.path, "a") as f:
             f.write(line + "\n")
+            f.flush()
+            os.fsync(f.fileno())
         return record
 
     def records(self) -> Iterator[TrialRecord]:
+        self.torn_lines = 0
         if not self.path.exists():
             return
         with open(self.path) as f:
@@ -62,7 +71,9 @@ class RunTracker:
                 try:
                     obj = json.loads(line)
                 except json.JSONDecodeError:
-                    # a crash mid-write leaves a torn final line; skip it
+                    # a crash mid-write leaves a torn final line; count it
+                    # (exposed as ``torn_lines``) and keep reading
+                    self.torn_lines += 1
                     continue
                 yield TrialRecord(
                     config=obj["config"], status=obj["status"],

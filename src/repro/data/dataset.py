@@ -37,15 +37,29 @@ __all__ = ["Dataset", "PipelineStats"]
 
 
 class PipelineStats:
-    """Accumulated per-stage wall-clock seconds and element counts."""
+    """Accumulated per-stage wall-clock seconds and element counts.
 
-    def __init__(self):
+    When built with a telemetry hub every ``add`` is mirrored into the
+    hub as a `pipeline_stage_*` metric sample plus a completed span, so
+    the §III-B1 stage profile shows up in the Prometheus export and the
+    merged Chrome trace.  The default hub is the process-wide one
+    (usually the branch-free null sink), so un-instrumented callers pay
+    one no-op call per element.
+    """
+
+    def __init__(self, telemetry=None):
         self.seconds: dict[str, float] = defaultdict(float)
         self.elements: dict[str, int] = defaultdict(int)
+        if telemetry is None:
+            from ..telemetry import get_hub
+
+            telemetry = get_hub()
+        self.telemetry = telemetry
 
     def add(self, stage: str, seconds: float, elements: int = 1) -> None:
         self.seconds[stage] += seconds
         self.elements[stage] += elements
+        self.telemetry.on_stage(stage, seconds, elements)
 
     def report(self) -> list[tuple[str, float, int]]:
         """Stages sorted by total time, descending."""

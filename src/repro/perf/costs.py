@@ -24,7 +24,7 @@ time is a placement makespan.
 from __future__ import annotations
 
 import math
-from dataclasses import dataclass, field, replace
+from dataclasses import dataclass, replace
 
 from ..cluster.collectives import allreduce_time
 from ..cluster.resources import ClusterSpec, marenostrum_cte

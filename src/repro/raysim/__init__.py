@@ -11,7 +11,7 @@ a Tune-like trial runner with FIFO/ASHA scheduling
 (:mod:`~repro.raysim.scheduler`).
 """
 
-from . import actor as _actor  # attaches RaySession.actor / get_blocking
+from . import actor as _actor  # noqa: F401 -- attaches RaySession.actor
 from .actor import ActorClass, ActorHandle
 from .cluster import Allocation, InsufficientResources, NodeResources, RayCluster
 from .object_store import ObjectRef, ObjectStore, ObjectStoreError

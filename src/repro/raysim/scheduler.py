@@ -35,38 +35,59 @@ class PlacementResult:
         return loads
 
 
-def _greedy(durations, order, num_workers: int, per_trial_overhead: float):
+def _greedy(durations, order, num_workers: int, per_trial_overhead: float,
+            policy: str = "fifo", telemetry=None):
     if num_workers < 1:
         raise ValueError("num_workers must be >= 1")
     if any(d < 0 for d in durations):
         raise ValueError("durations must be non-negative")
+    if telemetry is None:
+        from ..telemetry import get_hub
+
+        telemetry = get_hub()
+    m_placements = telemetry.metrics.counter(
+        "scheduler_placements_total", "trial-to-worker placements made",
+        ("policy",)).labels(policy=policy)
+    m_queue = telemetry.metrics.histogram(
+        "scheduler_queue_depth", "trials still waiting at each placement",
+        ("policy",),
+        buckets=(0, 1, 2, 4, 8, 16, 32, 64, 128)).labels(policy=policy)
     # (available_time, worker_id) min-heap
     heap = [(0.0, w) for w in range(num_workers)]
     heapq.heapify(heap)
     assignments: list[tuple[int, float, float] | None] = [None] * len(durations)
-    for idx in order:
+    for placed, idx in enumerate(order):
         avail, w = heapq.heappop(heap)
         start = avail
         end = start + per_trial_overhead + durations[idx]
         assignments[idx] = (w, start, end)
         heapq.heappush(heap, (end, w))
+        m_placements.inc()
+        m_queue.observe(len(durations) - placed - 1)
     makespan = max((a[2] for a in assignments), default=0.0)
+    telemetry.metrics.gauge(
+        "scheduler_makespan_seconds", "makespan of the last schedule",
+        ("policy",)).labels(policy=policy).set(makespan)
     return PlacementResult(makespan=makespan, assignments=tuple(assignments))
 
 
 def fifo_schedule(
-    durations, num_workers: int, per_trial_overhead: float = 0.0
+    durations, num_workers: int, per_trial_overhead: float = 0.0,
+    telemetry=None,
 ) -> PlacementResult:
     """Greedy earliest-available-worker in submission order (Ray Tune)."""
-    return _greedy(durations, range(len(durations)), num_workers, per_trial_overhead)
+    return _greedy(durations, range(len(durations)), num_workers,
+                   per_trial_overhead, policy="fifo", telemetry=telemetry)
 
 
 def lpt_schedule(
-    durations, num_workers: int, per_trial_overhead: float = 0.0
+    durations, num_workers: int, per_trial_overhead: float = 0.0,
+    telemetry=None,
 ) -> PlacementResult:
     """Longest-processing-time-first; 4/3-approximate minimum makespan."""
     order = sorted(range(len(durations)), key=lambda i: -durations[i])
-    return _greedy(durations, order, num_workers, per_trial_overhead)
+    return _greedy(durations, order, num_workers, per_trial_overhead,
+                   policy="lpt", telemetry=telemetry)
 
 
 def makespan_lower_bound(durations, num_workers: int,

@@ -26,6 +26,7 @@ the paper's dice-invariance claim (Section IV-C) is validated both ways.
 from __future__ import annotations
 
 import threading
+import time
 from concurrent.futures import ThreadPoolExecutor
 from typing import Callable
 
@@ -78,6 +79,11 @@ class DataParallelTrainer:
         ``model -> Optimizer``; each replica gets its own instance.
     sync_batchnorm:
         Wire cross-replica reducers into every BatchNorm layer.
+    telemetry:
+        A :class:`repro.telemetry.TelemetryHub` (default: the process
+        hub, usually the null sink).  Per-step loss / step-time /
+        all-reduce-byte metrics are recorded through pre-resolved
+        metric handles, so the disabled path is a no-op call per event.
     """
 
     def __init__(
@@ -87,6 +93,7 @@ class DataParallelTrainer:
         optimizer_factory: Callable[[Module], Optimizer],
         num_replicas: int = 1,
         sync_batchnorm: bool = False,
+        telemetry=None,
     ):
         if num_replicas < 1:
             raise ValueError("num_replicas must be >= 1")
@@ -106,6 +113,23 @@ class DataParallelTrainer:
         if sync_batchnorm and num_replicas > 1:
             self._wire_sync_batchnorm()
         self.steps_run = 0
+
+        if telemetry is None:
+            from ..telemetry import get_hub
+
+            telemetry = get_hub()
+        self._telemetry = telemetry
+        m = telemetry.metrics
+        self._m_steps = m.counter(
+            "train_steps_total", "optimizer steps run")
+        self._m_step_seconds = m.histogram(
+            "train_step_seconds", "wall-clock per synchronous step")
+        self._m_loss = m.histogram(
+            "train_loss", "per-step global mean loss",
+            buckets=(0.01, 0.05, 0.1, 0.25, 0.5, 0.75, 0.9, 1.0, 2.0, 10.0))
+        self._m_grad_norm = m.gauge(
+            "train_grad_norm", "L2 norm of the reduced gradient")
+        self._m_lr = m.gauge("train_lr", "learning rate applied last step")
 
     # -- sync BN wiring ----------------------------------------------------
     def _wire_sync_batchnorm(self) -> None:
@@ -145,6 +169,7 @@ class DataParallelTrainer:
         """
         if x.shape[0] != y.shape[0]:
             raise ValueError("x and y batch sizes differ")
+        t0 = time.perf_counter()
         n_total = x.shape[0]
         shards = self._shards(n_total)
         weights = [(s.stop - s.start) / n_total for s in shards]
@@ -165,13 +190,21 @@ class DataParallelTrainer:
             outs = list(self._pool.map(replica_step, range(self.num_replicas)))
 
         grads = [g for _, g in outs]
-        reduced = ring_allreduce(grads)  # every replica now holds the sum
+        # every replica now holds the sum
+        reduced = ring_allreduce(grads, telemetry=self._telemetry)
         for rep, opt, g in zip(self.replicas, self.optimizers, reduced):
             rep.set_flat_grads(g)
         lrs = [opt.step() for opt in self.optimizers]
 
         self.steps_run += 1
-        return {"loss": float(sum(l for l, _ in outs)), "lr": lrs[0]}
+        loss_total = float(sum(l for l, _ in outs))
+        self._m_steps.inc()
+        self._m_step_seconds.observe(time.perf_counter() - t0)
+        self._m_loss.observe(loss_total)
+        self._m_lr.set(lrs[0])
+        if self._telemetry.enabled:  # the norm is a derived computation
+            self._m_grad_norm.set(float(np.linalg.norm(reduced[0])))
+        return {"loss": loss_total, "lr": lrs[0]}
 
     def train_step_accumulated(
         self, x: np.ndarray, y: np.ndarray, accumulation_steps: int
@@ -185,6 +218,7 @@ class DataParallelTrainer:
         """
         if accumulation_steps < 1:
             raise ValueError("accumulation_steps must be >= 1")
+        t0 = time.perf_counter()
         n_total = x.shape[0]
         if n_total < accumulation_steps * self.num_replicas:
             raise ValueError(
@@ -223,12 +257,19 @@ class DataParallelTrainer:
             grads = [g for _, g in outs]
             acc = grads if acc is None else [a + g for a, g in zip(acc, grads)]
 
-        reduced = ring_allreduce(acc)
+        reduced = ring_allreduce(acc, telemetry=self._telemetry)
         for rep, g in zip(self.replicas, reduced):
             rep.set_flat_grads(g)
         lrs = [opt.step() for opt in self.optimizers]
         self.steps_run += 1
-        return {"loss": float(loss_total), "lr": lrs[0]}
+        loss_total = float(loss_total)
+        self._m_steps.inc()
+        self._m_step_seconds.observe(time.perf_counter() - t0)
+        self._m_loss.observe(loss_total)
+        self._m_lr.set(lrs[0])
+        if self._telemetry.enabled:
+            self._m_grad_norm.set(float(np.linalg.norm(reduced[0])))
+        return {"loss": loss_total, "lr": lrs[0]}
 
     def evaluate(self, x: np.ndarray, y: np.ndarray) -> dict:
         """Loss + prediction on replica 0 in eval mode."""

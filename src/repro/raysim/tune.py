@@ -210,14 +210,23 @@ class Reporter:
     wants the trial to continue.
     """
 
-    def __init__(self, trial: Trial, scheduler: TrialScheduler):
+    def __init__(self, trial: Trial, scheduler: TrialScheduler,
+                 telemetry=None):
         self._trial = trial
         self._scheduler = scheduler
         self.stopped = False
+        if telemetry is None:
+            from ..telemetry import get_hub
+
+            telemetry = get_hub()
+        self._m_decisions = telemetry.metrics.counter(
+            "scheduler_decisions_total",
+            "per-report scheduler continue/stop decisions", ("decision",))
 
     def __call__(self, **metrics) -> bool:
         self._trial.results.append(dict(metrics))
         decision = self._scheduler.on_result(self._trial, metrics)
+        self._m_decisions.labels(decision=decision).inc()
         if decision == TrialScheduler.STOP:
             self.stopped = True
             return False
@@ -270,6 +279,7 @@ def tune_run(
     mode: str = "max",
     raise_on_error: bool = False,
     max_retries: int = 0,
+    telemetry=None,
 ) -> ExperimentAnalysis:
     """Execute every configuration the search algorithm proposes.
 
@@ -279,42 +289,58 @@ def tune_run(
     re-runs a crashed trial from scratch (the fault-tolerance knob
     preempted cluster runs need); only the final attempt's status is
     recorded, with the retry count in ``Trial.final``-independent field
-    ``retries``.
+    ``retries``.  ``telemetry`` (default: the process hub) receives one
+    span per trial plus trial-status / pending-queue metrics.
     """
     scheduler = scheduler or FIFOScheduler()
+    if telemetry is None:
+        from ..telemetry import get_hub
+
+        telemetry = get_hub()
+    m_trials = telemetry.metrics.counter(
+        "tune_trials_total", "trials finished by terminal status",
+        ("status",))
+    m_started = telemetry.metrics.counter(
+        "tune_trials_started_total", "trials handed to the trainable")
     trials: list[Trial] = []
+    # NB: configurations() must stay lazy -- adaptive algorithms (TPE)
+    # propose each config from the observations fed back so far.
     for i, config in enumerate(search_alg.configurations()):
+        m_started.inc()
         trial = Trial(trial_id=f"trial_{i:04d}", config=dict(config))
         trials.append(trial)
         trial.status = TrialStatus.RUNNING
         t0 = time.perf_counter()
         final = None
-        for attempt in range(max_retries + 1):
-            trial.results.clear()
-            trial.retries = attempt
-            reporter = Reporter(trial, scheduler)
-            try:
-                final = trainable(dict(config), reporter)
-            except StopTrial:
-                trial.status = TrialStatus.STOPPED
-                final = None
-                break
-            except Exception as exc:
-                if raise_on_error:
-                    raise
-                trial.status = TrialStatus.ERROR
-                trial.error = f"{type(exc).__name__}: {exc}"
-                final = None
-                continue  # retry if attempts remain
-            else:
-                trial.status = (
-                    TrialStatus.STOPPED
-                    if reporter.stopped
-                    else TrialStatus.TERMINATED
-                )
-                trial.error = None
-                break
+        with telemetry.tracer.span(trial.trial_id, category="trial",
+                                   **{k: str(v) for k, v in config.items()}):
+            for attempt in range(max_retries + 1):
+                trial.results.clear()
+                trial.retries = attempt
+                reporter = Reporter(trial, scheduler, telemetry=telemetry)
+                try:
+                    final = trainable(dict(config), reporter)
+                except StopTrial:
+                    trial.status = TrialStatus.STOPPED
+                    final = None
+                    break
+                except Exception as exc:
+                    if raise_on_error:
+                        raise
+                    trial.status = TrialStatus.ERROR
+                    trial.error = f"{type(exc).__name__}: {exc}"
+                    final = None
+                    continue  # retry if attempts remain
+                else:
+                    trial.status = (
+                        TrialStatus.STOPPED
+                        if reporter.stopped
+                        else TrialStatus.TERMINATED
+                    )
+                    trial.error = None
+                    break
         trial.runtime_s = time.perf_counter() - t0
+        m_trials.labels(status=trial.status.value).inc()
         if isinstance(final, dict):
             trial.final = final
         scheduler.on_trial_complete(trial)

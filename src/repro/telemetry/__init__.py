@@ -1,0 +1,47 @@
+"""``repro.telemetry`` -- the unified observability layer.
+
+One event model underneath every backend (the Tune/SHADHO lesson:
+a search framework's value hinges on a uniform telemetry stream):
+
+* :class:`MetricsRegistry` -- labelled counters / gauges / histograms
+  with Prometheus text exposition and JSONL export
+  (:mod:`~repro.telemetry.metrics`);
+* :class:`Tracer` -- nested context-managed spans that interoperate
+  with the simulator's ``Timeline`` Chrome-trace format, so real and
+  simulated spans render in one Perfetto view
+  (:mod:`~repro.telemetry.spans`);
+* :class:`RunManifest` -- config, seed, git revision, host info and
+  final metrics written per run (:mod:`~repro.telemetry.manifest`);
+* :class:`TelemetryHub` / :data:`NULL_HUB` -- the process-wide bundle
+  handed to instrumented code, with a branch-free no-op twin so
+  disabled telemetry costs nothing (:mod:`~repro.telemetry.hub`).
+"""
+
+from .hub import NULL_HUB, NullHub, TelemetryHub, get_hub, set_hub
+from .manifest import RunManifest, git_revision, host_info
+from .metrics import (
+    DEFAULT_BUCKETS,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+)
+from .spans import Span, Tracer
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "DEFAULT_BUCKETS",
+    "Span",
+    "Tracer",
+    "RunManifest",
+    "git_revision",
+    "host_info",
+    "TelemetryHub",
+    "NullHub",
+    "NULL_HUB",
+    "get_hub",
+    "set_hub",
+]

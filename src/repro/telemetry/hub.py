@@ -1,0 +1,247 @@
+"""The process-wide telemetry hub and its zero-overhead null twin.
+
+A :class:`TelemetryHub` bundles the three telemetry primitives --
+:class:`~repro.telemetry.metrics.MetricsRegistry`,
+:class:`~repro.telemetry.spans.Tracer` and
+:class:`~repro.telemetry.manifest.RunManifest` -- behind one object that
+instrumented code holds a reference to.  When telemetry is off, code
+holds :data:`NULL_HUB` instead: every recording method on the null twin
+is a plain no-op, so the instrumented hot paths never branch on an
+"enabled" flag per event and the disabled cost is one dynamic dispatch.
+
+Wiring pattern::
+
+    hub = TelemetryHub(run_dir="runs/exp-parallel-01")
+    runner = DistMISRunner(telemetry=hub)
+    runner.run_inprocess("experiment_parallel")
+    # runs/exp-parallel-01/ now holds manifest.json, metrics.jsonl,
+    # metrics.prom and trace.json
+
+or process-wide: ``set_hub(hub)`` makes it the default every
+un-parameterised constructor picks up.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+from .manifest import RunManifest
+from .metrics import MetricsRegistry
+from .spans import Tracer
+
+__all__ = ["TelemetryHub", "NullHub", "NULL_HUB", "get_hub", "set_hub"]
+
+METRICS_JSONL = "metrics.jsonl"
+METRICS_PROM = "metrics.prom"
+TRACE_JSON = "trace.json"
+
+
+class TelemetryHub:
+    """Live hub: real registry, real tracer, optional run directory."""
+
+    enabled = True
+
+    def __init__(self, run_dir=None):
+        self.run_dir = Path(run_dir) if run_dir is not None else None
+        self.metrics = MetricsRegistry()
+        self.tracer = Tracer()
+        self.last_manifest: RunManifest | None = None
+        self._timelines: list = []
+        self._stage_seconds = self.metrics.counter(
+            "pipeline_stage_seconds_total",
+            "wall-clock spent per input-pipeline stage", ("stage",))
+        self._stage_elements = self.metrics.counter(
+            "pipeline_stage_elements_total",
+            "elements processed per input-pipeline stage", ("stage",))
+
+    # -- recording conveniences --------------------------------------------
+    def span(self, name: str, category: str = "span", **attrs):
+        return self.tracer.span(name, category=category, **attrs)
+
+    def on_stage(self, stage: str, seconds: float, elements: int = 1) -> None:
+        """Input-pipeline stage hook (see ``repro.data.dataset``)."""
+        self._stage_seconds.labels(stage=stage).inc(seconds)
+        self._stage_elements.labels(stage=stage).inc(elements)
+        self.tracer.add_completed(stage, seconds, category="pipeline")
+
+    def attach_timeline(self, timeline) -> None:
+        """Keep a simulated Timeline for the merged trace export."""
+        self._timelines.append(timeline)
+
+    # -- persistence --------------------------------------------------------
+    def flush(self, run_dir=None) -> Path | None:
+        """Write metrics (JSONL + Prometheus text) and the merged Chrome
+        trace into the run directory; returns it (None if unset)."""
+        run_dir = Path(run_dir) if run_dir is not None else self.run_dir
+        if run_dir is None:
+            return None
+        run_dir.mkdir(parents=True, exist_ok=True)
+        self.metrics.export_jsonl(run_dir / METRICS_JSONL)
+        self.metrics.export_prometheus(run_dir / METRICS_PROM)
+        self.tracer.to_chrome_trace(run_dir / TRACE_JSON,
+                                    extra_timelines=self._timelines)
+        if self.last_manifest is not None:
+            self.last_manifest.write(run_dir)
+        return run_dir
+
+    def finalize_run(self, kind: str, config: dict | None = None,
+                     seed: int | None = None,
+                     final_metrics: dict | None = None) -> Path | None:
+        """Capture a manifest for the run that just finished and flush
+        everything to the run directory."""
+        self.last_manifest = RunManifest.capture(
+            kind, config=config, seed=seed, final_metrics=final_metrics,
+        )
+        return self.flush()
+
+
+# -- the null twin ----------------------------------------------------------
+class _NullSpan:
+    """Reusable no-op context manager standing in for a live span."""
+
+    __slots__ = ()
+    span = None
+
+    def set(self, **attrs):
+        return self
+
+    def __enter__(self):
+        return self
+
+    def __exit__(self, exc_type, exc, tb):
+        return None
+
+
+_NULL_SPAN = _NullSpan()
+
+
+class _NullMetric:
+    """Absorbs every metric call; ``labels`` returns itself."""
+
+    __slots__ = ()
+
+    def labels(self, **labels):
+        return self
+
+    def inc(self, amount: float = 1.0) -> None:
+        pass
+
+    def dec(self, amount: float = 1.0) -> None:
+        pass
+
+    def set(self, value: float) -> None:
+        pass
+
+    def observe(self, value: float) -> None:
+        pass
+
+
+_NULL_METRIC = _NullMetric()
+
+
+class _NullRegistry:
+    __slots__ = ()
+
+    def counter(self, name, help="", labelnames=()):
+        return _NULL_METRIC
+
+    def gauge(self, name, help="", labelnames=()):
+        return _NULL_METRIC
+
+    def histogram(self, name, help="", labelnames=(), buckets=()):
+        return _NULL_METRIC
+
+    def families(self):
+        return []
+
+    def samples(self):
+        return []
+
+    def to_prometheus(self) -> str:
+        return ""
+
+    def to_jsonl(self) -> str:
+        return ""
+
+    def __len__(self) -> int:
+        return 0
+
+    def __contains__(self, name) -> bool:
+        return False
+
+    def get(self, name):
+        return None
+
+
+class _NullTracer:
+    __slots__ = ()
+    spans: list = []
+
+    def now(self) -> float:
+        return 0.0
+
+    def span(self, name, category="span", resource=None, **attrs):
+        return _NULL_SPAN
+
+    def add_completed(self, name, duration_s, category="span",
+                      resource=None, **attrs):
+        return None
+
+    def record_span(self, name, start, end, resource="sim",
+                    category="span", **attrs):
+        return None
+
+    def ingest_timeline(self, timeline) -> int:
+        return 0
+
+    def closed_spans(self):
+        return []
+
+    def to_chrome_trace(self, path=None, extra_timelines=()):
+        return []
+
+    def __len__(self) -> int:
+        return 0
+
+
+class NullHub:
+    """Disabled telemetry: swallows everything, writes nothing."""
+
+    enabled = False
+    run_dir = None
+    last_manifest = None
+
+    def __init__(self):
+        self.metrics = _NullRegistry()
+        self.tracer = _NullTracer()
+
+    def span(self, name, category="span", **attrs):
+        return _NULL_SPAN
+
+    def on_stage(self, stage, seconds, elements=1) -> None:
+        pass
+
+    def attach_timeline(self, timeline) -> None:
+        pass
+
+    def flush(self, run_dir=None):
+        return None
+
+    def finalize_run(self, kind, config=None, seed=None, final_metrics=None):
+        return None
+
+
+NULL_HUB = NullHub()
+
+_default_hub = NULL_HUB
+
+
+def get_hub():
+    """The process-wide default hub (the null hub unless ``set_hub``)."""
+    return _default_hub
+
+
+def set_hub(hub) -> None:
+    """Install ``hub`` (or None to disable) as the process-wide default."""
+    global _default_hub
+    _default_hub = hub if hub is not None else NULL_HUB

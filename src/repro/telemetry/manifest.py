@@ -1,0 +1,134 @@
+"""Self-describing run manifests.
+
+Every telemetry-enabled run writes a ``manifest.json`` capturing what
+ran (config, seed), where (host, platform, git revision) and what came
+out (final metrics) -- enough to re-run or audit the run months later
+without the shell history.  The capture helpers degrade gracefully:
+outside a git checkout the revision is simply absent.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import platform
+import subprocess
+import sys
+import time
+from dataclasses import dataclass, field
+from pathlib import Path
+
+__all__ = ["RunManifest", "git_revision", "host_info"]
+
+MANIFEST_FILENAME = "manifest.json"
+
+
+def git_revision(cwd=None) -> str | None:
+    """Current ``HEAD`` hash (with ``+dirty`` suffix), or None outside a
+    repository / without git."""
+    try:
+        rev = subprocess.run(
+            ["git", "rev-parse", "HEAD"], cwd=cwd, capture_output=True,
+            text=True, timeout=5,
+        )
+        if rev.returncode != 0:
+            return None
+        sha = rev.stdout.strip()
+        dirty = subprocess.run(
+            ["git", "status", "--porcelain"], cwd=cwd, capture_output=True,
+            text=True, timeout=5,
+        )
+        if dirty.returncode == 0 and dirty.stdout.strip():
+            sha += "+dirty"
+        return sha
+    except (OSError, subprocess.TimeoutExpired):
+        return None
+
+
+def host_info() -> dict:
+    return {
+        "hostname": platform.node(),
+        "platform": platform.platform(),
+        "python": platform.python_version(),
+        "cpu_count": os.cpu_count(),
+    }
+
+
+@dataclass
+class RunManifest:
+    """Everything needed to identify and audit one run."""
+
+    run_id: str
+    kind: str                      # e.g. "inprocess/data_parallel"
+    created_unix: float
+    config: dict = field(default_factory=dict)
+    seed: int | None = None
+    git_rev: str | None = None
+    host: dict = field(default_factory=dict)
+    argv: list[str] = field(default_factory=list)
+    final_metrics: dict = field(default_factory=dict)
+
+    @classmethod
+    def capture(cls, kind: str, config: dict | None = None,
+                seed: int | None = None,
+                final_metrics: dict | None = None,
+                run_id: str | None = None) -> "RunManifest":
+        """Snapshot the current process environment around a run."""
+        created = time.time()
+        if run_id is None:
+            run_id = f"{kind.replace('/', '-')}-{int(created)}-{os.getpid()}"
+        return cls(
+            run_id=run_id,
+            kind=kind,
+            created_unix=created,
+            config=dict(config or {}),
+            seed=seed,
+            git_rev=git_revision(),
+            host=host_info(),
+            argv=list(sys.argv),
+            final_metrics=dict(final_metrics or {}),
+        )
+
+    def to_dict(self) -> dict:
+        return {
+            "run_id": self.run_id,
+            "kind": self.kind,
+            "created_unix": self.created_unix,
+            "created_iso": time.strftime(
+                "%Y-%m-%dT%H:%M:%SZ", time.gmtime(self.created_unix)
+            ),
+            "config": self.config,
+            "seed": self.seed,
+            "git_rev": self.git_rev,
+            "host": self.host,
+            "argv": self.argv,
+            "final_metrics": self.final_metrics,
+        }
+
+    def write(self, run_dir) -> Path:
+        run_dir = Path(run_dir)
+        run_dir.mkdir(parents=True, exist_ok=True)
+        path = run_dir / MANIFEST_FILENAME
+        tmp = path.with_suffix(".json.tmp")
+        tmp.write_text(json.dumps(self.to_dict(), indent=2, sort_keys=True,
+                                  default=str) + "\n")
+        os.replace(tmp, path)
+        return path
+
+    @classmethod
+    def load(cls, run_dir) -> "RunManifest":
+        path = Path(run_dir)
+        if path.is_dir():
+            path = path / MANIFEST_FILENAME
+        obj = json.loads(path.read_text())
+        return cls(
+            run_id=obj["run_id"],
+            kind=obj["kind"],
+            created_unix=obj["created_unix"],
+            config=obj.get("config", {}),
+            seed=obj.get("seed"),
+            git_rev=obj.get("git_rev"),
+            host=obj.get("host", {}),
+            argv=obj.get("argv", []),
+            final_metrics=obj.get("final_metrics", {}),
+        )

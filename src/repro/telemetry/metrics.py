@@ -1,0 +1,285 @@
+"""Prometheus-style metrics: counters, gauges and histograms with labels.
+
+The paper's scaling evidence (Table I, Fig 4) was produced by
+*observing* runs; this module is the quantitative half of the unified
+telemetry layer -- a :class:`MetricsRegistry` every subsystem records
+into, exposable as Prometheus text (``to_prometheus``) for scraping or
+as JSONL (``to_jsonl``) for offline diffing, mirroring how Tune streams
+trial results and SHADHO streams per-trial hardware telemetry.
+
+Metric objects follow the prometheus_client shape:
+
+>>> reg = MetricsRegistry()
+>>> steps = reg.counter("train_steps_total", "optimizer steps",
+...                     labelnames=("method",))
+>>> steps.labels(method="data_parallel").inc()
+>>> print(reg.to_prometheus())        # doctest: +SKIP
+
+Every metric method is also implemented by the no-op twins in
+:mod:`repro.telemetry.hub`, so instrumented code never branches on
+whether telemetry is enabled.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+from pathlib import Path
+
+__all__ = ["Counter", "Gauge", "Histogram", "MetricsRegistry",
+           "DEFAULT_BUCKETS"]
+
+# Prometheus' default histogram buckets, biased towards sub-second
+# latencies (our per-step and per-stage timings live there).
+DEFAULT_BUCKETS = (
+    0.005, 0.01, 0.025, 0.05, 0.1, 0.25, 0.5, 1.0, 2.5, 5.0, 10.0,
+    30.0, 60.0, 300.0,
+)
+
+
+def _validate_name(name: str) -> str:
+    if not name or not all(c.isalnum() or c in "_:" for c in name):
+        raise ValueError(f"invalid metric name {name!r}")
+    return name
+
+
+def _label_key(labelnames: tuple[str, ...], labels: dict) -> tuple:
+    if set(labels) != set(labelnames):
+        raise ValueError(
+            f"labels {sorted(labels)} do not match declared "
+            f"labelnames {sorted(labelnames)}"
+        )
+    return tuple(str(labels[n]) for n in labelnames)
+
+
+def _render_labels(labelnames: tuple[str, ...], key: tuple,
+                   extra: dict | None = None) -> str:
+    pairs = [f'{n}="{v}"' for n, v in zip(labelnames, key)]
+    if extra:
+        pairs += [f'{n}="{v}"' for n, v in extra.items()]
+    return "{" + ",".join(pairs) + "}" if pairs else ""
+
+
+class _Metric:
+    """Common parent: a named family of label-keyed children."""
+
+    kind = "untyped"
+
+    def __init__(self, name: str, help: str = "",
+                 labelnames: tuple[str, ...] = ()):
+        self.name = _validate_name(name)
+        self.help = help
+        self.labelnames = tuple(labelnames)
+        self._children: dict[tuple, "_Metric"] = {}
+        # the label-less default child doubles as the family when no
+        # labelnames were declared
+        self._key: tuple = ()
+
+    def labels(self, **labels) -> "_Metric":
+        key = _label_key(self.labelnames, labels)
+        child = self._children.get(key)
+        if child is None:
+            child = type(self)(self.name, self.help, self.labelnames)
+            child._key = key
+            self._children[key] = child
+        return child
+
+    def _series(self):
+        """(key, child) pairs: the bare family when label-less, else
+        every labelled child."""
+        if not self.labelnames:
+            return [((), self)]
+        return sorted(self._children.items())
+
+
+class Counter(_Metric):
+    """Monotonically increasing count (steps run, bytes moved)."""
+
+    kind = "counter"
+
+    def __init__(self, name, help="", labelnames=()):
+        super().__init__(name, help, labelnames)
+        self.value = 0.0
+
+    def inc(self, amount: float = 1.0) -> None:
+        if amount < 0:
+            raise ValueError("counters only go up")
+        self.value += amount
+
+    def _samples(self):
+        for key, child in self._series():
+            yield key, {"value": child.value}
+
+
+class Gauge(_Metric):
+    """Instantaneous value (queue depth, gradient norm, utilisation)."""
+
+    kind = "gauge"
+
+    def __init__(self, name, help="", labelnames=()):
+        super().__init__(name, help, labelnames)
+        self.value = 0.0
+
+    def set(self, value: float) -> None:
+        self.value = float(value)
+
+    def inc(self, amount: float = 1.0) -> None:
+        self.value += amount
+
+    def dec(self, amount: float = 1.0) -> None:
+        self.value -= amount
+
+    def _samples(self):
+        for key, child in self._series():
+            yield key, {"value": child.value}
+
+
+class Histogram(_Metric):
+    """Cumulative-bucket histogram of observations (step latencies)."""
+
+    kind = "histogram"
+
+    def __init__(self, name, help="", labelnames=(),
+                 buckets: tuple[float, ...] = DEFAULT_BUCKETS):
+        super().__init__(name, help, labelnames)
+        self.buckets = tuple(sorted(buckets))
+        if not self.buckets:
+            raise ValueError("histogram needs at least one bucket")
+        self.bucket_counts = [0] * len(self.buckets)
+        self.sum = 0.0
+        self.count = 0
+
+    def labels(self, **labels) -> "Histogram":
+        key = _label_key(self.labelnames, labels)
+        child = self._children.get(key)
+        if child is None:
+            child = Histogram(self.name, self.help, self.labelnames,
+                              self.buckets)
+            child._key = key
+            self._children[key] = child
+        return child
+
+    def observe(self, value: float) -> None:
+        self.sum += value
+        self.count += 1
+        for i, edge in enumerate(self.buckets):
+            if value <= edge:
+                self.bucket_counts[i] += 1
+                break
+
+    def mean(self) -> float:
+        return self.sum / self.count if self.count else math.nan
+
+    def _samples(self):
+        for key, child in self._series():
+            yield key, {
+                "sum": child.sum,
+                "count": child.count,
+                "buckets": {
+                    str(edge): sum(child.bucket_counts[: i + 1])
+                    for i, edge in enumerate(child.buckets)
+                },
+            }
+
+
+class MetricsRegistry:
+    """Process-wide family registry with text/JSONL exposition.
+
+    Registration is idempotent: asking for an existing name returns the
+    existing family (a name registered as a different kind raises).
+    """
+
+    def __init__(self):
+        self._families: dict[str, _Metric] = {}
+
+    def _register(self, cls, name, help, labelnames, **kw):
+        fam = self._families.get(name)
+        if fam is not None:
+            if not isinstance(fam, cls):
+                raise ValueError(
+                    f"metric {name!r} already registered as {fam.kind}"
+                )
+            return fam
+        fam = cls(name, help, tuple(labelnames), **kw)
+        self._families[name] = fam
+        return fam
+
+    def counter(self, name: str, help: str = "",
+                labelnames: tuple[str, ...] = ()) -> Counter:
+        return self._register(Counter, name, help, labelnames)
+
+    def gauge(self, name: str, help: str = "",
+              labelnames: tuple[str, ...] = ()) -> Gauge:
+        return self._register(Gauge, name, help, labelnames)
+
+    def histogram(self, name: str, help: str = "",
+                  labelnames: tuple[str, ...] = (),
+                  buckets: tuple[float, ...] = DEFAULT_BUCKETS) -> Histogram:
+        return self._register(Histogram, name, help, labelnames,
+                              buckets=buckets)
+
+    def families(self) -> list[_Metric]:
+        return [self._families[k] for k in sorted(self._families)]
+
+    def __len__(self) -> int:
+        return len(self._families)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._families
+
+    def get(self, name: str) -> _Metric | None:
+        return self._families.get(name)
+
+    # -- exposition ---------------------------------------------------------
+    def to_prometheus(self) -> str:
+        """Prometheus text exposition format (version 0.0.4)."""
+        lines: list[str] = []
+        for fam in self.families():
+            if fam.help:
+                lines.append(f"# HELP {fam.name} {fam.help}")
+            lines.append(f"# TYPE {fam.name} {fam.kind}")
+            for key, sample in fam._samples():
+                if fam.kind == "histogram":
+                    for edge, cum in sample["buckets"].items():
+                        lbl = _render_labels(fam.labelnames, key,
+                                             {"le": edge})
+                        lines.append(f"{fam.name}_bucket{lbl} {cum}")
+                    inf = _render_labels(fam.labelnames, key,
+                                         {"le": "+Inf"})
+                    lines.append(f"{fam.name}_bucket{inf} {sample['count']}")
+                    lbl = _render_labels(fam.labelnames, key)
+                    lines.append(f"{fam.name}_sum{lbl} {sample['sum']:g}")
+                    lines.append(f"{fam.name}_count{lbl} {sample['count']}")
+                else:
+                    lbl = _render_labels(fam.labelnames, key)
+                    lines.append(f"{fam.name}{lbl} {sample['value']:g}")
+        return "\n".join(lines) + ("\n" if lines else "")
+
+    def samples(self) -> list[dict]:
+        """One flat dict per series, the JSONL export rows."""
+        rows = []
+        for fam in self.families():
+            for key, sample in fam._samples():
+                rows.append({
+                    "name": fam.name,
+                    "kind": fam.kind,
+                    "labels": dict(zip(fam.labelnames, key)),
+                    **sample,
+                })
+        return rows
+
+    def to_jsonl(self) -> str:
+        return "".join(json.dumps(r, sort_keys=True) + "\n"
+                       for r in self.samples())
+
+    def export_jsonl(self, path) -> Path:
+        path = Path(path)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(self.to_jsonl())
+        return path
+
+    def export_prometheus(self, path) -> Path:
+        path = Path(path)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(self.to_prometheus())
+        return path

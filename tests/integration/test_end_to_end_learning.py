@@ -1,6 +1,5 @@
 """Integration: the pipeline actually learns segmentation (C2/C4/E7/E8)."""
 
-import numpy as np
 import pytest
 
 from repro.core import ExperimentSettings, MISPipeline, train_trial

@@ -6,7 +6,6 @@ is *proved* at reduced scale: full trials run under every distribution
 mode and the resulting models are compared.
 """
 
-import numpy as np
 import pytest
 
 from repro.core import ExperimentSettings, MISPipeline, train_trial

@@ -1,11 +1,10 @@
 """Property-based tests on placement groups, hybrid makespans and
 failure injection."""
 
-import numpy as np
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
-from repro.cluster import ClusterSpec, marenostrum_cte
+from repro.cluster import marenostrum_cte
 from repro.cluster.failures import FailureModel, run_with_failures
 from repro.raysim import (
     InsufficientResources,

@@ -50,6 +50,21 @@ class TestTimeline:
         tl = build_timeline()
         assert tl.utilization("gpu1", horizon=10.0) == pytest.approx(0.2)
 
+    def test_utilization_window_excludes_idle_lead_in(self):
+        # recording that starts late must not dilute utilisation: the
+        # window is makespan - start_time, not makespan
+        tl = Timeline()
+        tl.record("a", 100.0, 101.0, "r")
+        tl.record("b", 101.0, 102.0, "r")
+        assert tl.utilization("r") == pytest.approx(1.0)
+        assert tl.mean_utilization() == pytest.approx(1.0)
+
+    def test_utilization_empty_and_degenerate(self):
+        assert Timeline().utilization("r") == 0.0
+        tl = Timeline()
+        tl.record("instant", 5.0, 5.0, "r")  # zero-length window
+        assert tl.utilization("r") == 0.0
+
     def test_by_category(self):
         cats = build_timeline().by_category()
         assert cats == {"train": pytest.approx(4.0), "comm": pytest.approx(0.5)}
@@ -66,6 +81,21 @@ class TestTimeline:
         lanes = {e["name"]: e["tid"] for e in events}
         assert lanes["t0"] == lanes["c0"]
         assert lanes["t0"] != lanes["t1"]
+        # timestamps/durations are microseconds; meta survives as args
+        by_name = {e["name"]: e for e in loaded}
+        assert by_name["t1"]["ts"] == pytest.approx(1.0e6)
+        assert by_name["t1"]["dur"] == pytest.approx(2.0e6)
+        assert by_name["c0"]["dur"] == pytest.approx(0.5e6)
+
+    def test_chrome_trace_meta_args_roundtrip(self, tmp_path):
+        tl = Timeline()
+        tl.record("t", 0.0, 1.0, "gpu0", category="train",
+                  case="mirrored", lr=1e-4)
+        path = tmp_path / "trace.json"
+        tl.to_chrome_trace(path)
+        (ev,) = json.loads(path.read_text())
+        assert ev["args"] == {"case": "mirrored", "lr": 1e-4}
+        assert ev["cat"] == "train"
 
     def test_meta_kwargs_recorded(self):
         tl = Timeline()

@@ -15,7 +15,7 @@ class TestParser:
         commands = set(subparsers.choices)
         assert commands == {
             "table1", "fig4", "train", "search", "simulate", "profile",
-            "calibrate", "report", "summary",
+            "calibrate", "report", "summary", "telemetry",
         }
 
     def test_missing_command_errors(self):
@@ -92,3 +92,30 @@ class TestCommands:
                    "--epochs", "1"])
         assert rc == 0
         assert "pipeline stage profile" in capsys.readouterr().out
+
+    def test_telemetry_roundtrip(self, capsys, tmp_path):
+        run_dir = tmp_path / "run"
+        rc = main([
+            "search", "--subjects", "6", "--volume", "16", "16", "16",
+            "--epochs", "1", "--base-filters", "2", "--depth", "2",
+            "--lr", "0.003", "--telemetry", str(run_dir),
+        ])
+        assert rc == 0
+        assert f"telemetry written to {run_dir}" in capsys.readouterr().out
+
+        assert main(["telemetry", "summary", str(run_dir)]) == 0
+        out = capsys.readouterr().out
+        assert "kind      : inprocess/experiment_parallel" in out
+        assert "train_steps_total" in out
+
+        assert main(["telemetry", "prom", str(run_dir)]) == 0
+        assert "# TYPE train_steps_total counter" in capsys.readouterr().out
+
+        merged = tmp_path / "merged.json"
+        assert main(["telemetry", "trace", str(run_dir),
+                     "--output", str(merged)]) == 0
+        capsys.readouterr()
+        assert merged.exists()
+
+    def test_telemetry_prom_missing_dir_fails(self, tmp_path, capsys):
+        assert main(["telemetry", "prom", str(tmp_path)]) == 1

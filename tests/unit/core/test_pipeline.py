@@ -1,6 +1,5 @@
 """MISPipeline (Fig 1 stages) tests on the in-process backend."""
 
-import numpy as np
 import pytest
 
 from repro.core import ExperimentSettings, MISPipeline, train_trial

@@ -1,6 +1,5 @@
 """DistMISRunner, distribution methods, results and profiling tests."""
 
-import numpy as np
 import pytest
 
 from repro.core import (

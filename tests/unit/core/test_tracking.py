@@ -1,6 +1,5 @@
 """Run tracking / search-resume tests."""
 
-import json
 
 import pytest
 
@@ -58,6 +57,27 @@ class TestRunTracker:
             f.write('{"config": {"learning_rate"')  # simulated crash
         recs = list(tracker.records())
         assert len(recs) == 1
+        assert tracker.torn_lines == 1
+
+    def test_torn_line_count_resets_per_scan(self, tracker):
+        tracker.log_trial(CONFIGS[0], "terminated")
+        with open(tracker.path, "a") as f:
+            f.write("not json\n")
+            f.write('{"broken"\n')
+        list(tracker.records())
+        assert tracker.torn_lines == 2
+        # a clean log scans back to zero
+        clean = RunTracker(tracker.path.parent / "clean.jsonl")
+        clean.log_trial(CONFIGS[1], "terminated")
+        list(clean.records())
+        assert clean.torn_lines == 0
+
+    def test_log_trial_is_durable_per_line(self, tracker):
+        # every append must be complete on disk when log_trial returns
+        tracker.log_trial(CONFIGS[0], "terminated", val_dice=0.8)
+        raw = tracker.path.read_text()
+        assert raw.endswith("\n")
+        assert len(raw.splitlines()) == 1
 
 
 class TestResume:

@@ -1,6 +1,5 @@
 """NIfTI-1 codec tests."""
 
-import gzip
 import struct
 
 import numpy as np

@@ -1,6 +1,5 @@
 """Learning-rate schedule tests, including the paper's scaling rule."""
 
-import numpy as np
 import pytest
 
 from repro.nn import (

@@ -1,7 +1,6 @@
 """Model-summary tests."""
 
 import numpy as np
-import pytest
 
 from repro.nn import Conv3D, ReLU, Sequential, UNet3D, format_summary, model_summary
 

@@ -1,6 +1,5 @@
 """Cost model tests: FLOPs, step pricing, quantisation, memory constants."""
 
-import math
 
 import pytest
 

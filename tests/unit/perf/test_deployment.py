@@ -1,6 +1,5 @@
 """Data-deployment cost model tests (the Fig 1 deployment stage)."""
 
-import math
 
 import pytest
 

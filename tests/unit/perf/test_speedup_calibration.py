@@ -11,7 +11,6 @@ from repro.perf import (
     TABLE1_EP_SPEEDUPS,
     TABLE1_EXPERIMENT_PARALLEL_S,
     SpeedupTable,
-    StepCostModel,
     calibrated_model,
     data_parallel_search_time,
     experiment_parallel_search_time,

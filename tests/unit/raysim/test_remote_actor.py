@@ -1,7 +1,6 @@
 """Remote task and actor tests."""
 
 import threading
-import time
 
 import numpy as np
 import pytest

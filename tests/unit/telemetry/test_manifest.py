@@ -1,0 +1,57 @@
+"""RunManifest capture / write / load."""
+
+from repro.telemetry import RunManifest
+from repro.telemetry.manifest import git_revision, host_info
+
+
+class TestCapture:
+    def test_capture_fills_environment(self):
+        m = RunManifest.capture("inprocess/dp", config={"epochs": 2}, seed=7)
+        assert m.kind == "inprocess/dp"
+        assert m.seed == 7
+        assert m.config == {"epochs": 2}
+        assert m.run_id.startswith("inprocess-dp-")
+        assert "hostname" in m.host
+        assert m.argv  # the current process's argv
+
+    def test_explicit_run_id(self):
+        m = RunManifest.capture("k", run_id="my-run")
+        assert m.run_id == "my-run"
+
+
+class TestPersistence:
+    def test_write_load_roundtrip(self, tmp_path):
+        m = RunManifest.capture(
+            "simulate/ep", config={"num_gpus": 8}, seed=1,
+            final_metrics={"elapsed_seconds": 123.4},
+        )
+        path = m.write(tmp_path)
+        assert path.name == "manifest.json"
+        loaded = RunManifest.load(tmp_path)
+        assert loaded.run_id == m.run_id
+        assert loaded.kind == "simulate/ep"
+        assert loaded.config == {"num_gpus": 8}
+        assert loaded.final_metrics == {"elapsed_seconds": 123.4}
+
+    def test_write_is_atomic_no_tmp_left(self, tmp_path):
+        RunManifest.capture("k").write(tmp_path)
+        assert [p.name for p in tmp_path.iterdir()] == ["manifest.json"]
+
+    def test_iso_timestamp_in_dict(self):
+        d = RunManifest.capture("k").to_dict()
+        assert d["created_iso"].endswith("Z")
+
+
+class TestEnvironmentProbes:
+    def test_host_info_keys(self):
+        info = host_info()
+        assert {"hostname", "platform", "python", "cpu_count"} <= set(info)
+
+    def test_git_revision_in_repo(self):
+        rev = git_revision()
+        # inside this repo a sha comes back; outside, None is fine
+        if rev is not None:
+            assert len(rev.split("+")[0]) == 40
+
+    def test_git_revision_outside_repo(self, tmp_path):
+        assert git_revision(cwd=tmp_path) is None

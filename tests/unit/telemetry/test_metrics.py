@@ -1,0 +1,123 @@
+"""MetricsRegistry: counters/gauges/histograms, labels, exposition."""
+
+import json
+import math
+
+import pytest
+
+from repro.telemetry import DEFAULT_BUCKETS, MetricsRegistry
+
+
+class TestCounter:
+    def test_inc(self):
+        reg = MetricsRegistry()
+        c = reg.counter("ops_total", "ops")
+        c.inc()
+        c.inc(2.5)
+        assert c.value == 3.5
+
+    def test_negative_rejected(self):
+        c = MetricsRegistry().counter("x_total")
+        with pytest.raises(ValueError):
+            c.inc(-1)
+
+    def test_label_children_are_independent(self):
+        reg = MetricsRegistry()
+        c = reg.counter("trials_total", labelnames=("status",))
+        c.labels(status="ok").inc(3)
+        c.labels(status="err").inc()
+        assert c.labels(status="ok").value == 3
+        assert c.labels(status="err").value == 1
+
+    def test_wrong_labels_rejected(self):
+        c = MetricsRegistry().counter("x_total", labelnames=("a",))
+        with pytest.raises(ValueError):
+            c.labels(b=1)
+
+
+class TestGauge:
+    def test_set_inc_dec(self):
+        g = MetricsRegistry().gauge("depth")
+        g.set(10)
+        g.inc(2)
+        g.dec(5)
+        assert g.value == 7
+
+
+class TestHistogram:
+    def test_cumulative_buckets(self):
+        reg = MetricsRegistry()
+        h = reg.histogram("lat", buckets=(0.1, 1.0, 10.0))
+        for v in (0.05, 0.5, 0.5, 5.0):
+            h.observe(v)
+        ((_, sample),) = h._samples()
+        assert sample["count"] == 4
+        assert sample["sum"] == pytest.approx(6.05)
+        # cumulative: le=0.1 -> 1, le=1 -> 3, le=10 -> 4
+        assert sample["buckets"] == {"0.1": 1, "1.0": 3, "10.0": 4}
+
+    def test_observation_above_all_buckets_only_in_inf(self):
+        h = MetricsRegistry().histogram("lat", buckets=(1.0,))
+        h.observe(99.0)
+        ((_, sample),) = h._samples()
+        assert sample["buckets"]["1.0"] == 0
+        assert sample["count"] == 1  # the +Inf bucket in exposition
+
+    def test_mean(self):
+        h = MetricsRegistry().histogram("lat")
+        assert math.isnan(h.mean())
+        h.observe(2.0)
+        h.observe(4.0)
+        assert h.mean() == 3.0
+
+    def test_default_buckets_sorted(self):
+        assert tuple(sorted(DEFAULT_BUCKETS)) == DEFAULT_BUCKETS
+
+
+class TestRegistry:
+    def test_registration_idempotent(self):
+        reg = MetricsRegistry()
+        a = reg.counter("x_total", "help")
+        b = reg.counter("x_total")
+        assert a is b
+        assert len(reg) == 1
+
+    def test_kind_mismatch_raises(self):
+        reg = MetricsRegistry()
+        reg.counter("x_total")
+        with pytest.raises(ValueError):
+            reg.gauge("x_total")
+
+    def test_invalid_name_rejected(self):
+        with pytest.raises(ValueError):
+            MetricsRegistry().counter("bad name")
+
+    def test_prometheus_exposition(self):
+        reg = MetricsRegistry()
+        reg.counter("steps_total", "optimizer steps",
+                    ("method",)).labels(method="dp").inc(5)
+        reg.histogram("step_s", "per-step latency",
+                      buckets=(0.5, 1.0)).observe(0.2)
+        text = reg.to_prometheus()
+        assert "# HELP steps_total optimizer steps" in text
+        assert "# TYPE steps_total counter" in text
+        assert 'steps_total{method="dp"} 5' in text
+        assert 'step_s_bucket{le="0.5"} 1' in text
+        assert 'step_s_bucket{le="+Inf"} 1' in text
+        assert "step_s_sum 0.2" in text
+        assert "step_s_count 1" in text
+
+    def test_jsonl_roundtrip(self, tmp_path):
+        reg = MetricsRegistry()
+        reg.gauge("val_dice").set(0.9)
+        reg.counter("t_total", labelnames=("s",)).labels(s="ok").inc()
+        path = reg.export_jsonl(tmp_path / "m.jsonl")
+        rows = [json.loads(line) for line in path.read_text().splitlines()]
+        by_name = {r["name"]: r for r in rows}
+        assert by_name["val_dice"]["value"] == 0.9
+        assert by_name["t_total"]["labels"] == {"s": "ok"}
+
+    def test_empty_registry_exports_empty(self):
+        reg = MetricsRegistry()
+        assert reg.to_prometheus() == ""
+        assert reg.to_jsonl() == ""

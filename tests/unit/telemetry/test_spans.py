@@ -1,0 +1,95 @@
+"""Tracer: nesting, explicit-clock spans, Timeline interop, Chrome export."""
+
+import json
+
+import pytest
+
+from repro.cluster import Timeline
+from repro.telemetry import Tracer
+
+
+class TestNesting:
+    def test_nested_spans_get_depth(self):
+        tr = Tracer()
+        with tr.span("outer"):
+            with tr.span("inner"):
+                pass
+        spans = {s.name: s for s in tr.closed_spans()}
+        assert spans["outer"].depth == 0
+        assert spans["inner"].depth == 1
+        # inner closes first
+        assert spans["inner"].end <= spans["outer"].end
+
+    def test_exception_recorded_and_propagated(self):
+        tr = Tracer()
+        with pytest.raises(RuntimeError):
+            with tr.span("boom"):
+                raise RuntimeError("x")
+        (sp,) = tr.closed_spans()
+        assert sp.attrs["error"] == "RuntimeError"
+
+    def test_set_attaches_attrs(self):
+        tr = Tracer()
+        with tr.span("s") as sp:
+            sp.set(epoch=3)
+        assert tr.closed_spans()[0].attrs["epoch"] == 3
+
+    def test_add_completed_ends_now(self):
+        tr = Tracer()
+        sp = tr.add_completed("stage", 0.5, category="pipeline")
+        assert sp.duration == pytest.approx(0.5)
+        assert sp.end <= tr.now()
+
+
+class TestExplicitClock:
+    def test_record_span_virtual_time(self):
+        tr = Tracer()
+        sp = tr.record_span("trial", 100.0, 250.0, resource="gpu3")
+        assert sp.duration == 150.0
+
+    def test_backwards_span_rejected(self):
+        with pytest.raises(ValueError):
+            Tracer().record_span("x", 2.0, 1.0)
+
+    def test_ingest_timeline(self):
+        tl = Timeline()
+        tl.record("t0", 0.0, 5.0, "gpu0", category="train", lr=1e-3)
+        tr = Tracer()
+        assert tr.ingest_timeline(tl) == 1
+        (sp,) = tr.closed_spans()
+        assert (sp.name, sp.resource, sp.category) == ("t0", "gpu0", "train")
+        assert sp.attrs == {"lr": 1e-3}
+
+    def test_to_timeline_roundtrip(self):
+        tr = Tracer()
+        tr.record_span("a", 0.0, 2.0, resource="r1", category="train")
+        tl = tr.to_timeline()
+        assert tl.makespan() == 2.0
+        assert tl.by_category() == {"train": 2.0}
+
+
+class TestChromeExport:
+    def test_merged_view_separates_pids(self, tmp_path):
+        tr = Tracer()
+        with tr.span("real_work"):
+            pass
+        sim = Timeline()
+        sim.record("sim_trial", 0.0, 60.0, "gpu0", category="train")
+        path = tmp_path / "trace.json"
+        events = tr.to_chrome_trace(path, extra_timelines=[sim])
+        assert json.loads(path.read_text()) == events
+        by_name = {e["name"]: e for e in events}
+        assert by_name["real_work"]["pid"] == 0
+        assert by_name["sim_trial"]["pid"] == 1
+        assert by_name["sim_trial"]["dur"] == pytest.approx(60e6)
+        assert all(e["ph"] == "X" for e in events)
+
+    def test_lanes_per_resource(self):
+        tr = Tracer()
+        tr.record_span("a", 0, 1, resource="gpu0")
+        tr.record_span("b", 0, 1, resource="gpu1")
+        tr.record_span("c", 1, 2, resource="gpu0")
+        events = tr.to_chrome_trace()
+        tids = {e["name"]: e["tid"] for e in events}
+        assert tids["a"] == tids["c"]
+        assert tids["a"] != tids["b"]

@@ -1,0 +1,173 @@
+#!/usr/bin/env python3
+"""Dependency-free fallback linter (used when ruff is not installed).
+
+Implements the subset of checks the project cares most about, over the
+standard-library ``ast`` module:
+
+* F401  -- module-level import never used (``__all__`` re-exports and
+  ``# noqa`` lines are respected);
+* F541  -- f-string without any placeholder;
+* E711  -- ``== None`` / ``!= None`` comparison;
+* E712  -- ``== True`` / ``== False`` comparison;
+* E722  -- bare ``except:``;
+* B006  -- mutable default argument (list/dict/set literal or call).
+
+Usage: ``python tools/lint.py PATH [PATH ...]`` -- exits non-zero when
+any finding is reported, like a real linter, so ``make lint`` fails CI.
+"""
+
+from __future__ import annotations
+
+import ast
+import sys
+from pathlib import Path
+
+MUTABLE_CALLS = {"list", "dict", "set"}
+
+
+def _used_names(tree: ast.AST) -> set[str]:
+    used: set[str] = set()
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Name):
+            used.add(node.id)
+        elif isinstance(node, ast.Attribute):
+            root = node
+            while isinstance(root, ast.Attribute):
+                root = root.value
+            if isinstance(root, ast.Name):
+                used.add(root.id)
+    return used
+
+
+def _exported(tree: ast.Module) -> set[str]:
+    for node in tree.body:
+        if isinstance(node, ast.Assign):
+            targets = [t.id for t in node.targets if isinstance(t, ast.Name)]
+            if "__all__" in targets and isinstance(
+                node.value, (ast.List, ast.Tuple)
+            ):
+                return {
+                    e.value
+                    for e in node.value.elts
+                    if isinstance(e, ast.Constant) and isinstance(e.value, str)
+                }
+    return set()
+
+
+def _import_bindings(node: ast.stmt):
+    """Yield (bound_name, display_name) for an import statement."""
+    if isinstance(node, ast.Import):
+        for alias in node.names:
+            bound = alias.asname or alias.name.split(".")[0]
+            yield bound, alias.name
+    elif isinstance(node, ast.ImportFrom):
+        for alias in node.names:
+            if alias.name == "*":
+                continue
+            bound = alias.asname or alias.name
+            yield bound, f"{node.module or ''}.{alias.name}"
+
+
+def check_file(path: Path) -> list[str]:
+    src = path.read_text()
+    try:
+        tree = ast.parse(src, filename=str(path))
+    except SyntaxError as exc:
+        return [f"{path}:{exc.lineno}: E999 syntax error: {exc.msg}"]
+    lines = src.splitlines()
+
+    def noqa(lineno: int) -> bool:
+        return 0 < lineno <= len(lines) and "# noqa" in lines[lineno - 1]
+
+    findings: list[str] = []
+    used = _used_names(tree)
+    exported = _exported(tree)
+    has_star = any(
+        isinstance(n, ast.ImportFrom) and any(a.name == "*" for a in n.names)
+        for n in ast.walk(tree)
+    )
+
+    for node in tree.body:  # module level only: local imports are often lazy
+        for bound, display in _import_bindings(node):
+            if display.endswith("__future__.annotations"):
+                continue
+            if has_star or bound in used or bound in exported:
+                continue
+            if not noqa(node.lineno):
+                findings.append(
+                    f"{path}:{node.lineno}: F401 '{display}' imported "
+                    "but unused"
+                )
+
+    # format specs (the ':.4f' in a placeholder) are themselves JoinedStr
+    # nodes; exclude them or every formatted field trips F541
+    spec_ids = {
+        id(n.format_spec)
+        for n in ast.walk(tree)
+        if isinstance(n, ast.FormattedValue) and n.format_spec is not None
+    }
+    for node in ast.walk(tree):
+        if isinstance(node, ast.JoinedStr) and id(node) not in spec_ids:
+            if not any(
+                isinstance(v, ast.FormattedValue) for v in node.values
+            ) and not noqa(node.lineno):
+                findings.append(
+                    f"{path}:{node.lineno}: F541 f-string without placeholders"
+                )
+        elif isinstance(node, ast.Compare):
+            for op, comp in zip(node.ops, node.comparators):
+                if not isinstance(op, (ast.Eq, ast.NotEq)):
+                    continue
+                if not isinstance(comp, ast.Constant) or noqa(node.lineno):
+                    continue
+                if comp.value is None:
+                    findings.append(
+                        f"{path}:{node.lineno}: E711 comparison to None "
+                        "(use 'is' / 'is not')"
+                    )
+                elif comp.value is True or comp.value is False:
+                    findings.append(
+                        f"{path}:{node.lineno}: E712 comparison to "
+                        f"{comp.value} (use 'is' or truthiness)"
+                    )
+        elif isinstance(node, ast.ExceptHandler):
+            if node.type is None and not noqa(node.lineno):
+                findings.append(f"{path}:{node.lineno}: E722 bare 'except:'")
+        elif isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            defaults = node.args.defaults + node.args.kw_defaults
+            for d in defaults:
+                if d is None or noqa(d.lineno):
+                    continue
+                mutable = isinstance(d, (ast.List, ast.Dict, ast.Set)) or (
+                    isinstance(d, ast.Call)
+                    and isinstance(d.func, ast.Name)
+                    and d.func.id in MUTABLE_CALLS
+                )
+                if mutable:
+                    findings.append(
+                        f"{path}:{d.lineno}: B006 mutable default argument "
+                        f"in '{node.name}'"
+                    )
+    return findings
+
+
+def main(argv: list[str]) -> int:
+    roots = [Path(a) for a in argv] or [Path("src"), Path("tests")]
+    files: list[Path] = []
+    for root in roots:
+        if root.is_file():
+            files.append(root)
+        else:
+            files.extend(sorted(root.rglob("*.py")))
+    findings: list[str] = []
+    for f in files:
+        findings.extend(check_file(f))
+    for line in findings:
+        print(line)
+    print(f"{len(findings)} finding(s) in {len(files)} file(s)",
+          file=sys.stderr)
+    return 1 if findings else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))
