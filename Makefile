@@ -21,6 +21,7 @@ lint:
 
 smoke:
 	PYTHONPATH=src $(PYTHON) examples/quickstart.py
+	PYTHONPATH=src $(PYTHON) examples/fault_tolerance.py
 
 bench:
 	$(PYTHON) -m pytest benchmarks/ --benchmark-only -s

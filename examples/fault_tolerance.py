@@ -4,11 +4,12 @@
 A 44-hour search on a shared cluster *will* see failures.  This example
 stacks the framework's four defences:
 
-1. trial retries (`tune_run(max_retries=...)`),
+1. injected faults + checkpoint-resume retries (`FaultInjector`,
+   `RetryPolicy`, `tune_run(retry_policy=...)`),
 2. a crash-resumable search log (`RunTracker` + `resume_search`),
 3. per-epoch checkpoints (`CheckpointManager`),
 4. quantified failure impact on the simulated cluster
-   (`cluster.failures`).
+   (`cluster.failures` under the same `RetryPolicy`).
 
 Run:  python examples/fault_tolerance.py
 """
@@ -16,6 +17,7 @@ Run:  python examples/fault_tolerance.py
 import tempfile
 from pathlib import Path
 
+import numpy as np
 
 from repro.cluster.failures import FailureModel, run_with_failures
 from repro.core import (
@@ -28,6 +30,7 @@ from repro.core import (
     train_trial,
 )
 from repro.core.config import build_model, build_optimizer
+from repro.fault_tolerance import FaultInjector, RetryPolicy
 from repro.perf import calibrated_model, paper_search_grid
 from repro.raysim import GridSearch, tune_run
 
@@ -35,23 +38,36 @@ WORKDIR = Path(tempfile.mkdtemp(prefix="distmis_ft_"))
 
 
 def flaky_search_with_retries() -> None:
-    print("1) flaky trials + retries " + "-" * 40)
-    attempts: dict[str, int] = {}
+    print("1) injected faults + checkpoint-resume retries " + "-" * 19)
+    ckpt_dir = WORKDIR / "toy_ckpts"
+    ckpt_dir.mkdir()
 
     def trainable(config, reporter):
-        key = str(config)
-        attempts[key] = attempts.get(key, 0) + 1
-        if config["learning_rate"] == 1e-3 and attempts[key] == 1:
-            raise RuntimeError("simulated GPU ECC error")
-        reporter(val_dice=0.5 + config["learning_rate"])
-        return None
+        resume = reporter.resume_from
+        if resume is not None and resume.path:
+            state = float(np.load(resume.path))
+            start = resume.epoch + 1
+        else:
+            state, start = 0.0, 0
+        for epoch in range(start, 5):
+            state += config["learning_rate"]
+            path = ckpt_dir / f"{reporter.trial_id}_e{epoch}.npy"
+            np.save(path, np.asarray(state))
+            reporter(epoch=epoch, val_dice=state, checkpoint=str(path))
+        return {"val_dice": state}
 
+    injector = FaultInjector(crash_epochs=(2, 3))  # two mid-epoch crashes
     analysis = tune_run(
-        trainable, GridSearch({"learning_rate": [1e-2, 1e-3]}),
-        max_retries=2,
+        injector.wrap(trainable),
+        GridSearch({"learning_rate": [1e-2, 1e-3]}),
+        retry_policy=RetryPolicy(max_retries=2, resume="checkpoint"),
     )
     for t in analysis.trials:
-        print(f"  {t.trial_id}: {t.status.value} after {t.retries} retries")
+        resumed = (f"last resume at epoch {t.restored_epoch}"
+                   if t.restored_epoch is not None else "never resumed")
+        print(f"  {t.trial_id}: {t.status.value} after {t.retries} retries "
+              f"({resumed})")
+    print(f"  faults injected: {injector.faults_injected}")
     assert analysis.num_errors() == 0
 
 
@@ -118,17 +134,24 @@ def checkpointed_training() -> None:
 def simulated_failure_impact() -> None:
     print("\n4) simulated failure impact at 32 GPUs " + "-" * 24)
     model = calibrated_model()
-    durations = [model.trial_time(c, 1) for c in paper_search_grid()]
+    grid = paper_search_grid()
+    durations = [model.trial_time(c, 1) for c in grid]
+    epochs = [c.epochs for c in grid]  # per-epoch checkpoint granularity
     for mtbf_h in (48, 12):
         res = run_with_failures(
             durations, 32,
-            FailureModel(mtbf_s=mtbf_h * 3600, repair_s=600,
-                         checkpoint_fraction=0.96),
-            seed=1,
+            FailureModel(mtbf_s=mtbf_h * 3600, repair_s=600),
+            seed=1, num_epochs=epochs,
+            retry_policy=RetryPolicy(max_retries=10),
         )
         print(f"  MTBF {mtbf_h:>2}h/GPU: makespan {res.makespan/3600:.2f} h, "
               f"{res.num_failures} failures, "
-              f"{res.wasted_seconds/60:.0f} min wasted")
+              f"{res.wasted_seconds/60:.0f} min wasted, "
+              f"{res.num_abandoned} abandoned")
+        for rec in res.retries[:3]:
+            print(f"    {rec.trial} attempt {rec.attempt} failed at "
+                  f"{rec.failed_at_s/3600:.2f} h -> resume at epoch "
+                  f"{rec.resumed_epoch}")
 
 
 def main() -> None:

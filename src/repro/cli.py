@@ -132,17 +132,61 @@ def cmd_search(args) -> int:
     return 0
 
 
+def _parse_failures(spec: str):
+    """``mtbf=43200,repair=600[,frac=0.9]`` -> FailureModel (seconds)."""
+    from .cluster import FailureModel
+
+    known = {"mtbf": "mtbf_s", "repair": "repair_s",
+             "frac": "checkpoint_fraction"}
+    kwargs = {}
+    for part in spec.split(","):
+        if not part:
+            continue
+        key, sep, value = part.partition("=")
+        key = key.strip()
+        if not sep or key not in known:
+            raise SystemExit(
+                f"bad --failures entry {part!r}; expected "
+                "mtbf=SECONDS[,repair=SECONDS][,frac=FRACTION]"
+            )
+        kwargs[known[key]] = float(value)
+    if "mtbf_s" not in kwargs:
+        raise SystemExit("--failures needs at least mtbf=SECONDS")
+    return FailureModel(**kwargs)
+
+
 def cmd_simulate(args) -> int:
     from .core import DistMISRunner
     from .perf import format_hms
 
+    failures = _parse_failures(args.failures) if args.failures else None
+    retry_policy = None
+    if failures is not None and (args.max_retries is not None
+                                 or args.resume != "checkpoint"):
+        from .fault_tolerance import RetryPolicy
+
+        retry_policy = RetryPolicy(
+            max_retries=args.max_retries if args.max_retries is not None
+            else 0,
+            resume=args.resume,
+        )
     runner = DistMISRunner(telemetry=_make_hub(args))
     run = runner.simulate(args.method, args.gpus, seed=args.seed,
-                          gpus_per_trial=args.gpus_per_trial)
-    print(f"{args.method} @ {args.gpus} GPUs: "
+                          gpus_per_trial=args.gpus_per_trial,
+                          failures=failures, retry_policy=retry_policy)
+    print(f"{run.method} @ {args.gpus} GPUs: "
           f"{format_hms(run.elapsed_seconds)} "
           f"({run.elapsed_seconds:.0f} s), "
           f"mean GPU utilisation {run.timeline.mean_utilization():.0%}")
+    if failures is not None:
+        print(f"failures: {run.num_failures}, wasted "
+              f"{format_hms(run.wasted_seconds)}, "
+              f"abandoned trials: {run.num_abandoned}")
+        for rec in run.retries:
+            resumed = (f"resume at epoch {rec.resumed_epoch}"
+                       if rec.resumed_epoch is not None else "from scratch")
+            print(f"  {rec.trial} attempt {rec.attempt} failed at "
+                  f"{format_hms(rec.failed_at_s)} ({resumed})")
     if args.trace:
         run.timeline.to_chrome_trace(args.trace)
         print(f"chrome trace written to {args.trace}")
@@ -332,6 +376,17 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--gpus-per-trial", type=int, default=None,
                    help="hybrid method: GPUs per trial (default: one node)")
     p.add_argument("--seed", type=int, default=None)
+    p.add_argument("--failures", metavar="SPEC",
+                   help="price the run under exponential GPU failures: "
+                        "mtbf=SECONDS[,repair=SECONDS][,frac=FRACTION] "
+                        "(experiment_parallel only; per-epoch checkpoint "
+                        "resume unless --resume scratch)")
+    p.add_argument("--max-retries", type=int, default=None,
+                   help="with --failures: abandon a trial after this many "
+                        "retries (default: unlimited)")
+    p.add_argument("--resume", choices=["checkpoint", "scratch"],
+                   default="checkpoint",
+                   help="with --failures: what a retried trial keeps")
     p.add_argument("--trace", help="write a Chrome trace JSON here")
     p.add_argument("--telemetry", metavar="DIR",
                    help="record manifest/metrics/trace into DIR")

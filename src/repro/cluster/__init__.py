@@ -9,7 +9,13 @@ simulator (:mod:`~repro.cluster.simulator`) and execution timelines
 (:mod:`~repro.cluster.trace`).
 """
 
-from .failures import FailureModel, FailureRunResult, run_with_failures
+from .failures import (
+    FailureModel,
+    FailureRunResult,
+    RetryRecord,
+    expected_slowdown,
+    run_with_failures,
+)
 from .modelparallel import PipelineParallelPlan, plan_pipeline_parallel
 from .collectives import (
     allreduce_time,
@@ -80,6 +86,8 @@ __all__ = [
     "TraceEvent",
     "FailureModel",
     "FailureRunResult",
+    "RetryRecord",
+    "expected_slowdown",
     "run_with_failures",
     "PipelineParallelPlan",
     "plan_pipeline_parallel",

@@ -4,21 +4,37 @@ Shared HPC clusters lose GPUs mid-run (ECC errors, preemption, node
 reboots).  This module injects exponential-lifetime failures into the
 experiment-parallel placement so the fault-tolerance story can be
 quantified: a failed trial loses its un-checkpointed progress, waits
-out the repair, and re-queues -- optionally resuming from its last
-checkpoint (tying into ``repro.core.checkpoint``).
+out the repair, and re-queues.
+
+Checkpoint semantics mirror the in-process runner
+(:func:`repro.raysim.tune.tune_run`): with ``num_epochs`` set, progress
+is preserved at *discrete epoch boundaries* -- exactly what a
+:class:`repro.core.checkpoint.CheckpointManager` saving once per epoch
+gives you -- under the same :class:`repro.fault_tolerance.RetryPolicy`
+(``resume="scratch"`` discards everything, ``max_retries`` caps the
+attempts before a trial is abandoned).  The legacy continuous
+``checkpoint_fraction`` remains for coarse modelling.
 """
 
 from __future__ import annotations
 
 import math
-from dataclasses import dataclass
+from dataclasses import dataclass, field
+from typing import Sequence
 
 import numpy as np
 
+from ..fault_tolerance import RetryPolicy
 from .simulator import Resource, Simulator
 from .trace import Timeline
 
-__all__ = ["FailureModel", "FailureRunResult", "run_with_failures"]
+__all__ = [
+    "FailureModel",
+    "FailureRunResult",
+    "RetryRecord",
+    "run_with_failures",
+    "expected_slowdown",
+]
 
 
 @dataclass(frozen=True)
@@ -31,6 +47,8 @@ class FailureModel:
     repair_s: float = 300.0
     # Fraction of completed work preserved at restart (0 = from scratch,
     # e.g. 0.9 = per-epoch checkpoints lose at most the current epoch).
+    # Ignored when run_with_failures() is given num_epochs, which models
+    # discrete per-epoch checkpoints instead.
     checkpoint_fraction: float = 0.0
 
     def __post_init__(self):
@@ -42,12 +60,35 @@ class FailureModel:
             raise ValueError("checkpoint_fraction must be in [0, 1)")
 
 
+@dataclass(frozen=True)
+class RetryRecord:
+    """One failed attempt of one trial (also embedded in the Timeline's
+    ``failure`` events, so the Chrome trace shows every retry)."""
+
+    trial: str
+    attempt: int
+    failed_at_s: float
+    kept_work_s: float
+    lost_work_s: float
+    resumed_epoch: int | None = None
+
+
 @dataclass
 class FailureRunResult:
     makespan: float
     num_failures: int
     wasted_seconds: float
     timeline: Timeline
+    num_abandoned: int = 0
+    retries: list[RetryRecord] = field(default_factory=list)
+
+    def attempts(self) -> dict[str, int]:
+        """Per-trial attempt count (1 = finished first try)."""
+        out: dict[str, int] = {}
+        for ev in self.timeline.events:
+            base = ev.name.replace("_abandoned", "").replace("_fail", "")
+            out[base] = max(out.get(base, 0), ev.meta.get("attempt", 0) + 1)
+        return out
 
 
 def run_with_failures(
@@ -56,47 +97,112 @@ def run_with_failures(
     failure_model: FailureModel,
     seed: int = 0,
     per_trial_overhead: float = 0.0,
+    num_epochs: int | Sequence[int] | None = None,
+    retry_policy: RetryPolicy | None = None,
 ) -> FailureRunResult:
     """Experiment-parallel placement under failures.
 
     Each attempt of trial ``i`` samples an exponential failure time; if
     it lands inside the remaining work, the attempt aborts there, pays
-    the repair, keeps ``checkpoint_fraction`` of the completed work and
-    re-queues.  Returns the makespan, failure count and wasted compute.
+    the repair, keeps its checkpointed progress and re-queues.
+
+    Progress preserved across attempts:
+
+    * ``num_epochs`` set (an int, or one per trial): the trial's work is
+      ``num_epochs`` equal epochs and a failure rolls back to the last
+      completed epoch boundary (per-epoch checkpoints);
+    * otherwise: the continuous ``failure_model.checkpoint_fraction`` of
+      the crashed attempt's progress survives.
+
+    ``retry_policy`` (default: unlimited checkpoint-resume attempts)
+    caps attempts at ``max_retries + 1`` -- a trial that exhausts them
+    is *abandoned* (an ``abandoned`` timeline event, counted in
+    ``num_abandoned``) -- and ``resume="scratch"`` discards all progress
+    on every failure.  Every failed attempt is recorded as a
+    :class:`RetryRecord` in ``retries`` and as a ``failure`` event in
+    the timeline, so retry behaviour is visible in the Chrome trace.
     """
     if num_gpus < 1:
         raise ValueError("num_gpus must be >= 1")
+    if isinstance(num_epochs, (list, tuple)):
+        if len(num_epochs) != len(durations):
+            raise ValueError("num_epochs list must match durations")
+        epochs_per_trial = [int(e) for e in num_epochs]
+    elif num_epochs is not None:
+        epochs_per_trial = [int(num_epochs)] * len(durations)
+    else:
+        epochs_per_trial = None
+    if epochs_per_trial is not None and any(e < 1 for e in epochs_per_trial):
+        raise ValueError("num_epochs must be >= 1")
+    scratch = retry_policy is not None and retry_policy.resume == "scratch"
+    max_attempts = retry_policy.max_attempts if retry_policy else None
+
     rng = np.random.default_rng(seed)
     sim = Simulator()
     pool = Resource(sim, capacity=num_gpus, name="gpus")
     timeline = Timeline()
-    stats = {"failures": 0, "wasted": 0.0}
+    stats = {"failures": 0, "wasted": 0.0, "abandoned": 0}
+    retries: list[RetryRecord] = []
 
     def trial(idx: int, work: float):
-        remaining = work + per_trial_overhead
+        name = f"trial_{idx:02d}"
+        epoch_len = None
+        if epochs_per_trial is not None and work > 0:
+            epoch_len = work / epochs_per_trial[idx]
+        done = 0.0  # checkpointed work units carried across attempts
         attempt = 0
         while True:
             yield pool.request()
             start = sim.now
+            need = (work - done) + per_trial_overhead
             fail_after = float(rng.exponential(failure_model.mtbf_s))
-            if fail_after >= remaining:
-                yield sim.timeout(remaining)
-                timeline.record(f"trial_{idx:02d}", start, sim.now,
-                                "gpu", category="train",
-                                attempt=attempt)
+            if fail_after >= need:
+                yield sim.timeout(need)
+                resumed = (
+                    int(round(done / epoch_len))
+                    if epoch_len and done > 0 else None
+                )
+                timeline.record(name, start, sim.now, "gpu",
+                                category="train", attempt=attempt,
+                                resumed_epoch=resumed)
                 pool.release()
                 return
             # failure mid-attempt
             yield sim.timeout(fail_after)
             stats["failures"] += 1
-            kept = fail_after * failure_model.checkpoint_fraction
-            stats["wasted"] += fail_after - kept
-            remaining -= kept
-            timeline.record(f"trial_{idx:02d}_fail", start, sim.now,
-                            "gpu", category="failure", attempt=attempt)
+            progressed = max(0.0, fail_after - per_trial_overhead)
+            total = done + progressed
+            if scratch:
+                kept = 0.0
+            elif epoch_len is not None:
+                kept = min(total,
+                           math.floor(total / epoch_len + 1e-9) * epoch_len)
+            else:
+                kept = done + progressed * failure_model.checkpoint_fraction
+            lost = total - kept
+            stats["wasted"] += lost
+            resumed = (
+                int(round(kept / epoch_len))
+                if epoch_len and kept > 0 else None
+            )
+            retries.append(RetryRecord(
+                trial=name, attempt=attempt, failed_at_s=sim.now,
+                kept_work_s=kept, lost_work_s=lost, resumed_epoch=resumed,
+            ))
+            timeline.record(f"{name}_fail", start, sim.now, "gpu",
+                            category="failure", attempt=attempt,
+                            kept_work_s=kept, lost_work_s=lost,
+                            resumed_epoch=resumed)
+            done = kept
             yield sim.timeout(failure_model.repair_s)
             pool.release()
             attempt += 1
+            if max_attempts is not None and attempt >= max_attempts:
+                stats["abandoned"] += 1
+                timeline.record(f"{name}_abandoned", sim.now, sim.now,
+                                "gpu", category="abandoned",
+                                attempt=attempt - 1)
+                return
 
     for i, d in enumerate(durations):
         if d < 0:
@@ -108,6 +214,8 @@ def run_with_failures(
         num_failures=stats["failures"],
         wasted_seconds=stats["wasted"],
         timeline=timeline,
+        num_abandoned=stats["abandoned"],
+        retries=retries,
     )
 
 

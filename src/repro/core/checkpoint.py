@@ -144,6 +144,11 @@ class CheckpointManager:
         epoch = metadata.get("epoch", len(self._saved))
         path = self.directory / f"ckpt_epoch{epoch:04d}.npz"
         save_checkpoint(path, model, optimizer, **metadata)
+        # A re-save of the same epoch (e.g. a retried epoch after a
+        # crash-resume) overwrites in place: re-registering the path
+        # would let the rolling eviction unlink the live checkpoint.
+        if path in self._saved:
+            self._saved.remove(path)
         self._saved.append(path)
 
         value = metadata.get(self.metric)

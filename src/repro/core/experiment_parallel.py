@@ -20,18 +20,22 @@ Backends:
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from pathlib import Path
 
+from ..cluster.failures import FailureModel, FailureRunResult, run_with_failures
 from ..cluster.simulator import Resource, Simulator
 from ..cluster.trace import Timeline
+from ..fault_tolerance import FaultInjector, RetryPolicy
 from ..perf.costs import StepCostModel, TrialConfig
 from ..perf.speedup import _trial_jitters
 from ..raysim.search import GridSearch
 from ..raysim.tune import ExperimentAnalysis, TrialScheduler, tune_run
+from .checkpoint import CheckpointManager
 from .config import ExperimentSettings, HyperparameterSpace
 from .pipeline import MISPipeline, TrialOutcome, train_trial
 
 __all__ = ["ExperimentParallelSearchResult", "run_search_inprocess",
-           "simulate_search"]
+           "simulate_search", "simulate_search_with_failures"]
 
 
 @dataclass
@@ -53,11 +57,24 @@ def run_search_inprocess(
     settings: ExperimentSettings,
     pipeline: MISPipeline | None = None,
     scheduler: TrialScheduler | None = None,
+    retry_policy: RetryPolicy | None = None,
+    checkpoint_dir: str | Path | None = None,
+    fault_injector: FaultInjector | None = None,
     telemetry=None,
 ) -> ExperimentParallelSearchResult:
     """Run the search through the Tune-analogue runner: every trial is a
     single-replica training (concurrent placement affects wall-clock,
-    not results, so executing them in sequence is result-identical)."""
+    not results, so executing them in sequence is result-identical).
+
+    Fault tolerance: ``checkpoint_dir`` gives every trial its own
+    :class:`CheckpointManager` under ``checkpoint_dir/<trial_id>``
+    (managers persist across retries of the same trial), and
+    ``retry_policy`` re-runs crashed trials -- resuming from the last
+    per-epoch checkpoint when both are set.  ``fault_injector`` wraps
+    the trainable for end-to-end crash testing; with retries or an
+    injector configured, crashes are recorded on the trial instead of
+    raised.
+    """
     import time
 
     if telemetry is None:
@@ -66,21 +83,33 @@ def run_search_inprocess(
         telemetry = get_hub()
     pipeline = pipeline or MISPipeline(settings, telemetry=telemetry)
     outcomes: list[TrialOutcome] = []
+    managers: dict[str, CheckpointManager] = {}
 
     def trainable(config: dict, reporter):
+        manager = None
+        if checkpoint_dir is not None:
+            trial_id = getattr(reporter, "trial_id", "trial")
+            manager = managers.get(trial_id)
+            if manager is None:
+                manager = CheckpointManager(Path(checkpoint_dir) / trial_id)
+                managers[trial_id] = manager
         outcome = train_trial(config, settings, pipeline,
                               num_replicas=1, reporter=reporter,
+                              checkpoint_manager=manager,
                               telemetry=telemetry)
         outcomes.append(outcome)
         return {"val_dice": outcome.val_dice, "test_dice": outcome.test_dice}
 
+    runnable = trainable if fault_injector is None \
+        else fault_injector.wrap(trainable)
     t0 = time.perf_counter()
     analysis = tune_run(
-        trainable,
+        runnable,
         search_alg=GridSearch(space.axes),
         scheduler=scheduler,
         metric="val_dice",
-        raise_on_error=True,
+        raise_on_error=retry_policy is None and fault_injector is None,
+        retry_policy=retry_policy,
         telemetry=telemetry,
     )
     result = ExperimentParallelSearchResult(
@@ -159,3 +188,60 @@ def simulate_search(
         model.params.startup_per_node_s * nodes if num_gpus > 1 else 0.0
     )
     return makespan + cluster_startup, timeline
+
+
+def simulate_search_with_failures(
+    trials: list[TrialConfig],
+    model: StepCostModel,
+    num_gpus: int,
+    failure_model: FailureModel,
+    retry_policy: RetryPolicy | None = None,
+    seed: int | None = None,
+    telemetry=None,
+) -> tuple[float, FailureRunResult]:
+    """Paper-scale experiment-parallel placement under failures.
+
+    Same calibrated per-trial durations and Ray Tune FIFO placement as
+    :func:`simulate_search`, but executed through
+    :func:`repro.cluster.failures.run_with_failures` with per-epoch
+    checkpoint granularity (each trial's ``epochs``) and the shared
+    :class:`RetryPolicy` semantics.  Returns ``(elapsed, result)`` where
+    ``elapsed`` includes the cluster spin-up and ``result`` carries the
+    failure count, wasted seconds, per-trial retry records and the
+    timeline (failures included) for the Chrome trace.
+    """
+    if num_gpus < 1:
+        raise ValueError("num_gpus must be >= 1")
+    if num_gpus > model.cluster.total_gpus:
+        raise ValueError(
+            f"{num_gpus} GPUs requested, cluster has {model.cluster.total_gpus}"
+        )
+    if telemetry is None:
+        from ..telemetry import get_hub
+
+        telemetry = get_hub()
+    jitters = _trial_jitters(model, len(trials), seed)
+    durations = [
+        model.trial_time(cfg, 1, jitter=float(j))
+        for cfg, j in zip(trials, jitters)
+    ]
+    result = run_with_failures(
+        durations, num_gpus, failure_model,
+        seed=0 if seed is None else seed,
+        per_trial_overhead=model.params.tune_trial_overhead_s,
+        num_epochs=[cfg.epochs for cfg in trials],
+        retry_policy=retry_policy,
+    )
+    telemetry.metrics.counter(
+        "sim_failures_total", "injected simulator failures",
+        ("method",)).labels(method="experiment_parallel").inc(
+            result.num_failures)
+    telemetry.metrics.counter(
+        "sim_wasted_seconds_total", "simulated compute lost to failures",
+        ("method",)).labels(method="experiment_parallel").inc(
+            result.wasted_seconds)
+    nodes = model.cluster.nodes_for(num_gpus)
+    cluster_startup = (
+        model.params.startup_per_node_s * nodes if num_gpus > 1 else 0.0
+    )
+    return result.makespan + cluster_startup, result

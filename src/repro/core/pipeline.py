@@ -34,6 +34,7 @@ from ..data.splits import DatasetSplit, split_indices
 from ..data.synthetic_brats import SyntheticBraTS
 from ..nn.metrics import batch_dice
 from ..raysim.sgd import DataParallelTrainer
+from .checkpoint import CheckpointManager, load_checkpoint
 from .config import ExperimentSettings, build_loss, build_model, build_optimizer
 
 __all__ = ["MISPipeline", "EpochRecord", "TrialOutcome", "train_trial"]
@@ -173,6 +174,7 @@ def train_trial(
     reporter=None,
     convergence_patience: int | None = None,
     convergence_tol: float = 5e-3,
+    checkpoint_manager: CheckpointManager | None = None,
     telemetry=None,
 ) -> TrialOutcome:
     """Train one hyper-parameter configuration end to end.
@@ -189,6 +191,16 @@ def train_trial(
     runs the full budget, as the paper's did).  ``telemetry`` (default:
     the pipeline's hub) receives per-epoch spans and metrics on top of
     the trainer's per-step stream.
+
+    Fault tolerance: with a ``checkpoint_manager`` every epoch is
+    checkpointed (model + optimizer + running best Dice) and the path is
+    published through the reporter (``checkpoint=...``); if the reporter
+    carries a ``resume_from`` handle (a crashed attempt being retried
+    under ``RetryPolicy(resume="checkpoint")``), the checkpoint is
+    restored into every replica and training continues at the next
+    epoch.  Shuffling is re-seeded per epoch, so a resumed run is
+    bit-identical to an uninterrupted one -- except under
+    ``settings.augment``, whose augmenter RNG advances across epochs.
     """
     t_start = time.perf_counter()
     if telemetry is None:
@@ -228,8 +240,22 @@ def train_trial(
     outcome = TrialOutcome(config=dict(config), num_replicas=num_replicas)
     best = -1.0
     stale = 0
+    start_epoch = 0
+    restored_best = 0.0
+    resume = getattr(reporter, "resume_from", None)
+    if checkpoint_manager is not None and resume is not None and resume.path:
+        meta = {}
+        for rep, opt in zip(trainer.replicas, trainer.optimizers):
+            meta = load_checkpoint(resume.path, rep, opt)
+        start_epoch = int(meta.get("epoch", resume.epoch)) + 1
+        restored_best = float(meta.get("best_val_dice",
+                                       meta.get("val_dice", 0.0)))
+        telemetry.metrics.counter(
+            "trial_restores_total",
+            "trainings resumed from a checkpoint").inc()
+    ckpt_best = restored_best
     try:
-        for epoch in range(settings.epochs):
+        for epoch in range(start_epoch, settings.epochs):
             t0 = time.perf_counter()
             losses = []
             lr = 0.0
@@ -271,12 +297,21 @@ def train_trial(
                     if stale >= convergence_patience:
                         outcome.converged_epoch = epoch - stale + 1
 
+            ckpt_extra = {}
+            if checkpoint_manager is not None:
+                ckpt_best = max(ckpt_best, val_dice)
+                path = checkpoint_manager.save(
+                    trainer.model, trainer.optimizers[0], epoch=epoch,
+                    val_dice=val_dice, best_val_dice=ckpt_best,
+                )
+                ckpt_extra["checkpoint"] = str(path)
+
             if reporter is not None:
                 if not reporter(epoch=epoch, train_loss=rec.train_loss,
-                                val_dice=val_dice, lr=lr):
+                                val_dice=val_dice, lr=lr, **ckpt_extra):
                     break
 
-        outcome.val_dice = outcome.best_val_dice()
+        outcome.val_dice = max(outcome.best_val_dice(), restored_best)
         test_x, test_y = pipeline.load_split_arrays("test")
         with telemetry.tracer.span("test_eval", category="eval"):
             pred = trainer.model.predict(test_x)

@@ -12,9 +12,11 @@ One object that exposes the paper's whole workflow:
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 
+from ..cluster.failures import FailureModel, RetryRecord
 from ..cluster.trace import Timeline
+from ..fault_tolerance import RetryPolicy
 from ..perf.calibration import calibrated_model
 from ..perf.costs import StepCostModel, TrialConfig
 from ..perf.speedup import PAPER_GPU_COUNTS, paper_search_grid
@@ -35,6 +37,11 @@ class SimulatedRun:
     num_gpus: int
     elapsed_seconds: float
     timeline: Timeline
+    # populated only for runs priced under a failure model
+    num_failures: int = 0
+    wasted_seconds: float = 0.0
+    num_abandoned: int = 0
+    retries: list[RetryRecord] = field(default_factory=list)
 
 
 class DistMISRunner:
@@ -115,7 +122,9 @@ class DistMISRunner:
     # -- simulated (paper-scale) backend ---------------------------------------
     def simulate(self, method: str, num_gpus: int,
                  seed: int | None = None,
-                 gpus_per_trial: int | None = None) -> SimulatedRun:
+                 gpus_per_trial: int | None = None,
+                 failures: FailureModel | None = None,
+                 retry_policy: RetryPolicy | None = None) -> SimulatedRun:
         """Price the full-scale search on the calibrated cluster model.
 
         ``method`` may also be ``"hybrid"`` (multi-GPU trials under Tune
@@ -123,19 +132,67 @@ class DistMISRunner:
         then selects the per-trial width (default: one node).  The run's
         simulated timeline is attached to the telemetry hub, so the
         exported Chrome trace merges simulated and real spans.
+
+        ``failures`` (a :class:`FailureModel`) re-prices the
+        experiment-parallel search under exponential GPU failures with
+        per-epoch checkpoint granularity and the shared ``retry_policy``
+        semantics; the run then also reports ``num_failures``,
+        ``wasted_seconds``, ``num_abandoned`` and per-trial ``retries``,
+        and the timeline shows every failed attempt.
         """
-        run = self._simulate_one(method, num_gpus, seed=seed,
-                                 gpus_per_trial=gpus_per_trial)
+        if failures is not None:
+            run = self._simulate_failures(num_gpus, failures, retry_policy,
+                                          seed=seed, method=method)
+        else:
+            run = self._simulate_one(method, num_gpus, seed=seed,
+                                     gpus_per_trial=gpus_per_trial)
+        final = {
+            "elapsed_seconds": run.elapsed_seconds,
+            "mean_utilization": run.timeline.mean_utilization(),
+        }
+        if failures is not None:
+            final.update(
+                num_failures=run.num_failures,
+                wasted_seconds=run.wasted_seconds,
+                num_abandoned=run.num_abandoned,
+            )
         self.telemetry.finalize_run(
             kind=f"simulate/{run.method}",
-            config={"num_gpus": num_gpus, "gpus_per_trial": gpus_per_trial},
+            config={"num_gpus": num_gpus, "gpus_per_trial": gpus_per_trial,
+                    **({"mtbf_s": failures.mtbf_s,
+                        "repair_s": failures.repair_s}
+                       if failures is not None else {})},
             seed=seed,
-            final_metrics={
-                "elapsed_seconds": run.elapsed_seconds,
-                "mean_utilization": run.timeline.mean_utilization(),
-            },
+            final_metrics=final,
         )
         return run
+
+    def _simulate_failures(self, num_gpus: int, failures: FailureModel,
+                           retry_policy: RetryPolicy | None,
+                           seed: int | None = None,
+                           method: str = "experiment_parallel") -> SimulatedRun:
+        if method != "experiment_parallel":
+            raise ValueError(
+                "failure injection is modelled for the experiment-parallel "
+                f"method (independent 1-GPU trials), not {method!r}"
+            )
+        hub = self.telemetry
+        with hub.tracer.span("simulate[experiment_parallel+failures]",
+                             category="run", num_gpus=num_gpus,
+                             mtbf_s=failures.mtbf_s):
+            elapsed, result = experiment_parallel.simulate_search_with_failures(
+                self.sim_trials, self.cost_model, num_gpus, failures,
+                retry_policy=retry_policy, seed=seed, telemetry=hub,
+            )
+        hub.attach_timeline(result.timeline)
+        return SimulatedRun(
+            method="experiment_parallel+failures", num_gpus=num_gpus,
+            elapsed_seconds=elapsed, timeline=result.timeline,
+            num_failures=result.num_failures,
+            wasted_seconds=result.wasted_seconds,
+            num_abandoned=result.num_abandoned,
+            retries=result.retries,
+        )
 
     def _simulate_one(self, method: str, num_gpus: int,
                       seed: int | None = None,

@@ -23,14 +23,17 @@ from .scheduler import (
     lpt_schedule,
     makespan_lower_bound,
 )
+from ..fault_tolerance import FaultInjector, InjectedFault
 from .search import GridSearch, RandomSearch, SearchAlgorithm, TPELite
 from .sgd import DataParallelTrainer, SyncGroup
 from .tune import (
     ASHAScheduler,
+    CheckpointHandle,
     ExperimentAnalysis,
     FIFOScheduler,
     HyperbandScheduler,
     Reporter,
+    RetryPolicy,
     StopTrial,
     Trial,
     TrialScheduler,
@@ -67,6 +70,10 @@ __all__ = [
     "ExperimentAnalysis",
     "tune_run",
     "StopTrial",
+    "RetryPolicy",
+    "CheckpointHandle",
+    "FaultInjector",
+    "InjectedFault",
     "PlacementResult",
     "fifo_schedule",
     "lpt_schedule",

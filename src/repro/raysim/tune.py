@@ -28,6 +28,7 @@ import time
 from dataclasses import dataclass, field
 from typing import Callable
 
+from ..fault_tolerance import CheckpointHandle, RetryPolicy
 from .search import SearchAlgorithm
 
 __all__ = [
@@ -37,9 +38,12 @@ __all__ = [
     "TrialScheduler",
     "FIFOScheduler",
     "ASHAScheduler",
+    "HyperbandScheduler",
     "ExperimentAnalysis",
     "tune_run",
     "StopTrial",
+    "RetryPolicy",
+    "CheckpointHandle",
 ]
 
 
@@ -68,6 +72,8 @@ class Trial:
     error: str | None = None
     runtime_s: float = 0.0
     retries: int = 0
+    # epoch the latest retry resumed from (None: never resumed)
+    restored_epoch: int | None = None
 
     def last_result(self) -> dict | None:
         return self.results[-1] if self.results else None
@@ -92,6 +98,16 @@ class TrialScheduler:
 
     def on_trial_complete(self, trial: Trial) -> None:
         pass
+
+    def on_trial_retry(self, trial: Trial,
+                       keep_up_to: int | float | None = None) -> None:
+        """A crashed attempt of ``trial`` is about to be retried.
+
+        Stateful schedulers must discard whatever the crashed attempt
+        reported after ``keep_up_to`` (in ``time_attr`` units; None =
+        discard everything the trial ever contributed), otherwise lost
+        results keep skewing cutoffs for later trials.
+        """
 
 
 class FIFOScheduler(TrialScheduler):
@@ -129,6 +145,8 @@ class ASHAScheduler(TrialScheduler):
         self.max_t = max_t
         # rung level -> list of recorded metric values
         self._rungs: dict[int, list[float]] = {}
+        # trial_id -> [(level, value, t)] it contributed, for retry rollback
+        self._entries: dict[str, list[tuple[int, float, float]]] = {}
         r = 0
         t = grace_period
         self.rung_times = []
@@ -142,10 +160,18 @@ class ASHAScheduler(TrialScheduler):
             return self.CONTINUE
         t = result[self.time_attr]
         val = float(result[self.metric])
+        # A rung is due once the trial has *crossed* it and has no record
+        # at that level yet -- exact equality would let trials reporting
+        # every k epochs (or with non-integer time_attr) skip rungs and
+        # never be early-stopped.
+        entries = self._entries.setdefault(trial.trial_id, [])
+        recorded_levels = {level for level, _, _ in entries}
         for level, rung_t in enumerate(self.rung_times):
-            if t == rung_t:
+            if t >= rung_t and level not in recorded_levels:
                 recorded = self._rungs.setdefault(level, [])
                 recorded.append(val)
+                entries.append((level, val, float(t)))
+                recorded_levels.add(level)
                 ordered = sorted(recorded, reverse=(self.mode == "max"))
                 k = max(1, len(ordered) // self.rf)
                 cutoff = ordered[k - 1]
@@ -155,6 +181,22 @@ class ASHAScheduler(TrialScheduler):
                 if not survives:
                     return self.STOP
         return self.CONTINUE
+
+    def on_trial_retry(self, trial: Trial,
+                       keep_up_to: int | float | None = None) -> None:
+        """Roll the crashed attempt's rung records back so lost results
+        stop skewing cutoffs.  Records at or before ``keep_up_to`` came
+        from checkpointed (preserved) progress and stay."""
+        entries = self._entries.get(trial.trial_id)
+        if not entries:
+            return
+        kept: list[tuple[int, float, float]] = []
+        for level, val, t in entries:
+            if keep_up_to is not None and t <= keep_up_to:
+                kept.append((level, val, t))
+            else:
+                self._rungs[level].remove(val)
+        self._entries[trial.trial_id] = kept
 
 
 class HyperbandScheduler(TrialScheduler):
@@ -202,19 +244,31 @@ class HyperbandScheduler(TrialScheduler):
     def on_result(self, trial: Trial, result: dict) -> str:
         return self.bracket_of(trial).on_result(trial, result)
 
+    def on_trial_retry(self, trial: Trial,
+                       keep_up_to: int | float | None = None) -> None:
+        self.bracket_of(trial).on_trial_retry(trial, keep_up_to=keep_up_to)
+
 
 class Reporter:
     """The per-trial reporting callback handed to trainables.
 
     Calling it records a result row and returns True while the scheduler
-    wants the trial to continue.
+    wants the trial to continue.  Fault-tolerance contract: a trainable
+    that checkpoints passes ``checkpoint=<path>`` alongside its metrics
+    (the key is captured into :attr:`last_checkpoint`, not stored as a
+    metric), and on a resumed attempt reads :attr:`resume_from` -- the
+    :class:`~repro.fault_tolerance.CheckpointHandle` of the last durable
+    epoch -- to continue training instead of starting at epoch 0.
     """
 
     def __init__(self, trial: Trial, scheduler: TrialScheduler,
-                 telemetry=None):
+                 telemetry=None,
+                 resume_from: CheckpointHandle | None = None):
         self._trial = trial
         self._scheduler = scheduler
         self.stopped = False
+        self.resume_from = resume_from
+        self.last_checkpoint = resume_from
         if telemetry is None:
             from ..telemetry import get_hub
 
@@ -223,8 +277,17 @@ class Reporter:
             "scheduler_decisions_total",
             "per-report scheduler continue/stop decisions", ("decision",))
 
+    @property
+    def trial_id(self) -> str:
+        return self._trial.trial_id
+
     def __call__(self, **metrics) -> bool:
+        checkpoint = metrics.pop("checkpoint", None)
         self._trial.results.append(dict(metrics))
+        if checkpoint is not None:
+            epoch = metrics.get("epoch", len(self._trial.results) - 1)
+            self.last_checkpoint = CheckpointHandle(
+                epoch=epoch, path=str(checkpoint))
         decision = self._scheduler.on_result(self._trial, metrics)
         self._m_decisions.labels(decision=decision).inc()
         if decision == TrialScheduler.STOP:
@@ -279,20 +342,34 @@ def tune_run(
     mode: str = "max",
     raise_on_error: bool = False,
     max_retries: int = 0,
+    retry_policy: RetryPolicy | None = None,
     telemetry=None,
 ) -> ExperimentAnalysis:
     """Execute every configuration the search algorithm proposes.
 
     The trainable receives ``(config, reporter)`` and may return a final
     metrics dict.  Adaptive search algorithms are fed each trial's best
-    ``metric`` via :meth:`SearchAlgorithm.observe`.  ``max_retries``
-    re-runs a crashed trial from scratch (the fault-tolerance knob
-    preempted cluster runs need); only the final attempt's status is
-    recorded, with the retry count in ``Trial.final``-independent field
-    ``retries``.  ``telemetry`` (default: the process hub) receives one
-    span per trial plus trial-status / pending-queue metrics.
+    ``metric`` via :meth:`SearchAlgorithm.observe`.
+
+    Fault tolerance: a crashed attempt is re-run under ``retry_policy``
+    (``max_retries`` is shorthand for ``RetryPolicy(max_retries=n)``).
+    With ``resume="checkpoint"`` (the default) the retry's reporter
+    carries ``resume_from`` -- the last checkpoint handle the crashed
+    attempt published -- so a :class:`CheckpointManager`-equipped
+    trainable continues from its last epoch instead of epoch 0; results
+    after the checkpointed epoch are dropped, and the scheduler's
+    :meth:`~TrialScheduler.on_trial_retry` rolls back the matching rung
+    records so lost work cannot skew ASHA cutoffs.  Without a published
+    checkpoint (or with ``resume="scratch"``) the retry starts clean.
+    Only the final attempt's status is recorded, with the attempt count
+    in ``Trial.retries`` and the resume point in
+    ``Trial.restored_epoch``.  ``telemetry`` (default: the process hub)
+    receives one span per trial, trial-status counters, and the
+    ``tune_retries_total`` / ``tune_restores_total`` counters.
     """
     scheduler = scheduler or FIFOScheduler()
+    if retry_policy is None:
+        retry_policy = RetryPolicy(max_retries=max_retries)
     if telemetry is None:
         from ..telemetry import get_hub
 
@@ -302,6 +379,10 @@ def tune_run(
         ("status",))
     m_started = telemetry.metrics.counter(
         "tune_trials_started_total", "trials handed to the trainable")
+    m_retries = telemetry.metrics.counter(
+        "tune_retries_total", "crashed trial attempts that were retried")
+    m_restores = telemetry.metrics.counter(
+        "tune_restores_total", "retries that resumed from a checkpoint")
     trials: list[Trial] = []
     # NB: configurations() must stay lazy -- adaptive algorithms (TPE)
     # propose each config from the observations fed back so far.
@@ -312,12 +393,36 @@ def tune_run(
         trial.status = TrialStatus.RUNNING
         t0 = time.perf_counter()
         final = None
+        last_checkpoint: CheckpointHandle | None = None
         with telemetry.tracer.span(trial.trial_id, category="trial",
                                    **{k: str(v) for k, v in config.items()}):
-            for attempt in range(max_retries + 1):
-                trial.results.clear()
+            for attempt in range(retry_policy.max_attempts):
                 trial.retries = attempt
-                reporter = Reporter(trial, scheduler, telemetry=telemetry)
+                resume_from = None
+                if attempt:
+                    m_retries.inc()
+                    delay = retry_policy.delay(attempt)
+                    if delay > 0:
+                        time.sleep(delay)
+                    if (retry_policy.resume == "checkpoint"
+                            and last_checkpoint is not None):
+                        resume_from = last_checkpoint
+                        trial.restored_epoch = last_checkpoint.epoch
+                        # keep rows from checkpointed (durable) epochs;
+                        # the resumed attempt re-reports everything after
+                        keep = last_checkpoint.epoch
+                        trial.results = [
+                            r for r in trial.results
+                            if r.get("epoch", keep + 1) <= keep
+                        ]
+                        scheduler.on_trial_retry(trial, keep_up_to=keep)
+                        m_restores.inc()
+                    else:
+                        trial.restored_epoch = None
+                        trial.results.clear()
+                        scheduler.on_trial_retry(trial, keep_up_to=None)
+                reporter = Reporter(trial, scheduler, telemetry=telemetry,
+                                    resume_from=resume_from)
                 try:
                     final = trainable(dict(config), reporter)
                 except StopTrial:
@@ -330,6 +435,7 @@ def tune_run(
                     trial.status = TrialStatus.ERROR
                     trial.error = f"{type(exc).__name__}: {exc}"
                     final = None
+                    last_checkpoint = reporter.last_checkpoint
                     continue  # retry if attempts remain
                 else:
                     trial.status = (

@@ -11,6 +11,7 @@ from repro.cluster import (
     run_with_failures,
 )
 from repro.cluster.failures import expected_slowdown
+from repro.fault_tolerance import RetryPolicy
 from repro.raysim import fifo_schedule
 
 
@@ -83,6 +84,20 @@ class TestRunWithFailures:
         with pytest.raises(ValueError):
             run_with_failures([-1.0], 1, FailureModel(mtbf_s=10))
 
+    def test_expected_slowdown_pins_run_with_failures(self):
+        """The analytic slowdown must match the simulator itself (not
+        just a hand-rolled Monte-Carlo): default semantics are
+        restart-from-scratch, exactly the formula's assumption."""
+        model = FailureModel(mtbf_s=200.0, repair_s=20.0)
+        d = 100.0
+        ratios = [
+            run_with_failures([d], 1, model, seed=s).makespan / d
+            for s in range(600)
+        ]
+        assert expected_slowdown(d, model) == pytest.approx(
+            float(np.mean(ratios)), rel=0.1
+        )
+
     def test_expected_slowdown_analytic(self):
         """Monte-Carlo completion time matches the renewal formula."""
         model = FailureModel(mtbf_s=200.0, repair_s=20.0)
@@ -100,6 +115,107 @@ class TestRunWithFailures:
             samples.append(t)
         mc = np.mean(samples) / d
         assert expected_slowdown(d, model) == pytest.approx(mc, rel=0.05)
+
+
+class TestEpochCheckpointsAndRetryPolicy:
+    """The reworked run_with_failures: discrete per-epoch checkpoints,
+    RetryPolicy semantics, and per-trial retry records."""
+
+    def test_kept_work_snaps_to_epoch_boundaries(self):
+        res = run_with_failures(
+            [100.0], 1, FailureModel(mtbf_s=40.0, repair_s=5.0),
+            seed=2, num_epochs=10,
+        )
+        assert res.num_failures > 0
+        for rec in res.retries:
+            assert rec.kept_work_s % 10.0 == pytest.approx(0.0, abs=1e-9)
+            if rec.kept_work_s > 0:
+                assert rec.resumed_epoch == int(round(rec.kept_work_s / 10.0))
+            else:
+                assert rec.resumed_epoch is None
+            assert rec.lost_work_s >= 0.0
+
+    def test_finished_trial_records_resume_epoch(self):
+        res = run_with_failures(
+            [100.0], 1, FailureModel(mtbf_s=40.0, repair_s=5.0),
+            seed=2, num_epochs=10,
+        )
+        (train,) = [e for e in res.timeline.events if e.category == "train"]
+        last_resume = res.retries[-1].resumed_epoch
+        assert train.meta["resumed_epoch"] == last_resume
+        assert train.meta["attempt"] == len(res.retries)
+
+    def test_scratch_discards_all_progress(self):
+        res = run_with_failures(
+            [100.0], 1, FailureModel(mtbf_s=60.0, repair_s=5.0),
+            seed=2, num_epochs=10,
+            retry_policy=RetryPolicy(max_retries=10**6, resume="scratch"),
+        )
+        assert res.num_failures > 0
+        assert all(r.kept_work_s == 0.0 for r in res.retries)
+        assert all(r.resumed_epoch is None for r in res.retries)
+        assert res.wasted_seconds == pytest.approx(
+            sum(r.lost_work_s for r in res.retries)
+        )
+
+    def test_checkpoint_resume_no_slower_than_scratch(self):
+        m = FailureModel(mtbf_s=60.0, repair_s=10.0)
+        kw = dict(seed=2, num_epochs=20)
+        ckpt = run_with_failures(
+            [100.0], 1, m,
+            retry_policy=RetryPolicy(max_retries=10**6), **kw,
+        )
+        scratch = run_with_failures(
+            [100.0], 1, m,
+            retry_policy=RetryPolicy(max_retries=10**6, resume="scratch"),
+            **kw,
+        )
+        assert ckpt.num_failures > 0
+        assert ckpt.makespan <= scratch.makespan + 1e-9
+
+    def test_max_retries_abandons_trial(self):
+        res = run_with_failures(
+            [1000.0], 1, FailureModel(mtbf_s=5.0, repair_s=1.0),
+            seed=0, num_epochs=10,
+            retry_policy=RetryPolicy(max_retries=2),
+        )
+        assert res.num_abandoned == 1
+        assert not [e for e in res.timeline.events if e.category == "train"]
+        abandoned = [e for e in res.timeline.events
+                     if e.category == "abandoned"]
+        assert len(abandoned) == 1
+        assert len(res.retries) == 3  # max_attempts failed attempts
+        assert res.attempts() == {"trial_00": 3}
+
+    def test_retries_reproducible_by_seed(self):
+        m = FailureModel(mtbf_s=80.0, repair_s=5.0)
+        kw = dict(seed=9, num_epochs=10)
+        a = run_with_failures([100.0, 80.0], 2, m, **kw)
+        b = run_with_failures([100.0, 80.0], 2, m, **kw)
+        assert a.retries == b.retries  # RetryRecord is a frozen dataclass
+        assert a.makespan == b.makespan
+
+    def test_retry_records_in_chrome_trace(self):
+        res = run_with_failures(
+            [100.0], 1, FailureModel(mtbf_s=30.0, repair_s=5.0),
+            seed=2, num_epochs=10,
+        )
+        assert res.num_failures > 0
+        trace = res.timeline.to_chrome_trace()
+        fails = [e for e in trace if e["cat"] == "failure"]
+        assert len(fails) == res.num_failures
+        for e in fails:
+            assert "attempt" in e["args"]
+            assert "kept_work_s" in e["args"]
+            assert "lost_work_s" in e["args"]
+
+    def test_num_epochs_validation(self):
+        with pytest.raises(ValueError):
+            run_with_failures([1.0, 2.0], 1, FailureModel(mtbf_s=10),
+                              num_epochs=[5])
+        with pytest.raises(ValueError):
+            run_with_failures([1.0], 1, FailureModel(mtbf_s=10),
+                              num_epochs=0)
 
 
 class TestPipelineParallelPlan:

@@ -3,7 +3,7 @@
 import numpy as np
 import pytest
 
-from repro.core import load_checkpoint, save_checkpoint
+from repro.core import CheckpointManager, load_checkpoint, save_checkpoint
 from repro.core.checkpoint import _flatten_opt_state, _unflatten_opt_state
 from repro.nn import SGD, Adam, Momentum, SoftDiceLoss, UNet3D
 
@@ -59,6 +59,27 @@ def test_optimizer_checkpoint_roundtrip(tmp_path, factory):
         o.step()
     np.testing.assert_allclose(net.get_flat_params(),
                                net2.get_flat_params(), atol=1e-12)
+
+
+class TestCheckpointManagerResave:
+    def test_same_epoch_resave_not_double_registered(self, tmp_path):
+        """Regression: re-saving an epoch (a crash-resume re-runs the
+        crashed epoch) used to register the same path twice, letting the
+        rolling eviction unlink the live checkpoint."""
+        net = tiny()
+        opt = SGD(net, lr=1e-2)
+        mgr = CheckpointManager(tmp_path, keep=2)
+        mgr.save(net, opt, epoch=0, val_dice=0.1)
+        p1 = mgr.save(net, opt, epoch=1, val_dice=0.2)
+        assert mgr.save(net, opt, epoch=1, val_dice=0.25) == p1
+        assert mgr._saved.count(p1) == 1
+        mgr.save(net, opt, epoch=2, val_dice=0.3)
+        # the live epoch-1 checkpoint must survive the eviction
+        assert p1.exists()
+        assert len(mgr._saved) == 2
+        assert all(p.exists() for p in mgr._saved)
+        net2 = tiny(3)
+        load_checkpoint(mgr.latest_path(), net2, SGD(net2, lr=1e-2))
 
 
 class TestFlattenHelpers:

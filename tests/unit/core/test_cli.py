@@ -44,6 +44,27 @@ class TestCommands:
         assert "8 GPUs" in out
         assert trace.exists()
 
+    def test_simulate_with_failures(self, capsys, tmp_path):
+        trace = tmp_path / "t.json"
+        rc = main(["simulate", "experiment_parallel", "8",
+                   "--failures", "mtbf=20000,repair=600",
+                   "--max-retries", "5", "--seed", "1",
+                   "--trace", str(trace)])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "experiment_parallel+failures" in out
+        assert "failures:" in out and "wasted" in out
+        assert "abandoned trials:" in out
+        assert trace.exists()
+
+    def test_simulate_bad_failures_spec_exits(self):
+        with pytest.raises(SystemExit):
+            main(["simulate", "experiment_parallel", "8",
+                  "--failures", "repair=600"])
+        with pytest.raises(SystemExit):
+            main(["simulate", "experiment_parallel", "8",
+                  "--failures", "mtbf=1,bogus=2"])
+
     def test_train_command(self, capsys):
         rc = main([
             "train", "--subjects", "6", "--volume", "16", "16", "16",

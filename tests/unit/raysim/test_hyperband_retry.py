@@ -8,9 +8,17 @@ from repro.raysim import (
     TrialStatus,
     tune_run,
 )
+from repro.raysim.tune import Trial
 
 
 class TestHyperband:
+    def test_star_import_exports_scheduler(self):
+        ns = {}
+        exec("from repro.raysim.tune import *", ns)
+        assert "HyperbandScheduler" in ns
+        assert "RetryPolicy" in ns
+        assert "CheckpointHandle" in ns
+
     def test_brackets_have_increasing_grace(self):
         hb = HyperbandScheduler("dice", max_t=81, reduction_factor=3,
                                 num_brackets=3)
@@ -52,6 +60,28 @@ class TestHyperband:
     def test_validation(self):
         with pytest.raises(ValueError):
             HyperbandScheduler("dice", num_brackets=0)
+
+    def test_brackets_isolate_rung_records(self):
+        hb = HyperbandScheduler("dice", max_t=16, reduction_factor=2,
+                                num_brackets=2)
+        ta, tb = Trial("a", {}), Trial("b", {})
+        ba, bb = hb.bracket_of(ta), hb.bracket_of(tb)
+        assert ba is not bb
+        hb.on_result(ta, {"epoch": ba.grace, "dice": 0.9})
+        hb.on_result(tb, {"epoch": bb.grace, "dice": 0.8})
+        assert 0.8 not in ba._rungs.get(0, [])
+        assert 0.9 not in bb._rungs.get(0, [])
+
+    def test_retry_rolls_back_only_own_bracket(self):
+        hb = HyperbandScheduler("dice", max_t=16, reduction_factor=2,
+                                num_brackets=2)
+        ta, tb = Trial("a", {}), Trial("b", {})
+        ba, bb = hb.bracket_of(ta), hb.bracket_of(tb)
+        hb.on_result(ta, {"epoch": ba.grace, "dice": 0.9})
+        hb.on_result(tb, {"epoch": bb.grace, "dice": 0.8})
+        hb.on_trial_retry(ta, keep_up_to=None)
+        assert all(not vals for vals in ba._rungs.values())
+        assert any(vals for vals in bb._rungs.values())
 
 
 class TestRetries:
