@@ -2,7 +2,7 @@
 
 PYTHON ?= python3
 
-.PHONY: install test lint smoke bench examples report api-docs results clean
+.PHONY: install test lint smoke bench bench-parallel examples report api-docs results clean
 
 install:
 	PIP_NO_BUILD_ISOLATION=false pip install -e .
@@ -22,9 +22,17 @@ lint:
 smoke:
 	PYTHONPATH=src $(PYTHON) examples/quickstart.py
 	PYTHONPATH=src $(PYTHON) examples/fault_tolerance.py
+	DISTMIS_BENCH_SMOKE=1 PYTHONPATH=src $(PYTHON) -m pytest \
+		benchmarks/test_process_parallel_speedup.py -q -s
 
 bench:
 	$(PYTHON) -m pytest benchmarks/ --benchmark-only -s
+
+# serial vs 4-worker process pool on the same search; writes
+# benchmarks/BENCH_parallel.json (DISTMIS_BENCH_SMOKE=1 for a tiny budget)
+bench-parallel:
+	PYTHONPATH=src $(PYTHON) -m pytest \
+		benchmarks/test_process_parallel_speedup.py -q -s
 
 examples:
 	for ex in examples/*.py; do echo "== $$ex"; $(PYTHON) $$ex || exit 1; done

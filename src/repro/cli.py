@@ -122,7 +122,14 @@ def cmd_search(args) -> int:
         best = result.best()
         print(f"best: {best.config} (val DSC {best.val_dice:.4f})")
     else:
-        result = runner.run_inprocess("experiment_parallel")
+        result = runner.run_inprocess(
+            "experiment_parallel",
+            executor=args.executor, max_workers=args.workers,
+        )
+        if args.executor == "process":
+            workers = args.workers or result.num_gpus
+            print(f"process executor: {len(result.outcomes)} trials over "
+                  f"{workers} workers in {result.elapsed_seconds:.1f} s")
         for row in result.analysis.results_table("val_dice"):
             print(f"{row['trial_id']} {row['config']} "
                   f"val DSC {row['val_dice']:.4f} [{row['status']}]")
@@ -365,6 +372,14 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--method", default="experiment_parallel",
                    choices=["data_parallel", "experiment_parallel"])
     p.add_argument("--gpus", type=int, default=1)
+    p.add_argument("--executor", default="serial",
+                   choices=["serial", "process"],
+                   help="experiment_parallel trial execution backend: "
+                        "serial (one core) or a process pool (true "
+                        "multi-core parallelism, result-identical)")
+    p.add_argument("--workers", type=int, default=None,
+                   help="process executor: worker processes "
+                        "(default: all cores)")
     p.add_argument("--telemetry", metavar="DIR",
                    help="record manifest/metrics/trace into DIR")
     p.set_defaults(fn=cmd_search)

@@ -29,7 +29,12 @@ import numpy as np
 
 from ..data.dataset import Dataset, PipelineStats
 from ..data.preprocess import preprocess_subject
-from ..data.records import read_example_file, write_example_file
+from ..data.records import (
+    IndexedRecordReader,
+    RecordIndexError,
+    read_example_file,
+    write_example_file,
+)
 from ..data.splits import DatasetSplit, split_indices
 from ..data.synthetic_brats import SyntheticBraTS
 from ..nn.metrics import batch_dice
@@ -37,7 +42,8 @@ from ..raysim.sgd import DataParallelTrainer
 from .checkpoint import CheckpointManager, load_checkpoint
 from .config import ExperimentSettings, build_loss, build_model, build_optimizer
 
-__all__ = ["MISPipeline", "EpochRecord", "TrialOutcome", "train_trial"]
+__all__ = ["MISPipeline", "ArrayBackedPipeline", "EpochRecord",
+           "TrialOutcome", "train_trial"]
 
 
 @dataclass
@@ -154,16 +160,104 @@ class MISPipeline:
         return ds
 
     def load_split_arrays(self, split: str) -> tuple[np.ndarray, np.ndarray]:
-        """Whole split as two stacked arrays (for validation passes)."""
+        """Whole split as two stacked arrays (for validation passes).
+
+        Reads through the index sidecar when present: the per-record
+        decode is a zero-copy view over the file mapping and the only
+        copy is the final stack.  Falls back to the sequential verifying
+        scan when the sidecar is missing or bad.
+        """
         files = self.binarize()
-        images, masks = [], []
-        for ex in read_example_file(files[split]):
-            images.append(ex["image"])
-            masks.append(ex["mask"])
+        try:
+            reader = IndexedRecordReader(files[split])
+            examples = list(reader)
+        except RecordIndexError:
+            examples = list(read_example_file(files[split]))
+        images = [ex["image"] for ex in examples]
+        masks = [ex["mask"] for ex in examples]
         return np.stack(images), np.stack(masks)
+
+    def split_arrays(self) -> dict[str, np.ndarray]:
+        """Every split stacked, keyed ``{split}_images`` /
+        ``{split}_masks`` -- the bundle a
+        :class:`repro.execpool.SharedArrayStore` publishes to workers."""
+        out: dict[str, np.ndarray] = {}
+        for split in ("train", "val", "test"):
+            images, masks = self.load_split_arrays(split)
+            out[f"{split}_images"] = images
+            out[f"{split}_masks"] = masks
+        return out
 
     def steps_per_epoch(self, batch_size: int) -> int:
         return math.ceil(len(self.split.train) / batch_size)
+
+
+class ArrayBackedPipeline:
+    """The :class:`MISPipeline` surface served from in-memory arrays.
+
+    Built by a pool worker from shared-memory views
+    (:meth:`repro.execpool.SharedArrayHandle.attach`), so the worker
+    trains on the parent's binarised splits without re-generating,
+    re-decoding, or copying them.  ``dataset()`` applies the identical
+    transformation chain (shuffle buffer size and seed included), so a
+    trial trained here is bit-identical to one fed by the record-file
+    pipeline.
+    """
+
+    def __init__(self, settings: ExperimentSettings,
+                 arrays, telemetry=None,
+                 stats: PipelineStats | None = None):
+        if telemetry is None:
+            from ..telemetry import get_hub
+
+            telemetry = get_hub()
+        self.telemetry = telemetry
+        self.settings = settings
+        self.stats = stats or PipelineStats(telemetry=telemetry)
+        # `arrays` may be a plain {name: ndarray} mapping or an
+        # AttachedArrays; keep the object itself referenced so a
+        # shared-memory mapping cannot be unmapped under our views.
+        self._owner = arrays
+        if hasattr(arrays, "arrays"):
+            arrays = arrays.arrays
+        self._splits: dict[str, tuple[np.ndarray, np.ndarray]] = {}
+        for split in ("train", "val", "test"):
+            try:
+                self._splits[split] = (arrays[f"{split}_images"],
+                                       arrays[f"{split}_masks"])
+            except KeyError as exc:
+                raise ValueError(
+                    f"array bundle is missing {exc.args[0]!r}"
+                ) from None
+
+    def dataset(self, split: str, batch_size: int,
+                shuffle_seed: int | None = None, prefetch: int = 0,
+                augmenter=None) -> Dataset:
+        if split not in self._splits:
+            raise ValueError(f"unknown split {split!r}")
+        images, masks = self._splits[split]
+
+        def source():
+            return ((images[i], masks[i]) for i in range(images.shape[0]))
+
+        ds = Dataset.from_generator(source, stats=self.stats)
+        if shuffle_seed is not None:
+            ds = ds.shuffle(buffer_size=max(2, batch_size * 4),
+                            seed=shuffle_seed)
+        if augmenter is not None:
+            ds = ds.map(augmenter.map_fn(), stage="augment")
+        ds = ds.batch(batch_size)
+        if prefetch:
+            ds = ds.prefetch(prefetch)
+        return ds
+
+    def load_split_arrays(self, split: str) -> tuple[np.ndarray, np.ndarray]:
+        if split not in self._splits:
+            raise ValueError(f"unknown split {split!r}")
+        return self._splits[split]
+
+    def steps_per_epoch(self, batch_size: int) -> int:
+        return math.ceil(self._splits["train"][0].shape[0] / batch_size)
 
 
 def train_trial(

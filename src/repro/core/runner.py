@@ -72,8 +72,15 @@ class DistMISRunner:
         return self._pipeline
 
     # -- in-process (functional) backend --------------------------------------
-    def run_inprocess(self, method: str, num_gpus: int = 1):
+    def run_inprocess(self, method: str, num_gpus: int = 1,
+                      executor: str = "serial",
+                      max_workers: int | None = None):
         """Execute the search for real at the configured laptop scale.
+
+        For ``method="experiment_parallel"``, ``executor="process"``
+        runs the independent trials on ``max_workers`` worker processes
+        (true multi-core experiment parallelism, result-identical to the
+        serial executor); trials remain 1-virtual-GPU runs either way.
 
         With a live telemetry hub the run emits per-step / per-epoch
         metrics and nested spans, and finishes by writing the run
@@ -85,28 +92,37 @@ class DistMISRunner:
         with hub.tracer.span(f"run_inprocess[{method}]", category="run",
                              num_gpus=num_gpus):
             if method == "data_parallel":
+                if executor != "serial":
+                    raise ValueError(
+                        "the process executor parallelises independent "
+                        "trials; data_parallel trains one trial at a "
+                        "time (use method='experiment_parallel')"
+                    )
                 result = data_parallel.run_search_inprocess(
                     self.space, self.settings, num_gpus,
                     pipeline=self.pipeline, telemetry=hub,
                 )
             else:
-                if num_gpus != 1:
+                if num_gpus != 1 and executor == "serial":
                     # Trials are independent 1-GPU runs; concurrency
                     # changes wall-clock only, which the simulated
-                    # backend prices.
+                    # backend prices (or the process executor executes).
                     raise ValueError(
                         "in-process experiment parallelism executes "
                         "trials as 1-GPU runs; use simulate() for "
-                        "multi-GPU timing"
+                        "multi-GPU timing or executor='process' for "
+                        "real multi-core execution"
                     )
                 result = experiment_parallel.run_search_inprocess(
                     self.space, self.settings, pipeline=self.pipeline,
-                    telemetry=hub,
+                    telemetry=hub, executor=executor,
+                    max_workers=max_workers,
                 )
         best = result.best()
         hub.finalize_run(
             kind=f"inprocess/{method}",
             config={"space": self.space.axes, "num_gpus": num_gpus,
+                    "executor": executor, "max_workers": max_workers,
                     "epochs": self.settings.epochs},
             seed=self.settings.seed,
             final_metrics={

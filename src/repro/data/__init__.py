@@ -35,11 +35,14 @@ from .preprocess import (
     standardize,
 )
 from .records import (
+    IndexedRecordReader,
     RecordCorruptionError,
+    RecordIndexError,
     RecordReader,
     RecordWriter,
     decode_example,
     encode_example,
+    index_path_for,
     read_example_file,
     read_sharded_examples,
     write_example_file,
@@ -70,7 +73,10 @@ __all__ = [
     "preprocess_subject",
     "RecordWriter",
     "RecordReader",
+    "IndexedRecordReader",
     "RecordCorruptionError",
+    "RecordIndexError",
+    "index_path_for",
     "encode_example",
     "decode_example",
     "write_example_file",

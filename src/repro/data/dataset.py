@@ -332,57 +332,129 @@ class Dataset:
 
     def cache(self) -> "Dataset":
         """Materialise the stream on first pass; replay from memory after
-        (tf.data ``cache()``, the complement of offline binarisation)."""
+        (tf.data ``cache()``, the complement of offline binarisation).
+
+        The cache fills *incrementally*: every element is appended to
+        shared storage as soon as it is produced, so a concurrent second
+        iterator serves the cached prefix immediately (instead of
+        blocking for the whole first epoch) and an abandoned first pass
+        leaves a warm partial cache -- the next iterator skips the
+        cached prefix of the source and produces only the remainder.
+        Exactly one iterator at a time holds the producer role; the
+        others serve from storage and wait on a condition for growth.
+        """
         storage: list = []
-        done = threading.Event()
-        lock = threading.Lock()
+        state = {"done": False, "producing": False}
+        cond = threading.Condition()
+        _PRODUCE = object()  # sentinel: this iterator must pull the source
 
         def gen():
-            if done.is_set():
-                yield from storage
-                return
-            with lock:
-                if done.is_set():
-                    yield from storage
-                    return
-                local: list = []
-                for item in self._source():
-                    local.append(item)
-                    yield item
-                storage.extend(local)
-                done.set()
+            i = 0
+            it = None  # non-None iff this iterator holds the producer role
+            try:
+                while True:
+                    item = _PRODUCE
+                    with cond:
+                        if i < len(storage):
+                            item = storage[i]
+                            i += 1
+                        elif state["done"]:
+                            return
+                        elif state["producing"] and it is None:
+                            # Another iterator is filling the cache; wait
+                            # for growth (timeout guards a producer that
+                            # died without notifying).
+                            cond.wait(timeout=0.1)
+                            continue
+                        else:
+                            state["producing"] = True
+                    if item is not _PRODUCE:
+                        yield item
+                        continue
+                    # Producer path: pull one element outside the lock.
+                    if it is None:
+                        it = self._source()
+                        # Resume after a partial first pass: the cached
+                        # prefix is served from storage, so skip it in
+                        # the restarted (deterministic) source.
+                        for _ in range(i):
+                            next(it)
+                    try:
+                        nxt = next(it)
+                    except StopIteration:
+                        with cond:
+                            state["done"] = True
+                            state["producing"] = False
+                            cond.notify_all()
+                        return
+                    with cond:
+                        storage.append(nxt)
+                        cond.notify_all()
+            finally:
+                if it is not None:
+                    with cond:
+                        if not state["done"]:
+                            state["producing"] = False
+                            cond.notify_all()
 
         return self._derive(gen)
 
     def prefetch(self, buffer_size: int = 1) -> "Dataset":
         """Produce elements on a background thread into a bounded queue,
-        overlapping producer and consumer (tf.data ``prefetch``)."""
+        overlapping producer and consumer (tf.data ``prefetch``).
+
+        The worker thread shuts down cleanly when the consumer abandons
+        the iterator early (``take(n)`` downstream, an exception, GC):
+        closing the generator sets a stop event and drains the queue, so
+        a producer blocked on ``put`` wakes, notices, and exits instead
+        of leaking a thread blocked forever.
+        """
         if buffer_size < 1:
             raise ValueError("buffer_size must be >= 1")
 
         def gen():
             q: queue.Queue = queue.Queue(maxsize=buffer_size)
             sentinel = object()
+            stop = threading.Event()
             error: list[BaseException] = []
 
             def worker():
                 try:
                     for item in self._source():
-                        q.put(item)
+                        while not stop.is_set():
+                            try:
+                                q.put(item, timeout=0.05)
+                                break
+                            except queue.Full:
+                                continue
+                        if stop.is_set():
+                            return
                 except BaseException as exc:  # propagate to the consumer
                     error.append(exc)
                 finally:
-                    q.put(sentinel)
+                    try:
+                        q.put_nowait(sentinel)
+                    except queue.Full:
+                        pass  # consumer is gone and draining
 
             t = threading.Thread(target=worker, daemon=True)
             t.start()
-            while True:
-                item = q.get()
-                if item is sentinel:
-                    if error:
-                        raise error[0]
-                    return
-                yield item
+            try:
+                while True:
+                    item = q.get()
+                    if item is sentinel:
+                        if error:
+                            raise error[0]
+                        return
+                    yield item
+            finally:
+                stop.set()
+                while True:  # unblock a producer stuck on a full queue
+                    try:
+                        q.get_nowait()
+                    except queue.Empty:
+                        break
+                t.join(timeout=1.0)
 
         return self._derive(gen)
 

@@ -1,0 +1,28 @@
+"""Real multi-core trial execution for the experiment-parallel method.
+
+The execution backend behind claim C1: a pool of persistent worker
+processes runs self-contained trials concurrently
+(:class:`ProcessPoolTrialExecutor`), fed zero-copy from shared-memory
+split arrays (:class:`SharedArrayStore` / :class:`SharedArrayHandle`)
+so each extra worker costs an attach, not a dataset copy.  Selected via
+``executor="process"`` in :func:`repro.raysim.tune.tune_run`,
+:func:`repro.core.experiment_parallel.run_search_inprocess`,
+:meth:`repro.core.runner.DistMISRunner.run_inprocess`, and
+``distmis search --executor process --workers N``.
+"""
+
+from .executor import (
+    ProcessPoolTrialExecutor,
+    TrialExecutionError,
+    run_trials_parallel,
+)
+from .sharedmem import AttachedArrays, SharedArrayHandle, SharedArrayStore
+
+__all__ = [
+    "ProcessPoolTrialExecutor",
+    "TrialExecutionError",
+    "run_trials_parallel",
+    "SharedArrayStore",
+    "SharedArrayHandle",
+    "AttachedArrays",
+]

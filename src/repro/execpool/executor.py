@@ -1,0 +1,486 @@
+"""Process-pool trial execution: real multi-core experiment parallelism.
+
+The paper's claim C1 is that *experiment parallelism* scales because
+trials are self-contained (Ray Tune places each configuration on its own
+worker, no cross-trial synchronisation).  This module is that execution
+backend for the in-process reproduction: a pool of **persistent warm
+worker processes** over ``multiprocessing``, fed from a work queue, with
+as-completed result streaming back to the driver -- so a 4-trial search
+on a 4-core host really runs on 4 cores instead of simulating it.
+
+Protocol (all messages flow over one result queue, as-completed):
+
+* ``("started", trial_id, worker_id, attempt)`` -- a worker picked the
+  task up;
+* ``("report", trial_id, attempt, metrics, checkpoint)`` -- one
+  per-epoch reporter call, streamed live so the driver's scheduler
+  (ASHA & co) reacts while the trial is still running;
+* ``("done", trial_id, attempt, final, stopped, stats)`` /
+  ``("error", trial_id, attempt, message, stats)`` -- terminal.
+
+Early stopping is **asynchronous** (exactly like Ray Tune's ASHA): the
+driver broadcasts a stop for a trial on its control channel and the
+worker notices at its next reporter call, so a trial may run a short way
+past the decision.  Retries are driven from the parent: a crashed
+attempt is resubmitted under the shared
+:class:`repro.fault_tolerance.RetryPolicy`, carrying the last
+checkpoint handle streamed by the crashed attempt so the worker resumes
+instead of restarting (identical semantics to the serial path in
+:func:`repro.raysim.tune.tune_run`).
+
+Trainables run *in the worker*, so they must be reconstructable there:
+either a picklable ``(config, reporter) -> final`` callable, or a
+picklable ``trainable_factory(**factory_kwargs)`` called once per worker
+at startup -- the hook used to attach shared-memory datasets
+(:mod:`repro.execpool.sharedmem`) before the first task arrives.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+import queue as queue_mod
+import time
+from typing import Callable
+
+from ..fault_tolerance import CheckpointHandle, RetryPolicy
+
+__all__ = ["ProcessPoolTrialExecutor", "TrialExecutionError",
+           "run_trials_parallel"]
+
+
+class TrialExecutionError(RuntimeError):
+    """A trial failed in a worker with no retries left (raised only when
+    the driver runs with ``raise_on_error``)."""
+
+
+def _default_start_method() -> str:
+    # fork keeps warm start cheap (no re-import) and inherits the
+    # already-built factory arguments; fall back to spawn elsewhere.
+    return "fork" if "fork" in multiprocessing.get_all_start_methods() \
+        else "spawn"
+
+
+class _WorkerReporter:
+    """The worker-side twin of :class:`repro.raysim.tune.Reporter`.
+
+    Streams every reported row to the driver, mirrors the checkpoint
+    capture contract (``checkpoint=...`` keyword, ``resume_from`` /
+    ``last_checkpoint`` attributes), and polls the worker's control
+    channel for asynchronous stop requests.
+    """
+
+    def __init__(self, trial_id: str, attempt: int, result_q, control_q,
+                 stop_requests: set,
+                 resume_from: CheckpointHandle | None = None):
+        self.trial_id = trial_id
+        self.attempt = attempt
+        self.stopped = False
+        self.resume_from = resume_from
+        self.last_checkpoint = resume_from
+        self._result_q = result_q
+        self._control_q = control_q
+        self._stop_requests = stop_requests
+        self._n_results = 0
+
+    def _drain_control(self) -> None:
+        while True:
+            try:
+                kind, trial_id = self._control_q.get_nowait()
+            except queue_mod.Empty:
+                return
+            if kind == "stop":
+                self._stop_requests.add(trial_id)
+
+    def __call__(self, **metrics) -> bool:
+        checkpoint = metrics.pop("checkpoint", None)
+        self._n_results += 1
+        if checkpoint is not None:
+            epoch = metrics.get("epoch", self._n_results - 1)
+            self.last_checkpoint = CheckpointHandle(epoch=epoch,
+                                                    path=str(checkpoint))
+        self._result_q.put(("report", self.trial_id, self.attempt,
+                            dict(metrics),
+                            None if checkpoint is None else str(checkpoint)))
+        self._drain_control()
+        if self.trial_id in self._stop_requests:
+            self.stopped = True
+            return False
+        return True
+
+
+def _worker_stats(worker_id: int, busy_s: float) -> dict:
+    try:
+        import resource
+
+        max_rss_kb = resource.getrusage(resource.RUSAGE_SELF).ru_maxrss
+    except Exception:
+        max_rss_kb = 0
+    return {"worker_id": worker_id, "pid": os.getpid(),
+            "busy_seconds": busy_s, "max_rss_kb": int(max_rss_kb)}
+
+
+def _worker_main(worker_id: int, task_q, result_q, control_q,
+                 trainable, trainable_factory, factory_kwargs) -> None:
+    """Persistent worker loop: build the trainable once, then serve
+    tasks until the ``None`` shutdown sentinel arrives."""
+    from ..raysim.tune import StopTrial
+
+    if trainable is None:
+        trainable = trainable_factory(**(factory_kwargs or {}))
+    stop_requests: set = set()
+    busy_s = 0.0
+    while True:
+        task = task_q.get()
+        if task is None:
+            return
+        trial_id, config, attempt, resume_from = task
+        result_q.put(("started", trial_id, worker_id, attempt))
+        reporter = _WorkerReporter(trial_id, attempt, result_q, control_q,
+                                   stop_requests, resume_from=resume_from)
+        t0 = time.perf_counter()
+        try:
+            final = trainable(dict(config), reporter)
+        except StopTrial:
+            busy_s += time.perf_counter() - t0
+            result_q.put(("done", trial_id, attempt, None, True,
+                          _worker_stats(worker_id, busy_s)))
+        except BaseException as exc:
+            busy_s += time.perf_counter() - t0
+            result_q.put(("error", trial_id, attempt,
+                          f"{type(exc).__name__}: {exc}",
+                          _worker_stats(worker_id, busy_s)))
+        else:
+            busy_s += time.perf_counter() - t0
+            result_q.put(("done", trial_id, attempt, final,
+                          reporter.stopped,
+                          _worker_stats(worker_id, busy_s)))
+
+
+class ProcessPoolTrialExecutor:
+    """Persistent warm worker processes executing trials from a queue.
+
+    >>> pool = ProcessPoolTrialExecutor(trainable=my_fn, max_workers=4)
+    >>> pool.submit("trial_0000", {"lr": 1e-3})
+    >>> kind, *payload = pool.next_message()
+    >>> pool.shutdown()
+
+    Exactly one of ``trainable`` (a picklable callable run per task) or
+    ``trainable_factory`` (+ ``factory_kwargs``, called once per worker
+    at startup) must be given.  ``stop_trial`` broadcasts an
+    asynchronous stop; ``shutdown`` drains (or cancels) pending work and
+    joins the workers, escalating to ``terminate`` after ``grace_s``.
+    """
+
+    def __init__(self, trainable: Callable | None = None, *,
+                 trainable_factory: Callable | None = None,
+                 factory_kwargs: dict | None = None,
+                 max_workers: int | None = None,
+                 start_method: str | None = None,
+                 telemetry=None):
+        if (trainable is None) == (trainable_factory is None):
+            raise ValueError(
+                "pass exactly one of trainable / trainable_factory"
+            )
+        if max_workers is None:
+            max_workers = max(1, (os.cpu_count() or 1))
+        if max_workers < 1:
+            raise ValueError("max_workers must be >= 1")
+        if telemetry is None:
+            from ..telemetry import get_hub
+
+            telemetry = get_hub()
+        self.telemetry = telemetry
+        self.max_workers = max_workers
+        ctx = multiprocessing.get_context(
+            start_method or _default_start_method())
+        self._task_q = ctx.Queue()
+        self._result_q = ctx.Queue()
+        self._control_qs = [ctx.Queue() for _ in range(max_workers)]
+        self._procs = [
+            ctx.Process(
+                target=_worker_main,
+                args=(i, self._task_q, self._result_q, self._control_qs[i],
+                      trainable, trainable_factory, factory_kwargs),
+                daemon=True, name=f"trial-worker-{i}",
+            )
+            for i in range(max_workers)
+        ]
+        for p in self._procs:
+            p.start()
+        self._submitted = 0
+        self._shut_down = False
+        telemetry.metrics.gauge(
+            "execpool_workers", "worker processes in the trial pool"
+        ).set(max_workers)
+
+    # -- submission / streaming -------------------------------------------
+    def submit(self, trial_id: str, config: dict, attempt: int = 0,
+               resume_from: CheckpointHandle | None = None) -> None:
+        if self._shut_down:
+            raise RuntimeError("executor is shut down")
+        self._task_q.put((trial_id, dict(config), attempt, resume_from))
+        self._submitted += 1
+
+    def next_message(self, timeout: float | None = None):
+        """Block for the next worker message (as-completed streaming).
+
+        Polls worker liveness underneath: if every worker died with work
+        still outstanding this raises instead of blocking forever.
+        """
+        deadline = None if timeout is None else time.monotonic() + timeout
+        while True:
+            try:
+                return self._result_q.get(timeout=0.2)
+            except queue_mod.Empty:
+                if deadline is not None and time.monotonic() > deadline:
+                    raise TimeoutError(
+                        "no worker message within timeout") from None
+                if not any(p.is_alive() for p in self._procs):
+                    raise RuntimeError(
+                        "all trial workers exited unexpectedly"
+                    ) from None
+
+    def dead_workers(self) -> list[int]:
+        return [i for i, p in enumerate(self._procs)
+                if not p.is_alive()]
+
+    def stop_trial(self, trial_id: str) -> None:
+        """Broadcast an asynchronous stop; the owning worker notices at
+        its next reporter call."""
+        for q in self._control_qs:
+            try:
+                q.put(("stop", trial_id))
+            except (OSError, ValueError):
+                pass
+
+    # -- lifecycle ---------------------------------------------------------
+    def cancel_pending(self) -> int:
+        """Drain tasks not yet picked up; returns how many were
+        cancelled."""
+        n = 0
+        while True:
+            try:
+                self._task_q.get_nowait()
+                n += 1
+            except queue_mod.Empty:
+                return n
+
+    def shutdown(self, wait: bool = True, cancel_pending: bool = True,
+                 grace_s: float = 5.0) -> None:
+        if self._shut_down:
+            return
+        self._shut_down = True
+        if cancel_pending:
+            self.cancel_pending()
+        for _ in self._procs:
+            try:
+                self._task_q.put(None)
+            except (OSError, ValueError):
+                pass
+        if wait:
+            deadline = time.monotonic() + grace_s
+            for p in self._procs:
+                p.join(timeout=max(0.0, deadline - time.monotonic()))
+        for p in self._procs:
+            if p.is_alive():
+                p.terminate()
+                p.join(timeout=1.0)
+        for q in [self._task_q, self._result_q, *self._control_qs]:
+            q.close()
+            q.cancel_join_thread()
+
+    def __enter__(self) -> "ProcessPoolTrialExecutor":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.shutdown()
+
+
+def run_trials_parallel(
+    executor: ProcessPoolTrialExecutor,
+    configs: list[dict],
+    scheduler=None,
+    retry_policy: RetryPolicy | None = None,
+    metric: str | None = None,
+    mode: str = "max",
+    raise_on_error: bool = False,
+    search_alg=None,
+    telemetry=None,
+    message_timeout: float | None = 600.0,
+):
+    """Drive a batch of configurations through a process pool.
+
+    The driver owns all trial state (the :class:`~repro.raysim.tune.Trial`
+    data model, the scheduler, retries); workers only execute.  Reports
+    stream back as-completed, so the scheduler sees results in arrival
+    order across concurrently running trials -- the asynchronous
+    semantics ASHA is designed for.  Returns the ``Trial`` list in
+    submission order.
+    """
+    from ..raysim.tune import Trial, TrialScheduler, TrialStatus
+
+    if scheduler is None:
+        from ..raysim.tune import FIFOScheduler
+
+        scheduler = FIFOScheduler()
+    retry_policy = retry_policy or RetryPolicy(max_retries=0)
+    if telemetry is None:
+        from ..telemetry import get_hub
+
+        telemetry = get_hub()
+    m_trials = telemetry.metrics.counter(
+        "tune_trials_total", "trials finished by terminal status",
+        ("status",))
+    m_started = telemetry.metrics.counter(
+        "tune_trials_started_total", "trials handed to the trainable")
+    m_retries = telemetry.metrics.counter(
+        "tune_retries_total", "crashed trial attempts that were retried")
+    m_restores = telemetry.metrics.counter(
+        "tune_restores_total", "retries that resumed from a checkpoint")
+    m_decisions = telemetry.metrics.counter(
+        "scheduler_decisions_total",
+        "per-report scheduler continue/stop decisions", ("decision",))
+    m_tasks = telemetry.metrics.counter(
+        "execpool_tasks_total", "trial attempts finished per worker",
+        ("worker",))
+    m_task_seconds = telemetry.metrics.histogram(
+        "execpool_task_seconds", "wall-clock per trial attempt in a worker")
+    m_reports = telemetry.metrics.counter(
+        "execpool_reports_total", "per-epoch reports streamed from workers")
+
+    trials: list[Trial] = []
+    by_id: dict[str, Trial] = {}
+    last_checkpoint: dict[str, CheckpointHandle | None] = {}
+    started_at: dict[str, float] = {}
+    attempt_t0: dict[str, float] = {}
+    assignment: dict[str, int] = {}
+    pending: set[str] = set()
+    for i, config in enumerate(configs):
+        trial = Trial(trial_id=f"trial_{i:04d}", config=dict(config))
+        trials.append(trial)
+        by_id[trial.trial_id] = trial
+        last_checkpoint[trial.trial_id] = None
+        pending.add(trial.trial_id)
+        m_started.inc()
+        started_at[trial.trial_id] = time.perf_counter()
+        executor.submit(trial.trial_id, config)
+
+    def resubmit(trial: Trial, failed_attempt: int) -> bool:
+        """Apply the retry policy to a crashed attempt; True if the
+        trial was requeued."""
+        if failed_attempt + 1 >= retry_policy.max_attempts:
+            return False
+        m_retries.inc()
+        delay = retry_policy.delay(failed_attempt + 1)
+        if delay > 0:
+            time.sleep(delay)
+        resume = None
+        handle = last_checkpoint[trial.trial_id]
+        if retry_policy.resume == "checkpoint" and handle is not None:
+            resume = handle
+            trial.restored_epoch = handle.epoch
+            keep = handle.epoch
+            trial.results = [
+                r for r in trial.results if r.get("epoch", keep + 1) <= keep
+            ]
+            scheduler.on_trial_retry(trial, keep_up_to=keep)
+            m_restores.inc()
+        else:
+            trial.restored_epoch = None
+            trial.results.clear()
+            scheduler.on_trial_retry(trial, keep_up_to=None)
+        trial.retries = failed_attempt + 1
+        executor.submit(trial.trial_id, trial.config,
+                        attempt=failed_attempt + 1, resume_from=resume)
+        return True
+
+    def finish(trial: Trial, stats: dict | None) -> None:
+        trial.runtime_s = time.perf_counter() - started_at[trial.trial_id]
+        pending.discard(trial.trial_id)
+        assignment.pop(trial.trial_id, None)
+        m_trials.labels(status=trial.status.value).inc()
+        if stats:
+            m_tasks.labels(worker=str(stats["worker_id"])).inc()
+            telemetry.metrics.gauge(
+                "execpool_worker_rss_kb", "worker peak resident set",
+                ("worker",)).labels(
+                    worker=str(stats["worker_id"])
+            ).set(stats["max_rss_kb"])
+        telemetry.tracer.add_completed(
+            trial.trial_id, trial.runtime_s, category="trial",
+            **{k: str(v) for k, v in trial.config.items()})
+        scheduler.on_trial_complete(trial)
+        if search_alg is not None and metric is not None:
+            score = trial.best_metric(metric, mode)
+            if score is not None:
+                search_alg.observe(trial.config, score)
+
+    first_error: str | None = None
+    while pending:
+        try:
+            msg = executor.next_message(timeout=message_timeout)
+        except RuntimeError:
+            # Every worker died: fail whatever is still outstanding.
+            for tid in sorted(pending):
+                trial = by_id[tid]
+                trial.status = TrialStatus.ERROR
+                trial.error = "worker pool died"
+                finish(trial, None)
+            if raise_on_error:
+                raise TrialExecutionError("worker pool died with "
+                                          f"{len(trials)} trials pending")
+            break
+        kind = msg[0]
+        if kind == "started":
+            _, tid, worker_id, attempt = msg
+            trial = by_id[tid]
+            trial.status = TrialStatus.RUNNING
+            assignment[tid] = worker_id
+            attempt_t0[tid] = time.perf_counter()
+        elif kind == "report":
+            _, tid, attempt, metrics, checkpoint = msg
+            trial = by_id[tid]
+            m_reports.inc()
+            trial.results.append(dict(metrics))
+            if checkpoint is not None:
+                epoch = metrics.get("epoch", len(trial.results) - 1)
+                last_checkpoint[tid] = CheckpointHandle(epoch=epoch,
+                                                        path=checkpoint)
+            decision = scheduler.on_result(trial, metrics)
+            m_decisions.labels(decision=decision).inc()
+            if decision == TrialScheduler.STOP:
+                executor.stop_trial(tid)
+        elif kind == "done":
+            _, tid, attempt, final, stopped, stats = msg
+            trial = by_id[tid]
+            if tid in attempt_t0:
+                m_task_seconds.observe(
+                    time.perf_counter() - attempt_t0.pop(tid))
+            trial.retries = attempt
+            trial.status = (TrialStatus.STOPPED if stopped
+                            else TrialStatus.TERMINATED)
+            trial.error = None
+            if isinstance(final, dict):
+                trial.final = final
+            finish(trial, stats)
+        elif kind == "error":
+            _, tid, attempt, message, stats = msg
+            trial = by_id[tid]
+            if tid in attempt_t0:
+                m_task_seconds.observe(
+                    time.perf_counter() - attempt_t0.pop(tid))
+            trial.retries = attempt
+            trial.error = message
+            if resubmit(trial, attempt):
+                continue
+            trial.status = TrialStatus.ERROR
+            finish(trial, stats)
+            if first_error is None:
+                first_error = f"{tid}: {message}"
+            if raise_on_error:
+                break
+    if raise_on_error and first_error is not None:
+        executor.cancel_pending()
+        raise TrialExecutionError(first_error)
+    return trials

@@ -1,0 +1,161 @@
+"""Zero-copy dataset handoff via POSIX shared memory.
+
+The paper binarises the dataset **once** so no epoch repeats the
+transform (Section III-B1); with a process pool the same argument
+applies across *workers*: the parent decodes the binarised splits once,
+publishes the stacked arrays into one ``multiprocessing.shared_memory``
+segment, and every worker **attaches** to that segment instead of
+re-decoding (or worse, receiving a pickled copy).  Resident-set growth
+per extra worker is a small page-table constant, not a dataset copy.
+
+* :class:`SharedArrayStore` -- parent side: pack a ``{name: ndarray}``
+  map into a single shared-memory block (publisher owns the block and
+  must ``close()``/``unlink()`` it);
+* :class:`SharedArrayHandle` -- the picklable descriptor (segment name +
+  per-array offset/shape/dtype) shipped to workers;
+* :meth:`SharedArrayHandle.attach` -- worker side: map the segment and
+  return ndarray views over it, zero-copy.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from multiprocessing import shared_memory
+
+import numpy as np
+
+__all__ = ["SharedArrayStore", "SharedArrayHandle", "AttachedArrays"]
+
+_ALIGN = 64  # cache-line alignment for each packed array
+
+
+def _aligned(n: int) -> int:
+    return (n + _ALIGN - 1) // _ALIGN * _ALIGN
+
+
+@dataclass(frozen=True)
+class SharedArrayHandle:
+    """Picklable descriptor of a published array bundle."""
+
+    shm_name: str
+    nbytes: int
+    # name -> (byte offset, shape, dtype string)
+    entries: tuple[tuple[str, int, tuple, str], ...]
+
+    def attach(self) -> "AttachedArrays":
+        """Map the segment and expose the arrays as zero-copy views."""
+        return AttachedArrays(self)
+
+    @property
+    def keys(self) -> tuple[str, ...]:
+        return tuple(name for name, _, _, _ in self.entries)
+
+
+class AttachedArrays:
+    """A worker's live mapping of a :class:`SharedArrayHandle`.
+
+    Holds the :class:`~multiprocessing.shared_memory.SharedMemory`
+    mapping open for as long as the views are in use; ``close()``
+    unmaps (never unlinks -- the publisher owns the segment).
+
+    The views record the mapping's raw pointer without exporting a
+    buffer from it, so this object MUST outlive every view: if it is
+    garbage-collected, ``SharedMemory.__del__`` unmaps the segment and
+    the views dangle (a segfault, not an exception).  Keep a reference
+    wherever the arrays go.
+    """
+
+    def __init__(self, handle: SharedArrayHandle):
+        self.handle = handle
+        # CPython's resource tracker would unlink the (parent-owned)
+        # segment when this attaching process exits (bpo-38119); an
+        # attachment must not destroy the publisher's block, so
+        # suppress the tracker registration for the duration of the
+        # attach (unregistering afterwards would instead drop the
+        # *publisher's* entry from the shared tracker process).
+        from multiprocessing import resource_tracker
+
+        orig_register = resource_tracker.register
+
+        def _skip_shm(name, rtype):
+            if rtype != "shared_memory":
+                orig_register(name, rtype)
+
+        resource_tracker.register = _skip_shm
+        try:
+            self._shm = shared_memory.SharedMemory(name=handle.shm_name)
+        finally:
+            resource_tracker.register = orig_register
+        self.arrays: dict[str, np.ndarray] = {}
+        for name, offset, shape, dtype in handle.entries:
+            arr = np.ndarray(shape, dtype=np.dtype(dtype),
+                             buffer=self._shm.buf, offset=offset)
+            self.arrays[name] = arr
+
+    def __getitem__(self, name: str) -> np.ndarray:
+        return self.arrays[name]
+
+    def close(self) -> None:
+        if self._shm is not None:
+            self.arrays.clear()
+            self._shm.close()
+            self._shm = None
+
+
+class SharedArrayStore:
+    """Publish a ``{name: ndarray}`` map into one shared-memory segment.
+
+    The publisher copies each array in exactly once; workers attach via
+    the picklable :attr:`handle`.  Lifecycle: the creating process calls
+    :meth:`close` then :meth:`unlink` when every worker is done (or uses
+    the store as a context manager).
+    """
+
+    def __init__(self, arrays: dict[str, np.ndarray], name: str | None = None):
+        if not arrays:
+            raise ValueError("cannot publish an empty array bundle")
+        entries = []
+        offset = 0
+        packed = {}
+        for key, arr in arrays.items():
+            arr = np.ascontiguousarray(arr)
+            packed[key] = arr
+            entries.append((key, offset, tuple(arr.shape), arr.dtype.str))
+            offset = _aligned(offset + arr.nbytes)
+        total = max(offset, 1)
+        self._shm = shared_memory.SharedMemory(create=True, size=total,
+                                               name=name)
+        for (key, off, shape, dtype) in entries:
+            dst = np.ndarray(shape, dtype=np.dtype(dtype),
+                             buffer=self._shm.buf, offset=off)
+            dst[...] = packed[key]
+        self.handle = SharedArrayHandle(
+            shm_name=self._shm.name, nbytes=total, entries=tuple(entries)
+        )
+
+    @property
+    def nbytes(self) -> int:
+        return self.handle.nbytes
+
+    def attach(self) -> AttachedArrays:
+        """Attach from the publishing process (e.g. for verification)."""
+        return self.handle.attach()
+
+    def close(self) -> None:
+        if self._shm is not None:
+            self._shm.close()
+
+    def unlink(self) -> None:
+        if self._shm is not None:
+            try:
+                self._shm.unlink()
+            except FileNotFoundError:
+                pass
+            self._shm = None
+
+    def __enter__(self) -> "SharedArrayStore":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+        self.unlink()

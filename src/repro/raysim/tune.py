@@ -344,12 +344,27 @@ def tune_run(
     max_retries: int = 0,
     retry_policy: RetryPolicy | None = None,
     telemetry=None,
+    executor=None,
+    max_workers: int | None = None,
 ) -> ExperimentAnalysis:
     """Execute every configuration the search algorithm proposes.
 
     The trainable receives ``(config, reporter)`` and may return a final
     metrics dict.  Adaptive search algorithms are fed each trial's best
     ``metric`` via :meth:`SearchAlgorithm.observe`.
+
+    Execution backend: by default (``executor=None`` / ``"serial"``)
+    trials run sequentially in this process.  ``executor="process"``
+    runs them on a pool of ``max_workers`` worker processes (true
+    multi-core experiment parallelism) -- the trainable must then be
+    picklable, the configuration stream is materialised up front (so
+    adaptive search algorithms see observations only as trials finish,
+    Ray Tune's concurrent semantics), and scheduler stops are
+    asynchronous.  A pre-built
+    :class:`repro.execpool.ProcessPoolTrialExecutor` may be passed
+    instead, in which case *its* configured trainable runs in the
+    workers and the ``trainable`` argument is ignored; the caller keeps
+    ownership and must shut it down.
 
     Fault tolerance: a crashed attempt is re-run under ``retry_policy``
     (``max_retries`` is shorthand for ``RetryPolicy(max_retries=n)``).
@@ -374,6 +389,30 @@ def tune_run(
         from ..telemetry import get_hub
 
         telemetry = get_hub()
+    if executor is not None and executor != "serial":
+        from ..execpool import ProcessPoolTrialExecutor, run_trials_parallel
+
+        owns_pool = False
+        if executor == "process":
+            executor = ProcessPoolTrialExecutor(
+                trainable, max_workers=max_workers, telemetry=telemetry)
+            owns_pool = True
+        elif not isinstance(executor, ProcessPoolTrialExecutor):
+            raise ValueError(
+                f"executor must be 'serial', 'process', or a "
+                f"ProcessPoolTrialExecutor, got {executor!r}"
+            )
+        try:
+            parallel_trials = run_trials_parallel(
+                executor, list(search_alg.configurations()),
+                scheduler=scheduler, retry_policy=retry_policy,
+                metric=metric, mode=mode, raise_on_error=raise_on_error,
+                search_alg=search_alg, telemetry=telemetry,
+            )
+        finally:
+            if owns_pool:
+                executor.shutdown()
+        return ExperimentAnalysis(parallel_trials)
     m_trials = telemetry.metrics.counter(
         "tune_trials_total", "trials finished by terminal status",
         ("status",))

@@ -1,0 +1,122 @@
+"""Lifecycle tests for the threaded dataset stages.
+
+``prefetch`` runs a producer thread and ``cache`` shares storage across
+iterators; both must survive consumers that stop early (``take``,
+exceptions, GC) without leaking blocked threads or deadlocking the next
+iterator.
+"""
+
+import threading
+import time
+
+import pytest
+
+from repro.data import Dataset
+
+
+def _wait_threads(baseline, timeout=5.0):
+    """Wait for the live-thread count to fall back to ``baseline``."""
+    deadline = time.time() + timeout
+    while time.time() < deadline:
+        if threading.active_count() <= baseline:
+            return True
+        time.sleep(0.01)
+    return False
+
+
+class TestPrefetchAbandonment:
+    def test_abandoned_iterator_worker_exits(self):
+        baseline = threading.active_count()
+        ds = Dataset.from_generator(lambda: iter(range(1000))).prefetch(2)
+        it = iter(ds)
+        assert next(it) == 0
+        it.close()  # consumer walks away; worker is blocked on put
+        assert _wait_threads(baseline), "prefetch worker thread leaked"
+
+    def test_take_downstream_does_not_leak(self):
+        baseline = threading.active_count()
+        ds = Dataset.from_generator(lambda: iter(range(1000)))
+        assert list(ds.prefetch(1).take(3)) == [0, 1, 2]
+        assert _wait_threads(baseline), "prefetch worker thread leaked"
+
+    def test_reiterable_after_abandonment(self):
+        ds = Dataset.from_generator(lambda: iter(range(50))).prefetch(4)
+        assert list(ds.take(5)) == [0, 1, 2, 3, 4]
+        assert list(ds) == list(range(50))
+
+    def test_error_propagates(self):
+        def bad():
+            yield 1
+            raise RuntimeError("boom")
+
+        ds = Dataset.from_generator(bad).prefetch(2)
+        with pytest.raises(RuntimeError, match="boom"):
+            list(ds)
+
+
+class TestCacheLifecycle:
+    def test_source_pulled_once(self):
+        pulls = []
+
+        def src():
+            for i in range(5):
+                pulls.append(i)
+                yield i
+
+        ds = Dataset.from_generator(src).cache()
+        assert list(ds) == list(range(5))
+        assert list(ds) == list(range(5))
+        assert pulls == list(range(5))
+
+    def test_abandoned_first_pass_resumes_not_restarts(self):
+        """A cold cache abandoned mid-pass leaves a warm prefix; the
+        next iterator serves it and produces only the remainder."""
+        pulls = []
+
+        def src():
+            for i in range(10):
+                pulls.append(i)
+                yield i
+
+        ds = Dataset.from_generator(src).cache()
+        assert list(ds.take(3)) == [0, 1, 2]
+        assert list(ds) == list(range(10))
+        # the cached prefix was served from storage, not re-pulled into it
+        assert pulls.count(9) == 1 and list(ds) == list(range(10))
+
+    def test_concurrent_iterators_not_serialized(self):
+        """A second iterator must stream the cached prefix while the
+        first pass is still producing -- the first pass must not hold a
+        lock for the whole epoch."""
+        release = threading.Event()
+
+        def slow():
+            yield 0
+            yield 1
+            release.wait(timeout=5.0)
+            yield 2
+
+        ds = Dataset.from_generator(slow).cache()
+        it1 = iter(ds)
+        assert [next(it1), next(it1)] == [0, 1]
+
+        got = []
+        done = threading.Event()
+
+        def second():
+            it2 = iter(ds)
+            got.append(next(it2))
+            got.append(next(it2))
+            done.set()
+            got.extend(it2)
+
+        t = threading.Thread(target=second, daemon=True)
+        t.start()
+        # the second iterator reads the cached prefix while the
+        # producer is blocked inside the source
+        assert done.wait(timeout=5.0), "second iterator blocked on cold cache"
+        assert got[:2] == [0, 1]
+        release.set()
+        assert list(it1) == [2]
+        t.join(timeout=5.0)
+        assert got == [0, 1, 2]

@@ -1,0 +1,169 @@
+"""Index sidecar tests: random access must fail loudly, never mis-serve.
+
+The ``.idx`` sidecar buys O(1) random access, but a wrong index would
+silently train on wrong examples -- far worse than the scan it replaces.
+Every corruption here must surface as :class:`RecordIndexError` (so
+callers fall back to the sequential reader) or an exact CRC failure.
+"""
+
+import os
+
+import numpy as np
+import pytest
+
+from repro.data import (
+    IndexedRecordReader,
+    RecordCorruptionError,
+    RecordIndexError,
+    RecordReader,
+    RecordWriter,
+    decode_example,
+    encode_example,
+    index_path_for,
+)
+
+
+def _write(tmp_path, payloads, name="data.rec", index=True):
+    p = tmp_path / name
+    with RecordWriter(p, index=index) as w:
+        for b in payloads:
+            w.write(b)
+    return p
+
+
+PAYLOADS = [b"alpha", b"", b"\x00" * 64, b"omega"]
+
+
+class TestHappyPath:
+    def test_roundtrip_matches_sequential(self, tmp_path):
+        p = _write(tmp_path, PAYLOADS)
+        r = IndexedRecordReader(p)
+        assert len(r) == 4
+        assert [bytes(r.payload(i)) for i in range(4)] == PAYLOADS
+        assert [bytes(r.payload(i)) for i in range(4)] == list(RecordReader(p))
+
+    def test_negative_and_out_of_range(self, tmp_path):
+        r = IndexedRecordReader(_write(tmp_path, PAYLOADS))
+        assert bytes(r.payload(-1)) == b"omega"
+        with pytest.raises(IndexError):
+            r.payload(4)
+        with pytest.raises(IndexError):
+            r.payload(-5)
+
+    def test_empty_file(self, tmp_path):
+        r = IndexedRecordReader(_write(tmp_path, []))
+        assert len(r) == 0 and list(r) == []
+
+    def test_example_zero_copy_views(self, tmp_path):
+        ex = {"img": np.arange(12, dtype=np.float32).reshape(3, 4)}
+        p = tmp_path / "ex.rec"
+        with RecordWriter(p) as w:
+            w.write(encode_example(ex))
+        r = IndexedRecordReader(p)
+        out = r.example(0)
+        np.testing.assert_array_equal(out["img"], ex["img"])
+        # iteration decodes every example in order
+        (it,) = list(r)
+        np.testing.assert_array_equal(it["img"], ex["img"])
+        # zero_copy serves read-only views over the mapping ...
+        assert not out["img"].flags.writeable
+        # ... and zero_copy=False serves writable copies.
+        out2 = IndexedRecordReader(p, zero_copy=False).example(0)
+        out2["img"][0, 0] = 99.0
+        np.testing.assert_array_equal(r.example(0)["img"], ex["img"])
+
+    def test_decode_example_accepts_memoryview(self):
+        ex = {"a": np.ones((2, 2), dtype=np.int16), "b": np.float64(3.5)}
+        blob = encode_example(ex)
+        out = decode_example(memoryview(blob))
+        np.testing.assert_array_equal(out["a"], ex["a"])
+
+
+class TestCount:
+    def test_reader_count_uses_index(self, tmp_path):
+        p = _write(tmp_path, PAYLOADS)
+        assert RecordReader(p).count() == 4
+
+    def test_reader_count_falls_back_without_index(self, tmp_path):
+        p = _write(tmp_path, PAYLOADS, index=False)
+        assert not index_path_for(p).exists()
+        assert RecordReader(p).count() == 4
+
+    def test_reader_count_falls_back_on_bad_index(self, tmp_path):
+        p = _write(tmp_path, PAYLOADS)
+        index_path_for(p).write_bytes(b"junk")
+        assert RecordReader(p).count() == 4
+
+
+class TestCorruption:
+    def test_missing_sidecar(self, tmp_path):
+        p = _write(tmp_path, PAYLOADS, index=False)
+        with pytest.raises(RecordIndexError, match="no index sidecar"):
+            IndexedRecordReader(p)
+
+    def test_truncated_header(self, tmp_path):
+        p = _write(tmp_path, PAYLOADS)
+        idx = index_path_for(p)
+        idx.write_bytes(idx.read_bytes()[:3])
+        with pytest.raises(RecordIndexError, match="truncated header"):
+            IndexedRecordReader(p)
+
+    def test_truncated_entry(self, tmp_path):
+        p = _write(tmp_path, PAYLOADS)
+        idx = index_path_for(p)
+        idx.write_bytes(idx.read_bytes()[:-5])
+        with pytest.raises(RecordIndexError, match="truncated entry"):
+            IndexedRecordReader(p)
+
+    def test_bad_magic(self, tmp_path):
+        p = _write(tmp_path, PAYLOADS)
+        idx = index_path_for(p)
+        raw = bytearray(idx.read_bytes())
+        raw[:4] = b"NOPE"
+        idx.write_bytes(bytes(raw))
+        with pytest.raises(RecordIndexError, match="bad magic"):
+            IndexedRecordReader(p)
+
+    def test_stale_index_record_file_newer(self, tmp_path):
+        p = _write(tmp_path, PAYLOADS)
+        idx_mtime = os.stat(index_path_for(p)).st_mtime_ns
+        # Touch the record file strictly after the index was written.
+        os.utime(p, ns=(idx_mtime + 10_000_000, idx_mtime + 10_000_000))
+        with pytest.raises(RecordIndexError, match="stale index"):
+            IndexedRecordReader(p)
+
+    def test_count_mismatch_index_short(self, tmp_path):
+        """Records appended without the index: the sidecar no longer
+        tiles the file, so it must be rejected, not partially served."""
+        p = _write(tmp_path, PAYLOADS)
+        idx_raw = index_path_for(p).read_bytes()
+        with open(p, "ab") as f:
+            with RecordWriter(tmp_path / "extra.rec", index=False) as w:
+                w.write(b"straggler")
+            f.write((tmp_path / "extra.rec").read_bytes())
+        index_path_for(p).write_bytes(idx_raw)  # refresh mtime, same body
+        with pytest.raises(RecordIndexError, match="count mismatch|covers"):
+            IndexedRecordReader(p)
+
+    def test_count_mismatch_record_truncated(self, tmp_path):
+        p = _write(tmp_path, PAYLOADS)
+        idx_raw = index_path_for(p).read_bytes()
+        blob = p.read_bytes()
+        p.write_bytes(blob[:-7])
+        index_path_for(p).write_bytes(idx_raw)
+        with pytest.raises(RecordIndexError):
+            IndexedRecordReader(p)
+
+    def test_corrupt_payload_fails_crc_not_serves(self, tmp_path):
+        p = _write(tmp_path, [b"hello world"])
+        blob = bytearray(p.read_bytes())
+        blob[14] ^= 0xFF  # flip a payload byte
+        idx_raw = index_path_for(p).read_bytes()
+        p.write_bytes(bytes(blob))
+        index_path_for(p).write_bytes(idx_raw)
+        r = IndexedRecordReader(p)
+        with pytest.raises(RecordCorruptionError):
+            r.payload(0)
+
+    def test_index_error_is_corruption_error(self):
+        assert issubclass(RecordIndexError, RecordCorruptionError)

@@ -1,0 +1,170 @@
+"""Process-pool trial executor tests.
+
+Cheap picklable trainables at module level (the pool ships them to the
+workers), 2-worker pools, trial budgets of a few epochs -- the goal is
+driver semantics (streaming, stops, retries, shutdown), not throughput.
+"""
+
+import numpy as np
+import pytest
+
+from repro.execpool import (
+    ProcessPoolTrialExecutor,
+    SharedArrayStore,
+    TrialExecutionError,
+    run_trials_parallel,
+)
+from repro.fault_tolerance import RetryPolicy
+from repro.raysim.search import GridSearch
+from repro.raysim.tune import FIFOScheduler, TrialScheduler, TrialStatus, \
+    tune_run
+
+
+def quadratic_trainable(config, reporter):
+    score = -(config["x"] - 3.0) ** 2
+    for epoch in range(3):
+        if not reporter(epoch=epoch, score=score + epoch * 0.1):
+            return None
+    return {"score": score + 0.2, "x": config["x"]}
+
+
+def slow_trainable(config, reporter):
+    import time
+
+    for epoch in range(100):
+        if not reporter(epoch=epoch, score=float(epoch)):
+            return None
+        time.sleep(0.05)  # leave the async stop time to arrive
+    return {"score": 100.0}
+
+
+def crash_then_succeed(config, reporter):
+    if reporter.attempt < config.get("crashes", 1):
+        raise RuntimeError("synthetic worker crash")
+    reporter(epoch=0, score=1.0)
+    return {"score": 1.0, "attempt": reporter.attempt}
+
+
+def always_crash(config, reporter):
+    raise RuntimeError("hopeless")
+
+
+def shared_sum_factory(handle):
+    att = handle.attach()
+
+    def trainable(config, reporter):
+        reporter(epoch=0, score=0.0)
+        return {"total": float(att["values"].sum()) + config["bias"]}
+
+    return trainable
+
+
+class StopAfterFirstReport(FIFOScheduler):
+    """Stops every trial at its first report -- exercises the
+    asynchronous stop broadcast."""
+
+    def on_result(self, trial, result):
+        return TrialScheduler.STOP
+
+
+class TestPool:
+    def test_runs_trials_and_streams_results(self):
+        configs = [{"x": 1.0}, {"x": 3.0}, {"x": 5.0}]
+        with ProcessPoolTrialExecutor(quadratic_trainable,
+                                      max_workers=2) as pool:
+            trials = run_trials_parallel(pool, configs,
+                                         metric="score")
+        assert [t.trial_id for t in trials] == [
+            "trial_0000", "trial_0001", "trial_0002"]
+        assert all(t.status is TrialStatus.TERMINATED for t in trials)
+        assert [len(t.results) for t in trials] == [3, 3, 3]
+        assert trials[1].final["score"] == pytest.approx(0.2)
+        assert trials[0].final["x"] == 1.0
+
+    def test_scheduler_stop_broadcast(self):
+        with ProcessPoolTrialExecutor(slow_trainable,
+                                      max_workers=2) as pool:
+            trials = run_trials_parallel(pool, [{"x": 0.0}, {"x": 1.0}],
+                                         scheduler=StopAfterFirstReport(),
+                                         metric="score")
+        assert all(t.status is TrialStatus.STOPPED for t in trials)
+        # stopped at (or shortly after) the first report, never the
+        # full budget
+        assert all(len(t.results) < 100 for t in trials)
+
+    def test_retry_resubmits_crashed_attempt(self):
+        with ProcessPoolTrialExecutor(crash_then_succeed,
+                                      max_workers=2) as pool:
+            trials = run_trials_parallel(
+                pool, [{"crashes": 1}],
+                retry_policy=RetryPolicy(max_retries=1, resume="scratch"),
+                metric="score")
+        (t,) = trials
+        assert t.status is TrialStatus.TERMINATED
+        assert t.retries == 1
+        assert t.final["attempt"] == 1
+        # the crashed attempt's rows were discarded on restart
+        assert [r["epoch"] for r in t.results] == [0]
+
+    def test_retries_exhausted_marks_error(self):
+        with ProcessPoolTrialExecutor(always_crash, max_workers=1) as pool:
+            trials = run_trials_parallel(
+                pool, [{}], retry_policy=RetryPolicy(max_retries=1))
+        (t,) = trials
+        assert t.status is TrialStatus.ERROR
+        assert "hopeless" in t.error
+        assert t.retries == 1
+
+    def test_raise_on_error(self):
+        with ProcessPoolTrialExecutor(always_crash, max_workers=1) as pool:
+            with pytest.raises(TrialExecutionError, match="hopeless"):
+                run_trials_parallel(pool, [{}], raise_on_error=True)
+
+    def test_requires_exactly_one_trainable(self):
+        with pytest.raises(ValueError):
+            ProcessPoolTrialExecutor()
+        with pytest.raises(ValueError):
+            ProcessPoolTrialExecutor(
+                quadratic_trainable, trainable_factory=shared_sum_factory)
+
+    def test_submit_after_shutdown_rejected(self):
+        pool = ProcessPoolTrialExecutor(quadratic_trainable, max_workers=1)
+        pool.shutdown()
+        with pytest.raises(RuntimeError):
+            pool.submit("trial_0000", {"x": 0.0})
+        pool.shutdown()  # idempotent
+
+    def test_factory_attaches_shared_memory(self):
+        """The per-worker factory runs in the worker and serves every
+        trial from the attached (not copied) parent arrays."""
+        values = np.arange(10, dtype=np.float64)
+        with SharedArrayStore({"values": values}) as store:
+            with ProcessPoolTrialExecutor(
+                    trainable_factory=shared_sum_factory,
+                    factory_kwargs={"handle": store.handle},
+                    max_workers=2) as pool:
+                trials = run_trials_parallel(
+                    pool, [{"bias": 0.0}, {"bias": 1.0}], metric="total")
+        totals = sorted(t.final["total"] for t in trials)
+        assert totals == [45.0, 46.0]
+
+
+class TestTuneRunIntegration:
+    def test_process_executor_matches_serial(self):
+        axes = {"x": [0.0, 2.0, 3.0, 4.0]}
+        serial = tune_run(quadratic_trainable, GridSearch(axes),
+                          metric="score")
+        parallel = tune_run(quadratic_trainable, GridSearch(axes),
+                            metric="score", executor="process",
+                            max_workers=2)
+        for a, b in zip(serial.trials, parallel.trials):
+            assert a.config == b.config
+            assert a.final == b.final
+            assert a.results == b.results
+        assert (serial.best_trial("score").config
+                == parallel.best_trial("score").config)
+
+    def test_rejects_unknown_executor(self):
+        with pytest.raises(ValueError):
+            tune_run(quadratic_trainable, GridSearch({"x": [0.0]}),
+                     metric="score", executor="threads")
