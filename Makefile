@@ -2,7 +2,7 @@
 
 PYTHON ?= python3
 
-.PHONY: install test lint smoke bench bench-parallel examples report api-docs results clean
+.PHONY: install test lint smoke profile-smoke bench bench-parallel examples report api-docs results clean
 
 install:
 	PIP_NO_BUILD_ISOLATION=false pip install -e .
@@ -19,11 +19,22 @@ lint:
 		$(PYTHON) tools/lint.py src tests tools examples; \
 	fi
 
-smoke:
+smoke: profile-smoke
 	PYTHONPATH=src $(PYTHON) examples/quickstart.py
 	PYTHONPATH=src $(PYTHON) examples/fault_tolerance.py
 	DISTMIS_BENCH_SMOKE=1 PYTHONPATH=src $(PYTHON) -m pytest \
 		benchmarks/test_process_parallel_speedup.py -q -s
+
+# profiled search end-to-end at smoke scale: live progress table,
+# merged trace + profile.json, bottleneck verdict, overhead benchmark
+profile-smoke:
+	PYTHONPATH=src $(PYTHON) -m repro.cli search \
+		--subjects 6 --volume 8 8 8 --epochs 1 \
+		--base-filters 2 --depth 2 --losses dice \
+		--profile /tmp/distmis_profile_smoke
+	PYTHONPATH=src $(PYTHON) -m repro.cli profile /tmp/distmis_profile_smoke
+	DISTMIS_BENCH_SMOKE=1 PYTHONPATH=src $(PYTHON) -m pytest \
+		benchmarks/test_profiler_overhead.py -q -s
 
 bench:
 	$(PYTHON) -m pytest benchmarks/ --benchmark-only -s

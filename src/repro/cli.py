@@ -10,13 +10,19 @@ surface:
 * ``distmis search``   -- run a hyper-parameter search in-process;
 * ``distmis simulate`` -- price one (method, #GPUs) cell, optionally
   exporting the Chrome trace;
-* ``distmis profile``  -- the Section III-B1 pipeline bottleneck report;
+* ``distmis profile``  -- the bottleneck analyzer: given a profiled run
+  directory, the step-time attribution verdict; with no directory, the
+  Section III-B1 online-vs-offline pipeline comparison;
 * ``distmis calibrate``-- re-fit the cost model against Table I;
 * ``distmis telemetry``-- inspect a telemetry run directory (summary /
   Prometheus text / merged Chrome trace).
 
 ``train``, ``search`` and ``simulate`` accept ``--telemetry DIR`` to
-record the run (manifest + metrics + trace) into ``DIR``.
+record the run (manifest + metrics + trace) into ``DIR``.  ``search``
+and ``simulate`` additionally accept ``--profile DIR``: the run then
+also writes ``profile.json`` (step-time attribution + input-stage
+latencies + per-trial GPU seconds), renders a live trial progress
+table, and prints the bottleneck report when it finishes.
 """
 
 from __future__ import annotations
@@ -26,7 +32,12 @@ import sys
 
 
 def _make_hub(args):
-    """A live hub writing to ``--telemetry DIR``, else the null sink."""
+    """A live hub writing to ``--telemetry DIR`` (``--profile DIR``
+    additionally enables step-time attribution), else the null sink."""
+    if getattr(args, "profile", None):
+        from .telemetry import TelemetryHub
+
+        return TelemetryHub(run_dir=args.profile, profile=True)
     if getattr(args, "telemetry", None):
         from .telemetry import TelemetryHub
 
@@ -115,6 +126,11 @@ def cmd_search(args) -> int:
     )
     runner = DistMISRunner(space=space, settings=_settings(args),
                            telemetry=_make_hub(args))
+    progress = None
+    if args.profile:
+        from .telemetry import ProgressReporter
+
+        progress = ProgressReporter()
     if args.method == "data_parallel":
         result = runner.run_inprocess("data_parallel", num_gpus=args.gpus)
         for o in result.outcomes:
@@ -125,6 +141,7 @@ def cmd_search(args) -> int:
         result = runner.run_inprocess(
             "experiment_parallel",
             executor=args.executor, max_workers=args.workers,
+            progress=progress,
         )
         if args.executor == "process":
             workers = args.workers or result.num_gpus
@@ -134,6 +151,10 @@ def cmd_search(args) -> int:
             print(f"{row['trial_id']} {row['config']} "
                   f"val DSC {row['val_dice']:.4f} [{row['status']}]")
         print(f"best: {result.analysis.best_config('val_dice')}")
+    if args.profile:
+        from .telemetry import analyze_run_dir
+
+        print(analyze_run_dir(runner.telemetry.run_dir).render())
     if runner.telemetry.enabled:
         print(f"telemetry written to {runner.telemetry.run_dir}")
     return 0
@@ -178,6 +199,23 @@ def cmd_simulate(args) -> int:
             resume=args.resume,
         )
     runner = DistMISRunner(telemetry=_make_hub(args))
+    if args.profile:
+        # Pin the simulated run's step-time attribution to the
+        # calibrated cost model's decomposition for the method's
+        # per-trial GPU width (experiment-parallel trials are 1-GPU,
+        # the property behind claim C1's zero sync overhead).
+        from .perf import TrialConfig
+        from .telemetry import StepAttribution
+
+        if args.method == "data_parallel":
+            width = args.gpus
+        elif args.method == "hybrid":
+            width = args.gpus_per_trial or min(
+                args.gpus, runner.cost_model.cluster.node.num_gpus)
+        else:
+            width = 1
+        runner.telemetry.attach_attribution(StepAttribution.from_cost_model(
+            runner.cost_model, TrialConfig(), num_gpus=width))
     run = runner.simulate(args.method, args.gpus, seed=args.seed,
                           gpus_per_trial=args.gpus_per_trial,
                           failures=failures, retry_policy=retry_policy)
@@ -197,6 +235,10 @@ def cmd_simulate(args) -> int:
     if args.trace:
         run.timeline.to_chrome_trace(args.trace)
         print(f"chrome trace written to {args.trace}")
+    if args.profile:
+        from .telemetry import analyze_run_dir
+
+        print(analyze_run_dir(runner.telemetry.run_dir).render())
     if runner.telemetry.enabled:
         print(f"telemetry written to {runner.telemetry.run_dir}")
     return 0
@@ -276,7 +318,9 @@ def cmd_telemetry(args) -> int:
             ev["pid"] = offset + ev.get("pid", 0)
             merged.append(ev)
         offset = max((e["pid"] for e in events), default=offset) + 1
-    merged.sort(key=lambda e: e["ts"])
+    # metadata events ("M": process names, clock anchors) carry no ts;
+    # keep them ahead of the span stream they describe
+    merged.sort(key=lambda e: e.get("ts", -1.0))
     out = Path(args.output)
     out.write_text(json.dumps(merged))
     print(f"merged chrome trace ({len(merged)} spans) written to {out}")
@@ -284,6 +328,16 @@ def cmd_telemetry(args) -> int:
 
 
 def cmd_profile(args) -> int:
+    if args.run_dir:
+        from .telemetry import analyze_run_dir
+
+        try:
+            report = analyze_run_dir(args.run_dir)
+        except FileNotFoundError as exc:
+            print(str(exc), file=sys.stderr)
+            return 1
+        print(report.render())
+        return 0
     from .core import profile_online_vs_offline
 
     report = profile_online_vs_offline(
@@ -382,6 +436,10 @@ def build_parser() -> argparse.ArgumentParser:
                         "(default: all cores)")
     p.add_argument("--telemetry", metavar="DIR",
                    help="record manifest/metrics/trace into DIR")
+    p.add_argument("--profile", metavar="DIR",
+                   help="profile the run into DIR (step-time attribution "
+                        "+ merged cross-process trace + bottleneck "
+                        "report; implies --telemetry DIR)")
     p.set_defaults(fn=cmd_search)
 
     p = sub.add_parser("simulate", help="price one cell on the simulator")
@@ -405,6 +463,10 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--trace", help="write a Chrome trace JSON here")
     p.add_argument("--telemetry", metavar="DIR",
                    help="record manifest/metrics/trace into DIR")
+    p.add_argument("--profile", metavar="DIR",
+                   help="profile the run into DIR: attribution from the "
+                        "calibrated cost model + bottleneck report "
+                        "(implies --telemetry DIR)")
     p.set_defaults(fn=cmd_simulate)
 
     p = sub.add_parser("telemetry",
@@ -419,7 +481,11 @@ def build_parser() -> argparse.ArgumentParser:
                    help="output path for the merged trace")
     p.set_defaults(fn=cmd_telemetry)
 
-    p = sub.add_parser("profile", help="input-pipeline bottleneck report")
+    p = sub.add_parser("profile", help="bottleneck analyzer / report")
+    p.add_argument("run_dir", nargs="?", default=None,
+                   help="a --profile run directory: print its step-time "
+                        "attribution verdict (omit for the online-vs-"
+                        "offline pipeline comparison)")
     p.add_argument("--subjects", type=int, default=6)
     p.add_argument("--volume", type=int, nargs=3, default=(48, 48, 32))
     p.add_argument("--epochs", type=int, default=3)

@@ -96,6 +96,7 @@ def _run_search_process(
     checkpoint_dir: str | Path | None,
     telemetry,
     max_workers: int | None,
+    progress=None,
 ) -> ExperimentParallelSearchResult:
     """The process-pool backend of :func:`run_search_inprocess`."""
     import time
@@ -131,6 +132,7 @@ def _run_search_process(
             retry_policy=retry_policy,
             telemetry=telemetry,
             executor=pool,
+            progress=progress,
         )
     finally:
         pool.shutdown()
@@ -159,6 +161,7 @@ def run_search_inprocess(
     telemetry=None,
     executor: str = "serial",
     max_workers: int | None = None,
+    progress=None,
 ) -> ExperimentParallelSearchResult:
     """Run the search through the Tune-analogue runner: every trial is a
     single-replica training (concurrent placement affects wall-clock,
@@ -197,7 +200,7 @@ def run_search_inprocess(
             )
         return _run_search_process(
             space, settings, pipeline, scheduler, retry_policy,
-            checkpoint_dir, telemetry, max_workers,
+            checkpoint_dir, telemetry, max_workers, progress=progress,
         )
     if executor != "serial":
         raise ValueError(
@@ -233,6 +236,7 @@ def run_search_inprocess(
         raise_on_error=retry_policy is None and fault_injector is None,
         retry_policy=retry_policy,
         telemetry=telemetry,
+        progress=progress,
     )
     result = ExperimentParallelSearchResult(
         num_gpus=1, outcomes=outcomes, analysis=analysis,

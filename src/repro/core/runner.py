@@ -74,7 +74,8 @@ class DistMISRunner:
     # -- in-process (functional) backend --------------------------------------
     def run_inprocess(self, method: str, num_gpus: int = 1,
                       executor: str = "serial",
-                      max_workers: int | None = None):
+                      max_workers: int | None = None,
+                      progress=None):
         """Execute the search for real at the configured laptop scale.
 
         For ``method="experiment_parallel"``, ``executor="process"``
@@ -85,7 +86,9 @@ class DistMISRunner:
         With a live telemetry hub the run emits per-step / per-epoch
         metrics and nested spans, and finishes by writing the run
         directory (manifest, metrics JSONL + Prometheus text, merged
-        Chrome trace) when the hub has one configured.
+        Chrome trace) when the hub has one configured.  ``progress`` (a
+        :class:`~repro.telemetry.ProgressReporter`) renders a live
+        Tune-style trial table while the search runs.
         """
         self._check_method(method)
         hub = self.telemetry
@@ -116,7 +119,7 @@ class DistMISRunner:
                 result = experiment_parallel.run_search_inprocess(
                     self.space, self.settings, pipeline=self.pipeline,
                     telemetry=hub, executor=executor,
-                    max_workers=max_workers,
+                    max_workers=max_workers, progress=progress,
                 )
         best = result.best()
         hub.finalize_run(

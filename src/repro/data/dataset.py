@@ -441,7 +441,12 @@ class Dataset:
             t.start()
             try:
                 while True:
+                    # consumer-side stall: how long the training loop sat
+                    # waiting on the producer thread (prefetch depth too
+                    # small, or the upstream pipeline too slow)
+                    t0 = time.perf_counter()
                     item = q.get()
+                    self._record("prefetch.wait", time.perf_counter() - t0)
                     if item is sentinel:
                         if error:
                             raise error[0]

@@ -15,6 +15,9 @@ Protocol (all messages flow over one result queue, as-completed):
 * ``("report", trial_id, attempt, metrics, checkpoint)`` -- one
   per-epoch reporter call, streamed live so the driver's scheduler
   (ASHA & co) reacts while the trial is still running;
+* ``("telemetry", frame)`` -- a worker's span/metric frame (profiled
+  runs only), queued *before* the terminal message so per-producer FIFO
+  ordering lands it first;
 * ``("done", trial_id, attempt, final, stopped, stats)`` /
   ``("error", trial_id, attempt, message, stats)`` -- terminal.
 
@@ -121,13 +124,42 @@ def _worker_stats(worker_id: int, busy_s: float) -> dict:
 
 
 def _worker_main(worker_id: int, task_q, result_q, control_q,
-                 trainable, trainable_factory, factory_kwargs) -> None:
+                 trainable, trainable_factory, factory_kwargs,
+                 profile: bool = False) -> None:
     """Persistent worker loop: build the trainable once, then serve
-    tasks until the ``None`` shutdown sentinel arrives."""
+    tasks until the ``None`` shutdown sentinel arrives.
+
+    With ``profile`` the worker installs a fresh process-local
+    :class:`~repro.telemetry.TelemetryHub` (so instrumented code picked
+    up via ``get_hub()`` records here instead of into the forked copy of
+    the driver's hub) and streams a telemetry frame -- incremental spans
+    plus cumulative metric samples, see
+    :func:`repro.telemetry.aggregate.capture_frame` -- before every
+    terminal message; per-producer FIFO ordering guarantees the driver
+    ingests the frame before it retires the trial.
+    """
     from ..raysim.tune import StopTrial
 
+    worker_hub = None
+    span_cursor = 0
+    if profile:
+        from ..telemetry import TelemetryHub, set_hub
+
+        worker_hub = TelemetryHub()
+        set_hub(worker_hub)
     if trainable is None:
         trainable = trainable_factory(**(factory_kwargs or {}))
+
+    def send_frame() -> None:
+        nonlocal span_cursor
+        if worker_hub is None:
+            return
+        from ..telemetry.aggregate import capture_frame
+
+        frame, span_cursor = capture_frame(worker_hub, worker_id,
+                                           since=span_cursor)
+        result_q.put(("telemetry", frame))
+
     stop_requests: set = set()
     busy_s = 0.0
     while True:
@@ -143,15 +175,18 @@ def _worker_main(worker_id: int, task_q, result_q, control_q,
             final = trainable(dict(config), reporter)
         except StopTrial:
             busy_s += time.perf_counter() - t0
+            send_frame()
             result_q.put(("done", trial_id, attempt, None, True,
                           _worker_stats(worker_id, busy_s)))
         except BaseException as exc:
             busy_s += time.perf_counter() - t0
+            send_frame()
             result_q.put(("error", trial_id, attempt,
                           f"{type(exc).__name__}: {exc}",
                           _worker_stats(worker_id, busy_s)))
         else:
             busy_s += time.perf_counter() - t0
+            send_frame()
             result_q.put(("done", trial_id, attempt, final,
                           reporter.stopped,
                           _worker_stats(worker_id, busy_s)))
@@ -197,11 +232,12 @@ class ProcessPoolTrialExecutor:
         self._task_q = ctx.Queue()
         self._result_q = ctx.Queue()
         self._control_qs = [ctx.Queue() for _ in range(max_workers)]
+        profile = bool(getattr(telemetry, "profile", False))
         self._procs = [
             ctx.Process(
                 target=_worker_main,
                 args=(i, self._task_q, self._result_q, self._control_qs[i],
-                      trainable, trainable_factory, factory_kwargs),
+                      trainable, trainable_factory, factory_kwargs, profile),
                 daemon=True, name=f"trial-worker-{i}",
             )
             for i in range(max_workers)
@@ -308,6 +344,7 @@ def run_trials_parallel(
     search_alg=None,
     telemetry=None,
     message_timeout: float | None = 600.0,
+    progress=None,
 ):
     """Drive a batch of configurations through a process pool.
 
@@ -355,6 +392,7 @@ def run_trials_parallel(
     started_at: dict[str, float] = {}
     attempt_t0: dict[str, float] = {}
     assignment: dict[str, int] = {}
+    in_flight: dict = {}  # trial_id -> open Span, for the live table
     pending: set[str] = set()
     for i, config in enumerate(configs):
         trial = Trial(trial_id=f"trial_{i:04d}", config=dict(config))
@@ -399,16 +437,24 @@ def run_trials_parallel(
         trial.runtime_s = time.perf_counter() - started_at[trial.trial_id]
         pending.discard(trial.trial_id)
         assignment.pop(trial.trial_id, None)
+        in_flight.pop(trial.trial_id, None)
         m_trials.labels(status=trial.status.value).inc()
+        worker_attr = {}
         if stats:
-            m_tasks.labels(worker=str(stats["worker_id"])).inc()
+            worker = str(stats["worker_id"])
+            worker_attr = {"worker": worker}
+            m_tasks.labels(worker=worker).inc()
             telemetry.metrics.gauge(
                 "execpool_worker_rss_kb", "worker peak resident set",
-                ("worker",)).labels(
-                    worker=str(stats["worker_id"])
-            ).set(stats["max_rss_kb"])
+                ("worker",)).labels(worker=worker).set(stats["max_rss_kb"])
+            telemetry.metrics.gauge(
+                "execpool_worker_busy_seconds",
+                "cumulative busy wall-clock per worker",
+                ("worker",)).labels(worker=worker).set(
+                    stats["busy_seconds"])
         telemetry.tracer.add_completed(
             trial.trial_id, trial.runtime_s, category="trial",
+            **worker_attr,
             **{k: str(v) for k, v in trial.config.items()})
         scheduler.on_trial_complete(trial)
         if search_alg is not None and metric is not None:
@@ -432,12 +478,21 @@ def run_trials_parallel(
                                           f"{len(trials)} trials pending")
             break
         kind = msg[0]
+        if kind == "telemetry":
+            # A worker's span/metric frame (streamed before its terminal
+            # message): fold into the cross-process aggregate.
+            telemetry.ingest_worker_frame(msg[1])
+            continue
         if kind == "started":
             _, tid, worker_id, attempt = msg
             trial = by_id[tid]
             trial.status = TrialStatus.RUNNING
             assignment[tid] = worker_id
             attempt_t0[tid] = time.perf_counter()
+            from ..telemetry.spans import Span
+
+            in_flight[tid] = Span(name=tid, start=telemetry.tracer.now(),
+                                  category="trial")
         elif kind == "report":
             _, tid, attempt, metrics, checkpoint = msg
             trial = by_id[tid]
@@ -480,6 +535,11 @@ def run_trials_parallel(
                 first_error = f"{tid}: {message}"
             if raise_on_error:
                 break
+        if progress is not None:
+            progress.update(trials, in_flight=in_flight,
+                            now=telemetry.tracer.now())
+    if progress is not None:
+        progress.finish(trials)
     if raise_on_error and first_error is not None:
         executor.cancel_pending()
         raise TrialExecutionError(first_error)

@@ -188,13 +188,19 @@ class DataParallelTrainer:
             outs = [replica_step(0)]
         else:
             outs = list(self._pool.map(replica_step, range(self.num_replicas)))
+        t_fb = time.perf_counter()
 
         grads = [g for _, g in outs]
         # every replica now holds the sum
         reduced = ring_allreduce(grads, telemetry=self._telemetry)
+        t_sync_done = time.perf_counter()
         for rep, opt, g in zip(self.replicas, self.optimizers, reduced):
             rep.set_flat_grads(g)
         lrs = [opt.step() for opt in self.optimizers]
+        # forward-backward plus the optimizer update; the all-reduce in
+        # between attributes itself to the "sync" bucket
+        self._telemetry.on_step_bucket(
+            "compute", (t_fb - t0) + (time.perf_counter() - t_sync_done))
 
         self.steps_run += 1
         loss_total = float(sum(l for l, _ in outs))
@@ -256,11 +262,15 @@ class DataParallelTrainer:
             loss_total += sum(l for l, _ in outs)
             grads = [g for _, g in outs]
             acc = grads if acc is None else [a + g for a, g in zip(acc, grads)]
+        t_fb = time.perf_counter()
 
         reduced = ring_allreduce(acc, telemetry=self._telemetry)
+        t_sync_done = time.perf_counter()
         for rep, g in zip(self.replicas, reduced):
             rep.set_flat_grads(g)
         lrs = [opt.step() for opt in self.optimizers]
+        self._telemetry.on_step_bucket(
+            "compute", (t_fb - t0) + (time.perf_counter() - t_sync_done))
         self.steps_run += 1
         loss_total = float(loss_total)
         self._m_steps.inc()

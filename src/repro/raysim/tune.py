@@ -346,6 +346,7 @@ def tune_run(
     telemetry=None,
     executor=None,
     max_workers: int | None = None,
+    progress=None,
 ) -> ExperimentAnalysis:
     """Execute every configuration the search algorithm proposes.
 
@@ -381,6 +382,8 @@ def tune_run(
     ``Trial.restored_epoch``.  ``telemetry`` (default: the process hub)
     receives one span per trial, trial-status counters, and the
     ``tune_retries_total`` / ``tune_restores_total`` counters.
+    ``progress`` (a :class:`repro.telemetry.profiler.ProgressReporter`)
+    renders a live trial table as results arrive.
     """
     scheduler = scheduler or FIFOScheduler()
     if retry_policy is None:
@@ -408,6 +411,7 @@ def tune_run(
                 scheduler=scheduler, retry_policy=retry_policy,
                 metric=metric, mode=mode, raise_on_error=raise_on_error,
                 search_alg=search_alg, telemetry=telemetry,
+                progress=progress,
             )
         finally:
             if owns_pool:
@@ -493,4 +497,8 @@ def tune_run(
             score = trial.best_metric(metric, mode)
             if score is not None:
                 search_alg.observe(config, score)
+        if progress is not None:
+            progress.update(trials, now=telemetry.tracer.now())
+    if progress is not None:
+        progress.finish(trials)
     return ExperimentAnalysis(trials)

@@ -14,9 +14,24 @@ a search framework's value hinges on a uniform telemetry stream):
   final metrics written per run (:mod:`~repro.telemetry.manifest`);
 * :class:`TelemetryHub` / :data:`NULL_HUB` -- the process-wide bundle
   handed to instrumented code, with a branch-free no-op twin so
-  disabled telemetry costs nothing (:mod:`~repro.telemetry.hub`).
+  disabled telemetry costs nothing (:mod:`~repro.telemetry.hub`);
+* :class:`TraceAggregator` / :func:`merge_registries` -- cross-process
+  aggregation: worker hubs stream frames to the driver, which aligns
+  spans via wall-clock anchors into one merged Chrome trace
+  (:mod:`~repro.telemetry.aggregate`);
+* :class:`StepAttribution` / :func:`analyze` /
+  :class:`ProgressReporter` -- step-time attribution, the bottleneck
+  analyzer behind ``distmis profile`` and the live search table
+  (:mod:`~repro.telemetry.profiler`).
 """
 
+from .aggregate import (
+    TraceAggregator,
+    capture_frame,
+    merge_registries,
+    merged_chrome_trace,
+)
+from .fsio import atomic_write_text
 from .hub import NULL_HUB, NullHub, TelemetryHub, get_hub, set_hub
 from .manifest import RunManifest, git_revision, host_info
 from .metrics import (
@@ -25,6 +40,16 @@ from .metrics import (
     Gauge,
     Histogram,
     MetricsRegistry,
+)
+from .profiler import (
+    STEP_BUCKETS,
+    BottleneckReport,
+    ProfileData,
+    ProgressReporter,
+    StepAttribution,
+    analyze,
+    analyze_run_dir,
+    build_profile_data,
 )
 from .spans import Span, Tracer
 
@@ -44,4 +69,17 @@ __all__ = [
     "NULL_HUB",
     "get_hub",
     "set_hub",
+    "atomic_write_text",
+    "TraceAggregator",
+    "capture_frame",
+    "merge_registries",
+    "merged_chrome_trace",
+    "STEP_BUCKETS",
+    "StepAttribution",
+    "ProfileData",
+    "BottleneckReport",
+    "ProgressReporter",
+    "analyze",
+    "analyze_run_dir",
+    "build_profile_data",
 ]

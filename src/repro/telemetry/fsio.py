@@ -1,0 +1,36 @@
+"""Crash-safe file writes for telemetry exports.
+
+Every telemetry artefact (metrics.jsonl, metrics.prom, trace.json,
+profile.json) is rewritten wholesale on each flush.  A plain
+``write_text`` truncates first, so an interrupt mid-flush leaves torn
+JSON behind -- the exact failure PR 1 fixed for ``RunTracker`` and this
+module extends to the hub: render to a sibling temp file, fsync, then
+``os.replace`` so readers only ever observe the old or the new file.
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+
+__all__ = ["atomic_write_text"]
+
+
+def atomic_write_text(path, text: str) -> Path:
+    """Atomically replace ``path`` with ``text`` (temp file + rename)."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    tmp = path.with_name(path.name + ".tmp")
+    try:
+        with open(tmp, "w", encoding="utf-8") as fh:
+            fh.write(text)
+            fh.flush()
+            os.fsync(fh.fileno())
+        os.replace(tmp, path)
+    finally:
+        if tmp.exists():  # failed mid-write: never leave the temp around
+            try:
+                tmp.unlink()
+            except OSError:
+                pass
+    return path

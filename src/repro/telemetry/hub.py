@@ -23,8 +23,10 @@ un-parameterised constructor picks up.
 
 from __future__ import annotations
 
+import json
 from pathlib import Path
 
+from .fsio import atomic_write_text
 from .manifest import RunManifest
 from .metrics import MetricsRegistry
 from .spans import Tracer
@@ -34,25 +36,48 @@ __all__ = ["TelemetryHub", "NullHub", "NULL_HUB", "get_hub", "set_hub"]
 METRICS_JSONL = "metrics.jsonl"
 METRICS_PROM = "metrics.prom"
 TRACE_JSON = "trace.json"
+PROFILE_JSON = "profile.json"
+
+# Narrow per-element latency buckets: input-pipeline stages run well
+# below the default sub-second grid's resolution on laptop volumes.
+STAGE_LATENCY_BUCKETS = (
+    1e-5, 5e-5, 1e-4, 5e-4, 1e-3, 5e-3, 0.01, 0.05, 0.1, 0.5, 1.0, 5.0,
+)
 
 
 class TelemetryHub:
-    """Live hub: real registry, real tracer, optional run directory."""
+    """Live hub: real registry, real tracer, optional run directory.
+
+    ``profile=True`` switches on the profiling artefacts: ``flush``
+    additionally writes ``profile.json`` (the aggregated step-time /
+    stage / worker profile consumed by ``distmis profile``).
+    """
 
     enabled = True
 
-    def __init__(self, run_dir=None):
+    def __init__(self, run_dir=None, profile: bool = False):
         self.run_dir = Path(run_dir) if run_dir is not None else None
+        self.profile = bool(profile)
         self.metrics = MetricsRegistry()
         self.tracer = Tracer()
         self.last_manifest: RunManifest | None = None
         self._timelines: list = []
+        self._attributions: list = []
+        self.aggregator = None  # created lazily on the first worker frame
         self._stage_seconds = self.metrics.counter(
             "pipeline_stage_seconds_total",
             "wall-clock spent per input-pipeline stage", ("stage",))
         self._stage_elements = self.metrics.counter(
             "pipeline_stage_elements_total",
             "elements processed per input-pipeline stage", ("stage",))
+        self._stage_latency = self.metrics.histogram(
+            "pipeline_stage_latency_seconds",
+            "per-element latency per input-pipeline stage", ("stage",),
+            buckets=STAGE_LATENCY_BUCKETS)
+        self._step_buckets = self.metrics.counter(
+            "step_bucket_seconds_total",
+            "wall-clock attributed to each training-step bucket "
+            "(data_wait / compute / sync / checkpoint)", ("bucket",))
 
     # -- recording conveniences --------------------------------------------
     def span(self, name: str, category: str = "span", **attrs):
@@ -62,24 +87,81 @@ class TelemetryHub:
         """Input-pipeline stage hook (see ``repro.data.dataset``)."""
         self._stage_seconds.labels(stage=stage).inc(seconds)
         self._stage_elements.labels(stage=stage).inc(elements)
+        if elements > 0:
+            self._stage_latency.labels(stage=stage).observe(
+                seconds / elements)
         self.tracer.add_completed(stage, seconds, category="pipeline")
+
+    def on_step_bucket(self, bucket: str, seconds: float) -> None:
+        """Attribute ``seconds`` of a training step to one bucket
+        (``data_wait`` / ``compute`` / ``sync`` / ``checkpoint``)."""
+        self._step_buckets.labels(bucket=bucket).inc(seconds)
 
     def attach_timeline(self, timeline) -> None:
         """Keep a simulated Timeline for the merged trace export."""
         self._timelines.append(timeline)
 
+    def attach_attribution(self, attribution) -> None:
+        """Keep an analytic :class:`~repro.telemetry.profiler.
+        StepAttribution` (simulated runs have no measured buckets) for
+        the profile export."""
+        self._attributions.append(attribution)
+
+    def ingest_worker_frame(self, frame: dict) -> None:
+        """Fold a worker-process telemetry frame (spans + metric
+        samples + wall-clock anchor) into the cross-process aggregate;
+        see :mod:`repro.telemetry.aggregate`."""
+        from .aggregate import TraceAggregator
+
+        if self.aggregator is None:
+            self.aggregator = TraceAggregator()
+        self.aggregator.add_frame(frame)
+
+    def merged_samples(self) -> list[dict]:
+        """Metric sample rows merged across this process and every
+        ingested worker frame."""
+        if self.aggregator is None:
+            return self.metrics.samples()
+        from .aggregate import merge_registries
+
+        return merge_registries(
+            [self.metrics.samples()] + self.aggregator.sample_sets()
+        ).samples()
+
     # -- persistence --------------------------------------------------------
     def flush(self, run_dir=None) -> Path | None:
         """Write metrics (JSONL + Prometheus text) and the merged Chrome
-        trace into the run directory; returns it (None if unset)."""
+        trace into the run directory; returns it (None if unset).
+
+        Every artefact is written atomically (temp file + ``os.replace``)
+        so an interrupt mid-flush never leaves torn JSON behind.
+        """
         run_dir = Path(run_dir) if run_dir is not None else self.run_dir
         if run_dir is None:
             return None
         run_dir.mkdir(parents=True, exist_ok=True)
-        self.metrics.export_jsonl(run_dir / METRICS_JSONL)
-        self.metrics.export_prometheus(run_dir / METRICS_PROM)
-        self.tracer.to_chrome_trace(run_dir / TRACE_JSON,
-                                    extra_timelines=self._timelines)
+        if self.aggregator is not None:
+            from .aggregate import merge_registries, merged_chrome_trace
+
+            merged = merge_registries(
+                [self.metrics.samples()] + self.aggregator.sample_sets())
+            merged.export_jsonl(run_dir / METRICS_JSONL)
+            merged.export_prometheus(run_dir / METRICS_PROM)
+            merged_chrome_trace(self.tracer, self.aggregator,
+                                extra_timelines=self._timelines,
+                                path=run_dir / TRACE_JSON)
+        else:
+            self.metrics.export_jsonl(run_dir / METRICS_JSONL)
+            self.metrics.export_prometheus(run_dir / METRICS_PROM)
+            self.tracer.to_chrome_trace(run_dir / TRACE_JSON,
+                                        extra_timelines=self._timelines)
+        if self.profile:
+            from .profiler import build_profile_data
+
+            atomic_write_text(
+                run_dir / PROFILE_JSON,
+                json.dumps(build_profile_data(self).to_dict(), indent=2)
+                + "\n")
         if self.last_manifest is not None:
             self.last_manifest.write(run_dir)
         return run_dir
@@ -208,8 +290,10 @@ class NullHub:
     """Disabled telemetry: swallows everything, writes nothing."""
 
     enabled = False
+    profile = False
     run_dir = None
     last_manifest = None
+    aggregator = None
 
     def __init__(self):
         self.metrics = _NullRegistry()
@@ -221,8 +305,20 @@ class NullHub:
     def on_stage(self, stage, seconds, elements=1) -> None:
         pass
 
+    def on_step_bucket(self, bucket, seconds) -> None:
+        pass
+
     def attach_timeline(self, timeline) -> None:
         pass
+
+    def attach_attribution(self, attribution) -> None:
+        pass
+
+    def ingest_worker_frame(self, frame) -> None:
+        pass
+
+    def merged_samples(self):
+        return []
 
     def flush(self, run_dir=None):
         return None

@@ -26,6 +26,8 @@ import json
 import math
 from pathlib import Path
 
+from .fsio import atomic_write_text
+
 __all__ = ["Counter", "Gauge", "Histogram", "MetricsRegistry",
            "DEFAULT_BUCKETS"]
 
@@ -273,13 +275,7 @@ class MetricsRegistry:
                        for r in self.samples())
 
     def export_jsonl(self, path) -> Path:
-        path = Path(path)
-        path.parent.mkdir(parents=True, exist_ok=True)
-        path.write_text(self.to_jsonl())
-        return path
+        return atomic_write_text(Path(path), self.to_jsonl())
 
     def export_prometheus(self, path) -> Path:
-        path = Path(path)
-        path.parent.mkdir(parents=True, exist_ok=True)
-        path.write_text(self.to_prometheus())
-        return path
+        return atomic_write_text(Path(path), self.to_prometheus())

@@ -24,6 +24,8 @@ import time
 from dataclasses import dataclass, field
 from pathlib import Path
 
+from .fsio import atomic_write_text
+
 __all__ = ["Span", "Tracer"]
 
 
@@ -44,6 +46,20 @@ class Span:
         if self.end is None:
             raise ValueError(f"span {self.name!r} is still open")
         return self.end - self.start
+
+    def elapsed(self, now: float | None = None) -> float:
+        """Seconds this span has covered so far.
+
+        Closed spans return their duration; open spans measure against
+        ``now`` (the tracer's current clock) -- the hook live progress
+        reporters use to render in-flight trials without try/except.
+        """
+        if self.end is not None:
+            return self.end - self.start
+        if now is None:
+            raise ValueError(
+                f"span {self.name!r} is still open: pass now=tracer.now()")
+        return max(0.0, now - self.start)
 
 
 class _ActiveSpan:
@@ -73,6 +89,12 @@ class Tracer:
     def __init__(self, clock=time.perf_counter):
         self._clock = clock
         self._t0 = clock()
+        # Wall-clock anchor: the time.time() reading taken at the same
+        # instant as _t0.  Trace time t therefore corresponds to wall
+        # clock ``wall_t0 + t``, which is how traces recorded in
+        # different processes (each with its own perf_counter origin)
+        # are aligned into one timebase by repro.telemetry.aggregate.
+        self.wall_t0 = time.time()
         self.spans: list[Span] = []
         self._local = threading.local()
         self._lock = threading.Lock()
@@ -199,10 +221,16 @@ class Tracer:
             }
             for pid, s in sorted(events, key=lambda e: e[1].start)
         ]
+        if out:
+            # Wall-clock anchor metadata: trace ts=0 is this unix time,
+            # so traces from separate processes/runs can be correlated.
+            out.append({
+                "name": "clock_anchor", "ph": "M", "cat": "__metadata",
+                "pid": 0, "tid": 0,
+                "args": {"wall_t0_unix": self.wall_t0},
+            })
         if path is not None:
-            path = Path(path)
-            path.parent.mkdir(parents=True, exist_ok=True)
-            path.write_text(json.dumps(out))
+            atomic_write_text(Path(path), json.dumps(out))
         return out
 
 

@@ -1,0 +1,174 @@
+"""Cross-process aggregation: frames, anchor alignment, registry merge."""
+
+import json
+
+import pytest
+
+from repro.telemetry import (
+    TelemetryHub,
+    TraceAggregator,
+    Tracer,
+    capture_frame,
+    merge_registries,
+    merged_chrome_trace,
+)
+from repro.telemetry.hub import STAGE_LATENCY_BUCKETS
+
+
+def _worker_hub(anchor_offset: float, base: TelemetryHub) -> TelemetryHub:
+    hub = TelemetryHub()
+    # Pin the worker's wall-clock anchor relative to the driver's: the
+    # worker started `anchor_offset` seconds after it.
+    hub.tracer.wall_t0 = base.tracer.wall_t0 + anchor_offset
+    return hub
+
+
+class TestFrames:
+    def test_capture_frame_contents(self):
+        driver = TelemetryHub()
+        w = _worker_hub(0.0, driver)
+        w.metrics.counter("train_steps_total").inc(7)
+        w.tracer.record_span("trial_0000", 1.0, 3.0, category="trial")
+        frame, cursor = capture_frame(w, worker_id=2)
+        assert frame["worker_id"] == 2
+        assert frame["pid"] > 0
+        assert frame["anchor_wall"] == w.tracer.wall_t0
+        assert [s["name"] for s in frame["spans"]] == ["trial_0000"]
+        assert any(r["name"] == "train_steps_total"
+                   for r in frame["samples"])
+        assert cursor == 1
+
+    def test_cursor_makes_spans_incremental(self):
+        driver = TelemetryHub()
+        w = _worker_hub(0.0, driver)
+        w.tracer.record_span("a", 0.0, 1.0)
+        frame1, cursor = capture_frame(w, worker_id=0)
+        w.tracer.record_span("b", 1.0, 2.0)
+        frame2, cursor = capture_frame(w, worker_id=0, since=cursor)
+        assert [s["name"] for s in frame1["spans"]] == ["a"]
+        assert [s["name"] for s in frame2["spans"]] == ["b"]
+        assert cursor == 2
+
+    def test_frame_is_json_serialisable(self):
+        # frames travel over a multiprocessing queue; JSON round-trip is
+        # the stricter contract and catches stray numpy scalars
+        driver = TelemetryHub()
+        w = _worker_hub(0.0, driver)
+        w.on_stage("decode", 0.25, elements=4)
+        w.metrics.histogram("h_seconds", buckets=(0.1, 1.0)).observe(0.5)
+        frame, _ = capture_frame(w, worker_id=1)
+        assert json.loads(json.dumps(frame)) == frame
+
+
+class TestAlignment:
+    def test_worker_spans_shift_into_driver_timebase(self):
+        driver = TelemetryHub()
+        w = _worker_hub(5.0, driver)  # worker clock started 5 s later
+        w.tracer.record_span("work", 1.0, 2.0, category="trial")
+        frame, _ = capture_frame(w, worker_id=0)
+        frame["pid"] = 4242  # distinct from the driver's pid
+        agg = TraceAggregator()
+        agg.add_frame(frame)
+        ((pid, span),) = list(agg.aligned_spans(driver.tracer.wall_t0))
+        assert pid == 4242
+        assert span.start == pytest.approx(6.0)
+        assert span.end == pytest.approx(7.0)
+
+    def test_merged_trace_has_per_process_rows(self):
+        driver = TelemetryHub()
+        with driver.span("drive"):
+            pass
+        agg = TraceAggregator()
+        for wid, pid in ((0, 1001), (1, 1002)):
+            w = _worker_hub(1.0, driver)
+            w.tracer.record_span(f"trial_{wid}", 0.0, 1.0, category="trial")
+            frame, _ = capture_frame(w, worker_id=wid)
+            frame["pid"] = pid
+            agg.add_frame(frame)
+        events = merged_chrome_trace(driver.tracer, agg)
+        x = [e for e in events if e["ph"] == "X"]
+        assert {e["pid"] for e in x} >= {1001, 1002}
+        names = {e["args"]["name"] for e in events
+                 if e["name"] == "process_name"}
+        assert {"driver", "worker-0", "worker-1"} <= names
+        # worker spans land at driver time anchor_delta + start = 1.0 s
+        trial_ts = [e["ts"] for e in x if e["name"].startswith("trial_")]
+        assert trial_ts == [pytest.approx(1e6)] * 2
+        (anchor,) = [e for e in events if e["name"] == "clock_anchor"]
+        assert anchor["args"]["wall_t0_unix"] == driver.tracer.wall_t0
+
+    def test_sim_timelines_get_pids_above_real_ones(self):
+        from repro.cluster import Timeline
+
+        tr = Tracer()
+        tr.record_span("real", 0.0, 1.0)
+        sim = Timeline()
+        sim.record("sim", 0.0, 1.0, "gpu0")
+        events = merged_chrome_trace(tr, None, extra_timelines=[sim])
+        by_name = {e["name"]: e for e in events if e["ph"] == "X"}
+        assert by_name["sim"]["pid"] > by_name["real"]["pid"]
+
+
+class TestRegistryMerge:
+    def test_counters_sum_and_gauges_last_write(self):
+        sets = []
+        for steps, dice in ((5, 0.7), (3, 0.9)):
+            reg = TelemetryHub().metrics
+            reg.counter("train_steps_total").inc(steps)
+            reg.gauge("val_dice").set(dice)
+            sets.append(reg.samples())
+        merged = merge_registries(sets)
+        rows = {(r["name"]): r for r in merged.samples()}
+        assert rows["train_steps_total"]["value"] == 8
+        assert rows["val_dice"]["value"] == pytest.approx(0.9)
+
+    def test_labelled_series_stay_separate(self):
+        sets = []
+        for worker in (0, 1):
+            reg = TelemetryHub().metrics
+            reg.counter("execpool_tasks_total", labelnames=("worker",)) \
+                .labels(worker=worker).inc(worker + 1)
+            sets.append(reg.samples())
+        merged = merge_registries(sets)
+        by_worker = {r["labels"]["worker"]: r["value"]
+                     for r in merged.samples()}
+        assert by_worker == {"0": 1, "1": 2}
+
+    def test_histograms_merge_buckets_sum_count(self):
+        sets = []
+        for values in ((0.2, 0.4), (0.6,)):
+            reg = TelemetryHub().metrics
+            h = reg.histogram("step_seconds", buckets=(0.5, 1.0))
+            for v in values:
+                h.observe(v)
+            sets.append(reg.samples())
+        merged = merge_registries(sets)
+        (row,) = merged.samples()
+        assert row["count"] == 3
+        assert row["sum"] == pytest.approx(1.2)
+        # cumulative bucket counts: two <= 0.5, all three <= 1.0
+        assert row["buckets"] == {"0.5": 2, "1.0": 3}
+
+    def test_merged_samples_spans_driver_and_workers(self):
+        driver = TelemetryHub()
+        driver.metrics.counter("train_steps_total").inc(2)
+        w = _worker_hub(0.0, driver)
+        w.metrics.counter("train_steps_total").inc(5)
+        frame, _ = capture_frame(w, worker_id=0)
+        driver.ingest_worker_frame(frame)
+        (row,) = [r for r in driver.merged_samples()
+                  if r["name"] == "train_steps_total"]
+        assert row["value"] == 7
+
+    def test_stage_latency_histogram_merges(self):
+        driver = TelemetryHub()
+        w = _worker_hub(0.0, driver)
+        w.on_stage("nifti_decode", 0.4, elements=4)  # 0.1 s/el
+        frame, _ = capture_frame(w, worker_id=0)
+        driver.ingest_worker_frame(frame)
+        rows = {r["name"]: r for r in driver.merged_samples()}
+        lat = rows["pipeline_stage_latency_seconds"]
+        assert lat["count"] == 1  # one per-element latency observation
+        assert lat["sum"] == pytest.approx(0.1)
+        assert tuple(float(e) for e in lat["buckets"]) \
+            == STAGE_LATENCY_BUCKETS

@@ -1,0 +1,85 @@
+"""Chrome-trace output schema: the contract Perfetto (and the profiler's
+run-dir fallback) rely on."""
+
+import json
+
+import pytest
+
+from repro.cluster import Timeline
+from repro.telemetry import Tracer
+
+REQUIRED_X_KEYS = {"name", "cat", "ph", "ts", "dur", "pid", "tid", "args"}
+
+
+def _spans(events):
+    return [e for e in events if e["ph"] == "X"]
+
+
+class TestSchema:
+    def test_file_is_valid_json_array_roundtrip(self, tmp_path):
+        tr = Tracer()
+        with tr.span("a"):
+            pass
+        path = tmp_path / "trace.json"
+        events = tr.to_chrome_trace(path)
+        loaded = json.loads(path.read_text())
+        assert isinstance(loaded, list)
+        assert loaded == events
+
+    def test_complete_events_carry_every_field(self):
+        tr = Tracer()
+        with tr.span("outer", category="run", epoch=1):
+            with tr.span("inner", category="train"):
+                pass
+        for e in _spans(tr.to_chrome_trace()):
+            assert REQUIRED_X_KEYS <= set(e)
+            assert e["dur"] >= 0.0
+        # attrs surface as args
+        by_name = {e["name"]: e for e in _spans(tr.to_chrome_trace())}
+        assert by_name["outer"]["args"] == {"epoch": 1}
+
+    def test_timestamps_monotone_nondecreasing(self):
+        tr = Tracer()
+        for _ in range(5):
+            with tr.span("step"):
+                pass
+        ts = [e["ts"] for e in _spans(tr.to_chrome_trace())]
+        assert ts == sorted(ts)
+
+    def test_nested_spans_stack_by_containment(self):
+        # Perfetto nests same-lane X events by interval containment:
+        # the child's [ts, ts+dur] must sit inside the parent's.
+        tr = Tracer()
+        with tr.span("parent"):
+            with tr.span("child"):
+                pass
+        by_name = {e["name"]: e for e in _spans(tr.to_chrome_trace())}
+        parent, child = by_name["parent"], by_name["child"]
+        assert parent["tid"] == child["tid"]  # same lane, stacked by depth
+        assert child["ts"] >= parent["ts"]
+        assert child["ts"] + child["dur"] <= parent["ts"] + parent["dur"]
+
+    def test_empty_tracer_exports_empty_array(self):
+        assert Tracer().to_chrome_trace() == []
+
+    def test_simulated_and_real_events_interleave(self):
+        tr = Tracer()
+        with tr.span("real"):
+            pass
+        sim = Timeline()
+        sim.record("sim", 0.0, 2.0, "gpu0", category="train")
+        events = _spans(tr.to_chrome_trace(extra_timelines=[sim]))
+        pids = {e["name"]: e["pid"] for e in events}
+        assert pids["real"] != pids["sim"]
+        # one sorted stream, all schema-complete
+        assert [e["ts"] for e in events] == sorted(e["ts"] for e in events)
+        assert all(REQUIRED_X_KEYS <= set(e) for e in events)
+
+    def test_clock_anchor_metadata(self):
+        tr = Tracer()
+        with tr.span("w"):
+            pass
+        events = tr.to_chrome_trace()
+        (anchor,) = [e for e in events if e["name"] == "clock_anchor"]
+        assert anchor["ph"] == "M"
+        assert anchor["args"]["wall_t0_unix"] == pytest.approx(tr.wall_t0)

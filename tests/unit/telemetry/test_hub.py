@@ -38,10 +38,46 @@ class TestLiveHub:
         assert names == {"manifest.json", "metrics.jsonl", "metrics.prom",
                          "trace.json"}
         trace = json.loads((out / "trace.json").read_text())
-        assert {e["name"] for e in trace} == {"work", "sim"}
+        spans = [e for e in trace if e["ph"] == "X"]
+        assert {e["name"] for e in spans} == {"work", "sim"}
+        # the wall-clock anchor rides along as a metadata event
+        (anchor,) = [e for e in trace if e["name"] == "clock_anchor"]
+        assert anchor["ph"] == "M"
+        assert anchor["args"]["wall_t0_unix"] == hub.tracer.wall_t0
 
     def test_flush_without_run_dir_is_noop(self):
         assert TelemetryHub().flush() is None
+
+    def test_flush_is_crash_safe(self, tmp_path, monkeypatch):
+        # flush rewrites every artefact wholesale; an interrupt mid-write
+        # must leave the previous file intact and no temp litter behind
+        import repro.telemetry.fsio as fsio
+
+        hub = TelemetryHub(run_dir=tmp_path)
+        hub.metrics.counter("x_total").inc()
+        hub.flush()
+        before = (tmp_path / "metrics.jsonl").read_text()
+
+        real_replace = fsio.os.replace
+
+        def boom(src, dst):
+            raise OSError("interrupted")
+
+        monkeypatch.setattr(fsio.os, "replace", boom)
+        hub.metrics.counter("x_total").inc()
+        with pytest.raises(OSError):
+            hub.flush()
+        monkeypatch.setattr(fsio.os, "replace", real_replace)
+        assert (tmp_path / "metrics.jsonl").read_text() == before
+        assert not list(tmp_path.glob("*.tmp"))
+
+    def test_profile_flush_writes_profile_json(self, tmp_path):
+        hub = TelemetryHub(run_dir=tmp_path, profile=True)
+        hub.on_step_bucket("compute", 1.5)
+        hub.flush()
+        data = json.loads((tmp_path / "profile.json").read_text())
+        assert data["buckets"]["compute"] == pytest.approx(1.5)
+        assert data["source"] == "measured"
 
     def test_default_hub_swap(self):
         hub = TelemetryHub()

@@ -68,6 +68,30 @@ class TestExplicitClock:
         assert tl.by_category() == {"train": 2.0}
 
 
+class TestElapsed:
+    def test_closed_span_returns_duration(self):
+        tr = Tracer()
+        sp = tr.record_span("t", 1.0, 3.0)
+        assert sp.elapsed() == pytest.approx(2.0)
+        assert sp.elapsed(now=100.0) == pytest.approx(2.0)
+
+    def test_open_span_measures_against_now(self):
+        from repro.telemetry import Span
+
+        sp = Span(name="t", start=5.0)
+        assert sp.elapsed(now=7.5) == pytest.approx(2.5)
+        assert sp.elapsed(now=4.0) == 0.0  # clamped, never negative
+
+    def test_open_span_without_now_raises(self):
+        from repro.telemetry import Span
+
+        sp = Span(name="t", start=0.0)
+        with pytest.raises(ValueError):
+            sp.elapsed()
+        with pytest.raises(ValueError):
+            sp.duration  # duration stays strict: open spans have none
+
+
 class TestChromeExport:
     def test_merged_view_separates_pids(self, tmp_path):
         tr = Tracer()
@@ -82,7 +106,9 @@ class TestChromeExport:
         assert by_name["real_work"]["pid"] == 0
         assert by_name["sim_trial"]["pid"] == 1
         assert by_name["sim_trial"]["dur"] == pytest.approx(60e6)
-        assert all(e["ph"] == "X" for e in events)
+        assert all(e["ph"] == "X" for e in events
+                   if e.get("cat") != "__metadata")
+        assert by_name["clock_anchor"]["args"]["wall_t0_unix"] == tr.wall_t0
 
     def test_lanes_per_resource(self):
         tr = Tracer()
