@@ -2,7 +2,7 @@
 
 PYTHON ?= python3
 
-.PHONY: install test lint smoke profile-smoke bench bench-parallel examples report api-docs results clean
+.PHONY: install test lint smoke profile-smoke bench bench-parallel bench-kernels examples report api-docs results clean
 
 install:
 	PIP_NO_BUILD_ISOLATION=false pip install -e .
@@ -23,7 +23,8 @@ smoke: profile-smoke
 	PYTHONPATH=src $(PYTHON) examples/quickstart.py
 	PYTHONPATH=src $(PYTHON) examples/fault_tolerance.py
 	DISTMIS_BENCH_SMOKE=1 PYTHONPATH=src $(PYTHON) -m pytest \
-		benchmarks/test_process_parallel_speedup.py -q -s
+		benchmarks/test_process_parallel_speedup.py \
+		benchmarks/test_kernel_backends.py -q -s
 
 # profiled search end-to-end at smoke scale: live progress table,
 # merged trace + profile.json, bottleneck verdict, overhead benchmark
@@ -44,6 +45,12 @@ bench:
 bench-parallel:
 	PYTHONPATH=src $(PYTHON) -m pytest \
 		benchmarks/test_process_parallel_speedup.py -q -s
+
+# GEMM vs reference conv backend on a per-replica U-Net train step;
+# writes benchmarks/BENCH_kernels.json (speedup floor, parity, host info)
+bench-kernels:
+	PYTHONPATH=src $(PYTHON) -m pytest \
+		benchmarks/test_kernel_backends.py -q -s
 
 examples:
 	for ex in examples/*.py; do echo "== $$ex"; $(PYTHON) $$ex || exit 1; done

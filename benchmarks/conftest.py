@@ -5,11 +5,22 @@ prints the reproduction next to the paper's reported values.  Heavy
 computations run once via ``benchmark.pedantic(rounds=1)`` -- the goal
 is regeneration, not statistical micro-timing (micro-kernels get real
 multi-round treatment in test_microkernels.py).
+
+BLAS threading is pinned *before* NumPy loads: kernel-speedup numbers
+(BENCH_kernels.json) are only comparable across machines and runs when
+the GEMM thread count is a recorded constant rather than whatever the
+container happens to expose.
 """
 
-import pytest
+import os
 
-from repro.core import ExperimentSettings, MISPipeline
+os.environ.setdefault("OMP_NUM_THREADS", "1")
+os.environ.setdefault("OPENBLAS_NUM_THREADS", "1")
+os.environ.setdefault("MKL_NUM_THREADS", "1")
+
+import pytest  # noqa: E402
+
+from repro.core import ExperimentSettings, MISPipeline  # noqa: E402
 
 
 def once(benchmark, fn, *args, **kwargs):

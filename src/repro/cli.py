@@ -59,6 +59,27 @@ def _add_scale_args(p: argparse.ArgumentParser) -> None:
     p.add_argument("--depth", type=int, default=2,
                    help="resolution steps (paper: 4)")
     p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--kernel-backend", default=None,
+                   choices=["gemm", "reference"],
+                   help="convolution compute backend (default: gemm, or "
+                        "DISTMIS_KERNEL_BACKEND)")
+    p.add_argument("--compute-dtype", default=None,
+                   choices=["float64", "float32"],
+                   help="parameter/activation dtype (default: float64, or "
+                        "DISTMIS_COMPUTE_DTYPE)")
+
+
+def _apply_compute_flags(args) -> None:
+    """Install --kernel-backend / --compute-dtype before any model is
+    built (None leaves env/default resolution untouched)."""
+    if getattr(args, "kernel_backend", None):
+        from .nn.kernels import set_backend
+
+        set_backend(args.kernel_backend)
+    if getattr(args, "compute_dtype", None):
+        from .nn.dtypes import set_compute_dtype
+
+        set_compute_dtype(args.compute_dtype)
 
 
 def _settings(args):
@@ -93,6 +114,7 @@ def cmd_fig4(args) -> int:
 def cmd_train(args) -> int:
     from .core import MISPipeline, train_trial
 
+    _apply_compute_flags(args)
     hub = _make_hub(args)
     settings = _settings(args)
     pipeline = MISPipeline(settings, telemetry=hub)
@@ -121,6 +143,7 @@ def cmd_train(args) -> int:
 def cmd_search(args) -> int:
     from .core import DistMISRunner, HyperparameterSpace
 
+    _apply_compute_flags(args)
     space = HyperparameterSpace(
         {"learning_rate": args.lr, "loss": args.losses}
     )

@@ -7,8 +7,22 @@ learning-rate schedules.  Gradients are verified by finite differences
 (:mod:`repro.nn.gradcheck`).
 """
 
-from . import functional
+from . import functional, kernels
+from .dtypes import (
+    get_compute_dtype,
+    resolve_dtype,
+    set_compute_dtype,
+    use_compute_dtype,
+)
 from .gradcheck import check_module_gradients, numeric_gradient, relative_error
+from .kernels import (
+    available_backends,
+    get_backend,
+    set_backend,
+    use_backend,
+    workspace,
+    workspace_bytes,
+)
 from .initializers import (
     GlorotUniform,
     HeNormal,
@@ -74,6 +88,17 @@ from .unet3d import PAPER_INPUT_SHAPE, PAPER_OUTPUT_SHAPE, ConvBlock, UNet3D
 
 __all__ = [
     "functional",
+    "kernels",
+    "get_backend",
+    "set_backend",
+    "use_backend",
+    "available_backends",
+    "workspace",
+    "workspace_bytes",
+    "get_compute_dtype",
+    "set_compute_dtype",
+    "use_compute_dtype",
+    "resolve_dtype",
     "Module",
     "Parameter",
     "Sequential",

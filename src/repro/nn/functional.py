@@ -1,20 +1,40 @@
-"""Low-level vectorised NumPy kernels for 3D neural-network layers.
+"""Low-level NumPy kernels for 3D neural-network layers.
 
 All tensors are *channels-first*, matching the paper's data format
 (Section III-A): activations are ``(N, C, D, H, W)`` and convolution
 weights are ``(C_out, C_in, kD, kH, kW)``.
 
-The convolution kernels are written as a small number of large vectorised
-operations (``sliding_window_view`` + ``einsum`` on the forward path, one
-scatter-add per kernel offset on the backward path) rather than per-voxel
-Python loops: a 3x3x3 kernel costs 27 fused updates regardless of volume
-size, which keeps everything in BLAS/ufunc territory.
+The convolution entry points here are thin dispatchers: they validate
+shapes, normalise ``stride``/``pad`` into 3-tuples, and hand off to the
+active :class:`~repro.nn.kernels.registry.KernelBackend` (``gemm`` by
+default, the original einsum kernels as ``reference``; see
+:mod:`repro.nn.kernels`).  Each dispatched call is stamped with two
+``perf_counter`` reads feeding the per-backend kernel-seconds ledger the
+profiler splits its ``compute`` bucket by.
+
+The ``ctx`` parameter is an optional mutable dict owned by the calling
+layer: a backend may park forward-pass scratch there (e.g. the im2col
+patches matrix) for the matching backward call.  Layers that forward
+without backpropagating must hand leftover ctx to
+:func:`release_conv_ctx`.
+
+Pooling stays here: it is memory-bound reshuffling with no GEMM to
+lower to, so there is nothing for a backend to specialise.
 """
 
 from __future__ import annotations
 
+from time import perf_counter
+
 import numpy as np
-from numpy.lib.stride_tricks import sliding_window_view
+
+from .kernels.common import (  # noqa: F401  (re-exported public helpers)
+    conv3d_output_shape,
+    conv_transpose3d_output_shape,
+    pad_volume,
+    triple as _triple,
+)
+from .kernels.registry import get_backend, record_kernel_seconds
 
 __all__ = [
     "pad_volume",
@@ -22,6 +42,7 @@ __all__ = [
     "conv3d_backward",
     "conv_transpose3d_forward",
     "conv_transpose3d_backward",
+    "release_conv_ctx",
     "maxpool3d_forward",
     "maxpool3d_backward",
     "avgpool3d_forward",
@@ -31,60 +52,13 @@ __all__ = [
 ]
 
 
-def _triple(v) -> tuple[int, int, int]:
-    """Normalise an int-or-3-sequence into a 3-tuple."""
-    if isinstance(v, (int, np.integer)):
-        return (int(v), int(v), int(v))
-    t = tuple(int(x) for x in v)
-    if len(t) != 3:
-        raise ValueError(f"expected an int or a length-3 sequence, got {v!r}")
-    return t
-
-
-def pad_volume(x: np.ndarray, pad: tuple[int, int, int]) -> np.ndarray:
-    """Zero-pad the three spatial axes of a ``(N, C, D, H, W)`` tensor."""
-    pd, ph, pw = pad
-    if pd == ph == pw == 0:
-        return x
-    return np.pad(x, ((0, 0), (0, 0), (pd, pd), (ph, ph), (pw, pw)))
-
-
-def conv3d_output_shape(
-    spatial: tuple[int, int, int],
-    kernel,
-    stride=1,
-    pad=0,
-) -> tuple[int, int, int]:
-    """Spatial output shape of a 3D convolution."""
-    k, s, p = _triple(kernel), _triple(stride), _triple(pad)
-    out = []
-    for dim, kk, ss, pp in zip(spatial, k, s, p):
-        o = (dim + 2 * pp - kk) // ss + 1
-        if o <= 0:
-            raise ValueError(
-                f"conv3d output dim <= 0 (input {dim}, kernel {kk}, "
-                f"stride {ss}, pad {pp})"
-            )
-        out.append(o)
-    return tuple(out)
-
-
-def conv_transpose3d_output_shape(
-    spatial: tuple[int, int, int],
-    kernel,
-    stride=1,
-) -> tuple[int, int, int]:
-    """Spatial output shape of a 3D transposed convolution (no padding)."""
-    k, s = _triple(kernel), _triple(stride)
-    return tuple((dim - 1) * ss + kk for dim, kk, ss in zip(spatial, k, s))
-
-
 def conv3d_forward(
     x: np.ndarray,
     w: np.ndarray,
     b: np.ndarray | None = None,
     stride=1,
     pad=0,
+    ctx: dict | None = None,
 ) -> np.ndarray:
     """3D cross-correlation.
 
@@ -94,6 +68,9 @@ def conv3d_forward(
     w : (C_out, C_in, kD, kH, kW)
     b : (C_out,) or None
     stride, pad : int or 3-tuple
+    ctx : optional dict the backend may stash forward scratch in for the
+        matching :func:`conv3d_backward` call (training-mode layers pass
+        a fresh dict per step; see :func:`release_conv_ctx`).
 
     Returns
     -------
@@ -106,15 +83,11 @@ def conv3d_forward(
         raise ValueError(
             f"channel mismatch: input has {x.shape[1]}, weight expects {w.shape[1]}"
         )
-    xp = pad_volume(x, p)
-    kd, kh, kw = w.shape[2:]
-    # (N, C, D', H', W', kd, kh, kw) view -- no copy.
-    cols = sliding_window_view(xp, (kd, kh, kw), axis=(2, 3, 4))
-    cols = cols[:, :, :: s[0], :: s[1], :: s[2]]
-    y = np.einsum("ncdhwxyz,ocxyz->nodhw", cols, w, optimize=True)
-    if b is not None:
-        y += b.reshape(1, -1, 1, 1, 1)
-    return np.ascontiguousarray(y)
+    backend = get_backend()
+    t0 = perf_counter()
+    y = backend.conv3d_forward(x, w, b, s, p, ctx)
+    record_kernel_seconds(backend.name, "conv3d_forward", perf_counter() - t0)
+    return y
 
 
 def conv3d_backward(
@@ -124,45 +97,21 @@ def conv3d_backward(
     stride=1,
     pad=0,
     with_bias: bool = True,
+    ctx: dict | None = None,
 ):
     """Gradients of :func:`conv3d_forward`.
 
     Returns ``(dx, dw, db)`` where ``db`` is None when ``with_bias`` is
-    False.  The input gradient is accumulated with one strided
-    scatter-add per kernel offset, which is fully vectorised over the
-    batch and spatial axes.
+    False.  Passing the same ``ctx`` dict the forward call populated
+    lets the backend reuse its forward scratch (the GEMM backend skips
+    one full im2col gather per layer per step).
     """
     s, p = _triple(stride), _triple(pad)
-    kd, kh, kw = w.shape[2:]
-    Do, Ho, Wo = dy.shape[2:]
-
-    xp = pad_volume(x, p)
-    cols = sliding_window_view(xp, (kd, kh, kw), axis=(2, 3, 4))
-    cols = cols[:, :, :: s[0], :: s[1], :: s[2]]
-    dw = np.einsum("nodhw,ncdhwxyz->ocxyz", dy, cols, optimize=True)
-
-    db = dy.sum(axis=(0, 2, 3, 4)) if with_bias else None
-
-    dxp = np.zeros_like(xp)
-    # dy (N,O,Do,Ho,Wo) x w[:,:,i,j,k] (O,C) -> contribution at offset (i,j,k)
-    for i in range(kd):
-        di = slice(i, i + s[0] * Do, s[0])
-        for j in range(kh):
-            dj = slice(j, j + s[1] * Ho, s[1])
-            for k in range(kw):
-                dk = slice(k, k + s[2] * Wo, s[2])
-                dxp[:, :, di, dj, dk] += np.einsum(
-                    "nodhw,oc->ncdhw", dy, w[:, :, i, j, k], optimize=True
-                )
-    pd, ph, pw = p
-    dx = dxp[
-        :,
-        :,
-        pd : dxp.shape[2] - pd or None,
-        ph : dxp.shape[3] - ph or None,
-        pw : dxp.shape[4] - pw or None,
-    ]
-    return np.ascontiguousarray(dx), dw, db
+    backend = get_backend()
+    t0 = perf_counter()
+    out = backend.conv3d_backward(dy, x, w, s, p, with_bias, ctx)
+    record_kernel_seconds(backend.name, "conv3d_backward", perf_counter() - t0)
+    return out
 
 
 def conv_transpose3d_forward(
@@ -170,6 +119,7 @@ def conv_transpose3d_forward(
     w: np.ndarray,
     b: np.ndarray | None = None,
     stride=1,
+    ctx: dict | None = None,
 ) -> np.ndarray:
     """3D transposed convolution (a.k.a. up-convolution), no padding.
 
@@ -184,21 +134,11 @@ def conv_transpose3d_forward(
         raise ValueError(
             f"channel mismatch: input has {x.shape[1]}, weight expects {w.shape[0]}"
         )
-    n, _, D, H, W = x.shape
-    kd, kh, kw = w.shape[2:]
-    Do, Ho, Wo = conv_transpose3d_output_shape((D, H, W), (kd, kh, kw), s)
-    y = np.zeros((n, w.shape[1], Do, Ho, Wo), dtype=x.dtype)
-    for i in range(kd):
-        di = slice(i, i + s[0] * D, s[0])
-        for j in range(kh):
-            dj = slice(j, j + s[1] * H, s[1])
-            for k in range(kw):
-                dk = slice(k, k + s[2] * W, s[2])
-                y[:, :, di, dj, dk] += np.einsum(
-                    "ncdhw,co->nodhw", x, w[:, :, i, j, k], optimize=True
-                )
-    if b is not None:
-        y += b.reshape(1, -1, 1, 1, 1)
+    backend = get_backend()
+    t0 = perf_counter()
+    y = backend.conv_transpose3d_forward(x, w, b, s, ctx)
+    record_kernel_seconds(backend.name, "conv_transpose3d_forward",
+                          perf_counter() - t0)
     return y
 
 
@@ -208,31 +148,27 @@ def conv_transpose3d_backward(
     w: np.ndarray,
     stride=1,
     with_bias: bool = True,
+    ctx: dict | None = None,
 ):
     """Gradients of :func:`conv_transpose3d_forward`.
 
     Returns ``(dx, dw, db)``.
     """
     s = _triple(stride)
-    kd, kh, kw = w.shape[2:]
-    n, _, D, H, W = x.shape
+    backend = get_backend()
+    t0 = perf_counter()
+    out = backend.conv_transpose3d_backward(dy, x, w, s, with_bias, ctx)
+    record_kernel_seconds(backend.name, "conv_transpose3d_backward",
+                          perf_counter() - t0)
+    return out
 
-    dx = np.zeros_like(x)
-    dw = np.zeros_like(w)
-    for i in range(kd):
-        di = slice(i, i + s[0] * D, s[0])
-        for j in range(kh):
-            dj = slice(j, j + s[1] * H, s[1])
-            for k in range(kw):
-                dk = slice(k, k + s[2] * W, s[2])
-                dy_off = dy[:, :, di, dj, dk]
-                dx += np.einsum("nodhw,co->ncdhw", dy_off, w[:, :, i, j, k],
-                                optimize=True)
-                dw[:, :, i, j, k] = np.einsum(
-                    "ncdhw,nodhw->co", x, dy_off, optimize=True
-                )
-    db = dy.sum(axis=(0, 2, 3, 4)) if with_bias else None
-    return dx, dw, db
+
+def release_conv_ctx(ctx: dict | None) -> None:
+    """Reclaim backend scratch parked in ``ctx`` by a forward pass whose
+    backward never ran (evaluation forwards in training mode, truncated
+    steps).  Safe on ``None``, empty, and already-consumed dicts."""
+    if ctx:
+        get_backend().release_ctx(ctx)
 
 
 def _pool_windows(x: np.ndarray, k: tuple[int, int, int]):

@@ -3,6 +3,13 @@
 The paper (Section III-A) uses a *truncated normal* kernel initializer for
 every convolution layer; the rest are provided for completeness and for
 the ablation experiments.
+
+Every initializer takes an optional ``dtype``: an explicit value wins,
+``None`` defers to the process compute-dtype policy
+(:func:`repro.nn.dtypes.resolve_dtype`, ``float64`` unless opted into
+``float32``).  Resolution happens at *call* time, and random draws are
+always made in float64 then cast, so a float32 model is a bit-exact
+down-cast of the float64 one from the same seed.
 """
 
 from __future__ import annotations
@@ -10,6 +17,8 @@ from __future__ import annotations
 import math
 
 import numpy as np
+
+from .dtypes import resolve_dtype
 
 __all__ = [
     "Initializer",
@@ -39,6 +48,12 @@ def _fan_in_out(shape: tuple[int, ...]) -> tuple[int, int]:
 class Initializer:
     """Base class: callable ``(shape, rng) -> ndarray``."""
 
+    def __init__(self, dtype=None):
+        self.dtype = dtype
+
+    def _dtype(self) -> np.dtype:
+        return resolve_dtype(self.dtype)
+
     def __call__(self, shape, rng: np.random.Generator) -> np.ndarray:
         raise NotImplementedError
 
@@ -48,28 +63,31 @@ class Initializer:
 
 class Zeros(Initializer):
     def __call__(self, shape, rng):
-        return np.zeros(shape, dtype=np.float64)
+        return np.zeros(shape, dtype=self._dtype())
 
 
 class Ones(Initializer):
     def __call__(self, shape, rng):
-        return np.ones(shape, dtype=np.float64)
+        return np.ones(shape, dtype=self._dtype())
 
 
 class Constant(Initializer):
-    def __init__(self, value: float):
+    def __init__(self, value: float, dtype=None):
+        super().__init__(dtype)
         self.value = float(value)
 
     def __call__(self, shape, rng):
-        return np.full(shape, self.value, dtype=np.float64)
+        return np.full(shape, self.value, dtype=self._dtype())
 
 
 class RandomNormal(Initializer):
-    def __init__(self, mean: float = 0.0, stddev: float = 0.05):
+    def __init__(self, mean: float = 0.0, stddev: float = 0.05, dtype=None):
+        super().__init__(dtype)
         self.mean, self.stddev = float(mean), float(stddev)
 
     def __call__(self, shape, rng):
-        return rng.normal(self.mean, self.stddev, size=shape)
+        out = rng.normal(self.mean, self.stddev, size=shape)
+        return out.astype(self._dtype(), copy=False)
 
 
 class TruncatedNormal(Initializer):
@@ -81,7 +99,8 @@ class TruncatedNormal(Initializer):
     convolution (Section III-A).
     """
 
-    def __init__(self, mean: float = 0.0, stddev: float = 0.05):
+    def __init__(self, mean: float = 0.0, stddev: float = 0.05, dtype=None):
+        super().__init__(dtype)
         self.mean, self.stddev = float(mean), float(stddev)
 
     def __call__(self, shape, rng):
@@ -92,7 +111,7 @@ class TruncatedNormal(Initializer):
         while bad.any():
             out[bad] = rng.normal(self.mean, self.stddev, size=int(bad.sum()))
             bad = (out < lo) | (out > hi)
-        return out
+        return out.astype(self._dtype(), copy=False)
 
 
 class GlorotUniform(Initializer):
@@ -101,7 +120,8 @@ class GlorotUniform(Initializer):
     def __call__(self, shape, rng):
         fan_in, fan_out = _fan_in_out(tuple(shape))
         limit = math.sqrt(6.0 / (fan_in + fan_out))
-        return rng.uniform(-limit, limit, size=shape)
+        out = rng.uniform(-limit, limit, size=shape)
+        return out.astype(self._dtype(), copy=False)
 
 
 class HeNormal(Initializer):
@@ -109,7 +129,8 @@ class HeNormal(Initializer):
 
     def __call__(self, shape, rng):
         fan_in, _ = _fan_in_out(tuple(shape))
-        return rng.normal(0.0, math.sqrt(2.0 / fan_in), size=shape)
+        out = rng.normal(0.0, math.sqrt(2.0 / fan_in), size=shape)
+        return out.astype(self._dtype(), copy=False)
 
 
 _REGISTRY = {
@@ -122,13 +143,17 @@ _REGISTRY = {
 }
 
 
-def get_initializer(spec) -> Initializer:
-    """Resolve a string name or pass through an :class:`Initializer`."""
+def get_initializer(spec, dtype=None) -> Initializer:
+    """Resolve a string name or pass through an :class:`Initializer`.
+
+    ``dtype`` applies only when constructing from a string name;
+    ready-made instances keep their own setting.
+    """
     if isinstance(spec, Initializer):
         return spec
     if isinstance(spec, str):
         try:
-            return _REGISTRY[spec]()
+            return _REGISTRY[spec](dtype=dtype)
         except KeyError:
             raise ValueError(
                 f"unknown initializer {spec!r}; known: {sorted(_REGISTRY)}"

@@ -1,0 +1,65 @@
+"""Shared helpers for the convolution kernel backends.
+
+Lives below both :mod:`repro.nn.functional` (the dispatching public API)
+and the concrete backends, so neither imports the other: backends import
+helpers from here, ``functional`` re-exports the public ones.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = [
+    "triple",
+    "pad_volume",
+    "conv3d_output_shape",
+    "conv_transpose3d_output_shape",
+]
+
+
+def triple(v) -> tuple[int, int, int]:
+    """Normalise an int-or-3-sequence into a 3-tuple."""
+    if isinstance(v, (int, np.integer)):
+        return (int(v), int(v), int(v))
+    t = tuple(int(x) for x in v)
+    if len(t) != 3:
+        raise ValueError(f"expected an int or a length-3 sequence, got {v!r}")
+    return t
+
+
+def pad_volume(x: np.ndarray, pad: tuple[int, int, int]) -> np.ndarray:
+    """Zero-pad the three spatial axes of a ``(N, C, D, H, W)`` tensor."""
+    pd, ph, pw = pad
+    if pd == ph == pw == 0:
+        return x
+    return np.pad(x, ((0, 0), (0, 0), (pd, pd), (ph, ph), (pw, pw)))
+
+
+def conv3d_output_shape(
+    spatial: tuple[int, int, int],
+    kernel,
+    stride=1,
+    pad=0,
+) -> tuple[int, int, int]:
+    """Spatial output shape of a 3D convolution."""
+    k, s, p = triple(kernel), triple(stride), triple(pad)
+    out = []
+    for dim, kk, ss, pp in zip(spatial, k, s, p):
+        o = (dim + 2 * pp - kk) // ss + 1
+        if o <= 0:
+            raise ValueError(
+                f"conv3d output dim <= 0 (input {dim}, kernel {kk}, "
+                f"stride {ss}, pad {pp})"
+            )
+        out.append(o)
+    return tuple(out)
+
+
+def conv_transpose3d_output_shape(
+    spatial: tuple[int, int, int],
+    kernel,
+    stride=1,
+) -> tuple[int, int, int]:
+    """Spatial output shape of a 3D transposed convolution (no padding)."""
+    k, s = triple(kernel), triple(stride)
+    return tuple((dim - 1) * ss + kk for dim, kk, ss in zip(spatial, k, s))

@@ -1,0 +1,282 @@
+"""The ``gemm`` backend: im2col/col2im lowering to contiguous BLAS GEMMs.
+
+The reference kernels contract an 8-D ``sliding_window_view`` with
+``einsum``; for the backward pass that degenerates into one einsum per
+kernel offset and none of it reaches a single large GEMM.  This backend
+restructures every convolution around the classic im2col lowering:
+
+* **forward** -- gather the input into a patches matrix ``cols`` of
+  shape ``(N, C*kd*kh*kw, Do*Ho*Wo)`` (one strided copy), then one
+  batched ``np.matmul`` with the reshaped weights straight into the
+  freshly allocated output.
+* **backward/dw** -- the *same* patches matrix, contracted against
+  ``dy`` with one batched GEMM.  The forward pass parks ``cols`` in the
+  layer's ``ctx`` dict, so training steps gather once and GEMM three
+  times.
+* **backward/dx** -- for unit stride, the full-correlation form: gather
+  padded ``dy`` patches and GEMM against the flipped/transposed weights
+  directly into ``dx``.  For strided convolutions, the col2im form:
+  GEMM ``w^T @ dy`` into the (recycled) patches buffer and scatter-add
+  per kernel offset.
+* **transposed conv** -- one GEMM producing the offset columns, then a
+  ``kd*kh*kw``-step scatter (forward) / gather (backward).
+
+All scratch (patches matrices, padded volumes) is checked out of the
+:mod:`~repro.nn.kernels.workspace` arena and recycled across steps;
+outputs are always freshly allocated, never views into the arena.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from numpy.lib.stride_tricks import sliding_window_view
+
+from .common import conv3d_output_shape, conv_transpose3d_output_shape
+from .registry import KernelBackend, register_backend
+from .workspace import workspace
+
+__all__ = ["GemmBackend"]
+
+_UNIT = (1, 1, 1)
+
+
+def _gather_cols(xp: np.ndarray, kernel, stride, out: np.ndarray) -> None:
+    """im2col: fill ``out`` (N, C*kd*kh*kw, P) from the padded volume."""
+    n, c = xp.shape[:2]
+    kd, kh, kw = kernel
+    cols = sliding_window_view(xp, (kd, kh, kw), axis=(2, 3, 4))
+    cols = cols[:, :, :: stride[0], :: stride[1], :: stride[2]]
+    Do, Ho, Wo = cols.shape[2:5]
+    np.copyto(out.reshape(n, c, kd, kh, kw, Do, Ho, Wo),
+              cols.transpose(0, 1, 5, 6, 7, 2, 3, 4))
+
+
+def _padded(ws, x: np.ndarray, pad) -> np.ndarray:
+    """Zero-padded copy of ``x`` in an arena buffer (``x`` itself when
+    padding is zero -- callers must not write through it)."""
+    pd, ph, pw = pad
+    if pd == ph == pw == 0:
+        return x
+    n, c, D, H, W = x.shape
+    xp = ws.acquire((n, c, D + 2 * pd, H + 2 * ph, W + 2 * pw), x.dtype)
+    xp.fill(0.0)
+    xp[:, :, pd : pd + D, ph : ph + H, pw : pw + W] = x
+    return xp
+
+
+class GemmBackend(KernelBackend):
+    """im2col/col2im + batched ``np.matmul`` with workspace reuse."""
+
+    name = "gemm"
+
+    # -- conv3d ------------------------------------------------------------
+    def conv3d_forward(self, x, w, b, stride, pad, ctx=None):
+        ws = workspace()
+        n, c = x.shape[:2]
+        co = w.shape[0]
+        kd, kh, kw = w.shape[2:]
+        Do, Ho, Wo = conv3d_output_shape(x.shape[2:], (kd, kh, kw),
+                                         stride, pad)
+        P, K = Do * Ho * Wo, c * kd * kh * kw
+
+        if (kd, kh, kw) == _UNIT and stride == _UNIT and pad == (0, 0, 0):
+            # 1x1x1 channel mix: the input already is the patches matrix.
+            cols, owned = x.reshape(n, K, P), None
+        else:
+            xp = _padded(ws, x, pad)
+            cols = owned = ws.acquire((n, K, P), x.dtype)
+            _gather_cols(xp, (kd, kh, kw), stride, cols)
+            if xp is not x:
+                ws.release(xp)
+
+        y = np.empty((n, co, Do, Ho, Wo), dtype=x.dtype)
+        np.matmul(w.reshape(co, K), cols, out=y.reshape(n, co, P))
+        if b is not None:
+            y += b.reshape(1, -1, 1, 1, 1)
+
+        if ctx is not None and owned is not None:
+            ctx["cols"] = owned  # handed to the matching backward call
+        else:
+            ws.release(owned)
+        return y
+
+    def conv3d_backward(self, dy, x, w, stride, pad, with_bias, ctx=None):
+        ws = workspace()
+        n, c = x.shape[:2]
+        co = w.shape[0]
+        kd, kh, kw = w.shape[2:]
+        Do, Ho, Wo = dy.shape[2:]
+        P, K = Do * Ho * Wo, c * kd * kh * kw
+        unit_kernel = ((kd, kh, kw) == _UNIT and stride == _UNIT
+                       and pad == (0, 0, 0))
+
+        # The patches matrix: reuse the forward's gather when the layer
+        # carried it over, else rebuild it.
+        cols = ctx.pop("cols", None) if ctx is not None else None
+        if cols is not None and cols.shape != (n, K, P):
+            ws.release(cols)  # stale ctx from a different config
+            cols = None
+        owned = cols
+        if cols is None:
+            if unit_kernel:
+                cols = x.reshape(n, K, P)
+            else:
+                xp = _padded(ws, x, pad)
+                cols = owned = ws.acquire((n, K, P), x.dtype)
+                _gather_cols(xp, (kd, kh, kw), stride, cols)
+                if xp is not x:
+                    ws.release(xp)
+
+        dy2 = np.ascontiguousarray(dy).reshape(n, co, P)
+        dw = np.matmul(dy2, cols.transpose(0, 2, 1)).sum(axis=0)
+        dw = dw.reshape(w.shape)
+        db = dy.sum(axis=(0, 2, 3, 4)) if with_bias else None
+
+        if unit_kernel:
+            dx = np.empty_like(x)
+            np.matmul(w.reshape(co, K).T, dy2, out=dx.reshape(n, c, P))
+        elif stride == _UNIT and all(kk - 1 - pp >= 0 for kk, pp in
+                                     zip((kd, kh, kw), pad)):
+            dx = self._dx_correlation(ws, dy, w, pad, x.shape)
+        else:
+            dx = self._dx_scatter(ws, dy2, w, stride, pad, x.shape,
+                                  scratch=owned)
+        ws.release(owned)
+        return dx, dw, db
+
+    @staticmethod
+    def _dx_correlation(ws, dy, w, pad, x_shape):
+        """Unit-stride input gradient as a full correlation: gather
+        padded-``dy`` patches and GEMM with flipped weights straight
+        into a fresh ``dx``."""
+        n, c, D, H, W = x_shape
+        co = w.shape[0]
+        kd, kh, kw = w.shape[2:]
+        bpad = tuple(kk - 1 - pp for kk, pp in zip((kd, kh, kw), pad))
+        dyp = _padded(ws, dy, bpad)
+        Kb = co * kd * kh * kw
+        dycols = ws.acquire((n, Kb, D * H * W), dy.dtype)
+        _gather_cols(dyp, (kd, kh, kw), _UNIT, dycols)
+        if dyp is not dy:
+            ws.release(dyp)
+        # (C, Co*k^3) from w flipped along every kernel axis.
+        wflip = np.ascontiguousarray(
+            w[:, :, ::-1, ::-1, ::-1].transpose(1, 0, 2, 3, 4)
+        ).reshape(c, Kb)
+        dx = np.empty(x_shape, dtype=dy.dtype)
+        np.matmul(wflip, dycols, out=dx.reshape(n, c, D * H * W))
+        ws.release(dycols)
+        return dx
+
+    @staticmethod
+    def _dx_scatter(ws, dy2, w, stride, pad, x_shape, scratch=None):
+        """General-stride input gradient: col2im scatter-add of
+        ``w^T @ dy`` (reusing the patches buffer as the column
+        scratch when available)."""
+        n, c, D, H, W = x_shape
+        co = w.shape[0]
+        kd, kh, kw = w.shape[2:]
+        P = dy2.shape[2]
+        K = c * kd * kh * kw
+        Do, Ho, Wo = conv3d_output_shape((D, H, W), (kd, kh, kw),
+                                         stride, pad)
+        dcols = scratch if (scratch is not None
+                            and scratch.shape == (n, K, P)) else None
+        released_here = dcols is None
+        if dcols is None:
+            dcols = ws.acquire((n, K, P), dy2.dtype)
+        np.matmul(w.reshape(co, K).T, dy2, out=dcols)
+
+        pd, ph, pw = pad
+        dxp = ws.acquire((n, c, D + 2 * pd, H + 2 * ph, W + 2 * pw),
+                         dy2.dtype)
+        dxp.fill(0.0)
+        v = dcols.reshape(n, c, kd, kh, kw, Do, Ho, Wo)
+        for i in range(kd):
+            di = slice(i, i + stride[0] * Do, stride[0])
+            for j in range(kh):
+                dj = slice(j, j + stride[1] * Ho, stride[1])
+                for k in range(kw):
+                    dk = slice(k, k + stride[2] * Wo, stride[2])
+                    dxp[:, :, di, dj, dk] += v[:, :, i, j, k]
+        dx = dxp[
+            :,
+            :,
+            pd : dxp.shape[2] - pd or None,
+            ph : dxp.shape[3] - ph or None,
+            pw : dxp.shape[4] - pw or None,
+        ].copy()
+        ws.release(dxp)
+        if released_here:
+            ws.release(dcols)
+        return dx
+
+    # -- conv_transpose3d --------------------------------------------------
+    def conv_transpose3d_forward(self, x, w, b, stride, ctx=None):
+        ws = workspace()
+        n, ci, D, H, W = x.shape
+        co = w.shape[1]
+        kd, kh, kw = w.shape[2:]
+        Do, Ho, Wo = conv_transpose3d_output_shape((D, H, W), (kd, kh, kw),
+                                                   stride)
+        P, K = D * H * W, co * kd * kh * kw
+
+        cols = ws.acquire((n, K, P), x.dtype)
+        np.matmul(w.reshape(ci, K).T,
+                  np.ascontiguousarray(x).reshape(n, ci, P), out=cols)
+        y = np.zeros((n, co, Do, Ho, Wo), dtype=x.dtype)
+        v = cols.reshape(n, co, kd, kh, kw, D, H, W)
+        for i in range(kd):
+            di = slice(i, i + stride[0] * D, stride[0])
+            for j in range(kh):
+                dj = slice(j, j + stride[1] * H, stride[1])
+                for k in range(kw):
+                    dk = slice(k, k + stride[2] * W, stride[2])
+                    y[:, :, di, dj, dk] += v[:, :, i, j, k]
+        ws.release(cols)
+        if b is not None:
+            y += b.reshape(1, -1, 1, 1, 1)
+        return y
+
+    def conv_transpose3d_backward(self, dy, x, w, stride, with_bias,
+                                  ctx=None):
+        ws = workspace()
+        n, ci, D, H, W = x.shape
+        co = w.shape[1]
+        kd, kh, kw = w.shape[2:]
+        P, K = D * H * W, co * kd * kh * kw
+
+        # Gather dy at every kernel offset: the adjoint of the forward
+        # scatter, one strided slice copy per offset.
+        dycols = ws.acquire((n, K, P), dy.dtype)
+        v = dycols.reshape(n, co, kd, kh, kw, D, H, W)
+        for i in range(kd):
+            di = slice(i, i + stride[0] * D, stride[0])
+            for j in range(kh):
+                dj = slice(j, j + stride[1] * H, stride[1])
+                for k in range(kw):
+                    dk = slice(k, k + stride[2] * W, stride[2])
+                    v[:, :, i, j, k] = dy[:, :, di, dj, dk]
+
+        dx = np.empty_like(x)
+        np.matmul(w.reshape(ci, K), dycols, out=dx.reshape(n, ci, P))
+        x2 = np.ascontiguousarray(x).reshape(n, ci, P)
+        dw = np.matmul(x2, dycols.transpose(0, 2, 1)).sum(axis=0)
+        dw = dw.reshape(w.shape)
+        ws.release(dycols)
+        db = dy.sum(axis=(0, 2, 3, 4)) if with_bias else None
+        return dx, dw, db
+
+    # -- ctx management ----------------------------------------------------
+    def release_ctx(self, ctx: dict | None) -> None:
+        """Reclaim scratch a forward pass parked for a backward that
+        never ran (e.g. a training-mode forward used for evaluation)."""
+        if not ctx:
+            return
+        ws = workspace()
+        buf = ctx.pop("cols", None)
+        if buf is not None:
+            ws.release(buf)
+
+
+register_backend(GemmBackend())

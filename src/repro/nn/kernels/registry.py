@@ -1,0 +1,168 @@
+"""Pluggable compute-backend registry for the convolution kernels.
+
+Every 3D convolution in the model dispatches through one active
+:class:`KernelBackend`:
+
+* ``reference`` -- the original ``sliding_window_view`` + ``einsum``
+  kernels, kept as the bit-for-bit ground truth every other backend is
+  cross-validated against (gradcheck + allclose parity tests).
+* ``gemm`` -- im2col/col2im lowering to one contiguous BLAS GEMM per
+  convolution, with workspace-arena scratch reuse (the default).
+
+Selection, in priority order: :func:`set_backend` /
+:func:`use_backend` > the ``DISTMIS_KERNEL_BACKEND`` environment
+variable > the built-in default (``gemm``).  The CLI exposes the same
+choice as ``--kernel-backend``.
+
+The module also keeps the per-backend kernel-seconds ledger:
+:mod:`repro.nn.functional` stamps every dispatched call with two
+``perf_counter`` reads, and :class:`~repro.raysim.sgd.DataParallelTrainer`
+drains the ledger into the ``kernel_seconds_total{backend,op}`` counter
+after each optimizer step, so the profiler can split its ``compute``
+bucket by backend and operation.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import os
+import threading
+
+__all__ = [
+    "KernelBackend",
+    "register_backend",
+    "available_backends",
+    "get_backend",
+    "set_backend",
+    "use_backend",
+    "record_kernel_seconds",
+    "consume_kernel_seconds",
+    "kernel_seconds_snapshot",
+]
+
+ENV_VAR = "DISTMIS_KERNEL_BACKEND"
+DEFAULT_BACKEND = "gemm"
+
+
+class KernelBackend:
+    """Interface every compute backend implements.
+
+    All methods receive *normalised* arguments: ``stride``/``pad`` are
+    3-tuples and shapes have been validated by
+    :mod:`repro.nn.functional`.  ``ctx`` is an optional mutable dict
+    owned by the calling layer; a backend may stash forward-pass scratch
+    there (e.g. the im2col patches matrix) for the matching backward
+    call and must reclaim it in :meth:`release_ctx`.  Outputs must be
+    freshly allocated arrays -- never views into cached scratch.
+    """
+
+    name: str = "abstract"
+
+    def conv3d_forward(self, x, w, b, stride, pad, ctx=None):
+        raise NotImplementedError
+
+    def conv3d_backward(self, dy, x, w, stride, pad, with_bias, ctx=None):
+        raise NotImplementedError
+
+    def conv_transpose3d_forward(self, x, w, b, stride, ctx=None):
+        raise NotImplementedError
+
+    def conv_transpose3d_backward(self, dy, x, w, stride, with_bias,
+                                  ctx=None):
+        raise NotImplementedError
+
+    def release_ctx(self, ctx: dict | None) -> None:
+        """Return any scratch stashed in ``ctx`` to its pool (no-op by
+        default)."""
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"<KernelBackend {self.name}>"
+
+
+_BACKENDS: dict[str, KernelBackend] = {}
+_active: KernelBackend | None = None
+_lock = threading.Lock()
+
+
+def register_backend(backend: KernelBackend) -> KernelBackend:
+    """Add a backend instance to the registry (name collisions replace,
+    so tests can re-register instrumented doubles)."""
+    if not getattr(backend, "name", None) or backend.name == "abstract":
+        raise ValueError("backend needs a concrete .name")
+    _BACKENDS[backend.name] = backend
+    return backend
+
+
+def available_backends() -> tuple[str, ...]:
+    """Sorted names of every registered backend."""
+    return tuple(sorted(_BACKENDS))
+
+
+def _resolve(name: str) -> KernelBackend:
+    try:
+        return _BACKENDS[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown kernel backend {name!r}; available: "
+            f"{', '.join(available_backends())}"
+        ) from None
+
+
+def get_backend() -> KernelBackend:
+    """The active backend (resolving ``DISTMIS_KERNEL_BACKEND`` on first
+    use)."""
+    global _active
+    if _active is None:
+        with _lock:
+            if _active is None:
+                _active = _resolve(
+                    os.environ.get(ENV_VAR, "").strip() or DEFAULT_BACKEND)
+    return _active
+
+
+def set_backend(backend: str | KernelBackend) -> KernelBackend:
+    """Install the active backend; returns the previous one (the
+    env/default resolution when none was ever active, so
+    :func:`use_backend` restores the state a fresh process would see)."""
+    global _active
+    new = _resolve(backend) if isinstance(backend, str) else backend
+    previous = get_backend()
+    with _lock:
+        _active = new
+    return previous
+
+
+@contextlib.contextmanager
+def use_backend(backend: str | KernelBackend):
+    """Context manager: run the enclosed block under another backend."""
+    previous = set_backend(backend)
+    try:
+        yield get_backend()
+    finally:
+        set_backend(previous)
+
+
+# -- kernel-seconds ledger ---------------------------------------------------
+_stats_lock = threading.Lock()
+_kernel_seconds: dict[tuple[str, str], float] = {}
+
+
+def record_kernel_seconds(backend: str, op: str, seconds: float) -> None:
+    """Accumulate wall-clock for one dispatched kernel call."""
+    key = (backend, op)
+    with _stats_lock:
+        _kernel_seconds[key] = _kernel_seconds.get(key, 0.0) + seconds
+
+
+def consume_kernel_seconds() -> dict[tuple[str, str], float]:
+    """Drain and return the ledger (caller feeds it into telemetry)."""
+    with _stats_lock:
+        out = dict(_kernel_seconds)
+        _kernel_seconds.clear()
+    return out
+
+
+def kernel_seconds_snapshot() -> dict[tuple[str, str], float]:
+    """Non-destructive view of the ledger (tests, debugging)."""
+    with _stats_lock:
+        return dict(_kernel_seconds)

@@ -54,8 +54,11 @@ class Sigmoid(Module):
         self._y: np.ndarray | None = None
 
     def forward(self, x: np.ndarray) -> np.ndarray:
-        # Numerically stable piecewise formulation.
-        y = np.empty_like(x, dtype=np.float64)
+        # Numerically stable piecewise formulation.  Floating inputs
+        # keep their dtype (the float32 compute path must not silently
+        # promote at the head); anything else lands in float64.
+        dtype = x.dtype if np.issubdtype(x.dtype, np.floating) else np.float64
+        y = np.empty_like(x, dtype=dtype)
         pos = x >= 0
         y[pos] = 1.0 / (1.0 + np.exp(-x[pos]))
         ex = np.exp(x[~pos])

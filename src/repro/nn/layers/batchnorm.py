@@ -15,6 +15,7 @@ from typing import Callable
 
 import numpy as np
 
+from ..dtypes import resolve_dtype
 from ..module import Module
 
 __all__ = ["BatchNorm"]
@@ -49,6 +50,7 @@ class BatchNorm(Module):
         momentum: float = 0.9,
         eps: float = 1e-5,
         stats_reducer: StatsReducer | None = None,
+        dtype=None,
     ):
         super().__init__()
         if num_channels <= 0:
@@ -57,11 +59,16 @@ class BatchNorm(Module):
         self.momentum = float(momentum)
         self.eps = float(eps)
         self.stats_reducer = stats_reducer
+        self.dtype = resolve_dtype(dtype)
 
-        self.add_parameter("gamma", np.ones(num_channels))
-        self.add_parameter("beta", np.zeros(num_channels))
-        self.add_parameter("running_mean", np.zeros(num_channels), trainable=False)
-        self.add_parameter("running_var", np.ones(num_channels), trainable=False)
+        self.add_parameter("gamma", np.ones(num_channels, dtype=self.dtype))
+        self.add_parameter("beta", np.zeros(num_channels, dtype=self.dtype))
+        self.add_parameter(
+            "running_mean", np.zeros(num_channels, dtype=self.dtype),
+            trainable=False)
+        self.add_parameter(
+            "running_var", np.ones(num_channels, dtype=self.dtype),
+            trainable=False)
 
         self._cache: tuple | None = None
 

@@ -4,12 +4,14 @@ from __future__ import annotations
 
 import numpy as np
 
+from ..dtypes import resolve_dtype
 from ..functional import (
     conv3d_backward,
     conv3d_forward,
     conv3d_output_shape,
+    release_conv_ctx,
 )
-from ..initializers import TruncatedNormal, Zeros, get_initializer
+from ..initializers import get_initializer
 from ..module import Module
 
 __all__ = ["Conv3D"]
@@ -52,6 +54,7 @@ class Conv3D(Module):
         kernel_initializer=None,
         bias_initializer=None,
         rng: np.random.Generator | None = None,
+        dtype=None,
     ):
         super().__init__()
         if in_channels <= 0 or out_channels <= 0:
@@ -63,10 +66,13 @@ class Conv3D(Module):
         self.in_channels = int(in_channels)
         self.out_channels = int(out_channels)
         self.use_bias = bool(use_bias)
+        self.dtype = resolve_dtype(dtype)
 
         rng = rng if rng is not None else np.random.default_rng()
-        k_init = get_initializer(kernel_initializer or TruncatedNormal())
-        b_init = get_initializer(bias_initializer or Zeros())
+        k_init = get_initializer(kernel_initializer or "truncated_normal",
+                                 dtype=self.dtype)
+        b_init = get_initializer(bias_initializer or "zeros",
+                                 dtype=self.dtype)
         self.add_parameter(
             "w", k_init((out_channels, in_channels, *self.kernel), rng)
         )
@@ -74,23 +80,30 @@ class Conv3D(Module):
             self.add_parameter("b", b_init((out_channels,), rng))
 
         self._x: np.ndarray | None = None
+        self._ctx: dict | None = None
 
     def output_shape(self, spatial: tuple[int, int, int]) -> tuple[int, int, int]:
         return conv3d_output_shape(spatial, self.kernel, self.stride, self.padding)
 
     def forward(self, x: np.ndarray) -> np.ndarray:
+        release_conv_ctx(self._ctx)  # forward without backward: reclaim
+        x = np.asarray(x, dtype=self.dtype)
         self._x = x
+        # Only carry backend scratch forward when a backward will consume it.
+        self._ctx = {} if self.training else None
         return conv3d_forward(
             x,
             self.w.value,
             self.b.value if self.use_bias else None,
             stride=self.stride,
             pad=self.padding,
+            ctx=self._ctx,
         )
 
     def backward(self, dy: np.ndarray) -> np.ndarray:
         if self._x is None:
             raise RuntimeError("backward called before forward")
+        ctx, self._ctx = self._ctx, None
         dx, dw, db = conv3d_backward(
             dy,
             self._x,
@@ -98,7 +111,9 @@ class Conv3D(Module):
             stride=self.stride,
             pad=self.padding,
             with_bias=self.use_bias,
+            ctx=ctx,
         )
+        release_conv_ctx(ctx)
         self.w.grad += dw
         if self.use_bias:
             self.b.grad += db

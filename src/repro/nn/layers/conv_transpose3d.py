@@ -4,12 +4,13 @@ from __future__ import annotations
 
 import numpy as np
 
+from ..dtypes import resolve_dtype
 from ..functional import (
     conv_transpose3d_backward,
     conv_transpose3d_forward,
     conv_transpose3d_output_shape,
 )
-from ..initializers import TruncatedNormal, Zeros, get_initializer
+from ..initializers import get_initializer
 from ..module import Module
 
 __all__ = ["ConvTranspose3D"]
@@ -33,6 +34,7 @@ class ConvTranspose3D(Module):
         kernel_initializer=None,
         bias_initializer=None,
         rng: np.random.Generator | None = None,
+        dtype=None,
     ):
         super().__init__()
         k = kernel_size
@@ -41,10 +43,13 @@ class ConvTranspose3D(Module):
         self.in_channels = int(in_channels)
         self.out_channels = int(out_channels)
         self.use_bias = bool(use_bias)
+        self.dtype = resolve_dtype(dtype)
 
         rng = rng if rng is not None else np.random.default_rng()
-        k_init = get_initializer(kernel_initializer or TruncatedNormal())
-        b_init = get_initializer(bias_initializer or Zeros())
+        k_init = get_initializer(kernel_initializer or "truncated_normal",
+                                 dtype=self.dtype)
+        b_init = get_initializer(bias_initializer or "zeros",
+                                 dtype=self.dtype)
         self.add_parameter(
             "w", k_init((in_channels, out_channels, *self.kernel), rng)
         )
@@ -57,6 +62,7 @@ class ConvTranspose3D(Module):
         return conv_transpose3d_output_shape(spatial, self.kernel, self.stride)
 
     def forward(self, x: np.ndarray) -> np.ndarray:
+        x = np.asarray(x, dtype=self.dtype)
         self._x = x
         return conv_transpose3d_forward(
             x,

@@ -13,6 +13,7 @@ from __future__ import annotations
 
 import numpy as np
 
+from ..dtypes import resolve_dtype
 from ..module import Module
 
 __all__ = ["GroupNorm", "InstanceNorm"]
@@ -27,7 +28,8 @@ class GroupNorm(Module):
     the property the normalisation tests pin.
     """
 
-    def __init__(self, num_channels: int, num_groups: int, eps: float = 1e-5):
+    def __init__(self, num_channels: int, num_groups: int, eps: float = 1e-5,
+                 dtype=None):
         super().__init__()
         if num_channels < 1 or num_groups < 1:
             raise ValueError("channels and groups must be >= 1")
@@ -38,8 +40,9 @@ class GroupNorm(Module):
         self.num_channels = num_channels
         self.num_groups = num_groups
         self.eps = float(eps)
-        self.add_parameter("gamma", np.ones(num_channels))
-        self.add_parameter("beta", np.zeros(num_channels))
+        self.dtype = resolve_dtype(dtype)
+        self.add_parameter("gamma", np.ones(num_channels, dtype=self.dtype))
+        self.add_parameter("beta", np.zeros(num_channels, dtype=self.dtype))
         self._cache = None
 
     def forward(self, x: np.ndarray) -> np.ndarray:
@@ -89,5 +92,6 @@ class GroupNorm(Module):
 class InstanceNorm(GroupNorm):
     """Per-sample per-channel normalisation: GroupNorm with C groups."""
 
-    def __init__(self, num_channels: int, eps: float = 1e-5):
-        super().__init__(num_channels, num_groups=num_channels, eps=eps)
+    def __init__(self, num_channels: int, eps: float = 1e-5, dtype=None):
+        super().__init__(num_channels, num_groups=num_channels, eps=eps,
+                         dtype=dtype)

@@ -24,7 +24,13 @@ class Parameter:
     __slots__ = ("value", "grad", "trainable")
 
     def __init__(self, value: np.ndarray, trainable: bool = True):
-        self.value = np.asarray(value, dtype=np.float64)
+        value = np.asarray(value)
+        if value.dtype not in (np.dtype(np.float32), np.dtype(np.float64)):
+            # Integer/odd inputs are promoted; float32/float64 values keep
+            # the dtype the initializer (i.e. the compute-dtype policy)
+            # produced them in.
+            value = value.astype(np.float64)
+        self.value = value
         self.grad = np.zeros_like(self.value)
         self.trainable = bool(trainable)
 
@@ -127,7 +133,9 @@ class Module:
                 f"unexpected={sorted(extra)}"
             )
         for name, p in own.items():
-            arr = np.asarray(state[name], dtype=np.float64)
+            # Cast to the parameter's own dtype so checkpoints written by a
+            # float64 run load cleanly into a float32 model (and vice versa).
+            arr = np.asarray(state[name], dtype=p.value.dtype)
             if arr.shape != p.value.shape:
                 raise ValueError(
                     f"shape mismatch for {name}: "
@@ -147,7 +155,8 @@ class Module:
             if not p.trainable:
                 continue
             n = p.size
-            p.value = flat[offset : offset + n].reshape(p.value.shape).copy()
+            p.value = (flat[offset : offset + n]
+                       .reshape(p.value.shape).astype(p.value.dtype))
             offset += n
         if offset != flat.size:
             raise ValueError(
@@ -166,7 +175,8 @@ class Module:
             if not p.trainable:
                 continue
             n = p.size
-            p.grad = flat[offset : offset + n].reshape(p.grad.shape).copy()
+            p.grad = (flat[offset : offset + n]
+                      .reshape(p.grad.shape).astype(p.grad.dtype))
             offset += n
         if offset != flat.size:
             raise ValueError(

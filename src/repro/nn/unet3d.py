@@ -29,6 +29,7 @@ from __future__ import annotations
 
 import numpy as np
 
+from .dtypes import resolve_dtype
 from .initializers import TruncatedNormal
 from .layers.activations import ReLU, Sigmoid, Softmax
 from .layers.batchnorm import BatchNorm
@@ -47,17 +48,18 @@ PAPER_INPUT_SHAPE = (4, 240, 240, 152)
 PAPER_OUTPUT_SHAPE = (1, 240, 240, 152)
 
 
-def _make_norm(kind: str | None, channels: int) -> Module | None:
+def _make_norm(kind: str | None, channels: int, dtype=None) -> Module | None:
     """Normalisation factory: 'batch' (the paper), 'instance', 'group'
     (nnU-Net-style BN alternatives at tiny batch sizes) or None."""
     if kind in (None, "none"):
         return None
     if kind == "batch":
-        return BatchNorm(channels)
+        return BatchNorm(channels, dtype=dtype)
     if kind == "instance":
-        return InstanceNorm(channels)
+        return InstanceNorm(channels, dtype=dtype)
     if kind == "group":
-        return GroupNorm(channels, num_groups=max(1, channels // 4))
+        return GroupNorm(channels, num_groups=max(1, channels // 4),
+                         dtype=dtype)
     raise ValueError(
         f"unknown norm {kind!r}; expected batch/instance/group/none"
     )
@@ -73,24 +75,26 @@ class ConvBlock(Module):
         use_batchnorm: bool = True,
         rng: np.random.Generator | None = None,
         norm: str | None = "__from_flag__",
+        dtype=None,
     ):
         super().__init__()
         if norm == "__from_flag__":
             norm = "batch" if use_batchnorm else None
-        init = TruncatedNormal()
+        dtype = resolve_dtype(dtype)
+        init = TruncatedNormal(dtype=dtype)
         layers: list[Module] = [
             Conv3D(in_channels, out_channels, 3, padding="same",
-                   kernel_initializer=init, rng=rng)
+                   kernel_initializer=init, rng=rng, dtype=dtype)
         ]
-        n1 = _make_norm(norm, out_channels)
+        n1 = _make_norm(norm, out_channels, dtype=dtype)
         if n1 is not None:
             layers.append(n1)
         layers.append(ReLU())
         layers.append(
             Conv3D(out_channels, out_channels, 3, padding="same",
-                   kernel_initializer=init, rng=rng)
+                   kernel_initializer=init, rng=rng, dtype=dtype)
         )
-        n2 = _make_norm(norm, out_channels)
+        n2 = _make_norm(norm, out_channels, dtype=dtype)
         if n2 is not None:
             layers.append(n2)
         layers.append(ReLU())
@@ -141,6 +145,7 @@ class UNet3D(Module):
         final_activation: str = "sigmoid",
         norm: str | None = "__from_flag__",
         bottleneck_dropout: float = 0.0,
+        dtype=None,
     ):
         super().__init__()
         if depth < 2:
@@ -155,6 +160,7 @@ class UNet3D(Module):
         if norm == "__from_flag__":
             norm = "batch" if use_batchnorm else None
         self.norm = norm
+        self.dtype = resolve_dtype(dtype)
         rng = rng if rng is not None else np.random.default_rng()
         self.in_channels = int(in_channels)
         self.out_channels = int(out_channels)
@@ -170,7 +176,8 @@ class UNet3D(Module):
         self.enc_blocks: list[ConvBlock] = []
         self.pools: list[MaxPool3D] = []
         for s in range(depth):
-            blk = ConvBlock(ci, filters[s], use_batchnorm, rng, norm=norm)
+            blk = ConvBlock(ci, filters[s], use_batchnorm, rng, norm=norm,
+                            dtype=self.dtype)
             setattr(self, f"enc{s}", blk)
             self.enc_blocks.append(blk)
             ci = filters[s]
@@ -180,17 +187,18 @@ class UNet3D(Module):
                 self.pools.append(pool)
 
         # Synthesis path.
-        init = TruncatedNormal()
+        init = TruncatedNormal(dtype=self.dtype)
         self.up_convs: list[ConvTranspose3D] = []
         self.dec_blocks: list[ConvBlock] = []
         cur = filters[-1]
         for s in range(depth - 2, -1, -1):
             up_out = filters[s] if transpose_halves else cur
-            up = ConvTranspose3D(cur, up_out, 2, 2, kernel_initializer=init, rng=rng)
+            up = ConvTranspose3D(cur, up_out, 2, 2, kernel_initializer=init,
+                                 rng=rng, dtype=self.dtype)
             setattr(self, f"up{s}", up)
             self.up_convs.append(up)
             blk = ConvBlock(up_out + filters[s], filters[s], use_batchnorm,
-                            rng, norm=norm)
+                            rng, norm=norm, dtype=self.dtype)
             setattr(self, f"dec{s}", blk)
             self.dec_blocks.append(blk)
             cur = filters[s]
@@ -201,7 +209,8 @@ class UNet3D(Module):
             else None
         )
         self.head = Conv3D(cur, out_channels, 1, padding="valid",
-                           kernel_initializer=init, rng=rng)
+                           kernel_initializer=init, rng=rng,
+                           dtype=self.dtype)
         self.final_activation = final_activation
         self.out_act = (
             Sigmoid() if final_activation == "sigmoid" else Softmax(axis=1)

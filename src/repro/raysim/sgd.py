@@ -33,6 +33,7 @@ from typing import Callable
 import numpy as np
 
 from ..cluster.collectives import ring_allreduce
+from ..nn.kernels import consume_kernel_seconds, workspace_bytes
 from ..nn.layers.batchnorm import BatchNorm
 from ..nn.losses import Loss
 from ..nn.module import Module
@@ -130,6 +131,25 @@ class DataParallelTrainer:
         self._m_grad_norm = m.gauge(
             "train_grad_norm", "L2 norm of the reduced gradient")
         self._m_lr = m.gauge("train_lr", "learning rate applied last step")
+        self._m_kernel_seconds = m.counter(
+            "kernel_seconds_total",
+            "wall-clock inside dispatched convolution kernels",
+            labelnames=("backend", "op"))
+        self._m_workspace_bytes = m.gauge(
+            "kernel_workspace_bytes",
+            "bytes held by the kernel workspace arena")
+        # The kernel ledger is process-global: drop whatever an earlier
+        # (possibly unprofiled) trial left behind so this trainer only
+        # reports its own kernel time.
+        consume_kernel_seconds()
+
+    def _record_kernel_stats(self) -> None:
+        """Drain the per-backend kernel-seconds ledger into telemetry."""
+        if not self._telemetry.enabled:
+            return
+        for (backend, op), seconds in consume_kernel_seconds().items():
+            self._m_kernel_seconds.labels(backend=backend, op=op).inc(seconds)
+        self._m_workspace_bytes.set(float(workspace_bytes()))
 
     # -- sync BN wiring ----------------------------------------------------
     def _wire_sync_batchnorm(self) -> None:
@@ -201,6 +221,7 @@ class DataParallelTrainer:
         # between attributes itself to the "sync" bucket
         self._telemetry.on_step_bucket(
             "compute", (t_fb - t0) + (time.perf_counter() - t_sync_done))
+        self._record_kernel_stats()
 
         self.steps_run += 1
         loss_total = float(sum(l for l, _ in outs))
@@ -271,6 +292,7 @@ class DataParallelTrainer:
         lrs = [opt.step() for opt in self.optimizers]
         self._telemetry.on_step_bucket(
             "compute", (t_fb - t0) + (time.perf_counter() - t_sync_done))
+        self._record_kernel_stats()
         self.steps_run += 1
         loss_total = float(loss_total)
         self._m_steps.inc()

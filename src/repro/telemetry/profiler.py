@@ -152,6 +152,9 @@ class ProfileData:
     stage_elements: dict = field(default_factory=dict)
     workers: list = field(default_factory=list)
     trials: list = field(default_factory=list)
+    # "backend/op" -> seconds inside dispatched convolution kernels; a
+    # finer-grained split of the compute bucket (kernel_seconds_total).
+    kernels: dict = field(default_factory=dict)
     source: str = "measured"
 
     def to_dict(self) -> dict:
@@ -166,6 +169,7 @@ class ProfileData:
             },
             "workers": self.workers,
             "trials": self.trials,
+            "kernels": {k: self.kernels[k] for k in sorted(self.kernels)},
             "source": self.source,
         }
 
@@ -179,6 +183,8 @@ class ProfileData:
                             for s, v in stages.items()},
             workers=list(d.get("workers", [])),
             trials=list(d.get("trials", [])),
+            kernels={k: float(v)
+                     for k, v in d.get("kernels", {}).items()},
             source=d.get("source", "measured"),
         )
 
@@ -196,6 +202,7 @@ def build_profile_data(hub) -> ProfileData:
     stage_elements: dict = {}
     busy: dict = {}
     tasks: dict = {}
+    kernels: dict = {}
     for row in rows:
         name, labels = row.get("name"), row.get("labels", {})
         if name == "pipeline_stage_seconds_total":
@@ -206,6 +213,9 @@ def build_profile_data(hub) -> ProfileData:
             busy[labels["worker"]] = float(row["value"])
         elif name == "execpool_tasks_total":
             tasks[labels["worker"]] = int(row["value"])
+        elif name == "kernel_seconds_total":
+            key = f"{labels.get('backend', '?')}/{labels.get('op', '?')}"
+            kernels[key] = kernels.get(key, 0.0) + float(row["value"])
 
     pids = {}
     if getattr(hub, "aggregator", None) is not None:
@@ -234,7 +244,7 @@ def build_profile_data(hub) -> ProfileData:
         "cost_model" if getattr(hub, "_attributions", ()) else "measured")
     return ProfileData(attribution=attribution, stage_seconds=stage_seconds,
                        stage_elements=stage_elements, workers=workers,
-                       trials=trials, source=source)
+                       trials=trials, kernels=kernels, source=source)
 
 
 @dataclass
@@ -252,6 +262,7 @@ class BottleneckReport:
     trials: list
     gpu_seconds_total: float
     top_stages: list
+    kernels: dict = field(default_factory=dict)
     source: str = "measured"
 
     def render(self) -> str:
@@ -266,6 +277,13 @@ class BottleneckReport:
             lines.append(f"  {bucket:<11} {getattr(att, bucket):>10.3f} s"
                          f"  {pcts[bucket]:>5.1f}%")
         lines.append(f"verdict: {self.verdict}")
+        if self.kernels:
+            total_k = sum(self.kernels.values())
+            lines.append(
+                f"convolution kernels ({total_k:.3f} s incl. validation "
+                "passes, by backend/op):")
+            for key in sorted(self.kernels, key=lambda k: -self.kernels[k]):
+                lines.append(f"  {key:<36} {self.kernels[key]:>10.3f} s")
         if self.top_stages:
             lines.append("input-pipeline stages (by wall-clock):")
             for stage, seconds, elements in self.top_stages:
@@ -342,6 +360,7 @@ def analyze(data: ProfileData) -> BottleneckReport:
         gpu_seconds_total=sum(t.get("gpu_seconds", 0.0)
                               for t in data.trials),
         top_stages=top_stages,
+        kernels=dict(data.kernels),
         source=data.source,
     )
 
@@ -373,6 +392,10 @@ def analyze_run_dir(run_dir) -> BottleneckReport:
             data.stage_seconds[labels["stage"]] = float(row["value"])
         elif name == "pipeline_stage_elements_total":
             data.stage_elements[labels["stage"]] = int(row["value"])
+        elif name == "kernel_seconds_total":
+            key = f"{labels.get('backend', '?')}/{labels.get('op', '?')}"
+            data.kernels[key] = data.kernels.get(key, 0.0) + float(
+                row["value"])
     trace_path = run_dir / "trace.json"
     if trace_path.exists():
         for ev in json.loads(trace_path.read_text()):

@@ -130,3 +130,45 @@ class TestPoolProperties:
         _, arg = maxpool3d_forward(x, 2)
         dx = maxpool3d_backward(dy, arg, x.shape, 2)
         assert abs(dx.sum() - dy.sum()) < 1e-9
+
+
+class TestWorkspaceProperties:
+    """The GEMM backend's scratch arena must never alias live results."""
+
+    @settings(**SMALL)
+    @given(
+        shape=st.tuples(st.integers(3, 6), st.integers(3, 6),
+                        st.integers(3, 6)),
+        kernel=st.integers(1, 3),
+        stride=st.integers(1, 2),
+        pad=st.integers(0, 1),
+        repeats=st.integers(1, 3),
+    )
+    def test_reused_scratch_never_aliases_outputs(self, shape, kernel,
+                                                  stride, pad, repeats):
+        from repro.nn import use_backend, workspace
+        from repro.nn.functional import conv3d_backward
+
+        rng = np.random.default_rng(hash((shape, kernel, stride)) % 2**32)
+        x = rng.normal(size=(1, 2, *shape))
+        w = rng.normal(size=(2, 2, kernel, kernel, kernel))
+        d, h, wd = conv3d_output_shape(shape, (kernel,) * 3, (stride,) * 3,
+                                       (pad,) * 3)
+        if min(d, h, wd) < 1:
+            return  # config produces an empty output volume
+        with use_backend("gemm"):
+            y = conv3d_forward(x, w, None, stride, pad)
+            dx, dw, _ = conv3d_backward(np.ones_like(y), x, w, stride, pad,
+                                        with_bias=False)
+            frozen = (y.copy(), dx.copy(), dw.copy())
+            # hammer the arena with the same shapes: recycled scratch
+            # must never overwrite previously returned results
+            for _ in range(repeats):
+                conv3d_forward(x, w, None, stride, pad)
+                conv3d_backward(np.ones_like(y), x, w, stride, pad,
+                                with_bias=False)
+            ws = workspace()
+            pooled = [buf for bufs in ws._free.values() for buf in bufs]
+            for out, ref in zip((y, dx, dw), frozen):
+                np.testing.assert_array_equal(out, ref)
+                assert all(not np.shares_memory(out, buf) for buf in pooled)

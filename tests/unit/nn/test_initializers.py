@@ -77,3 +77,47 @@ class TestRegistry:
     def test_bad_type(self):
         with pytest.raises(TypeError):
             get_initializer(42)
+
+
+class TestDtypePolicy:
+    """Initializers honour the compute-dtype policy (ISSUE 5)."""
+
+    def test_default_dtype_is_float64(self):
+        for init in (Zeros(), Ones(), Constant(3.0), TruncatedNormal(),
+                     RandomNormal(), GlorotUniform(), HeNormal()):
+            assert init((4, 4), rng).dtype == np.float64
+
+    def test_explicit_float32(self):
+        for init in (Zeros(dtype="float32"), Ones(dtype="float32"),
+                     Constant(3.0, dtype="float32"),
+                     TruncatedNormal(dtype="float32"),
+                     RandomNormal(dtype="float32"),
+                     GlorotUniform(dtype="float32"),
+                     HeNormal(dtype="float32")):
+            assert init((4, 4), rng).dtype == np.float32
+
+    def test_dtype_none_follows_policy_at_call_time(self):
+        from repro.nn import use_compute_dtype
+
+        init = TruncatedNormal()  # dtype=None defers to the policy
+        with use_compute_dtype("float32"):
+            assert init((8,), rng).dtype == np.float32
+        assert init((8,), rng).dtype == np.float64
+        # an explicit dtype is pinned and ignores the policy
+        with use_compute_dtype("float32"):
+            assert TruncatedNormal(dtype="float64")((8,), rng).dtype \
+                == np.float64
+
+    def test_float32_draw_is_downcast_of_float64_draw(self):
+        """Random inits draw in float64 then downcast, so the float32
+        stream is the bit-exact downcast of the float64 one."""
+        a = TruncatedNormal()((32,), np.random.default_rng(9))
+        b = TruncatedNormal(dtype="float32")((32,), np.random.default_rng(9))
+        np.testing.assert_array_equal(b, a.astype(np.float32))
+
+    def test_get_initializer_forwards_dtype_for_string_specs(self):
+        init = get_initializer("he_normal", dtype="float32")
+        assert init((4, 4), rng).dtype == np.float32
+        # instance passthrough keeps the instance's own dtype
+        inst = TruncatedNormal(dtype="float32")
+        assert get_initializer(inst, dtype="float64") is inst

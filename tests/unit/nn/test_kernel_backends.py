@@ -1,0 +1,247 @@
+"""Cross-validation of the GEMM conv backend against the reference.
+
+The ``reference`` einsum kernels are the ground truth; the ``gemm``
+im2col lowering must agree with them (and with finite differences) at
+every stride/padding/kernel combination the U-Net uses -- plus the
+registry plumbing that selects between them.
+"""
+
+import numpy as np
+import pytest
+
+from repro.nn import (
+    Conv3D,
+    ConvTranspose3D,
+    UNet3D,
+    check_module_gradients,
+    use_compute_dtype,
+)
+from repro.nn.functional import (
+    conv3d_backward,
+    conv3d_forward,
+    conv_transpose3d_backward,
+    conv_transpose3d_forward,
+    release_conv_ctx,
+)
+from repro.nn.kernels import (
+    available_backends,
+    get_backend,
+    kernel_seconds_snapshot,
+    registry,
+    set_backend,
+    use_backend,
+)
+
+rng = np.random.default_rng(42)
+
+# every (kernel, stride, pad) combination exercised by the model, plus
+# the asymmetric cases the functional layer accepts.  'same' padding is
+# a layer-level notion (odd kernels only); resolve it like Conv3D does.
+CONV_CONFIGS = [
+    (kernel, stride, pad)
+    for kernel in (1, 2, 3)
+    for stride in (1, 2)
+    for pad in ("same", "valid", 1)
+    if not (pad == "same" and kernel % 2 == 0)
+]
+
+
+def _resolve_pad(pad, kernel: int) -> int:
+    if pad == "same":
+        return kernel // 2
+    if pad == "valid":
+        return 0
+    return pad
+
+
+def _conv_tensors(kernel, cin=2, cout=3, shape=(6, 5, 4)):
+    x = rng.normal(size=(2, cin, *shape))
+    w = rng.normal(size=(cout, cin, kernel, kernel, kernel))
+    b = rng.normal(size=cout)
+    return x, w, b
+
+
+class TestRegistry:
+    def test_both_backends_registered(self):
+        names = available_backends()
+        assert "gemm" in names and "reference" in names
+
+    def test_default_backend_is_gemm(self):
+        assert registry.DEFAULT_BACKEND == "gemm"
+
+    def test_set_backend_returns_previous(self):
+        before = get_backend()
+        prev = set_backend("reference")
+        try:
+            assert prev is before
+            assert get_backend().name == "reference"
+        finally:
+            set_backend(prev)
+
+    def test_use_backend_restores_on_exit(self):
+        before = get_backend()
+        with use_backend("reference") as active:
+            assert active.name == "reference"
+            assert get_backend() is active
+        assert get_backend() is before
+
+    def test_use_backend_restores_on_error(self):
+        before = get_backend()
+        with pytest.raises(RuntimeError):
+            with use_backend("reference"):
+                raise RuntimeError("boom")
+        assert get_backend() is before
+
+    def test_unknown_backend_rejected(self):
+        with pytest.raises(ValueError, match="unknown kernel backend"):
+            set_backend("cudnn")
+
+    def test_env_var_resolved_on_first_use(self, monkeypatch):
+        monkeypatch.setenv(registry.ENV_VAR, "reference")
+        monkeypatch.setattr(registry, "_active", None)
+        assert get_backend().name == "reference"
+
+    def test_blank_env_var_falls_back_to_default(self, monkeypatch):
+        monkeypatch.setenv(registry.ENV_VAR, "  ")
+        monkeypatch.setattr(registry, "_active", None)
+        assert get_backend().name == registry.DEFAULT_BACKEND
+
+    def test_dispatch_feeds_kernel_seconds_ledger(self):
+        x, w, b = _conv_tensors(3)
+        with use_backend("gemm"):
+            conv3d_forward(x, w, b, 1, 1)
+            snap = kernel_seconds_snapshot()
+        assert snap.get(("gemm", "conv3d_forward"), 0.0) > 0.0
+
+
+class TestConv3DParity:
+    @pytest.mark.parametrize("kernel,stride,pad", CONV_CONFIGS)
+    def test_forward_matches_reference(self, kernel, stride, pad):
+        x, w, b = _conv_tensors(kernel)
+        pad = _resolve_pad(pad, kernel)
+        with use_backend("reference"):
+            y_ref = conv3d_forward(x, w, b, stride, pad)
+        with use_backend("gemm"):
+            y_gemm = conv3d_forward(x, w, b, stride, pad)
+        np.testing.assert_allclose(y_gemm, y_ref, rtol=1e-9, atol=1e-11)
+
+    @pytest.mark.parametrize("kernel,stride,pad", CONV_CONFIGS)
+    def test_backward_matches_reference(self, kernel, stride, pad):
+        x, w, b = _conv_tensors(kernel)
+        pad = _resolve_pad(pad, kernel)
+        with use_backend("reference"):
+            y = conv3d_forward(x, w, b, stride, pad)
+            dy = rng.normal(size=y.shape)
+            ref = conv3d_backward(dy, x, w, stride, pad)
+        with use_backend("gemm"):
+            gemm = conv3d_backward(dy, x, w, stride, pad)
+        for g, r, label in zip(gemm, ref, ("dx", "dw", "db")):
+            np.testing.assert_allclose(g, r, rtol=1e-9, atol=1e-11,
+                                       err_msg=label)
+
+    @pytest.mark.parametrize("kernel,stride,pad", CONV_CONFIGS)
+    def test_backward_with_ctx_reuse_matches_reference(self, kernel, stride,
+                                                       pad):
+        """The stashed im2col patches must give the same gradients."""
+        x, w, b = _conv_tensors(kernel)
+        pad = _resolve_pad(pad, kernel)
+        with use_backend("reference"):
+            y = conv3d_forward(x, w, b, stride, pad)
+            dy = rng.normal(size=y.shape)
+            ref = conv3d_backward(dy, x, w, stride, pad)
+        with use_backend("gemm"):
+            ctx: dict = {}
+            conv3d_forward(x, w, b, stride, pad, ctx=ctx)
+            gemm = conv3d_backward(dy, x, w, stride, pad, ctx=ctx)
+            release_conv_ctx(ctx)
+        for g, r, label in zip(gemm, ref, ("dx", "dw", "db")):
+            np.testing.assert_allclose(g, r, rtol=1e-9, atol=1e-11,
+                                       err_msg=label)
+
+
+class TestConvTransposeParity:
+    @pytest.mark.parametrize("kernel,stride", [(2, 2), (3, 2), (2, 1),
+                                               (3, 1)])
+    def test_forward_backward_match_reference(self, kernel, stride):
+        x = rng.normal(size=(2, 3, 4, 3, 2))
+        w = rng.normal(size=(3, 2, kernel, kernel, kernel))
+        b = rng.normal(size=2)
+        with use_backend("reference"):
+            y_ref = conv_transpose3d_forward(x, w, b, stride)
+            dy = rng.normal(size=y_ref.shape)
+            ref = conv_transpose3d_backward(dy, x, w, stride)
+        with use_backend("gemm"):
+            y_gemm = conv_transpose3d_forward(x, w, b, stride)
+            gemm = conv_transpose3d_backward(dy, x, w, stride)
+        np.testing.assert_allclose(y_gemm, y_ref, rtol=1e-9, atol=1e-11)
+        for g, r, label in zip(gemm, ref, ("dx", "dw", "db")):
+            np.testing.assert_allclose(g, r, rtol=1e-9, atol=1e-11,
+                                       err_msg=label)
+
+
+class TestGradcheckUnderGemm:
+    """Finite differences against the layers the U-Net instantiates."""
+
+    @pytest.mark.parametrize("kernel,stride,pad", [
+        (3, 1, "same"),   # every ConvBlock conv
+        (1, 1, 0),        # the 1x1x1 segmentation head
+        (3, 2, 1),        # strided variant
+        (2, 1, "valid"),  # even kernel
+    ])
+    def test_conv3d_gradients(self, kernel, stride, pad):
+        layer = Conv3D(2, 3, kernel, stride=stride, padding=pad,
+                       rng=np.random.default_rng(0))
+        x = np.random.default_rng(1).normal(size=(2, 2, 5, 5, 4))
+        with use_backend("gemm"):
+            errs = check_module_gradients(layer, x)
+        assert max(errs.values()) < 1e-6, errs
+
+    def test_conv_transpose3d_gradients(self):
+        layer = ConvTranspose3D(3, 2, 2, stride=2,
+                                rng=np.random.default_rng(0))
+        x = np.random.default_rng(1).normal(size=(2, 3, 3, 3, 2))
+        with use_backend("gemm"):
+            errs = check_module_gradients(layer, x)
+        assert max(errs.values()) < 1e-6, errs
+
+
+class TestModelLevelParity:
+    def test_unet_step_grads_match_reference(self):
+        x = np.random.default_rng(5).normal(size=(1, 2, 8, 8, 8))
+
+        def grads(backend):
+            with use_backend(backend):
+                net = UNet3D(2, 1, base_filters=2, depth=2, norm="none",
+                             rng=np.random.default_rng(3))
+                net.train()
+                net.zero_grad()
+                pred = net(x)
+                net.backward(np.ones_like(pred) / pred.size)
+                return pred, net.get_flat_grads()
+
+        pred_ref, g_ref = grads("reference")
+        pred_gemm, g_gemm = grads("gemm")
+        np.testing.assert_allclose(pred_gemm, pred_ref, rtol=1e-9,
+                                   atol=1e-12)
+        np.testing.assert_allclose(g_gemm, g_ref, rtol=1e-9, atol=1e-12)
+
+    def test_float32_path_parity(self):
+        x64 = np.random.default_rng(5).normal(size=(2, 2, 6, 6, 4))
+        with use_compute_dtype("float32"):
+            layer = Conv3D(2, 3, 3, padding="same",
+                           rng=np.random.default_rng(0))
+            assert layer.w.value.dtype == np.float32
+            x = x64.astype(np.float32)
+            with use_backend("reference"):
+                y_ref = layer(x)
+                layer.zero_grad()
+                layer.backward(np.ones_like(y_ref))
+                gw_ref = layer.w.grad.copy()
+            with use_backend("gemm"):
+                y_gemm = layer(x)
+                layer.zero_grad()
+                layer.backward(np.ones_like(y_gemm))
+                gw_gemm = layer.w.grad.copy()
+        assert y_ref.dtype == np.float32 and y_gemm.dtype == np.float32
+        np.testing.assert_allclose(y_gemm, y_ref, rtol=1e-4, atol=1e-5)
+        np.testing.assert_allclose(gw_gemm, gw_ref, rtol=1e-4, atol=1e-4)
