@@ -2,7 +2,7 @@
 
 PYTHON ?= python3
 
-.PHONY: install test lint smoke profile-smoke bench bench-parallel bench-kernels examples report api-docs results clean
+.PHONY: install test lint smoke profile-smoke monitor-smoke bench bench-parallel bench-kernels bench-compare examples report api-docs results clean
 
 install:
 	PIP_NO_BUILD_ISOLATION=false pip install -e .
@@ -10,7 +10,8 @@ install:
 test:
 	$(PYTHON) -m pytest tests/
 
-# ruff when available, else the dependency-free fallback in tools/lint.py
+# ruff when available, else the dependency-free fallback in tools/lint.py;
+# always gate the committed benchmark baselines on the trajectory schema
 lint:
 	@if command -v ruff >/dev/null 2>&1; then \
 		ruff check src tests tools examples; \
@@ -18,8 +19,9 @@ lint:
 		echo "ruff not found; using tools/lint.py fallback"; \
 		$(PYTHON) tools/lint.py src tests tools examples; \
 	fi
+	$(PYTHON) tools/check_bench_schema.py
 
-smoke: profile-smoke
+smoke: profile-smoke monitor-smoke
 	PYTHONPATH=src $(PYTHON) examples/quickstart.py
 	PYTHONPATH=src $(PYTHON) examples/fault_tolerance.py
 	DISTMIS_BENCH_SMOKE=1 PYTHONPATH=src $(PYTHON) -m pytest \
@@ -37,6 +39,22 @@ profile-smoke:
 	DISTMIS_BENCH_SMOKE=1 PYTHONPATH=src $(PYTHON) -m pytest \
 		benchmarks/test_profiler_overhead.py -q -s
 
+# tiny live-monitored search with --watch on a non-TTY: asserts the
+# streaming export really streams (events.jsonl + final health snapshot)
+monitor-smoke:
+	PYTHONPATH=src $(PYTHON) -m repro.cli search \
+		--subjects 6 --volume 8 8 8 --epochs 1 \
+		--base-filters 2 --depth 2 --losses dice \
+		--telemetry /tmp/distmis_monitor_smoke --watch </dev/null
+	PYTHONPATH=src $(PYTHON) -m repro.cli top /tmp/distmis_monitor_smoke
+	PYTHONPATH=src $(PYTHON) -c "\
+	from repro.telemetry import read_events; \
+	evs = read_events('/tmp/distmis_monitor_smoke/events.jsonl'); \
+	kinds = [e['type'] for e in evs]; \
+	assert 'snapshot' in kinds, kinds; \
+	assert kinds[-1] == 'health', kinds[-1]; \
+	print(f'monitor-smoke OK: {len(evs)} events')"
+
 bench:
 	$(PYTHON) -m pytest benchmarks/ --benchmark-only -s
 
@@ -51,6 +69,11 @@ bench-parallel:
 bench-kernels:
 	PYTHONPATH=src $(PYTHON) -m pytest \
 		benchmarks/test_kernel_backends.py -q -s
+
+# regression gate over the committed trajectory baselines
+bench-compare:
+	PYTHONPATH=src $(PYTHON) -m repro.cli bench compare \
+		benchmarks/BENCH_kernels.json
 
 examples:
 	for ex in examples/*.py; do echo "== $$ex"; $(PYTHON) $$ex || exit 1; done

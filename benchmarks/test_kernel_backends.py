@@ -22,10 +22,7 @@ the step is interpreter-bound, not GEMM-bound).
 """
 
 import json
-import os
-import platform
 import time
-from pathlib import Path
 
 import numpy as np
 
@@ -38,11 +35,18 @@ from repro.nn import (
     workspace,
 )
 from repro.nn.kernels import consume_kernel_seconds
+from repro.perf.regression import (
+    bench_output_path,
+    host_metadata,
+    is_smoke_env,
+)
 
-SMOKE = os.environ.get("DISTMIS_BENCH_SMOKE", "") not in ("", "0")
+SMOKE = is_smoke_env()
 REPEATS = 2 if SMOKE else 3
 MIN_SPEEDUP = 2.0
-OUT = Path(__file__).with_name("BENCH_kernels.json")
+# Smoke runs are quarantined onto BENCH_kernels_smoke.json so they can
+# never overwrite the committed trajectory point.
+OUT = bench_output_path(__file__, "kernels", smoke=SMOKE)
 
 if SMOKE:
     VOLUME, BASE_FILTERS, DEPTH, STEPS = (8, 8, 8), 2, 2, 1
@@ -112,26 +116,6 @@ def _grads_and_pred(name: str, dtype=None):
         return pred, net.get_flat_grads()
 
 
-def _host_metadata() -> dict:
-    meta = {
-        "numpy": np.__version__,
-        "cpu_count": os.cpu_count(),
-        "machine": platform.machine(),
-        "processor": platform.processor() or platform.machine(),
-        "blas_threads": {
-            var: os.environ.get(var)
-            for var in ("OMP_NUM_THREADS", "OPENBLAS_NUM_THREADS",
-                        "MKL_NUM_THREADS")
-        },
-    }
-    try:  # BLAS vendor/arch, e.g. openblas64 / Haswell
-        blas = np.show_config(mode="dicts")["Build Dependencies"]["blas"]
-        meta["blas"] = {k: blas.get(k) for k in ("name", "version")}
-    except Exception:  # pragma: no cover - numpy config layout drift
-        meta["blas"] = None
-    return meta
-
-
 def test_gemm_backend_parity_and_speedup():
     # -- parity first: same weights, same data, both backends ----------
     pred_ref, grads_ref = _grads_and_pred("reference")
@@ -167,7 +151,7 @@ def test_gemm_backend_parity_and_speedup():
         "min_speedup": MIN_SPEEDUP,
         "workspace_stats": workspace().stats(),
         "kernel_seconds": {"reference": ref_kernels, "gemm": gemm_kernels},
-        "host": _host_metadata(),
+        "host": host_metadata(),
     }
     OUT.write_text(json.dumps(summary, indent=2) + "\n")
     print(f"\nreference {ref_s:.3f}s  gemm {gemm_s:.3f}s  "

@@ -23,15 +23,21 @@ runs).
 import json
 import os
 import time
-from pathlib import Path
 
 from repro.core import ExperimentSettings, HyperparameterSpace
 from repro.core.experiment_parallel import run_search_inprocess
+from repro.perf.regression import (
+    bench_output_path,
+    host_metadata,
+    is_smoke_env,
+)
 from repro.telemetry import TelemetryHub
 
-SMOKE = os.environ.get("DISTMIS_BENCH_SMOKE", "") not in ("", "0")
+SMOKE = is_smoke_env()
 WORKERS = 4
-OUT = Path(__file__).with_name("BENCH_parallel.json")
+# Smoke runs are quarantined onto BENCH_parallel_smoke.json so they can
+# never overwrite the committed trajectory point.
+OUT = bench_output_path(__file__, "parallel", smoke=SMOKE)
 
 
 def _usable_cores() -> int:
@@ -120,6 +126,7 @@ def test_process_pool_speedup():
         "bit_identical": True,
         "shared_dataset_bytes": shared[0] if shared else None,
         "worker_max_rss_kb": rss,
+        "host": host_metadata(),
     }
     OUT.write_text(json.dumps(summary, indent=2) + "\n")
     print(f"\nserial {serial_s:.2f}s  process[{WORKERS}w] {process_s:.2f}s  "

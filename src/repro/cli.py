@@ -15,14 +15,22 @@ surface:
   Section III-B1 online-vs-offline pipeline comparison;
 * ``distmis calibrate``-- re-fit the cost model against Table I;
 * ``distmis telemetry``-- inspect a telemetry run directory (summary /
-  Prometheus text / merged Chrome trace).
+  Prometheus text / merged Chrome trace);
+* ``distmis top``      -- live (or post-hoc) text view over a run's
+  ``events.jsonl`` stream: worker liveness, step-time buckets, alerts;
+* ``distmis bench``    -- the benchmark-regression gate: ``compare`` a
+  fresh ``BENCH_*.json`` against the committed trajectory, ``record``
+  a full-size run onto the trajectory history.
 
 ``train``, ``search`` and ``simulate`` accept ``--telemetry DIR`` to
 record the run (manifest + metrics + trace) into ``DIR``.  ``search``
 and ``simulate`` additionally accept ``--profile DIR``: the run then
 also writes ``profile.json`` (step-time attribution + input-stage
 latencies + per-trial GPU seconds), renders a live trial progress
-table, and prints the bottleneck report when it finishes.
+table, and prints the bottleneck report when it finishes -- plus
+``--watch`` (stream live snapshots/alerts to stdout while the run is
+in flight) and ``--live-port PORT`` (serve ``/metrics`` and ``/health``
+on localhost), both requiring a run directory.
 """
 
 from __future__ import annotations
@@ -31,20 +39,51 @@ import argparse
 import sys
 
 
+def _watch_line(monitor) -> None:
+    """One non-TTY-friendly line per live snapshot (``--watch``)."""
+    vals = monitor.last_values
+    firing = ",".join(a.rule for a in monitor.engine.firing) or "-"
+    print(f"[watch] snapshot {monitor.snapshots:>4}  "
+          f"alive {int(vals.get('workers_alive', 0))}  "
+          f"stalled {int(vals.get('workers_stalled', 0))}  "
+          f"data_wait {vals.get('data_wait_ratio', 0.0):.0%}  "
+          f"alerts {firing}", flush=True)
+
+
 def _make_hub(args):
     """A live hub writing to ``--telemetry DIR`` (``--profile DIR``
-    additionally enables step-time attribution), else the null sink."""
+    additionally enables step-time attribution), else the null sink.
+    ``--watch`` / ``--live-port`` additionally attach a
+    :class:`~repro.telemetry.LiveMonitor` streaming ``events.jsonl``
+    (and the localhost ``/metrics`` + ``/health`` endpoint)."""
+    watch = bool(getattr(args, "watch", False))
+    live_port = getattr(args, "live_port", None)
+    hub = None
     if getattr(args, "profile", None):
         from .telemetry import TelemetryHub
 
-        return TelemetryHub(run_dir=args.profile, profile=True)
-    if getattr(args, "telemetry", None):
+        hub = TelemetryHub(run_dir=args.profile, profile=True)
+    elif getattr(args, "telemetry", None):
         from .telemetry import TelemetryHub
 
-        return TelemetryHub(run_dir=args.telemetry)
-    from .telemetry import NULL_HUB
+        hub = TelemetryHub(run_dir=args.telemetry)
+    if hub is None:
+        if watch or live_port is not None:
+            raise SystemExit("--watch/--live-port need a run directory: "
+                             "pass --telemetry DIR (or --profile DIR)")
+        from .telemetry import NULL_HUB
 
-    return NULL_HUB
+        return NULL_HUB
+    if watch or live_port is not None:
+        from .telemetry import LiveMonitor
+
+        monitor = LiveMonitor(hub, http_port=live_port,
+                              on_snapshot=_watch_line if watch else None)
+        hub.attach_live(monitor)
+        if live_port is not None:
+            print(f"live endpoint: http://127.0.0.1:{monitor.http_port}"
+                  "/health (and /metrics)")
+    return hub
 
 
 def _add_scale_args(p: argparse.ArgumentParser) -> None:
@@ -372,6 +411,69 @@ def cmd_profile(args) -> int:
     return 0
 
 
+def cmd_top(args) -> int:
+    from .telemetry import run_top
+
+    return run_top(args.run_dir, follow=args.follow,
+                   interval_s=args.interval, max_frames=args.frames)
+
+
+def cmd_bench_compare(args) -> int:
+    from pathlib import Path
+
+    from .perf.regression import (
+        compare_records,
+        load_bench_record,
+        load_trajectory,
+    )
+
+    candidate_path = Path(args.candidate)
+    bench_dir = Path(args.bench_dir)
+    baseline_path = Path(args.baseline) if args.baseline else \
+        bench_dir / candidate_path.name.replace("_smoke.json", ".json")
+    try:
+        candidate = load_bench_record(candidate_path)
+    except (OSError, ValueError) as exc:
+        print(f"candidate {candidate_path}: {exc}", file=sys.stderr)
+        return 1
+    if not baseline_path.exists():
+        print(f"no trajectory baseline at {baseline_path} -- commit a "
+              "full-size run first", file=sys.stderr)
+        return 1
+    try:
+        baseline = load_bench_record(baseline_path)
+    except ValueError as exc:
+        print(f"baseline {baseline_path}: {exc}", file=sys.stderr)
+        return 1
+    history = load_trajectory(bench_dir, baseline.benchmark,
+                              host_key=baseline.host_key)
+    report = compare_records(baseline, candidate,
+                             rel_threshold=args.threshold,
+                             history=history, strict_host=args.strict_host)
+    print(report.describe())
+    if report.quarantined is not None:
+        # A smoke candidate never gates; a smoke *baseline* means the
+        # committed trajectory itself is corrupt -- that must fail.
+        return 0 if candidate.smoke else 1
+    return 0 if report.ok else 1
+
+
+def cmd_bench_record(args) -> int:
+    from pathlib import Path
+
+    from .perf.regression import append_trajectory, load_bench_record
+
+    try:
+        record = load_bench_record(args.candidate)
+        path = append_trajectory(record, Path(args.bench_dir))
+    except (OSError, ValueError) as exc:
+        print(f"{args.candidate}: {exc}", file=sys.stderr)
+        return 1
+    print(f"{record.benchmark}: {len(record.metrics)} metric(s) appended "
+          f"to {path}")
+    return 0
+
+
 def cmd_summary(args) -> int:
     import numpy as np
 
@@ -463,6 +565,14 @@ def build_parser() -> argparse.ArgumentParser:
                    help="profile the run into DIR (step-time attribution "
                         "+ merged cross-process trace + bottleneck "
                         "report; implies --telemetry DIR)")
+    p.add_argument("--watch", action="store_true",
+                   help="stream live snapshot/alert lines while the search "
+                        "runs (requires --telemetry/--profile; the run dir "
+                        "also gains events.jsonl for `distmis top`)")
+    p.add_argument("--live-port", type=int, default=None, metavar="PORT",
+                   help="serve /metrics (Prometheus) and /health (JSON) on "
+                        "localhost while the run is in flight (0 = any "
+                        "free port; requires --telemetry/--profile)")
     p.set_defaults(fn=cmd_search)
 
     p = sub.add_parser("simulate", help="price one cell on the simulator")
@@ -490,6 +600,12 @@ def build_parser() -> argparse.ArgumentParser:
                    help="profile the run into DIR: attribution from the "
                         "calibrated cost model + bottleneck report "
                         "(implies --telemetry DIR)")
+    p.add_argument("--watch", action="store_true",
+                   help="stream live snapshot lines while the simulation "
+                        "runs (requires --telemetry/--profile)")
+    p.add_argument("--live-port", type=int, default=None, metavar="PORT",
+                   help="serve /metrics and /health on localhost during "
+                        "the run (0 = any free port)")
     p.set_defaults(fn=cmd_simulate)
 
     p = sub.add_parser("telemetry",
@@ -513,6 +629,46 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--volume", type=int, nargs=3, default=(48, 48, 32))
     p.add_argument("--epochs", type=int, default=3)
     p.set_defaults(fn=cmd_profile)
+
+    p = sub.add_parser("top",
+                       help="live text view over a run's events.jsonl")
+    p.add_argument("run_dir",
+                   help="run directory written with --watch / a live "
+                        "monitor (needs events.jsonl)")
+    p.add_argument("--follow", action="store_true",
+                   help="keep tailing until the run's final health event "
+                        "(default: render once and exit)")
+    p.add_argument("--interval", type=float, default=1.0,
+                   help="refresh period in seconds with --follow")
+    p.add_argument("--frames", type=int, default=None,
+                   help="stop after this many rendered frames (useful in "
+                        "non-TTY smoke runs)")
+    p.set_defaults(fn=cmd_top)
+
+    p = sub.add_parser("bench", help="benchmark-regression tracking")
+    bsub = p.add_subparsers(dest="bench_command", required=True)
+    c = bsub.add_parser("compare",
+                        help="gate a fresh BENCH_*.json against the "
+                             "committed trajectory")
+    c.add_argument("candidate", help="freshly written BENCH_*.json")
+    c.add_argument("--baseline", default=None,
+                   help="trajectory point to diff against (default: the "
+                        "committed file of the same name in --bench-dir)")
+    c.add_argument("--bench-dir", default="benchmarks",
+                   help="directory holding the committed trajectory")
+    c.add_argument("--threshold", type=float, default=0.15,
+                   help="relative regression band (widened per metric by "
+                        "the trajectory's measured noise)")
+    c.add_argument("--strict-host", action="store_true",
+                   help="gate even when host/BLAS metadata differ "
+                        "(default: cross-host comparisons are advisory)")
+    c.set_defaults(fn=cmd_bench_compare)
+    c = bsub.add_parser("record",
+                        help="append a full-size run to the trajectory "
+                             "history JSONL")
+    c.add_argument("candidate", help="BENCH_*.json to append")
+    c.add_argument("--bench-dir", default="benchmarks")
+    c.set_defaults(fn=cmd_bench_record)
 
     p = sub.add_parser("summary", help="print the model's layer summary")
     p.add_argument("--base-filters", type=int, default=8)

@@ -18,8 +18,20 @@ Protocol (all messages flow over one result queue, as-completed):
 * ``("telemetry", frame)`` -- a worker's span/metric frame (profiled
   runs only), queued *before* the terminal message so per-producer FIFO
   ordering lands it first;
+* ``("heartbeat", payload)`` -- rate-limited liveness frames
+  (worker id, pid, idle/busy state, current trial, cumulative busy
+  seconds): idle workers beat from their task-queue poll loop, busy
+  workers piggyback a beat on every reporter call.  The driver's
+  :class:`~repro.telemetry.live.WorkerHealthBoard` folds these in and
+  flags a worker whose beats stop arriving;
 * ``("done", trial_id, attempt, final, stopped, stats)`` /
   ``("error", trial_id, attempt, message, stats)`` -- terminal.
+
+Heartbeating is cooperative: a trainable that computes for minutes
+between reporter calls emits no busy beats, so drivers pair the
+heartbeat window with the authoritative ``Process.is_alive`` check
+(:meth:`ProcessPoolTrialExecutor.dead_workers`) before declaring a
+worker lost.
 
 Early stopping is **asynchronous** (exactly like Ray Tune's ASHA): the
 driver broadcasts a stop for a trial on its control channel and the
@@ -40,6 +52,7 @@ at startup -- the hook used to attach shared-memory datasets
 
 from __future__ import annotations
 
+import math
 import multiprocessing
 import os
 import queue as queue_mod
@@ -75,7 +88,8 @@ class _WorkerReporter:
 
     def __init__(self, trial_id: str, attempt: int, result_q, control_q,
                  stop_requests: set,
-                 resume_from: CheckpointHandle | None = None):
+                 resume_from: CheckpointHandle | None = None,
+                 heartbeat=None):
         self.trial_id = trial_id
         self.attempt = attempt
         self.stopped = False
@@ -84,6 +98,7 @@ class _WorkerReporter:
         self._result_q = result_q
         self._control_q = control_q
         self._stop_requests = stop_requests
+        self._heartbeat = heartbeat
         self._n_results = 0
 
     def _drain_control(self) -> None:
@@ -105,6 +120,8 @@ class _WorkerReporter:
         self._result_q.put(("report", self.trial_id, self.attempt,
                             dict(metrics),
                             None if checkpoint is None else str(checkpoint)))
+        if self._heartbeat is not None:
+            self._heartbeat("busy", self.trial_id)
         self._drain_control()
         if self.trial_id in self._stop_requests:
             self.stopped = True
@@ -125,7 +142,7 @@ def _worker_stats(worker_id: int, busy_s: float) -> dict:
 
 def _worker_main(worker_id: int, task_q, result_q, control_q,
                  trainable, trainable_factory, factory_kwargs,
-                 profile: bool = False) -> None:
+                 profile: bool = False, heartbeat_s: float = 1.0) -> None:
     """Persistent worker loop: build the trainable once, then serve
     tasks until the ``None`` shutdown sentinel arrives.
 
@@ -162,14 +179,34 @@ def _worker_main(worker_id: int, task_q, result_q, control_q,
 
     stop_requests: set = set()
     busy_s = 0.0
+    last_beat = -heartbeat_s  # first beat goes out immediately
+
+    def beat(state: str, trial_id=None, force: bool = False) -> None:
+        """Rate-limited liveness frame on the result queue."""
+        nonlocal last_beat
+        now = time.monotonic()
+        if not force and now - last_beat < heartbeat_s:
+            return
+        last_beat = now
+        result_q.put(("heartbeat", {
+            "worker_id": worker_id, "pid": os.getpid(), "state": state,
+            "trial_id": trial_id, "busy_seconds": busy_s,
+        }))
+
     while True:
-        task = task_q.get()
+        try:
+            task = task_q.get(timeout=heartbeat_s)
+        except queue_mod.Empty:
+            beat("idle", force=True)
+            continue
         if task is None:
             return
         trial_id, config, attempt, resume_from = task
         result_q.put(("started", trial_id, worker_id, attempt))
+        beat("busy", trial_id, force=True)
         reporter = _WorkerReporter(trial_id, attempt, result_q, control_q,
-                                   stop_requests, resume_from=resume_from)
+                                   stop_requests, resume_from=resume_from,
+                                   heartbeat=beat)
         t0 = time.perf_counter()
         try:
             final = trainable(dict(config), reporter)
@@ -190,6 +227,7 @@ def _worker_main(worker_id: int, task_q, result_q, control_q,
             result_q.put(("done", trial_id, attempt, final,
                           reporter.stopped,
                           _worker_stats(worker_id, busy_s)))
+        beat("idle", force=True)  # publish final busy_seconds promptly
 
 
 class ProcessPoolTrialExecutor:
@@ -212,7 +250,8 @@ class ProcessPoolTrialExecutor:
                  factory_kwargs: dict | None = None,
                  max_workers: int | None = None,
                  start_method: str | None = None,
-                 telemetry=None):
+                 telemetry=None,
+                 heartbeat_s: float = 1.0):
         if (trainable is None) == (trainable_factory is None):
             raise ValueError(
                 "pass exactly one of trainable / trainable_factory"
@@ -227,6 +266,7 @@ class ProcessPoolTrialExecutor:
             telemetry = get_hub()
         self.telemetry = telemetry
         self.max_workers = max_workers
+        self.heartbeat_s = float(heartbeat_s)
         ctx = multiprocessing.get_context(
             start_method or _default_start_method())
         self._task_q = ctx.Queue()
@@ -237,7 +277,8 @@ class ProcessPoolTrialExecutor:
             ctx.Process(
                 target=_worker_main,
                 args=(i, self._task_q, self._result_q, self._control_qs[i],
-                      trainable, trainable_factory, factory_kwargs, profile),
+                      trainable, trainable_factory, factory_kwargs, profile,
+                      self.heartbeat_s),
                 daemon=True, name=f"trial-worker-{i}",
             )
             for i in range(max_workers)
@@ -385,6 +426,12 @@ def run_trials_parallel(
         "execpool_task_seconds", "wall-clock per trial attempt in a worker")
     m_reports = telemetry.metrics.counter(
         "execpool_reports_total", "per-epoch reports streamed from workers")
+    m_nonfinite = telemetry.metrics.counter(
+        "trials_nonfinite_total",
+        "reports carrying a non-finite metric value (NaN/inf loss)")
+    g_queued = telemetry.metrics.gauge(
+        "tune_trials_pending", "trials submitted but not yet running")
+    live = getattr(telemetry, "live", None)
 
     trials: list[Trial] = []
     by_id: dict[str, Trial] = {}
@@ -392,6 +439,7 @@ def run_trials_parallel(
     started_at: dict[str, float] = {}
     attempt_t0: dict[str, float] = {}
     assignment: dict[str, int] = {}
+    attempt_of: dict[str, int] = {}  # current (latest-submitted) attempt
     in_flight: dict = {}  # trial_id -> open Span, for the live table
     pending: set[str] = set()
     for i, config in enumerate(configs):
@@ -402,6 +450,7 @@ def run_trials_parallel(
         pending.add(trial.trial_id)
         m_started.inc()
         started_at[trial.trial_id] = time.perf_counter()
+        attempt_of[trial.trial_id] = 0
         executor.submit(trial.trial_id, config)
 
     def resubmit(trial: Trial, failed_attempt: int) -> bool:
@@ -429,6 +478,7 @@ def run_trials_parallel(
             trial.results.clear()
             scheduler.on_trial_retry(trial, keep_up_to=None)
         trial.retries = failed_attempt + 1
+        attempt_of[trial.trial_id] = failed_attempt + 1
         executor.submit(trial.trial_id, trial.config,
                         attempt=failed_attempt + 1, resume_from=resume)
         return True
@@ -463,21 +513,89 @@ def run_trials_parallel(
                 search_alg.observe(trial.config, score)
 
     first_error: str | None = None
+
+    def fail_over_dead_workers() -> None:
+        """Authoritative liveness check: any in-flight trial assigned to
+        a worker whose process has exited is treated as a crashed
+        attempt (resubmitted under the retry policy, else ERROR).
+        Idempotent -- failing a trial over removes its assignment, so a
+        re-scan of a still-dead worker is a no-op.
+        """
+        nonlocal first_error
+        dead = executor.dead_workers()
+        if not dead:
+            return
+        for wid in dead:
+            if live is not None:
+                live.on_worker_dead(wid)
+            for tid, owner in list(assignment.items()):
+                if owner != wid:
+                    continue
+                trial = by_id[tid]
+                failed_attempt = attempt_of.get(tid, trial.retries)
+                trial.error = f"worker {wid} process died mid-trial"
+                assignment.pop(tid, None)
+                if tid in attempt_t0:
+                    m_task_seconds.observe(
+                        time.perf_counter() - attempt_t0.pop(tid))
+                if resubmit(trial, failed_attempt):
+                    continue
+                trial.status = TrialStatus.ERROR
+                finish(trial, None)
+                if first_error is None:
+                    first_error = f"{tid}: {trial.error}"
+        if live is not None:
+            telemetry.live_tick(force=True)  # surface the stall now
+
+    # With a live monitor attached the driver polls on a short timeout
+    # so monitor ticks (snapshots, stall detection, alerts) keep flowing
+    # while trials compute; message_timeout still bounds total silence.
+    poll_s = None
+    if live is not None:
+        poll_s = min(getattr(live, "interval_s", 1.0),
+                     getattr(executor, "heartbeat_s", 1.0))
+        poll_s = max(0.05, poll_s / 2.0)
+    last_msg_t = time.monotonic()
     while pending:
+        g_queued.set(len(pending) - len(assignment))
+        telemetry.live_tick()
         try:
-            msg = executor.next_message(timeout=message_timeout)
+            if poll_s is None:
+                msg = executor.next_message(timeout=message_timeout)
+            else:
+                msg = executor.next_message(timeout=poll_s)
+        except TimeoutError:
+            if poll_s is None:
+                raise
+            fail_over_dead_workers()
+            if raise_on_error and first_error is not None:
+                break
+            if message_timeout is not None and \
+                    time.monotonic() - last_msg_t > message_timeout:
+                raise
+            continue
         except RuntimeError:
             # Every worker died: fail whatever is still outstanding.
+            for wid in executor.dead_workers():
+                if live is not None:
+                    live.on_worker_dead(wid)
             for tid in sorted(pending):
                 trial = by_id[tid]
                 trial.status = TrialStatus.ERROR
                 trial.error = "worker pool died"
                 finish(trial, None)
+            if live is not None:
+                telemetry.live_tick(force=True)
             if raise_on_error:
                 raise TrialExecutionError("worker pool died with "
                                           f"{len(trials)} trials pending")
             break
+        last_msg_t = time.monotonic()
         kind = msg[0]
+        if kind == "heartbeat":
+            if live is not None:
+                live.on_heartbeat(msg[1])
+            continue
         if kind == "telemetry":
             # A worker's span/metric frame (streamed before its terminal
             # message): fold into the cross-process aggregate.
@@ -485,6 +603,8 @@ def run_trials_parallel(
             continue
         if kind == "started":
             _, tid, worker_id, attempt = msg
+            if tid not in pending or attempt != attempt_of.get(tid):
+                continue  # stale: this attempt was already failed over
             trial = by_id[tid]
             trial.status = TrialStatus.RUNNING
             assignment[tid] = worker_id
@@ -495,8 +615,13 @@ def run_trials_parallel(
                                   category="trial")
         elif kind == "report":
             _, tid, attempt, metrics, checkpoint = msg
+            if tid not in pending or attempt != attempt_of.get(tid):
+                continue
             trial = by_id[tid]
             m_reports.inc()
+            if any(isinstance(v, float) and not math.isfinite(v)
+                   for v in metrics.values()):
+                m_nonfinite.inc()
             trial.results.append(dict(metrics))
             if checkpoint is not None:
                 epoch = metrics.get("epoch", len(trial.results) - 1)
@@ -508,6 +633,8 @@ def run_trials_parallel(
                 executor.stop_trial(tid)
         elif kind == "done":
             _, tid, attempt, final, stopped, stats = msg
+            if tid not in pending or attempt != attempt_of.get(tid):
+                continue
             trial = by_id[tid]
             if tid in attempt_t0:
                 m_task_seconds.observe(
@@ -521,6 +648,8 @@ def run_trials_parallel(
             finish(trial, stats)
         elif kind == "error":
             _, tid, attempt, message, stats = msg
+            if tid not in pending or attempt != attempt_of.get(tid):
+                continue
             trial = by_id[tid]
             if tid in attempt_t0:
                 m_task_seconds.observe(
@@ -538,6 +667,7 @@ def run_trials_parallel(
         if progress is not None:
             progress.update(trials, in_flight=in_flight,
                             now=telemetry.tracer.now())
+    g_queued.set(0)
     if progress is not None:
         progress.finish(trials)
     if raise_on_error and first_error is not None:

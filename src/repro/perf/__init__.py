@@ -3,8 +3,9 @@
 Analytic cost accounting for 3D U-Net training at cluster scale
 (:mod:`~repro.perf.costs`), straggler order statistics
 (:mod:`~repro.perf.straggler`), search-level elapsed-time / speed-up
-tables (:mod:`~repro.perf.speedup`) and the Table I calibration
-(:mod:`~repro.perf.calibration`).
+tables (:mod:`~repro.perf.speedup`), the Table I calibration
+(:mod:`~repro.perf.calibration`) and the benchmark-regression tracker
+behind ``distmis bench compare`` (:mod:`~repro.perf.regression`).
 """
 
 from .calibration import (
@@ -46,6 +47,21 @@ from .speedup import (
     format_hms,
     paper_search_grid,
 )
+from .regression import (
+    BenchRecord,
+    CompareReport,
+    MetricDelta,
+    append_trajectory,
+    bench_output_path,
+    compare_records,
+    host_metadata,
+    hosts_comparable,
+    is_smoke_env,
+    load_bench_record,
+    load_trajectory,
+    metric_directions,
+    validate_record,
+)
 from .straggler import expected_max_factor, sample_max_factor
 from .trace_model import TrialBreakdown, epoch_breakdown, simulate_trial_timeline
 
@@ -86,4 +102,17 @@ __all__ = [
     "TrialBreakdown",
     "epoch_breakdown",
     "simulate_trial_timeline",
+    "BenchRecord",
+    "CompareReport",
+    "MetricDelta",
+    "append_trajectory",
+    "bench_output_path",
+    "compare_records",
+    "host_metadata",
+    "hosts_comparable",
+    "is_smoke_env",
+    "load_bench_record",
+    "load_trajectory",
+    "metric_directions",
+    "validate_record",
 ]

@@ -24,6 +24,7 @@ using this module's Trial/scheduler data model.
 from __future__ import annotations
 
 import enum
+import math
 import time
 from dataclasses import dataclass, field
 from typing import Callable
@@ -273,9 +274,13 @@ class Reporter:
             from ..telemetry import get_hub
 
             telemetry = get_hub()
+        self._telemetry = telemetry
         self._m_decisions = telemetry.metrics.counter(
             "scheduler_decisions_total",
             "per-report scheduler continue/stop decisions", ("decision",))
+        self._m_nonfinite = telemetry.metrics.counter(
+            "trials_nonfinite_total",
+            "reports carrying a non-finite metric value (NaN/inf loss)")
 
     @property
     def trial_id(self) -> str:
@@ -284,12 +289,16 @@ class Reporter:
     def __call__(self, **metrics) -> bool:
         checkpoint = metrics.pop("checkpoint", None)
         self._trial.results.append(dict(metrics))
+        if any(isinstance(v, float) and not math.isfinite(v)
+               for v in metrics.values()):
+            self._m_nonfinite.inc()
         if checkpoint is not None:
             epoch = metrics.get("epoch", len(self._trial.results) - 1)
             self.last_checkpoint = CheckpointHandle(
                 epoch=epoch, path=str(checkpoint))
         decision = self._scheduler.on_result(self._trial, metrics)
         self._m_decisions.labels(decision=decision).inc()
+        self._telemetry.live_tick()  # serial-path monitor heartbeat
         if decision == TrialScheduler.STOP:
             self.stopped = True
             return False

@@ -22,7 +22,13 @@ a search framework's value hinges on a uniform telemetry stream):
 * :class:`StepAttribution` / :func:`analyze` /
   :class:`ProgressReporter` -- step-time attribution, the bottleneck
   analyzer behind ``distmis profile`` and the live search table
-  (:mod:`~repro.telemetry.profiler`).
+  (:mod:`~repro.telemetry.profiler`);
+* :class:`LiveMonitor` / :class:`WorkerHealthBoard` /
+  :class:`AlertEngine` -- the streaming side: append-only
+  ``events.jsonl`` snapshots, worker heartbeats with stall detection,
+  declarative SLO alert rules, and the ``distmis top`` text view
+  (:mod:`~repro.telemetry.live`, :mod:`~repro.telemetry.alerts`,
+  :mod:`~repro.telemetry.top`).
 """
 
 from .aggregate import (
@@ -30,9 +36,18 @@ from .aggregate import (
     capture_frame,
     merge_registries,
     merged_chrome_trace,
+    sanitize_frame,
 )
+from .alerts import Alert, AlertEngine, AlertRule, default_rules
 from .fsio import atomic_write_text
 from .hub import NULL_HUB, NullHub, TelemetryHub, get_hub, set_hub
+from .live import (
+    EVENTS_JSONL,
+    EventLog,
+    LiveMonitor,
+    WorkerHealthBoard,
+    read_events,
+)
 from .manifest import RunManifest, git_revision, host_info
 from .metrics import (
     DEFAULT_BUCKETS,
@@ -52,6 +67,7 @@ from .profiler import (
     build_profile_data,
 )
 from .spans import Span, Tracer
+from .top import TopView, run_top
 
 __all__ = [
     "Counter",
@@ -74,6 +90,18 @@ __all__ = [
     "capture_frame",
     "merge_registries",
     "merged_chrome_trace",
+    "sanitize_frame",
+    "Alert",
+    "AlertEngine",
+    "AlertRule",
+    "default_rules",
+    "EVENTS_JSONL",
+    "EventLog",
+    "LiveMonitor",
+    "WorkerHealthBoard",
+    "read_events",
+    "TopView",
+    "run_top",
     "STEP_BUCKETS",
     "StepAttribution",
     "ProfileData",

@@ -38,7 +38,8 @@ from .metrics import MetricsRegistry
 from .spans import Span, Tracer
 
 __all__ = ["capture_frame", "span_to_dict", "span_from_dict",
-           "TraceAggregator", "merge_registries", "merged_chrome_trace"]
+           "sanitize_frame", "TraceAggregator", "merge_registries",
+           "merged_chrome_trace"]
 
 
 # -- frame (de)serialisation -------------------------------------------------
@@ -75,6 +76,58 @@ def capture_frame(hub, worker_id: int, since: int = 0) -> tuple[dict, int]:
         "samples": hub.metrics.samples(),
     }
     return frame, since + len(spans)
+
+
+def sanitize_frame(frame) -> tuple[dict | None, int]:
+    """Validate a worker frame before aggregation.
+
+    Returns ``(clean_frame, dropped_span_count)``; ``clean_frame`` is
+    None when the frame is unusable (not a dict, no integer
+    ``worker_id``).  A partially malformed frame survives with its
+    decodable spans: a span that is not a dict, lacks a name, or has
+    non-numeric/missing start/end is dropped and counted, and a
+    ``samples`` field that is not a list of dicts is discarded rather
+    than poisoning :func:`merge_registries`.
+    """
+    if not isinstance(frame, dict):
+        return None, 0
+    try:
+        worker_id = int(frame["worker_id"])
+    except (KeyError, TypeError, ValueError):
+        return None, 0
+    clean = {
+        "worker_id": worker_id,
+        "pid": frame.get("pid", 0),
+        "anchor_wall": frame.get("anchor_wall", 0.0),
+    }
+    if not isinstance(clean["pid"], int):
+        clean["pid"] = 0
+    if not isinstance(clean["anchor_wall"], (int, float)):
+        clean["anchor_wall"] = 0.0
+    spans, dropped = [], 0
+    raw_spans = frame.get("spans", ())
+    if not isinstance(raw_spans, (list, tuple)):
+        raw_spans, dropped = (), dropped + 1
+    for d in raw_spans:
+        try:
+            span_from_dict(d)
+        except (TypeError, ValueError, KeyError, AttributeError):
+            dropped += 1
+            continue
+        if not isinstance(d.get("start"), (int, float)) or \
+                not isinstance(d.get("end"), (int, float)):
+            dropped += 1
+            continue
+        spans.append(d)
+    clean["spans"] = spans
+    samples = frame.get("samples")
+    if isinstance(samples, list) and all(
+            isinstance(r, dict) and "name" in r and "kind" in r
+            for r in samples):
+        clean["samples"] = samples
+    else:
+        clean["samples"] = []
+    return clean, dropped
 
 
 # -- driver-side accumulation ------------------------------------------------

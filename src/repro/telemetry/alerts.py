@@ -1,0 +1,256 @@
+"""Declarative SLO/alert rules evaluated over live telemetry snapshots.
+
+The monitoring layer (:mod:`repro.telemetry.live`) produces a stream of
+*snapshot values* -- a flat ``{name: float}`` dict derived once per tick
+from the hub's merged metric samples (ratios over the last window,
+health-board counts, queue depths).  This module turns operator intent
+into structured :class:`Alert` records over that stream:
+
+>>> rule = AlertRule.parse("input_bound",
+...                        "data_wait_ratio > 0.5 for 3 windows")
+>>> engine = AlertEngine([rule])
+>>> engine.evaluate({"data_wait_ratio": 0.8}, now=0.0)   # window 1
+[]
+>>> engine.evaluate({"data_wait_ratio": 0.8}, now=1.0)   # window 2
+[]
+>>> [a.rule for a in engine.evaluate({"data_wait_ratio": 0.8}, now=2.0)]
+['input_bound']
+
+Semantics follow Prometheus alerting rules scaled down to one process:
+
+* ``for N windows`` is hysteresis -- the predicate must hold on ``N``
+  *consecutive* snapshots before the alert fires, so one noisy window
+  never pages;
+* a firing alert is **deduplicated**: the rule stays silent until the
+  predicate clears (a ``resolved`` record is emitted) and only then can
+  fire again;
+* a missing value is *not* a breach (monitors evaluate rule sets over
+  runs that may never record the metric), but a non-finite value *is*
+  when the comparison asks for one (``trials_nonfinite > 0``).
+
+The default rule set (:func:`default_rules`) encodes the failure modes
+the paper's cluster economics care about: an input-bound pipeline
+(claim C3), a starving trial queue, degenerate trials (non-finite
+loss), and stalled workers burning simulated GPU-hours invisibly.
+"""
+
+from __future__ import annotations
+
+import math
+import re
+import time
+from dataclasses import dataclass, field
+
+__all__ = ["Alert", "AlertRule", "AlertEngine", "default_rules",
+           "DEFAULT_RULE_SPECS"]
+
+_OPS = {
+    ">": lambda v, t: v > t,
+    ">=": lambda v, t: v >= t,
+    "<": lambda v, t: v < t,
+    "<=": lambda v, t: v <= t,
+}
+
+_EXPR_RE = re.compile(
+    r"^\s*(?P<value>[A-Za-z_][A-Za-z0-9_]*)\s*"
+    r"(?P<op>>=|<=|>|<)\s*"
+    r"(?P<threshold>[-+]?[0-9]*\.?[0-9]+(?:[eE][-+]?[0-9]+)?)"
+    r"(?:\s+for\s+(?P<windows>[0-9]+)\s+windows?)?\s*$"
+)
+
+
+@dataclass(frozen=True)
+class AlertRule:
+    """One declarative SLO rule over a snapshot value.
+
+    ``value`` names a key of the snapshot dict, ``op``/``threshold``
+    form the breach predicate, and ``for_windows`` is the hysteresis:
+    the number of consecutive breaching snapshots before the rule fires.
+    """
+
+    name: str
+    value: str
+    op: str
+    threshold: float
+    for_windows: int = 1
+    severity: str = "warning"
+    summary: str = ""
+
+    def __post_init__(self):
+        if self.op not in _OPS:
+            raise ValueError(f"unknown comparison operator {self.op!r}")
+        if self.for_windows < 1:
+            raise ValueError("for_windows must be >= 1")
+        if not self.name:
+            raise ValueError("rule needs a name")
+
+    @classmethod
+    def parse(cls, name: str, expr: str, severity: str = "warning",
+              summary: str = "") -> "AlertRule":
+        """Parse ``"<value> <op> <threshold> [for N windows]"``."""
+        m = _EXPR_RE.match(expr)
+        if m is None:
+            raise ValueError(
+                f"cannot parse alert rule {expr!r}; expected "
+                "'<value> <op> <threshold> [for N windows]'"
+            )
+        return cls(
+            name=name,
+            value=m.group("value"),
+            op=m.group("op"),
+            threshold=float(m.group("threshold")),
+            for_windows=int(m.group("windows") or 1),
+            severity=severity,
+            summary=summary,
+        )
+
+    @property
+    def expr(self) -> str:
+        base = f"{self.value} {self.op} {self.threshold:g}"
+        if self.for_windows > 1:
+            base += f" for {self.for_windows} windows"
+        return base
+
+    def breached(self, snapshot: dict) -> tuple[bool, float]:
+        """(is the predicate breached on this snapshot, observed value).
+
+        A missing value never breaches; a NaN observed value counts as a
+        breach only for rules that watch explicit non-finite counters
+        (NaN compares false everywhere, so this returns False for it --
+        degenerate-loss detection therefore goes through a *count* of
+        non-finite observations, see ``trials_nonfinite``).
+        """
+        v = snapshot.get(self.value)
+        if v is None:
+            return False, math.nan
+        v = float(v)
+        if math.isnan(v):
+            return False, v
+        return _OPS[self.op](v, self.threshold), v
+
+    def to_dict(self) -> dict:
+        return {"name": self.name, "expr": self.expr,
+                "severity": self.severity, "summary": self.summary}
+
+
+@dataclass
+class Alert:
+    """One structured alert record (a firing or a resolution)."""
+
+    rule: str
+    severity: str
+    state: str                  # "firing" | "resolved"
+    value: float
+    threshold: float
+    expr: str
+    message: str
+    fired_at_wall: float
+    resolved_at_wall: float | None = None
+    windows_breached: int = 0
+    labels: dict = field(default_factory=dict)
+
+    def to_dict(self) -> dict:
+        return {
+            "rule": self.rule,
+            "severity": self.severity,
+            "state": self.state,
+            "value": None if math.isnan(self.value) else self.value,
+            "threshold": self.threshold,
+            "expr": self.expr,
+            "message": self.message,
+            "fired_at_wall": self.fired_at_wall,
+            "resolved_at_wall": self.resolved_at_wall,
+            "windows_breached": self.windows_breached,
+            "labels": dict(self.labels),
+        }
+
+
+class AlertEngine:
+    """Evaluates a rule set over the snapshot stream with hysteresis
+    and deduplication.
+
+    :meth:`evaluate` returns only the *newly produced* records (fresh
+    firings and resolutions); :attr:`firing` always holds the currently
+    active alerts and :attr:`history` everything ever produced.
+    """
+
+    def __init__(self, rules=None):
+        rules = list(default_rules() if rules is None else rules)
+        names = [r.name for r in rules]
+        if len(set(names)) != len(names):
+            raise ValueError(f"duplicate rule names in {names}")
+        self.rules = rules
+        self._breach_streak: dict[str, int] = {r.name: 0 for r in rules}
+        self._active: dict[str, Alert] = {}
+        self.history: list[Alert] = []
+
+    @property
+    def firing(self) -> list[Alert]:
+        return [self._active[name] for name in sorted(self._active)]
+
+    def evaluate(self, snapshot: dict, now: float | None = None
+                 ) -> list[Alert]:
+        """Fold one snapshot in; returns newly fired/resolved records."""
+        now = time.time() if now is None else now
+        produced: list[Alert] = []
+        for rule in self.rules:
+            breached, value = rule.breached(snapshot)
+            active = self._active.get(rule.name)
+            if breached:
+                self._breach_streak[rule.name] += 1
+                streak = self._breach_streak[rule.name]
+                if active is None and streak >= rule.for_windows:
+                    alert = Alert(
+                        rule=rule.name, severity=rule.severity,
+                        state="firing", value=value,
+                        threshold=rule.threshold, expr=rule.expr,
+                        message=(rule.summary
+                                 or f"{rule.value} = {value:g} breaches "
+                                    f"{rule.expr}"),
+                        fired_at_wall=now, windows_breached=streak,
+                    )
+                    self._active[rule.name] = alert
+                    self.history.append(alert)
+                    produced.append(alert)
+                elif active is not None:
+                    # dedup: refresh the live record, emit nothing
+                    active.value = value
+                    active.windows_breached = streak
+            else:
+                self._breach_streak[rule.name] = 0
+                if active is not None:
+                    del self._active[rule.name]
+                    resolved = Alert(
+                        rule=rule.name, severity=rule.severity,
+                        state="resolved", value=value,
+                        threshold=rule.threshold, expr=rule.expr,
+                        message=f"{rule.name} resolved",
+                        fired_at_wall=active.fired_at_wall,
+                        resolved_at_wall=now,
+                        windows_breached=active.windows_breached,
+                    )
+                    self.history.append(resolved)
+                    produced.append(resolved)
+        return produced
+
+
+# Threshold defaults: an input pipeline eating more than half of step
+# time for 3 windows is claim C3's regime; 8 queued trials cover every
+# laptop-scale pool; any stalled worker or non-finite loss is critical.
+DEFAULT_RULE_SPECS = (
+    ("input_bound", "data_wait_ratio > 0.5 for 3 windows", "warning",
+     "input-bound: majority of step time waiting on data -- binarise "
+     "the dataset offline (claim C3)"),
+    ("queue_backlog", "queue_depth > 8 for 3 windows", "warning",
+     "trial queue backlog: more trials waiting than the pool can place"),
+    ("loss_non_finite", "trials_nonfinite > 0", "critical",
+     "a trial reported a non-finite loss -- degenerate configuration"),
+    ("worker_stalled", "workers_stalled > 0", "critical",
+     "worker heartbeat lost -- trial may be burning GPU-hours invisibly"),
+)
+
+
+def default_rules() -> list[AlertRule]:
+    """The built-in SLO rule set (fresh instances each call)."""
+    return [AlertRule.parse(name, expr, severity=sev, summary=summary)
+            for name, expr, sev, summary in DEFAULT_RULE_SPECS]

@@ -61,9 +61,15 @@ class TelemetryHub:
         self.metrics = MetricsRegistry()
         self.tracer = Tracer()
         self.last_manifest: RunManifest | None = None
+        self.live = None        # LiveMonitor once attach_live is called
+        self.alerts: list = []  # Alert records the live monitor produced
         self._timelines: list = []
         self._attributions: list = []
         self.aggregator = None  # created lazily on the first worker frame
+        self._frames_dropped = self.metrics.counter(
+            "telemetry_frames_dropped_total",
+            "malformed worker telemetry frames/spans dropped on ingest",
+            ("kind",))
         self._stage_seconds = self.metrics.counter(
             "pipeline_stage_seconds_total",
             "wall-clock spent per input-pipeline stage", ("stage",))
@@ -107,12 +113,46 @@ class TelemetryHub:
         the profile export."""
         self._attributions.append(attribution)
 
+    # -- live monitoring ----------------------------------------------------
+    def attach_live(self, monitor) -> None:
+        """Install a :class:`~repro.telemetry.live.LiveMonitor`; from
+        here on ``live_tick()`` calls drive its snapshot loop."""
+        self.live = monitor
+
+    def live_tick(self, force: bool = False) -> None:
+        """One monitor tick opportunity (no-op when nothing attached or
+        the interval has not elapsed -- safe on hot-ish paths)."""
+        if self.live is not None:
+            self.live.tick(force=force)
+
+    def record_alert(self, alert) -> None:
+        """Keep an :class:`~repro.telemetry.alerts.Alert` record for the
+        run manifest and count it by rule/state."""
+        self.alerts.append(alert)
+        self.metrics.counter(
+            "alerts_total", "alert records produced (firings and "
+            "resolutions)", ("rule", "state"),
+        ).labels(rule=alert.rule, state=alert.state).inc()
+
     def ingest_worker_frame(self, frame: dict) -> None:
         """Fold a worker-process telemetry frame (spans + metric
         samples + wall-clock anchor) into the cross-process aggregate;
-        see :mod:`repro.telemetry.aggregate`."""
-        from .aggregate import TraceAggregator
+        see :mod:`repro.telemetry.aggregate`.
 
+        Malformed frames are **dropped and counted**, never raised:
+        a worker's telemetry side channel must not be able to take the
+        driver (and every other trial) down.  Partially malformed
+        frames keep their valid spans; each dropped span is counted
+        separately.
+        """
+        from .aggregate import TraceAggregator, sanitize_frame
+
+        frame, dropped_spans = sanitize_frame(frame)
+        if dropped_spans:
+            self._frames_dropped.labels(kind="span").inc(dropped_spans)
+        if frame is None:
+            self._frames_dropped.labels(kind="frame").inc()
+            return
         if self.aggregator is None:
             self.aggregator = TraceAggregator()
         self.aggregator.add_frame(frame)
@@ -171,8 +211,11 @@ class TelemetryHub:
                      final_metrics: dict | None = None) -> Path | None:
         """Capture a manifest for the run that just finished and flush
         everything to the run directory."""
+        if self.live is not None:
+            self.live.close()  # final snapshot + health event, idempotent
         self.last_manifest = RunManifest.capture(
             kind, config=config, seed=seed, final_metrics=final_metrics,
+            alerts=[a.to_dict() for a in self.alerts],
         )
         return self.flush()
 
@@ -294,10 +337,21 @@ class NullHub:
     run_dir = None
     last_manifest = None
     aggregator = None
+    live = None
+    alerts: list = []
 
     def __init__(self):
         self.metrics = _NullRegistry()
         self.tracer = _NullTracer()
+
+    def attach_live(self, monitor) -> None:
+        pass
+
+    def live_tick(self, force: bool = False) -> None:
+        pass
+
+    def record_alert(self, alert) -> None:
+        pass
 
     def span(self, name, category="span", **attrs):
         return _NULL_SPAN

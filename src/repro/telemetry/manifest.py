@@ -18,6 +18,8 @@ import time
 from dataclasses import dataclass, field
 from pathlib import Path
 
+from .fsio import atomic_write_text
+
 __all__ = ["RunManifest", "git_revision", "host_info"]
 
 MANIFEST_FILENAME = "manifest.json"
@@ -67,12 +69,14 @@ class RunManifest:
     host: dict = field(default_factory=dict)
     argv: list[str] = field(default_factory=list)
     final_metrics: dict = field(default_factory=dict)
+    alerts: list = field(default_factory=list)
 
     @classmethod
     def capture(cls, kind: str, config: dict | None = None,
                 seed: int | None = None,
                 final_metrics: dict | None = None,
-                run_id: str | None = None) -> "RunManifest":
+                run_id: str | None = None,
+                alerts: list | None = None) -> "RunManifest":
         """Snapshot the current process environment around a run."""
         created = time.time()
         if run_id is None:
@@ -87,6 +91,7 @@ class RunManifest:
             host=host_info(),
             argv=list(sys.argv),
             final_metrics=dict(final_metrics or {}),
+            alerts=list(alerts or []),
         )
 
     def to_dict(self) -> dict:
@@ -103,16 +108,16 @@ class RunManifest:
             "host": self.host,
             "argv": self.argv,
             "final_metrics": self.final_metrics,
+            "alerts": self.alerts,
         }
 
     def write(self, run_dir) -> Path:
         run_dir = Path(run_dir)
         run_dir.mkdir(parents=True, exist_ok=True)
         path = run_dir / MANIFEST_FILENAME
-        tmp = path.with_suffix(".json.tmp")
-        tmp.write_text(json.dumps(self.to_dict(), indent=2, sort_keys=True,
-                                  default=str) + "\n")
-        os.replace(tmp, path)
+        atomic_write_text(
+            path, json.dumps(self.to_dict(), indent=2, sort_keys=True,
+                             default=str) + "\n")
         return path
 
     @classmethod
@@ -131,4 +136,5 @@ class RunManifest:
             host=obj.get("host", {}),
             argv=obj.get("argv", []),
             final_metrics=obj.get("final_metrics", {}),
+            alerts=obj.get("alerts", []),
         )

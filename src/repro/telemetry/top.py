@@ -1,0 +1,187 @@
+"""``distmis top`` -- a live text view over a run's event stream.
+
+Tails the append-only ``events.jsonl`` a :class:`~repro.telemetry.live.
+LiveMonitor` writes and renders, htop-style, what the run is doing
+*right now*: per-worker liveness and busy state, trial progress, the
+rolling step-time bucket split over the last snapshot window, and the
+alerts currently firing.
+
+Rendering is pure (``TopView.render(events) -> str``), so tests and
+non-TTY environments (CI's ``make monitor-smoke``) consume the exact
+same code path as the interactive loop; on a TTY the screen is cleared
+between frames, otherwise frames are printed sequentially.
+"""
+
+from __future__ import annotations
+
+import sys
+import time
+from pathlib import Path
+
+from .live import EVENTS_JSONL, read_events
+from .profiler import STEP_BUCKETS
+
+__all__ = ["TopView", "run_top"]
+
+_BAR_WIDTH = 24
+
+
+def _bar(fraction: float, width: int = _BAR_WIDTH) -> str:
+    fraction = min(1.0, max(0.0, fraction))
+    filled = int(round(fraction * width))
+    return "#" * filled + "." * (width - filled)
+
+
+class TopView:
+    """Folds an event stream into the latest run picture and renders it."""
+
+    def __init__(self):
+        self.last_snapshot: dict | None = None
+        self.prev_snapshot: dict | None = None
+        self.heartbeats: dict[int, dict] = {}
+        self.alerts: dict[str, dict] = {}      # rule -> latest record
+        self.events_seen = 0
+        self.last_seq = -1
+        self.finished = False                  # saw a terminal health event
+
+    def ingest(self, events) -> int:
+        """Fold events in (idempotent across overlapping reads via
+        ``seq``); returns how many were new."""
+        new = 0
+        for ev in events:
+            seq = ev.get("seq", -1)
+            if seq <= self.last_seq:
+                continue
+            self.last_seq = seq
+            self.events_seen += 1
+            new += 1
+            kind = ev.get("type")
+            if kind == "snapshot":
+                self.prev_snapshot = self.last_snapshot
+                self.last_snapshot = ev
+            elif kind == "heartbeat":
+                if ev.get("worker_id") is not None:
+                    self.heartbeats[int(ev["worker_id"])] = ev
+            elif kind == "alert":
+                self.alerts[ev.get("rule", "?")] = ev
+            elif kind == "health":
+                self.finished = True
+        return new
+
+    # -- render helpers -----------------------------------------------------
+    def _workers(self) -> list[dict]:
+        snap = self.last_snapshot or {}
+        rows = {int(w["worker_id"]): dict(w)
+                for w in snap.get("workers", [])}
+        for wid, hb in self.heartbeats.items():
+            row = rows.setdefault(wid, {"worker_id": wid, "stalled": False})
+            # a heartbeat newer than the snapshot refreshes the row
+            if hb.get("t_wall", 0.0) >= snap.get("t_wall", 0.0):
+                row.update(state=hb.get("state"),
+                           trial_id=hb.get("trial_id"),
+                           pid=hb.get("pid"),
+                           busy_seconds=hb.get("busy_seconds"))
+        return [rows[w] for w in sorted(rows)]
+
+    def _bucket_window(self) -> tuple[dict, float]:
+        """Step-bucket seconds accrued between the last two snapshots
+        (cumulative totals when only one snapshot exists)."""
+        last = (self.last_snapshot or {}).get("buckets", {})
+        prev = (self.prev_snapshot or {}).get("buckets", {})
+        window = {b: float(last.get(b, 0.0)) - float(prev.get(b, 0.0))
+                  for b in set(last) | set(prev)}
+        if sum(window.values()) <= 0:
+            window = {b: float(v) for b, v in last.items()}
+        return window, sum(window.values())
+
+    def render(self, now: float | None = None) -> str:
+        now = time.time() if now is None else now
+        lines: list[str] = []
+        snap = self.last_snapshot
+        if snap is None:
+            return ("distmis top: no snapshots yet "
+                    f"({self.events_seen} events)")
+        age = now - snap.get("t_wall", now)
+        values = snap.get("values", {})
+        lines.append(
+            f"distmis top  |  snapshot #{snap.get('seq')}  "
+            f"age {age:5.1f}s  |  events {self.events_seen}")
+
+        firing = [a for a in self.alerts.values()
+                  if a.get("state") == "firing"]
+        if firing:
+            lines.append("ALERTS FIRING:")
+            for a in sorted(firing, key=lambda a: a.get("rule", "")):
+                lines.append(
+                    f"  [{a.get('severity', '?'):<8}] {a.get('rule')}: "
+                    f"{a.get('message', '')}")
+        else:
+            lines.append("alerts: none firing")
+
+        window, total = self._bucket_window()
+        lines.append("step-time buckets (last window):")
+        for bucket in STEP_BUCKETS:
+            sec = window.get(bucket, 0.0)
+            frac = sec / total if total > 0 else 0.0
+            lines.append(f"  {bucket:<11} {_bar(frac)} {sec:8.3f}s "
+                         f"{frac * 100:5.1f}%")
+
+        workers = self._workers()
+        if workers:
+            lines.append(
+                f"workers ({sum(1 for w in workers if not w.get('stalled'))}"
+                f"/{len(workers)} alive):")
+            for w in workers:
+                state = w.get("state") or "?"
+                flag = "  <- STALLED" if w.get("stalled") else ""
+                busy = w.get("busy_seconds")
+                busy_s = f"{busy:8.2f}s busy" if busy is not None \
+                    else " " * 14
+                trial = w.get("trial_id") or "-"
+                lines.append(
+                    f"  worker {w['worker_id']:>2} (pid {w.get('pid', 0)}) "
+                    f"{state:<7} {trial:<12} {busy_s}{flag}")
+
+        interesting = {k: v for k, v in sorted(values.items())
+                       if k not in ("workers_alive", "workers_stalled")}
+        if interesting:
+            lines.append("values: " + "  ".join(
+                f"{k}={v:g}" for k, v in interesting.items()))
+        return "\n".join(lines)
+
+
+def run_top(run_dir, follow: bool = False, interval_s: float = 1.0,
+            max_frames: int | None = None, stream=None,
+            clock=time.time, sleep=time.sleep) -> int:
+    """The ``distmis top <run-dir>`` entry point.
+
+    One-shot by default (render the current state and exit); with
+    ``follow`` it keeps tailing ``events.jsonl`` until interrupted, the
+    run's final ``health`` event has been rendered with nothing new
+    behind it (run over), or ``max_frames`` renders.
+    """
+    stream = sys.stdout if stream is None else stream
+    path = Path(run_dir) / EVENTS_JSONL
+    if not path.exists():
+        print(f"no {EVENTS_JSONL} in {run_dir} -- run with --watch "
+              "(or point at a live run directory)", file=sys.stderr)
+        return 1
+    view = TopView()
+    is_tty = getattr(stream, "isatty", lambda: False)()
+    frames = 0
+    while True:
+        new = view.ingest(read_events(path, since_seq=view.last_seq))
+        if is_tty:
+            stream.write("\x1b[2J\x1b[H")
+        stream.write(view.render(now=clock()) + "\n")
+        if hasattr(stream, "flush"):
+            stream.flush()
+        frames += 1
+        if not follow:
+            return 0
+        if max_frames is not None and frames >= max_frames:
+            return 0
+        if view.finished and new == 0:
+            return 0
+        sleep(interval_s)
+    return 0

@@ -15,7 +15,7 @@ class TestParser:
         commands = set(subparsers.choices)
         assert commands == {
             "table1", "fig4", "train", "search", "simulate", "profile",
-            "calibrate", "report", "summary", "telemetry",
+            "calibrate", "report", "summary", "telemetry", "top", "bench",
         }
 
     def test_missing_command_errors(self):

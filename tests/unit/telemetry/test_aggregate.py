@@ -11,6 +11,7 @@ from repro.telemetry import (
     capture_frame,
     merge_registries,
     merged_chrome_trace,
+    sanitize_frame,
 )
 from repro.telemetry.hub import STAGE_LATENCY_BUCKETS
 
@@ -160,6 +161,49 @@ class TestRegistryMerge:
                   if r["name"] == "train_steps_total"]
         assert row["value"] == 7
 
+    def test_merge_is_invariant_to_frame_arrival_order(self):
+        # frames from different workers can interleave arbitrarily on
+        # the result queue; counters/histograms sum (order-free) and a
+        # colliding gauge resolves by sorted worker id, not arrival
+        def frame_for(wid, steps, dice, latency, driver):
+            w = _worker_hub(0.0, driver)
+            w.metrics.counter("train_steps_total").inc(steps)
+            w.metrics.gauge("val_dice").set(dice)
+            w.metrics.histogram("step_seconds",
+                                buckets=(0.5, 1.0)).observe(latency)
+            return capture_frame(w, worker_id=wid)[0]
+
+        merges = []
+        for order in ((0, 1), (1, 0)):
+            driver = TelemetryHub()
+            frames = {0: frame_for(0, 5, 0.7, 0.2, driver),
+                      1: frame_for(1, 3, 0.9, 0.8, driver)}
+            for wid in order:
+                driver.ingest_worker_frame(frames[wid])
+            merges.append({(r["name"], tuple(sorted(r["labels"].items()))): r
+                           for r in driver.merged_samples()})
+        first, second = merges
+        assert first == second
+        assert first[("train_steps_total", ())]["value"] == 8
+        assert first[("val_dice", ())]["value"] == pytest.approx(0.9)
+        h = first[("step_seconds", ())]
+        assert h["count"] == 2 and h["sum"] == pytest.approx(1.0)
+
+    def test_same_worker_frames_are_cumulative_not_summed(self):
+        # a worker's samples are cumulative snapshots: the latest frame
+        # supersedes earlier ones instead of double-counting
+        driver = TelemetryHub()
+        w = _worker_hub(0.0, driver)
+        w.metrics.counter("train_steps_total").inc(2)
+        frame1, cursor = capture_frame(w, worker_id=0)
+        w.metrics.counter("train_steps_total").inc(3)
+        frame2, _ = capture_frame(w, worker_id=0, since=cursor)
+        driver.ingest_worker_frame(frame1)
+        driver.ingest_worker_frame(frame2)
+        (row,) = [r for r in driver.merged_samples()
+                  if r["name"] == "train_steps_total"]
+        assert row["value"] == 5
+
     def test_stage_latency_histogram_merges(self):
         driver = TelemetryHub()
         w = _worker_hub(0.0, driver)
@@ -172,3 +216,91 @@ class TestRegistryMerge:
         assert lat["sum"] == pytest.approx(0.1)
         assert tuple(float(e) for e in lat["buckets"]) \
             == STAGE_LATENCY_BUCKETS
+
+
+def _good_span() -> dict:
+    hub = TelemetryHub()
+    hub.tracer.record_span("ok", 1.0, 2.0, category="trial")
+    frame, _ = capture_frame(hub, worker_id=0)
+    (span,) = frame["spans"]
+    return span
+
+
+def _dropped_count(hub: TelemetryHub) -> dict:
+    return {r["labels"]["kind"]: r["value"]
+            for r in hub.metrics.samples()
+            if r["name"] == "telemetry_frames_dropped_total"}
+
+
+class TestSanitizeFrame:
+    @pytest.mark.parametrize("frame", [
+        None, 42, "frame", ["worker_id", 0],
+        {},                          # no worker_id at all
+        {"worker_id": None},
+        {"worker_id": "not-a-number"},
+        {"worker_id": [1]},
+    ])
+    def test_unusable_frames_return_none(self, frame):
+        clean, dropped = sanitize_frame(frame)
+        assert clean is None and dropped == 0
+
+    def test_numeric_string_worker_id_is_coerced(self):
+        clean, _ = sanitize_frame({"worker_id": "3"})
+        assert clean["worker_id"] == 3
+
+    def test_bad_pid_and_anchor_fall_back(self):
+        clean, _ = sanitize_frame(
+            {"worker_id": 0, "pid": "oops", "anchor_wall": {}})
+        assert clean["pid"] == 0
+        assert clean["anchor_wall"] == 0.0
+
+    def test_bad_spans_dropped_good_spans_kept(self):
+        good = _good_span()
+        clean, dropped = sanitize_frame({"worker_id": 0, "spans": [
+            good,
+            "not-a-span",
+            {"name": "no-times"},
+            {"name": "bad-times", "start": "a", "end": 2.0},
+            None,
+        ]})
+        assert [s["name"] for s in clean["spans"]] == ["ok"]
+        assert dropped == 4
+
+    def test_non_list_spans_field_counts_one_drop(self):
+        clean, dropped = sanitize_frame({"worker_id": 0, "spans": "zzz"})
+        assert clean["spans"] == [] and dropped == 1
+
+    def test_malformed_samples_discarded(self):
+        for samples in ("zzz", {"name": "x"}, [1, 2], [{"name": "x"}]):
+            clean, _ = sanitize_frame({"worker_id": 0, "samples": samples})
+            assert clean["samples"] == []
+
+
+class TestIngestMalformedFrames:
+    def test_unusable_frame_dropped_and_counted_not_raised(self):
+        driver = TelemetryHub()
+        driver.ingest_worker_frame({"pid": 1234})        # no worker_id
+        driver.ingest_worker_frame("garbage")
+        assert driver.aggregator is None                 # nothing ingested
+        assert _dropped_count(driver) == {"frame": 2}
+
+    def test_partial_frame_keeps_valid_spans_counts_bad_ones(self):
+        driver = TelemetryHub()
+        driver.ingest_worker_frame({
+            "worker_id": 0, "pid": 1234, "anchor_wall": 0.0,
+            "spans": [_good_span(), {"name": "torn"}],
+            "samples": "not-a-list",
+        })
+        assert _dropped_count(driver) == {"span": 1}
+        assert len(driver.aggregator) == 1
+        (w,) = driver.aggregator.workers()
+        assert w["spans"] == 1
+        assert driver.aggregator.sample_sets() == [[]]
+
+    def test_good_frames_do_not_touch_the_drop_counter(self):
+        driver = TelemetryHub()
+        w = _worker_hub(0.0, driver)
+        w.metrics.counter("train_steps_total").inc(1)
+        frame, _ = capture_frame(w, worker_id=0)
+        driver.ingest_worker_frame(frame)
+        assert _dropped_count(driver) == {}

@@ -1,0 +1,179 @@
+"""SLO/alert rules: parsing, hysteresis, dedup, resolution, null path."""
+
+import math
+
+import pytest
+
+from repro.telemetry import (
+    NULL_HUB,
+    Alert,
+    AlertEngine,
+    AlertRule,
+    TelemetryHub,
+    default_rules,
+)
+from repro.telemetry.alerts import DEFAULT_RULE_SPECS
+
+
+class TestRuleParsing:
+    def test_parse_full_expression(self):
+        rule = AlertRule.parse("input_bound",
+                               "data_wait_ratio > 0.5 for 3 windows")
+        assert rule.value == "data_wait_ratio"
+        assert rule.op == ">"
+        assert rule.threshold == 0.5
+        assert rule.for_windows == 3
+
+    def test_parse_defaults_to_one_window(self):
+        rule = AlertRule.parse("nf", "trials_nonfinite > 0")
+        assert rule.for_windows == 1
+
+    @pytest.mark.parametrize("expr,op,thresh", [
+        ("x >= 1.5", ">=", 1.5),
+        ("x <= -2", "<=", -2.0),
+        ("x < 1e-3", "<", 1e-3),
+        ("x > 0.5 for 1 window", ">", 0.5),
+    ])
+    def test_parse_operators_and_literals(self, expr, op, thresh):
+        rule = AlertRule.parse("r", expr)
+        assert (rule.op, rule.threshold) == (op, thresh)
+
+    @pytest.mark.parametrize("expr", [
+        "", "x", "x > ", "> 0.5", "x == 0.5", "x > 0.5 for zero windows",
+        "x > 0.5 for -1 windows", "x > 0.5 sometimes",
+    ])
+    def test_parse_rejects_malformed(self, expr):
+        with pytest.raises(ValueError):
+            AlertRule.parse("bad", expr)
+
+    def test_expr_round_trips(self):
+        for name, expr, sev, _ in DEFAULT_RULE_SPECS:
+            rule = AlertRule.parse(name, expr, severity=sev)
+            again = AlertRule.parse(name, rule.expr, severity=sev)
+            assert again == rule
+
+    def test_constructor_validation(self):
+        with pytest.raises(ValueError):
+            AlertRule(name="r", value="x", op="!=", threshold=0.0)
+        with pytest.raises(ValueError):
+            AlertRule(name="r", value="x", op=">", threshold=0.0,
+                      for_windows=0)
+        with pytest.raises(ValueError):
+            AlertRule(name="", value="x", op=">", threshold=0.0)
+
+    def test_engine_rejects_duplicate_rule_names(self):
+        rule = AlertRule.parse("dup", "x > 1")
+        with pytest.raises(ValueError):
+            AlertEngine([rule, rule])
+
+    def test_default_rules_cover_issue_failure_modes(self):
+        names = {r.name for r in default_rules()}
+        assert {"input_bound", "queue_backlog", "loss_non_finite",
+                "worker_stalled"} <= names
+
+
+class TestBreachSemantics:
+    def test_missing_value_is_not_a_breach(self):
+        rule = AlertRule.parse("r", "x > 0.5")
+        breached, value = rule.breached({})
+        assert not breached and math.isnan(value)
+
+    def test_nan_value_is_not_a_breach(self):
+        rule = AlertRule.parse("r", "x > 0.5")
+        breached, value = rule.breached({"x": float("nan")})
+        assert not breached and math.isnan(value)
+
+    def test_infinite_value_compares(self):
+        rule = AlertRule.parse("r", "x > 0.5")
+        assert rule.breached({"x": float("inf")})[0]
+
+
+class TestHysteresis:
+    def rule(self, windows=3):
+        return AlertRule.parse("r", f"x > 0.5 for {windows} windows")
+
+    def test_fires_only_after_n_consecutive_windows(self):
+        engine = AlertEngine([self.rule(3)])
+        assert engine.evaluate({"x": 0.9}, now=0.0) == []
+        assert engine.evaluate({"x": 0.9}, now=1.0) == []
+        (alert,) = engine.evaluate({"x": 0.9}, now=2.0)
+        assert alert.state == "firing"
+        assert alert.windows_breached == 3
+        assert alert.fired_at_wall == 2.0
+
+    def test_one_clear_window_resets_the_streak(self):
+        engine = AlertEngine([self.rule(3)])
+        engine.evaluate({"x": 0.9}, now=0.0)
+        engine.evaluate({"x": 0.9}, now=1.0)
+        engine.evaluate({"x": 0.1}, now=2.0)   # noisy blip clears streak
+        assert engine.evaluate({"x": 0.9}, now=3.0) == []
+        assert engine.evaluate({"x": 0.9}, now=4.0) == []
+        assert len(engine.evaluate({"x": 0.9}, now=5.0)) == 1
+
+    def test_single_window_rule_fires_immediately(self):
+        engine = AlertEngine([AlertRule.parse("nf", "n > 0")])
+        (alert,) = engine.evaluate({"n": 1.0}, now=0.0)
+        assert alert.state == "firing"
+
+
+class TestDedupAndResolution:
+    def engine(self):
+        return AlertEngine([AlertRule.parse("r", "x > 0.5",
+                                            severity="critical")])
+
+    def test_firing_alert_is_deduplicated(self):
+        engine = self.engine()
+        assert len(engine.evaluate({"x": 0.9}, now=0.0)) == 1
+        # still breaching: no new record, but the live one is refreshed
+        assert engine.evaluate({"x": 0.7}, now=1.0) == []
+        (active,) = engine.firing
+        assert active.value == 0.7
+        assert active.windows_breached == 2
+        assert len(engine.history) == 1
+
+    def test_resolution_emits_record_and_allows_refire(self):
+        engine = self.engine()
+        engine.evaluate({"x": 0.9}, now=0.0)
+        (resolved,) = engine.evaluate({"x": 0.1}, now=1.0)
+        assert resolved.state == "resolved"
+        assert resolved.fired_at_wall == 0.0
+        assert resolved.resolved_at_wall == 1.0
+        assert engine.firing == []
+        (refired,) = engine.evaluate({"x": 0.9}, now=2.0)
+        assert refired.state == "firing"
+        assert [a.state for a in engine.history] \
+            == ["firing", "resolved", "firing"]
+
+    def test_no_resolution_without_prior_firing(self):
+        engine = self.engine()
+        assert engine.evaluate({"x": 0.1}, now=0.0) == []
+        assert engine.history == []
+
+    def test_alert_to_dict_maps_nan_value_to_none(self):
+        alert = Alert(rule="r", severity="warning", state="resolved",
+                      value=float("nan"), threshold=0.5, expr="x > 0.5",
+                      message="m", fired_at_wall=0.0)
+        assert alert.to_dict()["value"] is None
+
+
+class TestHubIntegration:
+    def test_record_alert_lands_in_hub_and_counter(self):
+        hub = TelemetryHub()
+        engine = AlertEngine([AlertRule.parse("r", "x > 0.5")])
+        for alert in engine.evaluate({"x": 0.9}, now=0.0):
+            hub.record_alert(alert)
+        assert [a.rule for a in hub.alerts] == ["r"]
+        (row,) = [r for r in hub.metrics.samples()
+                  if r["name"] == "alerts_total"]
+        assert row["labels"] == {"rule": "r", "state": "firing"}
+        assert row["value"] == 1
+
+    def test_null_hub_swallows_alert_api(self):
+        # the no-op twin must absorb the whole live surface untouched
+        engine = AlertEngine([AlertRule.parse("r", "x > 0.5")])
+        for alert in engine.evaluate({"x": 0.9}, now=0.0):
+            NULL_HUB.record_alert(alert)
+        assert NULL_HUB.alerts == []
+        NULL_HUB.attach_live(object())
+        assert NULL_HUB.live is None
+        NULL_HUB.live_tick(force=True)   # must not raise

@@ -1,0 +1,294 @@
+"""Live monitoring: event log, health board, monitor ticks, top view."""
+
+import io
+import json
+import urllib.request
+
+import pytest
+
+from repro.telemetry import (
+    EVENTS_JSONL,
+    AlertRule,
+    EventLog,
+    LiveMonitor,
+    TelemetryHub,
+    TopView,
+    WorkerHealthBoard,
+    read_events,
+    run_top,
+)
+
+
+def _hb(worker_id, state="busy", trial_id=None, busy=0.0, pid=100):
+    return {"worker_id": worker_id, "pid": pid, "state": state,
+            "trial_id": trial_id, "busy_seconds": busy}
+
+
+class TestEventLog:
+    def test_seq_strictly_increasing_and_readable(self, tmp_path):
+        log = EventLog(tmp_path / EVENTS_JSONL)
+        for i in range(3):
+            ev = log.append("snapshot", values={"i": i})
+            assert ev["seq"] == i
+        log.close()
+        events = read_events(tmp_path / EVENTS_JSONL)
+        assert [e["seq"] for e in events] == [0, 1, 2]
+        assert all(e["type"] == "snapshot" for e in events)
+
+    def test_read_events_since_seq_cursor(self, tmp_path):
+        log = EventLog(tmp_path / EVENTS_JSONL)
+        for _ in range(4):
+            log.append("heartbeat")
+        log.close()
+        assert [e["seq"] for e in read_events(tmp_path / EVENTS_JSONL,
+                                              since_seq=1)] == [2, 3]
+
+    def test_read_tolerates_torn_tail(self, tmp_path):
+        path = tmp_path / EVENTS_JSONL
+        log = EventLog(path)
+        log.append("snapshot", values={})
+        log.close()
+        # simulate a crash mid-append: valid line + torn fragment
+        with open(path, "a", encoding="utf-8") as fh:
+            fh.write('{"seq": 1, "type": "hea')
+        events = read_events(path)
+        assert [e["seq"] for e in events] == [0]
+
+    def test_missing_file_reads_empty(self, tmp_path):
+        assert read_events(tmp_path / "absent.jsonl") == []
+
+    def test_close_is_idempotent(self, tmp_path):
+        log = EventLog(tmp_path / EVENTS_JSONL)
+        log.append("snapshot")
+        log.close()
+        log.close()
+        assert len(read_events(tmp_path / EVENTS_JSONL)) == 1
+
+
+class TestWorkerHealthBoard:
+    def board(self, registry=None):
+        return WorkerHealthBoard(registry=registry, interval_s=1.0,
+                                 stall_factor=3.0)
+
+    def test_heartbeat_within_window_stays_alive(self):
+        b = self.board()
+        b.on_heartbeat(_hb(0), now=0.0)
+        assert b.check(now=2.0) == []
+        assert b.alive_count() == 1
+        assert b.stalled_count() == 0
+
+    def test_silence_past_window_stalls(self):
+        b = self.board()
+        b.on_heartbeat(_hb(0), now=0.0)
+        b.on_heartbeat(_hb(1), now=0.0)
+        assert b.check(now=3.5) == [0, 1]
+        # already stalled: not reported as *newly* stalled again
+        assert b.check(now=4.0) == []
+        assert b.stalled_count() == 2
+
+    def test_heartbeat_unstalls_and_counter_counts_transitions(self):
+        reg = TelemetryHub().metrics
+        b = self.board(registry=reg)
+        b.on_heartbeat(_hb(0), now=0.0)
+        assert b.check(now=4.0) == [0]
+        b.on_heartbeat(_hb(0), now=4.5)
+        assert b.check(now=5.0) == []
+        assert b.alive_count() == 1
+        assert b.check(now=9.0) == [0]   # second stall transition
+        rows = {r["name"]: r["value"] for r in reg.samples()}
+        assert rows["worker_stalled_total"] == 2
+        assert rows["workers_stalled"] == 1
+        assert rows["workers_alive"] == 0
+
+    def test_mark_dead_stalls_immediately(self):
+        b = self.board()
+        b.on_heartbeat(_hb(0), now=0.0)
+        b.mark_dead(0, now=0.1)
+        assert b.check(now=0.2) == [0]   # no waiting out the window
+
+    def test_snapshot_rows_are_jsonable(self):
+        b = self.board()
+        b.on_heartbeat(_hb(0, state="busy", trial_id="trial_0001",
+                           busy=1.5), now=0.0)
+        (row,) = b.snapshot()
+        assert json.loads(json.dumps(row)) == row
+        assert row["trial_id"] == "trial_0001"
+        assert row["heartbeats"] == 1
+
+
+class TestLiveMonitor:
+    def monitor(self, tmp_path, hub=None, **kw):
+        hub = TelemetryHub() if hub is None else hub
+        kw.setdefault("interval_s", 1.0)
+        mon = LiveMonitor(hub, run_dir=tmp_path, **kw)
+        hub.attach_live(mon)
+        return hub, mon
+
+    def test_tick_respects_interval_and_force(self, tmp_path):
+        hub, mon = self.monitor(tmp_path)
+        assert mon.tick(now=0.0) is True
+        assert mon.tick(now=0.5) is False     # interval not elapsed: free
+        assert mon.tick(now=0.5, force=True) is True
+        assert mon.tick(now=1.6) is True
+        assert mon.snapshots == 3
+
+    def test_data_wait_ratio_is_windowed(self, tmp_path):
+        hub, mon = self.monitor(tmp_path)
+        hub.on_step_bucket("compute", 1.0)
+        mon.tick(now=0.0)
+        assert mon.last_values["data_wait_ratio"] == 0.0
+        # the next window degrades even though cumulative totals look ok
+        hub.on_step_bucket("data_wait", 3.0)
+        hub.on_step_bucket("compute", 1.0)
+        mon.tick(now=1.5)
+        assert mon.last_values["data_wait_ratio"] == pytest.approx(0.75)
+
+    def test_health_view_does_not_advance_the_window(self, tmp_path):
+        hub, mon = self.monitor(tmp_path)
+        hub.on_step_bucket("compute", 1.0)
+        mon.tick(now=0.0)
+        hub.on_step_bucket("data_wait", 1.0)
+        mon.health_view()                      # read-only view
+        mon.health_view()
+        mon.tick(now=1.5)
+        # the delta window still spans back to the last *tick*
+        assert mon.last_values["data_wait_ratio"] == pytest.approx(1.0)
+
+    def test_queue_depth_and_extra_values_surface(self, tmp_path):
+        hub, mon = self.monitor(tmp_path)
+        hub.metrics.gauge("tune_trials_pending").set(5)
+        mon.set_value("replicas", 2)
+        values = mon.snapshot_values()
+        assert values["queue_depth"] == 5.0
+        assert values["replicas"] == 2.0
+
+    def test_alert_flows_into_events_and_hub(self, tmp_path):
+        rules = [AlertRule.parse("backlog", "queue_depth > 3",
+                                 severity="warning")]
+        hub, mon = self.monitor(tmp_path, rules=rules)
+        hub.metrics.gauge("tune_trials_pending").set(9)
+        mon.tick(now=0.0)
+        assert [a.rule for a in hub.alerts] == ["backlog"]
+        alerts = [e for e in read_events(tmp_path / EVENTS_JSONL)
+                  if e["type"] == "alert"]
+        assert [(a["rule"], a["state"]) for a in alerts] \
+            == [("backlog", "firing")]
+        (snap,) = [e for e in read_events(tmp_path / EVENTS_JSONL)
+                   if e["type"] == "snapshot"]
+        assert snap["alerts_firing"] == ["backlog"]
+
+    def test_heartbeats_append_events_and_feed_health(self, tmp_path):
+        hub, mon = self.monitor(tmp_path)
+        mon.on_heartbeat(_hb(0, trial_id="trial_0000", busy=0.4))
+        mon.tick(now=0.0, force=True)
+        events = read_events(tmp_path / EVENTS_JSONL)
+        assert [e["type"] for e in events] == ["heartbeat", "snapshot"]
+        (snap,) = [e for e in events if e["type"] == "snapshot"]
+        (worker,) = snap["workers"]
+        assert worker["trial_id"] == "trial_0000"
+        assert mon.last_values["workers_alive"] == 1.0
+
+    def test_close_is_idempotent_and_writes_final_health(self, tmp_path):
+        hub, mon = self.monitor(tmp_path)
+        mon.tick(now=0.0)
+        mon.close()
+        n = len(read_events(tmp_path / EVENTS_JSONL))
+        mon.close()                            # crash-safe double flush
+        mon.tick(force=True)                   # closed: must be a no-op
+        events = read_events(tmp_path / EVENTS_JSONL)
+        assert len(events) == n
+        assert events[-1]["type"] == "health"
+
+    def test_finalize_run_closes_monitor_and_records_alerts(self, tmp_path):
+        hub = TelemetryHub(run_dir=tmp_path)
+        rules = [AlertRule.parse("backlog", "queue_depth > 3")]
+        mon = LiveMonitor(hub, interval_s=1.0, rules=rules)
+        hub.attach_live(mon)
+        hub.metrics.gauge("tune_trials_pending").set(9)
+        hub.finalize_run("unit", config={}, seed=0)
+        assert mon._closed
+        manifest = json.loads((tmp_path / "manifest.json").read_text())
+        assert [a["rule"] for a in manifest["alerts"]] == ["backlog"]
+        assert (tmp_path / EVENTS_JSONL).exists()
+
+    def test_http_endpoint_serves_health_and_metrics(self, tmp_path):
+        hub, mon = self.monitor(tmp_path, http_port=0)
+        try:
+            hub.metrics.counter("train_steps_total").inc(3)
+            mon.on_heartbeat(_hb(0))
+            mon.tick(now=0.0, force=True)
+            base = f"http://127.0.0.1:{mon.http_port}"
+            with urllib.request.urlopen(f"{base}/health", timeout=5) as r:
+                health = json.loads(r.read())
+            assert health["workers_alive"] == 1
+            assert health["snapshots"] == 1
+            with urllib.request.urlopen(f"{base}/metrics", timeout=5) as r:
+                prom = r.read().decode()
+            assert "train_steps_total 3" in prom
+        finally:
+            mon.close()
+        assert mon.http_port is None
+
+
+class TestTopView:
+    def events_for_run(self, tmp_path):
+        hub = TelemetryHub()
+        mon = LiveMonitor(hub, run_dir=tmp_path, interval_s=1.0)
+        hub.attach_live(mon)
+        hub.on_step_bucket("compute", 3.0)
+        hub.on_step_bucket("data_wait", 1.0)
+        mon.on_heartbeat(_hb(0, state="busy", trial_id="trial_0002",
+                             busy=2.5))
+        mon.on_heartbeat(_hb(1, state="idle"))
+        mon.tick(now=0.0, force=True)
+        mon.close()
+        return tmp_path
+
+    def test_render_shows_workers_buckets_and_alerts(self, tmp_path):
+        run_dir = self.events_for_run(tmp_path)
+        view = TopView()
+        events = read_events(run_dir / EVENTS_JSONL)
+        assert view.ingest(events) == len(events)
+        assert view.ingest(events) == 0        # idempotent re-ingest
+        out = view.render()
+        assert "workers (2/2 alive)" in out
+        assert "trial_0002" in out
+        assert "compute" in out and "data_wait" in out
+        assert "alerts: none firing" in out
+        assert view.finished                   # saw the terminal health event
+
+    def test_render_flags_stalled_workers_and_firing_alerts(self):
+        view = TopView()
+        view.ingest([
+            {"seq": 0, "t_wall": 0.0, "type": "alert", "rule": "r",
+             "state": "firing", "severity": "critical", "message": "boom"},
+            {"seq": 1, "t_wall": 0.0, "type": "snapshot", "values": {},
+             "buckets": {}, "workers": [
+                 {"worker_id": 0, "pid": 9, "state": "dead",
+                  "trial_id": None, "busy_seconds": 0.0, "stalled": True}],
+             "alerts_firing": ["r"]},
+        ])
+        out = view.render(now=0.0)
+        assert "ALERTS FIRING" in out and "boom" in out
+        assert "STALLED" in out
+
+    def test_render_before_any_snapshot(self):
+        assert "no snapshots" in TopView().render()
+
+    def test_run_top_non_tty_oneshot_and_missing_dir(self, tmp_path):
+        run_dir = self.events_for_run(tmp_path / "run")
+        out = io.StringIO()
+        assert run_top(run_dir, stream=out) == 0
+        assert "distmis top" in out.getvalue()
+        assert run_top(tmp_path / "nowhere", stream=io.StringIO()) == 1
+
+    def test_run_top_follow_stops_after_final_health(self, tmp_path):
+        run_dir = self.events_for_run(tmp_path)
+        out = io.StringIO()
+        naps = []
+        rc = run_top(run_dir, follow=True, interval_s=0.0, stream=out,
+                     clock=lambda: 0.0, sleep=naps.append)
+        assert rc == 0
+        # frame 1 ingests everything incl. the health event; frame 2 sees
+        # nothing new behind it and the loop exits on its own
+        assert len(naps) == 1

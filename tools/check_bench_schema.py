@@ -1,0 +1,47 @@
+#!/usr/bin/env python
+"""Lint gate: every committed ``benchmarks/BENCH_*.json`` must satisfy
+the trajectory schema (``repro.perf.regression``).
+
+Checks, per file: valid JSON object; required keys (``benchmark``,
+``smoke``, ``host``); smoke records only on ``*_smoke.json`` filenames
+(and vice versa -- a smoke run must never masquerade as a trajectory
+point); at least one trackable numeric metric.  Exits non-zero with one
+line per violation, so ``make lint`` fails before a malformed or
+quarantine-violating record lands on the trajectory.
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parents[1] / "src"))
+
+from repro.perf.regression import validate_record  # noqa: E402
+
+
+def main(argv: list[str]) -> int:
+    bench_dir = Path(argv[1]) if len(argv) > 1 else \
+        Path(__file__).resolve().parents[1] / "benchmarks"
+    files = sorted(bench_dir.glob("BENCH_*.json"))
+    problems: list[str] = []
+    for path in files:
+        try:
+            obj = json.loads(path.read_text())
+        except (OSError, json.JSONDecodeError) as exc:
+            problems.append(f"{path}: unreadable ({exc})")
+            continue
+        problems.extend(validate_record(obj, path=path))
+    if problems:
+        for p in problems:
+            print(p, file=sys.stderr)
+        print(f"check_bench_schema: {len(problems)} problem(s) in "
+              f"{len(files)} file(s)", file=sys.stderr)
+        return 1
+    print(f"check_bench_schema: {len(files)} file(s) OK")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main(sys.argv))
