@@ -2,7 +2,7 @@
 
 PYTHON ?= python3
 
-.PHONY: install test lint smoke profile-smoke monitor-smoke bench bench-parallel bench-kernels bench-compare examples report api-docs results clean
+.PHONY: install test lint smoke profile-smoke monitor-smoke serve-smoke bench bench-parallel bench-kernels bench-compare examples report api-docs results clean
 
 install:
 	PIP_NO_BUILD_ISOLATION=false pip install -e .
@@ -21,7 +21,7 @@ lint:
 	fi
 	$(PYTHON) tools/check_bench_schema.py
 
-smoke: profile-smoke monitor-smoke
+smoke: profile-smoke monitor-smoke serve-smoke
 	PYTHONPATH=src $(PYTHON) examples/quickstart.py
 	PYTHONPATH=src $(PYTHON) examples/fault_tolerance.py
 	DISTMIS_BENCH_SMOKE=1 PYTHONPATH=src $(PYTHON) -m pytest \
@@ -54,6 +54,27 @@ monitor-smoke:
 	assert 'snapshot' in kinds, kinds; \
 	assert kinds[-1] == 'health', kinds[-1]; \
 	print(f'monitor-smoke OK: {len(evs)} events')"
+
+# tiny checkpoint served by 2 replicas under open-loop load: asserts
+# the quarantined serving record lands with its latency percentiles
+serve-smoke:
+	PYTHONPATH=src $(PYTHON) -m repro.cli serve-bench \
+		--rps 25 --duration 2 --replicas 2 \
+		--volume 8 8 8 --base-filters 2 --depth 2 \
+		--smoke --out /tmp/distmis_serve_smoke/BENCH_serving_smoke.json
+	$(PYTHON) tools/check_bench_schema.py \
+		/tmp/distmis_serve_smoke/BENCH_serving_smoke.json
+	PYTHONPATH=src $(PYTHON) -c "\
+	import json; \
+	rec = json.load(open( \
+	    '/tmp/distmis_serve_smoke/BENCH_serving_smoke.json')); \
+	lat = rec['latency_seconds']; \
+	assert rec['smoke'] is True; \
+	assert rec['requests']['completed'] >= 50, rec['requests']; \
+	assert 0 < lat['p50'] <= lat['p95'] <= lat['p99'], lat; \
+	assert rec['throughput_rps'] > 0; \
+	print(f'serve-smoke OK: {rec[\"requests\"][\"completed\"]} requests, ' \
+	      f'p99 {lat[\"p99\"] * 1e3:.1f} ms')"
 
 bench:
 	$(PYTHON) -m pytest benchmarks/ --benchmark-only -s

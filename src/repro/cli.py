@@ -20,7 +20,11 @@ surface:
   ``events.jsonl`` stream: worker liveness, step-time buckets, alerts;
 * ``distmis bench``    -- the benchmark-regression gate: ``compare`` a
   fresh ``BENCH_*.json`` against the committed trajectory, ``record``
-  a full-size run onto the trajectory history.
+  a full-size run onto the trajectory history;
+* ``distmis serve-bench`` -- load-test the micro-batched replica pool
+  (:mod:`repro.serve`) at a fixed offered rate and write the serving
+  latency record ``BENCH_serving.json`` (tail latency, throughput,
+  batch-size histogram).
 
 ``train``, ``search`` and ``simulate`` accept ``--telemetry DIR`` to
 record the run (manifest + metrics + trace) into ``DIR``.  ``search``
@@ -474,6 +478,91 @@ def cmd_bench_record(args) -> int:
     return 0
 
 
+def cmd_serve_bench(args) -> int:
+    import tempfile
+    from pathlib import Path
+
+    import numpy as np
+
+    from .core.checkpoint import CheckpointManager
+    from .nn import UNet3D
+    from .perf.regression import bench_output_path, is_smoke_env
+    from .serve import (
+        ModelServer,
+        ServeConfig,
+        run_serve_bench,
+        write_serving_record,
+    )
+
+    hub = _make_hub(args)
+    smoke = bool(args.smoke or is_smoke_env())
+    model_kwargs = dict(in_channels=args.channels, out_channels=1,
+                        base_filters=args.base_filters, depth=args.depth,
+                        use_batchnorm=False)
+    rng = np.random.default_rng(args.seed)
+    tmp = None
+    checkpoint = args.checkpoint
+    if checkpoint is None:
+        # a synthetic "best trial": untrained weights through the same
+        # CheckpointManager round-trip a tuned model would take
+        tmp = tempfile.TemporaryDirectory(prefix="serve_ckpt_")
+        model = UNet3D(rng=np.random.default_rng(args.seed),
+                       **model_kwargs)
+        mgr = CheckpointManager(tmp.name)
+        mgr.save(model, epoch=0, val_dice=1.0)
+        checkpoint = str(mgr.best_path)
+    volumes = [rng.normal(size=(args.channels, *args.volume))
+               for _ in range(8)]
+    config = ServeConfig(
+        checkpoint=checkpoint, model_builder=UNet3D,
+        model_kwargs=model_kwargs, replicas=args.replicas,
+        max_batch=args.max_batch, max_delay_ms=args.max_delay_ms,
+        autoscale=args.autoscale,
+    )
+    try:
+        with ModelServer(config, telemetry=hub) as server:
+            record = run_serve_bench(server, volumes, rps=args.rps,
+                                     duration_s=args.duration, smoke=smoke)
+    finally:
+        if tmp is not None:
+            tmp.cleanup()
+    if args.out:
+        out = Path(args.out)
+    else:
+        out = bench_output_path(Path(args.bench_dir) / "_anchor",
+                                "serving", smoke)
+    out.parent.mkdir(parents=True, exist_ok=True)
+    write_serving_record(record, out)
+    lat = record["latency_seconds"]
+    req = record["requests"]
+    print(f"serving: {req['completed']}/{req['sent']} requests on "
+          f"{args.replicas} replica(s) ({req['failed']} failed, "
+          f"{req['retried']} retried)")
+    print(f"  latency  p50 {lat['p50'] * 1e3:.1f} ms   "
+          f"p95 {lat['p95'] * 1e3:.1f} ms   "
+          f"p99 {lat['p99'] * 1e3:.1f} ms")
+    print(f"  throughput {record['throughput_rps']:.1f} rps "
+          f"(offered {args.rps:g})")
+    hist = record["batch_size"]["histogram"]
+    sizes = ", ".join(f"{k}x{hist[k]}"
+                      for k in sorted(hist, key=int))
+    print(f"  batch sizes: {sizes}")
+    run_dir = hub.finalize_run(
+        kind="serve-bench",
+        config={"rps": args.rps, "duration": args.duration,
+                "replicas": args.replicas, "max_batch": args.max_batch,
+                "max_delay_ms": args.max_delay_ms},
+        seed=args.seed,
+        final_metrics={"latency_p50_s": lat["p50"],
+                       "latency_p99_s": lat["p99"],
+                       "throughput_rps": record["throughput_rps"]},
+    )
+    if run_dir is not None:
+        print(f"telemetry written to {run_dir}")
+    print(f"serving benchmark written to {out}")
+    return 0
+
+
 def cmd_summary(args) -> int:
     import numpy as np
 
@@ -669,6 +758,51 @@ def build_parser() -> argparse.ArgumentParser:
     c.add_argument("candidate", help="BENCH_*.json to append")
     c.add_argument("--bench-dir", default="benchmarks")
     c.set_defaults(fn=cmd_bench_record)
+
+    p = sub.add_parser("serve-bench",
+                       help="load-test the micro-batched replica pool "
+                            "and record the serving latency trajectory")
+    p.add_argument("--rps", type=float, default=20.0,
+                   help="offered request rate (open loop)")
+    p.add_argument("--duration", type=float, default=3.0,
+                   help="load-generation window in seconds")
+    p.add_argument("--replicas", type=int, default=2,
+                   help="model replica processes")
+    p.add_argument("--max-batch", type=int, default=4,
+                   help="micro-batch size cap")
+    p.add_argument("--max-delay-ms", type=float, default=10.0,
+                   help="micro-batch coalescing deadline")
+    p.add_argument("--autoscale", action="store_true",
+                   help="let the backlog-driven autoscaler resize the "
+                        "pool during the run")
+    p.add_argument("--volume", type=int, nargs=3, default=(16, 16, 16),
+                   metavar=("D", "H", "W"),
+                   help="served volume shape (paper: 240 240 155)")
+    p.add_argument("--channels", type=int, default=1,
+                   help="input channels (paper: 4 modalities)")
+    p.add_argument("--base-filters", type=int, default=2)
+    p.add_argument("--depth", type=int, default=2)
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--checkpoint", default=None,
+                   help="serve this .npz checkpoint (model flags must "
+                        "match its architecture; default: a synthetic "
+                        "best-trial checkpoint built from the flags)")
+    p.add_argument("--bench-dir", default="benchmarks",
+                   help="where BENCH_serving[_smoke].json lands")
+    p.add_argument("--out", default=None,
+                   help="explicit output path (overrides --bench-dir)")
+    p.add_argument("--smoke", action="store_true",
+                   help="write the quarantined *_smoke.json record "
+                        "(also: DISTMIS_BENCH_SMOKE=1)")
+    p.add_argument("--telemetry", metavar="DIR",
+                   help="record manifest/metrics/trace into DIR")
+    p.add_argument("--watch", action="store_true",
+                   help="stream live snapshot/alert lines (serve_backlog "
+                        "etc.) while the bench runs; requires --telemetry")
+    p.add_argument("--live-port", type=int, default=None, metavar="PORT",
+                   help="serve /metrics and /health on localhost during "
+                        "the run (0 = any free port)")
+    p.set_defaults(fn=cmd_serve_bench)
 
     p = sub.add_parser("summary", help="print the model's layer summary")
     p.add_argument("--base-filters", type=int, default=8)

@@ -40,12 +40,29 @@ __all__ = [
 
 @dataclass
 class InferenceResult:
-    """Prediction plus accounting for the strategy comparison."""
+    """Prediction plus accounting for the strategy comparison.
+
+    Accounting semantics (pinned by the E11 regression tests):
+
+    * ``forward_passes`` counts **samples pushed through the network**:
+      every sample of every model invocation counts once, so batching
+      patches never changes the count.  Full-volume inference on N
+      subjects is N passes; sliding-window inference is the total
+      number of patches, whatever ``batch_size`` groups them into.
+      (An earlier revision counted sliding-window passes per *batch*,
+      silently deflating sub-patch compute by ``batch_size`` relative
+      to ``voxels_computed`` and to the full-volume strategy.)
+    * ``model_invocations`` counts calls into ``model.predict`` -- the
+      dispatch-overhead unit micro-batched serving amortises.
+    * ``voxels_computed`` is consistent with ``forward_passes``: the
+      voxels of every sample actually forwarded.
+    """
 
     prediction: np.ndarray        # (N, C, D, H, W)
     seconds: float
-    forward_passes: int
+    forward_passes: int           # samples forwarded (batch-size invariant)
     voxels_computed: int          # total voxels pushed through the net
+    model_invocations: int = 0    # model.predict calls (0 = unknown/legacy)
 
     def overcompute_factor(self) -> float:
         """Computed voxels / output voxels (1.0 = no redundancy)."""
@@ -65,6 +82,7 @@ def full_volume_inference(model: Module, images: np.ndarray) -> InferenceResult:
         seconds=time.perf_counter() - t0,
         forward_passes=images.shape[0],
         voxels_computed=int(np.prod(pred.shape)),
+        model_invocations=images.shape[0],
     )
 
 
@@ -88,6 +106,7 @@ def sliding_window_inference(
     t0 = time.perf_counter()
     out = []
     passes = 0
+    invocations = 0
     voxels = 0
     for i in range(images.shape[0]):
         patches, offsets = extract_patches(images[i], spec)
@@ -96,7 +115,11 @@ def sliding_window_inference(
             chunk = patches[start : start + batch_size]
             pred = model.predict(chunk)
             preds.append(pred)
-            passes += 1
+            # per-sample accounting: a batch of k patches is k forward
+            # passes of work (matches voxels_computed and the full-volume
+            # strategy), however the invocation groups them
+            passes += int(chunk.shape[0])
+            invocations += 1
             voxels += int(np.prod(pred.shape))
         pred_patches = np.concatenate(preds, axis=0)
         out.append(
@@ -108,6 +131,7 @@ def sliding_window_inference(
         seconds=time.perf_counter() - t0,
         forward_passes=passes,
         voxels_computed=voxels,
+        model_invocations=invocations,
     )
 
 

@@ -24,6 +24,10 @@ Protocol (all messages flow over one result queue, as-completed):
   workers piggyback a beat on every reporter call.  The driver's
   :class:`~repro.telemetry.live.WorkerHealthBoard` folds these in and
   flags a worker whose beats stop arriving;
+* ``("retired", worker_id, stats)`` -- a worker finished draining after
+  :meth:`ProcessPoolTrialExecutor.retire_worker` and exited; paired
+  with :meth:`ProcessPoolTrialExecutor.add_worker` this gives drivers
+  (the ``repro.serve`` autoscaler) dynamic pool sizing;
 * ``("done", trial_id, attempt, final, stopped, stats)`` /
   ``("error", trial_id, attempt, message, stats)`` -- terminal.
 
@@ -70,6 +74,11 @@ class TrialExecutionError(RuntimeError):
     the driver runs with ``raise_on_error``)."""
 
 
+# Placed in a worker's stop_requests set when the driver asks it to
+# drain-then-retire; never collides with trial ids ("trial_NNNN"...).
+_RETIRE_SENTINEL = "__retire__"
+
+
 def _default_start_method() -> str:
     # fork keeps warm start cheap (no re-import) and inherits the
     # already-built factory arguments; fall back to spawn elsewhere.
@@ -109,6 +118,10 @@ class _WorkerReporter:
                 return
             if kind == "stop":
                 self._stop_requests.add(trial_id)
+            elif kind == "retire":
+                # drain-then-retire: never interrupts the running trial,
+                # the worker loop acts on the sentinel after it finishes
+                self._stop_requests.add(_RETIRE_SENTINEL)
 
     def __call__(self, **metrics) -> bool:
         checkpoint = metrics.pop("checkpoint", None)
@@ -193,7 +206,26 @@ def _worker_main(worker_id: int, task_q, result_q, control_q,
             "trial_id": trial_id, "busy_seconds": busy_s,
         }))
 
+    def drain_idle_control() -> None:
+        """Notice retire requests while no reporter is polling."""
+        while True:
+            try:
+                kind, payload = control_q.get_nowait()
+            except queue_mod.Empty:
+                return
+            if kind == "stop":
+                stop_requests.add(payload)
+            elif kind == "retire":
+                stop_requests.add(_RETIRE_SENTINEL)
+
     while True:
+        drain_idle_control()
+        if _RETIRE_SENTINEL in stop_requests:
+            # drain-then-retire: the current task (if any) already
+            # finished; anything still queued is picked up by peers
+            result_q.put(("retired", worker_id,
+                          _worker_stats(worker_id, busy_s)))
+            return
         try:
             task = task_q.get(timeout=heartbeat_s)
         except queue_mod.Empty:
@@ -267,29 +299,39 @@ class ProcessPoolTrialExecutor:
         self.telemetry = telemetry
         self.max_workers = max_workers
         self.heartbeat_s = float(heartbeat_s)
-        ctx = multiprocessing.get_context(
+        self._ctx = multiprocessing.get_context(
             start_method or _default_start_method())
-        self._task_q = ctx.Queue()
-        self._result_q = ctx.Queue()
-        self._control_qs = [ctx.Queue() for _ in range(max_workers)]
-        profile = bool(getattr(telemetry, "profile", False))
-        self._procs = [
-            ctx.Process(
-                target=_worker_main,
-                args=(i, self._task_q, self._result_q, self._control_qs[i],
-                      trainable, trainable_factory, factory_kwargs, profile,
-                      self.heartbeat_s),
-                daemon=True, name=f"trial-worker-{i}",
-            )
-            for i in range(max_workers)
-        ]
-        for p in self._procs:
-            p.start()
+        self._task_q = self._ctx.Queue()
+        self._result_q = self._ctx.Queue()
+        self._profile = bool(getattr(telemetry, "profile", False))
+        self._worker_args = (trainable, trainable_factory, factory_kwargs)
+        self._control_qs = []
+        self._procs = []
+        self._retiring: set[int] = set()
+        self._g_workers = telemetry.metrics.gauge(
+            "execpool_workers", "worker processes in the trial pool")
+        for _ in range(max_workers):
+            self._spawn_worker()
         self._submitted = 0
         self._shut_down = False
-        telemetry.metrics.gauge(
-            "execpool_workers", "worker processes in the trial pool"
-        ).set(max_workers)
+        self._g_workers.set(self.worker_count())
+
+    def _spawn_worker(self) -> int:
+        """Start one more persistent worker; returns its worker id."""
+        wid = len(self._procs)
+        control_q = self._ctx.Queue()
+        trainable, factory, factory_kwargs = self._worker_args
+        p = self._ctx.Process(
+            target=_worker_main,
+            args=(wid, self._task_q, self._result_q, control_q,
+                  trainable, factory, factory_kwargs, self._profile,
+                  self.heartbeat_s),
+            daemon=True, name=f"trial-worker-{wid}",
+        )
+        self._control_qs.append(control_q)
+        self._procs.append(p)
+        p.start()
+        return wid
 
     # -- submission / streaming -------------------------------------------
     def submit(self, trial_id: str, config: dict, attempt: int = 0,
@@ -318,9 +360,68 @@ class ProcessPoolTrialExecutor:
                         "all trial workers exited unexpectedly"
                     ) from None
 
+    def poll_message(self):
+        """Non-blocking :meth:`next_message`: the next queued worker
+        message, or ``None`` if nothing is waiting right now.  The hook
+        step-driven drivers (``repro.serve``) drain between their own
+        deadline checks without inheriting the blocking poll's
+        granularity."""
+        try:
+            return self._result_q.get_nowait()
+        except queue_mod.Empty:
+            return None
+
     def dead_workers(self) -> list[int]:
+        """Workers whose process exited *unexpectedly* -- a worker asked
+        to retire is draining by request and is never reported dead."""
         return [i for i, p in enumerate(self._procs)
-                if not p.is_alive()]
+                if not p.is_alive() and i not in self._retiring]
+
+    def alive_workers(self) -> list[int]:
+        """Ids of workers currently serving the task queue (alive and
+        not retiring)."""
+        return [i for i, p in enumerate(self._procs)
+                if p.is_alive() and i not in self._retiring]
+
+    def worker_count(self) -> int:
+        """Workers currently serving the task queue (started, not dead,
+        not retiring)."""
+        return len(self.alive_workers())
+
+    # -- dynamic pool sizing ------------------------------------------------
+    def add_worker(self) -> int:
+        """Scale up: start one more warm worker on the shared queues.
+
+        The new worker builds its trainable from the same
+        ``trainable_factory`` the pool started with and begins pulling
+        from the task queue immediately; returns its worker id.
+        """
+        if self._shut_down:
+            raise RuntimeError("executor is shut down")
+        wid = self._spawn_worker()
+        self._g_workers.set(self.worker_count())
+        return wid
+
+    def retire_worker(self, worker_id: int) -> None:
+        """Scale down: ask one worker to drain-then-exit.
+
+        The worker finishes the task it is running (a retire never
+        interrupts work), emits a terminal ``("retired", worker_id,
+        stats)`` message, and exits; tasks still queued are picked up by
+        the remaining workers.  Idempotent.
+        """
+        if self._shut_down:
+            raise RuntimeError("executor is shut down")
+        if not 0 <= worker_id < len(self._procs):
+            raise ValueError(f"no such worker {worker_id}")
+        if worker_id in self._retiring:
+            return
+        self._retiring.add(worker_id)
+        try:
+            self._control_qs[worker_id].put(("retire", None))
+        except (OSError, ValueError):
+            pass
+        self._g_workers.set(self.worker_count())
 
     def stop_trial(self, trial_id: str) -> None:
         """Broadcast an asynchronous stop; the owning worker notices at
@@ -601,6 +702,8 @@ def run_trials_parallel(
             # message): fold into the cross-process aggregate.
             telemetry.ingest_worker_frame(msg[1])
             continue
+        if kind == "retired":
+            continue  # an autoscaler-driven drain, not a failure
         if kind == "started":
             _, tid, worker_id, attempt = msg
             if tid not in pending or attempt != attempt_of.get(tid):

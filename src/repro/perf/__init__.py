@@ -20,10 +20,14 @@ from .calibration import (
     summarize,
 )
 from .deployment import (
+    GIB,
     PAPER_DATASET_BYTES,
     DatasetFootprint,
     DeploymentPlan,
+    ServingCapacityPlan,
+    ServingWorkload,
     plan_deployment,
+    plan_serving_capacity,
     staging_time,
 )
 from .costs import (
@@ -94,11 +98,15 @@ __all__ = [
     "TABLE1_EXPERIMENT_PARALLEL_S",
     "TABLE1_DP_SPEEDUPS",
     "TABLE1_EP_SPEEDUPS",
+    "GIB",
     "DatasetFootprint",
     "DeploymentPlan",
     "staging_time",
     "plan_deployment",
     "PAPER_DATASET_BYTES",
+    "ServingWorkload",
+    "ServingCapacityPlan",
+    "plan_serving_capacity",
     "TrialBreakdown",
     "epoch_breakdown",
     "simulate_trial_timeline",

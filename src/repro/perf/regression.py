@@ -41,6 +41,7 @@ from pathlib import Path
 
 __all__ = [
     "BenchRecord", "MetricDelta", "CompareReport", "SCHEMA_REQUIRED_KEYS",
+    "REQUIRED_METRICS",
     "bench_output_path", "is_smoke_env", "host_metadata",
     "load_bench_record", "validate_record", "metric_directions",
     "hosts_comparable", "compare_records", "append_trajectory",
@@ -49,6 +50,14 @@ __all__ = [
 
 # Keys every benchmark summary must carry to join the trajectory.
 SCHEMA_REQUIRED_KEYS = ("benchmark", "smoke", "host")
+
+# Per-benchmark required metrics (flattened dot-paths): a record
+# claiming one of these benchmark names must carry them, so a serving
+# run that lost its percentiles can never silently join the trajectory.
+REQUIRED_METRICS = {
+    "serving": ("latency_seconds.p50", "latency_seconds.p95",
+                "latency_seconds.p99", "throughput_rps"),
+}
 
 # A candidate regresses when it moves past the larger of these bands.
 DEFAULT_REL_THRESHOLD = 0.15
@@ -164,8 +173,14 @@ def validate_record(obj, path=None) -> list[str]:
                 "must write *_smoke.json)")
         if not obj.get("smoke", False) and name.endswith("_smoke.json"):
             problems.append(f"{where}full-size record on a *_smoke.json name")
-    if not _flatten_numeric(obj if isinstance(obj, dict) else {}):
+    flat = _flatten_numeric(obj if isinstance(obj, dict) else {})
+    if not flat:
         problems.append(f"{where}no numeric metrics to track")
+    for needed in REQUIRED_METRICS.get(str(obj.get("benchmark", "")), ()):
+        if needed not in flat:
+            problems.append(
+                f"{where}benchmark {obj.get('benchmark')!r} requires "
+                f"metric {needed!r}")
     return problems
 
 

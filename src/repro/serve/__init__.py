@@ -1,0 +1,36 @@
+"""Production inference serving for the best tuned model.
+
+The tuning pipeline ends with a best-trial checkpoint; this package is
+what runs it: a pool of checkpoint-loaded model replicas on warm worker
+processes (:mod:`repro.execpool`) behind an admission queue with
+dynamic micro-batching, size-based routing between full-volume and
+sliding-window inference, heartbeat/fail-over-backed retries for
+replica crashes, and a telemetry-driven autoscaler.  ``distmis
+serve-bench`` load-tests the stack and records the serving latency
+trajectory (``BENCH_serving.json``).
+
+Served predictions are bit-identical to offline
+:func:`repro.core.inference.full_volume_inference` on the same volume
+-- see :mod:`repro.serve.replica` for why micro-batching amortises
+dispatch, never the GEMM.
+"""
+
+from .autoscaler import Autoscaler, AutoscalerConfig
+from .batcher import BatchKey, MicroBatcher
+from .bench import run_serve_bench, write_serving_record
+from .replica import replica_factory
+from .server import InferenceResponse, ModelServer, ServeConfig, ServeFuture
+
+__all__ = [
+    "Autoscaler",
+    "AutoscalerConfig",
+    "BatchKey",
+    "MicroBatcher",
+    "run_serve_bench",
+    "write_serving_record",
+    "replica_factory",
+    "InferenceResponse",
+    "ModelServer",
+    "ServeConfig",
+    "ServeFuture",
+]

@@ -1,0 +1,89 @@
+"""Telemetry-driven replica autoscaling: sustained backlog up, idle down.
+
+Pure decision logic, deliberately clock- and pool-free: the server feeds
+it one observation per step (queue depth = *unanswered* requests, the
+``serve_queue_depth`` gauge; in-flight batches; current replica count;
+a monotonic timestamp) and maps the returned decision onto
+:meth:`repro.execpool.executor.ProcessPoolTrialExecutor.add_worker` /
+:meth:`~repro.execpool.executor.ProcessPoolTrialExecutor.retire_worker`.
+
+Both directions use streaks (consecutive observations), mirroring the
+``for N windows`` hysteresis of :mod:`repro.telemetry.alerts`, so one
+bursty arrival never flaps the pool; a cooldown after every action lets
+the new capacity drain the queue before the next decision.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["AutoscalerConfig", "Autoscaler"]
+
+
+@dataclass(frozen=True)
+class AutoscalerConfig:
+    min_replicas: int = 1
+    max_replicas: int = 4
+    # backlog: unanswered requests per replica that count as "falling
+    # behind" (each replica serves one batch at a time)
+    backlog_per_replica: float = 2.0
+    scale_up_streak: int = 3     # consecutive backlog observations
+    idle_streak: int = 10        # consecutive fully-idle observations
+    cooldown_s: float = 2.0      # min seconds between actions
+
+    def __post_init__(self):
+        if self.min_replicas < 1:
+            raise ValueError("min_replicas must be >= 1")
+        if self.max_replicas < self.min_replicas:
+            raise ValueError("max_replicas must be >= min_replicas")
+        if self.backlog_per_replica <= 0:
+            raise ValueError("backlog_per_replica must be > 0")
+        if self.scale_up_streak < 1 or self.idle_streak < 1:
+            raise ValueError("streaks must be >= 1")
+        if self.cooldown_s < 0:
+            raise ValueError("cooldown_s must be >= 0")
+
+
+class Autoscaler:
+    """Folds queue observations into scale_up / retire / hold decisions.
+
+    >>> a = Autoscaler(AutoscalerConfig(scale_up_streak=2))
+    >>> a.observe(queue_depth=9, inflight=1, replicas=1, now=0.0)
+    'hold'
+    >>> a.observe(queue_depth=9, inflight=1, replicas=1, now=1.0)
+    'scale_up'
+    """
+
+    def __init__(self, config: AutoscalerConfig | None = None):
+        self.config = config or AutoscalerConfig()
+        self._backlog_streak = 0
+        self._idle_streak = 0
+        self._last_action_mono: float | None = None
+
+    def observe(self, queue_depth: int, inflight: int, replicas: int,
+                now: float) -> str:
+        """One observation in, one of ``"scale_up" | "retire" | "hold"``
+        out.  ``now`` is monotonic and only compared to itself (cooldown
+        arithmetic), never to wall time.
+        """
+        cfg = self.config
+        backlog = queue_depth > cfg.backlog_per_replica * replicas
+        idle = queue_depth == 0 and inflight == 0
+        # streaks keep counting through the cooldown so sustained
+        # pressure acts the moment the cooldown expires
+        self._backlog_streak = self._backlog_streak + 1 if backlog else 0
+        self._idle_streak = self._idle_streak + 1 if idle else 0
+        if (self._last_action_mono is not None
+                and now - self._last_action_mono < cfg.cooldown_s):
+            return "hold"
+        if (self._backlog_streak >= cfg.scale_up_streak
+                and replicas < cfg.max_replicas):
+            self._last_action_mono = now
+            self._backlog_streak = 0
+            return "scale_up"
+        if (self._idle_streak >= cfg.idle_streak
+                and replicas > cfg.min_replicas):
+            self._last_action_mono = now
+            self._idle_streak = 0
+            return "retire"
+        return "hold"

@@ -1,0 +1,95 @@
+"""Dynamic micro-batching: coalesce requests up to a batch/deadline budget.
+
+The admission queue groups compatible requests (same inference strategy,
+per-sample shape and dtype -- a batch must stack into one array) and
+releases a group as soon as it fills to ``max_batch`` *or* its oldest
+request has waited ``max_delay_s``.  Batching here amortises the
+per-invocation dispatch cost (queue hand-off, pickling the volume across
+the process boundary, one ``model.predict`` call per request); the
+per-sample forward time itself is batch-invariant because replicas run
+the bit-identical per-sample loop (see :mod:`repro.serve.replica`).
+
+Pure logic over caller-supplied monotonic timestamps -- no clock reads,
+no threads -- so tests drive it with synthetic time exactly like the
+health board in :mod:`repro.telemetry.live`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["BatchKey", "MicroBatcher"]
+
+
+@dataclass(frozen=True)
+class BatchKey:
+    """What must match for requests to share a batch."""
+
+    strategy: str            # "full_volume" | "sliding_window"
+    shape: tuple             # per-sample (C, D, H, W)
+    dtype: str
+
+
+class MicroBatcher:
+    """Deadline/size-triggered request coalescing.
+
+    >>> mb = MicroBatcher(max_batch=4, max_delay_s=0.01)
+    >>> mb.add("r0", key, now=0.0)
+    >>> mb.due(now=0.005)          # neither full nor expired
+    []
+    >>> mb.due(now=0.02)           # deadline flush with a partial batch
+    [(key, ['r0'])]
+    """
+
+    def __init__(self, max_batch: int = 4, max_delay_s: float = 0.01):
+        if max_batch < 1:
+            raise ValueError("max_batch must be >= 1")
+        if max_delay_s < 0:
+            raise ValueError("max_delay_s must be >= 0")
+        self.max_batch = int(max_batch)
+        self.max_delay_s = float(max_delay_s)
+        # key -> [(request_id, arrival_mono)], arrival order preserved
+        self._groups: dict[BatchKey, list[tuple[str, float]]] = {}
+
+    def add(self, request_id: str, key: BatchKey, now: float) -> None:
+        self._groups.setdefault(key, []).append((request_id, float(now)))
+
+    def depth(self) -> int:
+        """Requests admitted but not yet released to a replica."""
+        return sum(len(g) for g in self._groups.values())
+
+    def next_deadline(self) -> float | None:
+        """Monotonic time of the earliest pending deadline flush."""
+        oldest = [g[0][1] for g in self._groups.values() if g]
+        return min(oldest) + self.max_delay_s if oldest else None
+
+    def due(self, now: float) -> list[tuple[BatchKey, list[str]]]:
+        """Release every batch that is full or past its deadline.
+
+        Full batches release immediately regardless of the deadline; a
+        partial batch releases once its *oldest* member has waited
+        ``max_delay_s`` (the per-request latency bound the capacity
+        model in :mod:`repro.perf.deployment` assumes).
+        """
+        released: list[tuple[BatchKey, list[str]]] = []
+        for key in list(self._groups):
+            group = self._groups[key]
+            while len(group) >= self.max_batch:
+                take, self._groups[key] = group[: self.max_batch], \
+                    group[self.max_batch:]
+                group = self._groups[key]
+                released.append((key, [rid for rid, _ in take]))
+            if group and now - group[0][1] >= self.max_delay_s:
+                released.append((key, [rid for rid, _ in group]))
+                group = []
+                self._groups[key] = group
+            if not group:
+                del self._groups[key]
+        return released
+
+    def flush(self) -> list[tuple[BatchKey, list[str]]]:
+        """Release everything pending (server drain/shutdown)."""
+        released = [(key, [rid for rid, _ in group])
+                    for key, group in self._groups.items() if group]
+        self._groups.clear()
+        return released

@@ -1,0 +1,123 @@
+"""serve-bench: open-loop load generation for the replica pool.
+
+Drives a :class:`~repro.serve.server.ModelServer` at a fixed offered
+rate for a fixed duration and summarises what came back -- tail latency
+(p50/p95/p99), achieved throughput and the micro-batch size histogram
+-- as a ``BENCH_serving.json`` record in the same schema the kernel and
+scaling benchmarks use (:mod:`repro.perf.regression`), so serving
+latency becomes the repo's third tracked performance trajectory next to
+compute and scaling.
+
+The generator is **open-loop** (arrivals follow the schedule, never the
+responses), the standard way to expose queueing delay: a closed loop
+would slow its own arrivals exactly when the server falls behind and
+hide the backlog the autoscaler and the ``serve_backlog`` alert exist
+to catch.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+import time
+from pathlib import Path
+
+import numpy as np
+
+from ..perf.regression import host_metadata, validate_record
+
+__all__ = ["run_serve_bench", "write_serving_record"]
+
+
+def _percentiles(latencies: list[float]) -> dict:
+    lat = np.asarray(sorted(latencies), dtype=np.float64)
+    return {
+        "p50": float(np.percentile(lat, 50)),
+        "p95": float(np.percentile(lat, 95)),
+        "p99": float(np.percentile(lat, 99)),
+        "mean": float(lat.mean()),
+        "max": float(lat.max()),
+    }
+
+
+def run_serve_bench(server, volumes, rps: float, duration_s: float,
+                    smoke: bool = False) -> dict:
+    """Offer ``rps * duration_s`` requests on a fixed schedule; returns
+    the ``BENCH_serving.json`` record (not yet written).
+
+    ``volumes`` is a non-empty sequence of (C, D, H, W) arrays replayed
+    round-robin -- the bench measures the serving stack, not the data.
+    """
+    if rps <= 0 or duration_s <= 0:
+        raise ValueError("rps and duration_s must be > 0")
+    if not len(volumes):
+        raise ValueError("need at least one volume to serve")
+    n_total = max(1, int(round(rps * duration_s)))
+    futures = []
+    sent = 0
+    t0 = time.monotonic()
+    while sent < n_total or server.pending_count():
+        now = time.monotonic()
+        while sent < n_total and t0 + sent / rps <= now:
+            futures.append(server.submit(volumes[sent % len(volumes)]))
+            sent += 1
+        server.step()
+        # sleep to the next interesting instant (next arrival or batch
+        # deadline), capped so worker completions are noticed promptly
+        next_send = t0 + sent / rps if sent < n_total else math.inf
+        deadline = server.batcher.next_deadline()
+        wake = min(next_send, math.inf if deadline is None else deadline)
+        pause = min(0.005, wake - time.monotonic())
+        if pause > 0:
+            time.sleep(pause)
+    elapsed = time.monotonic() - t0
+    done = [f for f in futures if f._error is None]
+    failed = len(futures) - len(done)
+    responses = [f.result() for f in done]
+    if not responses:
+        raise RuntimeError(
+            f"serve-bench completed no requests ({failed} failed)")
+    hist: dict[str, int] = {}
+    for r in responses:
+        hist[str(r.batch_size)] = hist.get(str(r.batch_size), 0) + 1
+    cfg = server.config
+    return {
+        "benchmark": "serving",
+        "smoke": bool(smoke),
+        "host": host_metadata(),
+        "config": {
+            "offered_rps": float(rps),
+            "duration": float(duration_s),
+            "replicas": int(cfg.replicas),
+            "max_batch": int(cfg.max_batch),
+            "max_delay_ms": float(cfg.max_delay_ms),
+            "autoscale": bool(cfg.autoscale),
+        },
+        "requests": {
+            "sent": len(futures),
+            "completed": len(responses),
+            "failed": failed,
+            "retried": sum(1 for r in responses if r.attempt > 0),
+        },
+        "latency_seconds": _percentiles([r.latency_s for r in responses]),
+        "throughput_rps": len(responses) / elapsed,
+        "batch_size": {
+            "mean": float(np.mean([r.batch_size for r in responses])),
+            "max": int(max(r.batch_size for r in responses)),
+            "histogram": hist,
+        },
+        "service_seconds_mean": float(
+            np.mean([r.model_seconds for r in responses])),
+    }
+
+
+def write_serving_record(record: dict, path) -> Path:
+    """Validate against the shared bench schema (including the serving
+    benchmark's required percentiles) and write it."""
+    problems = validate_record(record, path=path)
+    if problems:
+        raise ValueError("; ".join(problems))
+    path = Path(path)
+    path.write_text(json.dumps(record, indent=2, sort_keys=True) + "\n",
+                    encoding="utf-8")
+    return path

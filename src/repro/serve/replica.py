@@ -1,0 +1,82 @@
+"""Worker-side model replica: checkpoint-loaded, batch-serving trainable.
+
+A replica is what :class:`repro.execpool.executor.ProcessPoolTrialExecutor`
+builds *inside each worker process* from :func:`replica_factory`: the
+model is constructed once per worker, the best-trial checkpoint is
+restored into it through the same bit-exact ``.npz`` round-trip training
+uses (:func:`repro.core.checkpoint.load_checkpoint`), and the returned
+callable then serves micro-batches shipped over the task queue for the
+lifetime of the process.
+
+Bit-identity contract
+---------------------
+Replicas answer through :func:`repro.core.inference.full_volume_inference`
+/ :func:`~repro.core.inference.sliding_window_inference`, whose inner
+loop forwards **one sample per ``model.predict`` call**.  On this BLAS a
+batched matmul is *not* bitwise-identical to the per-row equivalent, so
+stacking k requests into one forward pass would make served predictions
+diverge from offline inference at the last ulp.  Keeping the per-sample
+loop makes a served prediction bit-identical to a solo
+``full_volume_inference`` call on the same volume, whatever batch the
+request happened to ride in -- micro-batching therefore amortises the
+*dispatch* cost (queue hand-off, volume pickling, Python call overhead),
+not the GEMM, which is exactly how the serving capacity model prices it
+(:class:`repro.perf.deployment.ServingWorkload`).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..core.checkpoint import load_checkpoint
+from ..core.inference import full_volume_inference, sliding_window_inference
+
+__all__ = ["replica_factory", "STRATEGIES"]
+
+STRATEGIES = ("full_volume", "sliding_window")
+
+
+def replica_factory(checkpoint: str, model_builder, model_kwargs=None):
+    """Build one serving replica (runs in the worker at startup).
+
+    ``model_builder(**model_kwargs)`` must be picklable by reference
+    (a class or module-level function, e.g. :class:`repro.nn.UNet3D`);
+    the heavyweight weights never cross the process boundary -- each
+    worker reads the checkpoint file itself.
+
+    Returns the ``(config, reporter) -> dict`` trainable the pool runs
+    per task.  A task config is one micro-batch::
+
+        {"volumes": (N, C, D, H, W) array, "strategy": "full_volume",
+         "patch_shape": ..., "overlap": ..., "sw_batch_size": ...}
+    """
+    model = model_builder(**dict(model_kwargs or {}))
+    meta = load_checkpoint(checkpoint, model)
+
+    def serve_batch(config, reporter):
+        volumes = np.asarray(config["volumes"])
+        if volumes.ndim != 5:
+            raise ValueError(
+                f"expected a (N, C, D, H, W) batch, got {volumes.shape}")
+        strategy = config.get("strategy", "full_volume")
+        if strategy == "full_volume":
+            res = full_volume_inference(model, volumes)
+        elif strategy == "sliding_window":
+            res = sliding_window_inference(
+                model, volumes,
+                patch_shape=tuple(config["patch_shape"]),
+                overlap=float(config.get("overlap", 0.5)),
+                batch_size=int(config.get("sw_batch_size", 4)),
+            )
+        else:
+            raise ValueError(f"unknown inference strategy {strategy!r}")
+        return {
+            "prediction": res.prediction,
+            "seconds": res.seconds,
+            "forward_passes": res.forward_passes,
+            "model_invocations": res.model_invocations,
+            "strategy": strategy,
+            "checkpoint_epoch": meta.get("epoch"),
+        }
+
+    return serve_batch

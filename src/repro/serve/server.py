@@ -1,0 +1,442 @@
+"""Production inference serving: micro-batched replica pool + fail-over.
+
+:class:`ModelServer` fronts N checkpoint-loaded model replicas (warm
+worker processes from :class:`repro.execpool.executor.ProcessPoolTrialExecutor`)
+with an admission queue:
+
+* :meth:`ModelServer.submit` routes a volume to full-volume or
+  sliding-window inference by size and parks it in the
+  :class:`~repro.serve.batcher.MicroBatcher`;
+* :meth:`ModelServer.step` -- the single driver entry point, called
+  from the caller's loop exactly like
+  :meth:`repro.telemetry.live.LiveMonitor.tick` -- flushes due batches
+  to the pool, drains worker messages, fails dead replicas over
+  (in-flight requests are **retried, not dropped**: attempt-stamped
+  resubmission, the same guard the tuning driver uses), heals the pool
+  back to its target size, and applies
+  :class:`~repro.serve.autoscaler.Autoscaler` decisions via
+  ``add_worker`` / ``retire_worker``;
+* :meth:`ModelServer.drain` blocks until every admitted request has a
+  response.
+
+No background threads anywhere: everything advances inside ``step``,
+driven by monotonic time, so the whole control loop is deterministic
+under test.  Telemetry lands on the ambient hub (``serve_queue_depth``,
+``serve_replicas``, latency/batch-size histograms) and feeds the
+``serve_backlog`` alert rule plus the live monitor when one is
+attached.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Callable
+
+import numpy as np
+
+from ..execpool import ProcessPoolTrialExecutor
+from .autoscaler import Autoscaler, AutoscalerConfig
+from .batcher import BatchKey, MicroBatcher
+from .replica import replica_factory
+
+__all__ = ["ServeConfig", "InferenceResponse", "ServeFuture",
+           "ModelServer"]
+
+
+@dataclass
+class ServeConfig:
+    """Everything a replica pool needs to serve one checkpoint."""
+
+    checkpoint: str               # best-trial .npz (CheckpointManager)
+    model_builder: Callable       # picklable, e.g. repro.nn.UNet3D
+    model_kwargs: dict = field(default_factory=dict)
+    replicas: int = 2
+    max_batch: int = 4
+    max_delay_ms: float = 10.0    # micro-batch deadline
+    # volumes whose spatial voxel count exceeds this go to the
+    # sliding-window strategy instead of one full-volume pass
+    full_volume_max_voxels: int = 64 ** 3
+    patch_shape: tuple = (16, 16, 16)
+    overlap: float = 0.5
+    sw_batch_size: int = 4
+    max_retries: int = 2          # per-batch fail-over budget
+    autoscale: bool = False
+    autoscaler: AutoscalerConfig | None = None
+    heartbeat_s: float = 0.5
+    start_method: str | None = None
+
+    def __post_init__(self):
+        if self.replicas < 1:
+            raise ValueError("replicas must be >= 1")
+        if self.max_delay_ms < 0:
+            raise ValueError("max_delay_ms must be >= 0")
+        if self.max_retries < 0:
+            raise ValueError("max_retries must be >= 0")
+
+
+@dataclass
+class InferenceResponse:
+    """One served prediction plus its latency/batching provenance."""
+
+    request_id: str
+    prediction: np.ndarray        # (C, D, H, W)
+    strategy: str
+    latency_s: float              # admission -> response, monotonic
+    batch_size: int               # requests coalesced into the batch
+    replica: int | None           # worker id that answered
+    attempt: int                  # >0 means the request survived retry
+    model_seconds: float          # replica-side inference time (batch)
+    checkpoint_epoch: int | None = None
+
+
+class ServeFuture:
+    """Handle for an admitted request; resolved by ``server.step()``."""
+
+    def __init__(self, request_id: str):
+        self.request_id = request_id
+        self._response: InferenceResponse | None = None
+        self._error: str | None = None
+
+    def done(self) -> bool:
+        return self._response is not None or self._error is not None
+
+    def result(self) -> InferenceResponse:
+        if self._error is not None:
+            raise RuntimeError(
+                f"request {self.request_id} failed: {self._error}")
+        if self._response is None:
+            raise RuntimeError(
+                f"request {self.request_id} is still pending -- drive "
+                "server.step() / server.drain()")
+        return self._response
+
+
+@dataclass
+class _Pending:
+    volume: np.ndarray
+    key: BatchKey
+    future: ServeFuture
+    arrival_mono: float
+
+
+@dataclass
+class _Inflight:
+    key: BatchKey
+    request_ids: list
+    attempt: int
+    worker: int | None = None     # unknown until "started" arrives
+
+
+class ModelServer:
+    """Micro-batched, autoscaled, fault-tolerant model serving.
+
+    >>> server = ModelServer(ServeConfig(checkpoint=best, ...))
+    >>> fut = server.submit(volume)
+    >>> server.drain()
+    >>> fut.result().prediction
+    """
+
+    def __init__(self, config: ServeConfig, telemetry=None):
+        if telemetry is None:
+            from ..telemetry import get_hub
+
+            telemetry = get_hub()
+        self.config = config
+        self.telemetry = telemetry
+        self.batcher = MicroBatcher(max_batch=config.max_batch,
+                                    max_delay_s=config.max_delay_ms / 1e3)
+        self.autoscaler = Autoscaler(
+            config.autoscaler) if config.autoscale else None
+        self.executor = ProcessPoolTrialExecutor(
+            trainable_factory=replica_factory,
+            factory_kwargs={"checkpoint": config.checkpoint,
+                            "model_builder": config.model_builder,
+                            "model_kwargs": dict(config.model_kwargs)},
+            max_workers=config.replicas,
+            start_method=config.start_method,
+            telemetry=telemetry,
+            heartbeat_s=config.heartbeat_s,
+        )
+        self._target_replicas = config.replicas
+        self._pending: dict[str, _Pending] = {}
+        self._inflight: dict[str, _Inflight] = {}
+        self._handled_dead: set[int] = set()
+        self._n_requests = 0
+        self._n_batches = 0
+        self._closed = False
+        m = telemetry.metrics
+        self._g_queue = m.gauge(
+            "serve_queue_depth", "requests admitted, not yet answered")
+        self._g_inflight = m.gauge(
+            "serve_inflight_requests", "requests dispatched to replicas")
+        self._g_replicas = m.gauge(
+            "serve_replicas", "model replicas serving the queue")
+        self._c_requests = m.counter(
+            "serve_requests_total", "served requests by outcome",
+            ("status",))
+        self._c_retries = m.counter(
+            "serve_batch_retries_total",
+            "batches resubmitted after a replica failure")
+        self._h_latency = m.histogram(
+            "serve_latency_seconds", "admission-to-response latency")
+        self._h_batch = m.histogram(
+            "serve_batch_size", "requests coalesced per dispatched batch")
+        self._g_replicas.set(self.executor.worker_count())
+
+    # -- admission ----------------------------------------------------------
+    def route(self, volume: np.ndarray) -> str:
+        """Strategy for one (C, D, H, W) volume: small enough for a
+        single full-volume pass, else tiled sliding-window."""
+        spatial_voxels = int(np.prod(volume.shape[1:]))
+        return ("full_volume"
+                if spatial_voxels <= self.config.full_volume_max_voxels
+                else "sliding_window")
+
+    def submit(self, volume: np.ndarray,
+               request_id: str | None = None) -> ServeFuture:
+        """Admit one (C, D, H, W) volume; returns a future resolved by
+        a later :meth:`step`."""
+        if self._closed:
+            raise RuntimeError("server is closed")
+        volume = np.asarray(volume)
+        if volume.ndim != 4:
+            raise ValueError(
+                f"expected one (C, D, H, W) volume, got {volume.shape}")
+        if request_id is None:
+            request_id = f"req_{self._n_requests:06d}"
+        if request_id in self._pending:
+            raise ValueError(f"duplicate request id {request_id!r}")
+        self._n_requests += 1
+        key = BatchKey(strategy=self.route(volume),
+                       shape=tuple(volume.shape), dtype=str(volume.dtype))
+        future = ServeFuture(request_id)
+        now = time.monotonic()
+        self._pending[request_id] = _Pending(
+            volume=volume, key=key, future=future, arrival_mono=now)
+        self.batcher.add(request_id, key, now)
+        self._g_queue.set(len(self._pending))
+        return future
+
+    def pending_count(self) -> int:
+        """Requests admitted but not yet answered (queued + in flight)."""
+        return len(self._pending)
+
+    # -- dispatch -----------------------------------------------------------
+    def _dispatch(self, key: BatchKey, request_ids: list,
+                  attempt: int = 0) -> None:
+        batch_id = f"batch_{self._n_batches:06d}"
+        self._n_batches += 1
+        self._submit_batch(batch_id, key, request_ids, attempt)
+        if attempt == 0:
+            self._h_batch.observe(len(request_ids))
+
+    def _submit_batch(self, batch_id: str, key: BatchKey,
+                      request_ids: list, attempt: int) -> None:
+        volumes = np.stack(
+            [self._pending[rid].volume for rid in request_ids])
+        task = {"volumes": volumes, "strategy": key.strategy}
+        if key.strategy == "sliding_window":
+            task["patch_shape"] = tuple(self.config.patch_shape)
+            task["overlap"] = float(self.config.overlap)
+            task["sw_batch_size"] = int(self.config.sw_batch_size)
+        self._inflight[batch_id] = _Inflight(
+            key=key, request_ids=list(request_ids), attempt=attempt)
+        self.executor.submit(batch_id, task, attempt=attempt)
+
+    def _retry_batch(self, batch_id: str, batch: _Inflight,
+                     reason: str) -> None:
+        """Resubmit a failed batch, or fail its requests when the
+        retry budget is spent."""
+        if batch.attempt + 1 <= self.config.max_retries:
+            self._c_retries.inc()
+            self._inflight.pop(batch_id, None)
+            self._submit_batch(batch_id, batch.key, batch.request_ids,
+                               batch.attempt + 1)
+            return
+        self._inflight.pop(batch_id, None)
+        for rid in batch.request_ids:
+            pending = self._pending.pop(rid, None)
+            if pending is None:
+                continue
+            pending.future._error = reason
+            self._c_requests.labels(status="failed").inc()
+
+    # -- the driver loop ----------------------------------------------------
+    def step(self, now: float | None = None) -> int:
+        """Advance the control loop once; returns messages processed.
+
+        Non-blocking: flushes due micro-batches, drains every queued
+        worker message, fails over dead replicas, heals the pool to the
+        target size, then lets the autoscaler adjust that target.
+        """
+        if self._closed:
+            return 0
+        now = time.monotonic() if now is None else now
+        for key, rids in self.batcher.due(now):
+            self._dispatch(key, rids)
+        processed = 0
+        while True:
+            msg = self.executor.poll_message()
+            if msg is None:
+                break
+            self._handle(msg)
+            processed += 1
+        self._fail_over_dead(now)
+        self._autoscale(now)
+        inflight_requests = sum(
+            len(b.request_ids) for b in self._inflight.values())
+        # backlog is *unanswered requests*, not the batcher's holding
+        # pen: full batches leave the batcher instantly, so saturation
+        # shows up as dispatched-but-unanswered work piling onto the
+        # shared task queue
+        self._g_queue.set(len(self._pending))
+        self._g_inflight.set(inflight_requests)
+        self._g_replicas.set(self.executor.worker_count())
+        live = getattr(self.telemetry, "live", None)
+        if live is not None:
+            live.set_value("serve_queue_depth", float(len(self._pending)))
+            live.set_value("serve_inflight", float(inflight_requests))
+        self.telemetry.live_tick()
+        return processed
+
+    def drain(self, timeout_s: float = 60.0) -> None:
+        """Block until every admitted request has a response (or raise
+        after ``timeout_s`` with requests still unanswered)."""
+        deadline = time.monotonic() + timeout_s
+        while self._pending:
+            if self.step() > 0:
+                continue
+            if time.monotonic() > deadline:
+                raise TimeoutError(
+                    f"{len(self._pending)} requests still pending after "
+                    f"{timeout_s:g}s")
+            # idle: block briefly for the next message instead of
+            # spinning, bounded so deadline flushes stay on time
+            wait = self.batcher.next_deadline()
+            block = 0.05 if wait is None else max(
+                0.001, min(0.05, wait - time.monotonic()))
+            try:
+                self._handle(self.executor.next_message(timeout=block))
+            except TimeoutError:
+                pass
+            except RuntimeError:
+                # every replica died at once; fail-over below respawns
+                self._fail_over_dead(time.monotonic())
+
+    # -- message handling ---------------------------------------------------
+    def _handle(self, msg) -> None:
+        kind = msg[0]
+        live = getattr(self.telemetry, "live", None)
+        if kind == "heartbeat":
+            if live is not None:
+                live.on_heartbeat(msg[1])
+        elif kind == "telemetry":
+            self.telemetry.ingest_worker_frame(msg[1])
+        elif kind == "retired":
+            pass  # an autoscaler-requested drain completing
+        elif kind == "started":
+            _, batch_id, worker_id, attempt = msg
+            batch = self._inflight.get(batch_id)
+            if batch is not None and batch.attempt == attempt:
+                batch.worker = worker_id
+        elif kind == "report":
+            pass  # replicas never call the reporter
+        elif kind == "done":
+            _, batch_id, attempt, final, _stopped, stats = msg
+            batch = self._inflight.get(batch_id)
+            if batch is None or batch.attempt != attempt:
+                return  # stale: already failed over to a new attempt
+            self._inflight.pop(batch_id)
+            self._complete(batch, final, stats)
+        elif kind == "error":
+            _, batch_id, attempt, message, _stats = msg
+            batch = self._inflight.get(batch_id)
+            if batch is None or batch.attempt != attempt:
+                return
+            self._retry_batch(batch_id, batch, message)
+
+    def _complete(self, batch: _Inflight, final: dict, stats) -> None:
+        now = time.monotonic()
+        worker = batch.worker
+        if worker is None and stats:
+            worker = stats.get("worker_id")
+        prediction = np.asarray(final["prediction"])
+        for i, rid in enumerate(batch.request_ids):
+            pending = self._pending.pop(rid, None)
+            if pending is None:
+                continue
+            latency = now - pending.arrival_mono
+            pending.future._response = InferenceResponse(
+                request_id=rid,
+                prediction=prediction[i],
+                strategy=final["strategy"],
+                latency_s=latency,
+                batch_size=len(batch.request_ids),
+                replica=worker,
+                attempt=batch.attempt,
+                model_seconds=float(final["seconds"]),
+                checkpoint_epoch=final.get("checkpoint_epoch"),
+            )
+            self._h_latency.observe(latency)
+            self._c_requests.labels(status="completed").inc()
+
+    # -- failure and scale --------------------------------------------------
+    def _fail_over_dead(self, now: float) -> None:
+        """Retry (not drop) the in-flight batches of replicas whose
+        process exited, then heal the pool back to the target size."""
+        live = getattr(self.telemetry, "live", None)
+        for wid in self.executor.dead_workers():
+            if wid in self._handled_dead:
+                continue
+            self._handled_dead.add(wid)
+            if live is not None:
+                live.on_worker_dead(wid)
+            for batch_id, batch in list(self._inflight.items()):
+                if batch.worker == wid:
+                    self._retry_batch(
+                        batch_id, batch,
+                        f"replica {wid} died mid-batch")
+        while (not self._closed
+               and self.executor.worker_count() < self._target_replicas):
+            self.executor.add_worker()
+
+    def _autoscale(self, now: float) -> None:
+        if self.autoscaler is None:
+            return
+        decision = self.autoscaler.observe(
+            queue_depth=len(self._pending),
+            inflight=len(self._inflight),
+            replicas=self._target_replicas,
+            now=now)
+        if decision == "scale_up":
+            self._target_replicas += 1
+            self.executor.add_worker()
+        elif decision == "retire":
+            wid = self._retire_candidate()
+            if wid is not None:
+                self._target_replicas -= 1
+                self.executor.retire_worker(wid)
+
+    def _retire_candidate(self) -> int | None:
+        """Highest-id live replica with no known in-flight batch --
+        retire drains safely anyway, idle just exits sooner."""
+        busy = {b.worker for b in self._inflight.values()}
+        alive = self.executor.alive_workers()
+        for wid in sorted(alive, reverse=True):
+            if wid not in busy:
+                return wid
+        return alive[-1] if alive else None
+
+    # -- lifecycle ----------------------------------------------------------
+    def close(self) -> None:
+        if self._closed:
+            return
+        self._closed = True
+        self.executor.shutdown()
+
+    def __enter__(self) -> "ModelServer":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()

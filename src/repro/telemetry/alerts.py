@@ -190,7 +190,14 @@ class AlertEngine:
 
     def evaluate(self, snapshot: dict, now: float | None = None
                  ) -> list[Alert]:
-        """Fold one snapshot in; returns newly fired/resolved records."""
+        """Fold one snapshot in; returns newly fired/resolved records.
+
+        ``now`` is a *wall-clock* timestamp used only to stamp
+        ``fired_at_wall``/``resolved_at_wall`` on the produced records.
+        Hysteresis is counted in snapshot *windows*, never in elapsed
+        time, so a wall-clock step (NTP) cannot fire or clear a rule
+        early -- the monitor's tick gating runs on a monotonic clock.
+        """
         now = time.time() if now is None else now
         produced: list[Alert] = []
         for rule in self.rules:
@@ -247,6 +254,9 @@ DEFAULT_RULE_SPECS = (
      "a trial reported a non-finite loss -- degenerate configuration"),
     ("worker_stalled", "workers_stalled > 0", "critical",
      "worker heartbeat lost -- trial may be burning GPU-hours invisibly"),
+    ("serve_backlog", "serve_queue_depth > 16 for 3 windows", "warning",
+     "serving admission queue backlog: arrivals outpace the replica "
+     "pool -- scale up or shed load"),
 )
 
 

@@ -119,6 +119,12 @@ class WorkerHealthBoard:
     ``stall_factor * interval_s``, or an explicitly reported process
     exit (``mark_dead``).  A stalled worker that heartbeats again is
     un-stalled -- ``worker_stalled_total`` counts stall *transitions*.
+
+    Clocks: the ``now`` arguments are **monotonic** readings
+    (``time.monotonic``) -- stall windows are elapsed-time arithmetic
+    and must not flap when NTP steps the wall clock.  The separate
+    ``wall`` argument only stamps the exported ``last_seen_wall`` field
+    (display/export).
     """
 
     def __init__(self, registry=None, interval_s: float = 1.0,
@@ -137,8 +143,9 @@ class WorkerHealthBoard:
                 "worker_stalled_total", "worker stall transitions "
                 "(heartbeat lost or process exit)")
 
-    def on_heartbeat(self, hb: dict, now: float | None = None) -> None:
-        now = time.time() if now is None else now
+    def on_heartbeat(self, hb: dict, now: float | None = None,
+                     wall: float | None = None) -> None:
+        now = time.monotonic() if now is None else now
         wid = int(hb["worker_id"])
         w = self.workers.setdefault(wid, {
             "worker_id": wid, "heartbeats": 0, "stalled": False,
@@ -149,7 +156,8 @@ class WorkerHealthBoard:
             state=str(hb.get("state", "unknown")),
             trial_id=hb.get("trial_id"),
             busy_seconds=float(hb.get("busy_seconds", 0.0)),
-            last_seen_wall=now,
+            last_seen_mono=now,
+            last_seen_wall=time.time() if wall is None else wall,
         )
         w["heartbeats"] += 1
         w["dead"] = False
@@ -157,22 +165,23 @@ class WorkerHealthBoard:
     def mark_dead(self, worker_id: int, now: float | None = None) -> None:
         """An authoritative process exit (driver saw ``is_alive()`` go
         False): stall immediately instead of waiting out the window."""
-        now = time.time() if now is None else now
+        now = time.monotonic() if now is None else now
         w = self.workers.setdefault(int(worker_id), {
             "worker_id": int(worker_id), "heartbeats": 0, "stalled": False,
             "pid": 0, "state": "dead", "trial_id": None,
-            "busy_seconds": 0.0, "last_seen_wall": now,
+            "busy_seconds": 0.0, "last_seen_mono": now,
+            "last_seen_wall": time.time(),
         })
         w["dead"] = True
         w["state"] = "dead"
 
     def check(self, now: float | None = None) -> list[int]:
         """Re-derive stall state; returns workers that *newly* stalled."""
-        now = time.time() if now is None else now
+        now = time.monotonic() if now is None else now
         window = self.stall_factor * self.interval_s
         newly: list[int] = []
         for wid, w in sorted(self.workers.items()):
-            stalled = w["dead"] or (now - w.get("last_seen_wall", now)
+            stalled = w["dead"] or (now - w.get("last_seen_mono", now)
                                     > window)
             if stalled and not w["stalled"]:
                 newly.append(wid)
@@ -303,11 +312,20 @@ class LiveMonitor:
         self.health.mark_dead(worker_id)
 
     # -- the tick loop ------------------------------------------------------
-    def tick(self, now: float | None = None, force: bool = False) -> bool:
-        """Snapshot if ``interval_s`` has elapsed; True if it did."""
+    def tick(self, now: float | None = None, force: bool = False,
+             wall: float | None = None) -> bool:
+        """Snapshot if ``interval_s`` has elapsed; True if it did.
+
+        ``now`` is a **monotonic** reading -- it gates the tick interval
+        and drives the health board's stall window, so an NTP wall-clock
+        step can neither suppress snapshots nor flap stall detection.
+        ``wall`` (``time.time()`` by default) only stamps the exported
+        event/alert timestamps.
+        """
         if self._closed:
             return False
-        now = time.time() if now is None else now
+        now = time.monotonic() if now is None else now
+        wall = time.time() if wall is None else wall
         if not force and now - self._last_tick < self.interval_s:
             return False
         self._last_tick = now
@@ -315,10 +333,10 @@ class LiveMonitor:
         rows = self.hub.merged_samples()
         values = self.snapshot_values(rows, advance_window=True)
         self.last_values = values
-        produced = self.engine.evaluate(values, now=now)
+        produced = self.engine.evaluate(values, now=wall)
         for alert in produced:
             self.hub.record_alert(alert)
-            self.events.append("alert", t_wall=now, **alert.to_dict())
+            self.events.append("alert", t_wall=wall, **alert.to_dict())
         buckets = {}
         for row in rows:
             if row.get("name") == "step_bucket_seconds_total":
@@ -326,7 +344,7 @@ class LiveMonitor:
                 if b:
                     buckets[b] = buckets.get(b, 0.0) + float(row["value"])
         self.events.append(
-            "snapshot", t_wall=now, values=values, buckets=buckets,
+            "snapshot", t_wall=wall, values=values, buckets=buckets,
             workers=self.health.snapshot(),
             alerts_firing=[a.rule for a in self.engine.firing],
             samples=len(rows),

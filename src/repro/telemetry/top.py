@@ -75,8 +75,10 @@ class TopView:
                 for w in snap.get("workers", [])}
         for wid, hb in self.heartbeats.items():
             row = rows.setdefault(wid, {"worker_id": wid, "stalled": False})
-            # a heartbeat newer than the snapshot refreshes the row
-            if hb.get("t_wall", 0.0) >= snap.get("t_wall", 0.0):
+            # a heartbeat newer than the snapshot refreshes the row --
+            # ordered by event seq, not t_wall (a wall-clock step must
+            # not make fresh heartbeats look stale)
+            if hb.get("seq", -1) >= snap.get("seq", -1):
                 row.update(state=hb.get("state"),
                            trial_id=hb.get("trial_id"),
                            pid=hb.get("pid"),
@@ -101,7 +103,9 @@ class TopView:
         if snap is None:
             return ("distmis top: no snapshots yet "
                     f"({self.events_seen} events)")
-        age = now - snap.get("t_wall", now)
+        # display-only wall arithmetic: clamp so a backwards NTP step
+        # cannot render a negative age
+        age = max(0.0, now - snap.get("t_wall", now))
         values = snap.get("values", {})
         lines.append(
             f"distmis top  |  snapshot #{snap.get('seq')}  "

@@ -1,0 +1,209 @@
+"""Serving integration: bit-identity, deadline flush, fail-over, scale.
+
+Everything runs a real 2-process-deep stack -- checkpoint file, forked
+replica workers, the shared task queue -- at smoke scale (tiny U-Net,
+8^3 volumes) so the suite stays seconds-fast on one core.
+"""
+
+import os
+import signal
+import time
+
+import numpy as np
+import pytest
+
+from repro.core.checkpoint import CheckpointManager
+from repro.core.inference import (
+    full_volume_inference,
+    sliding_window_inference,
+)
+from repro.nn import UNet3D
+from repro.serve import AutoscalerConfig, ModelServer, ServeConfig
+
+MODEL_KWARGS = dict(in_channels=1, out_channels=1, base_filters=2,
+                    depth=2, use_batchnorm=False)
+
+
+def make_model(seed: int = 7) -> UNet3D:
+    return UNet3D(rng=np.random.default_rng(seed), **MODEL_KWARGS)
+
+
+@pytest.fixture(scope="module")
+def checkpoint(tmp_path_factory):
+    """A best-trial checkpoint through the CheckpointManager round-trip
+    (bit-exact restore is pinned by the checkpoint unit tests)."""
+    mgr = CheckpointManager(tmp_path_factory.mktemp("serve_ckpt"))
+    mgr.save(make_model(), epoch=3, val_dice=0.9)
+    return str(mgr.best_path)
+
+
+def volumes(n, shape=(1, 8, 8, 8), seed=0):
+    rng = np.random.default_rng(seed)
+    return [rng.normal(size=shape) for _ in range(n)]
+
+
+def serve_config(checkpoint, **kw):
+    base = dict(checkpoint=checkpoint, model_builder=UNet3D,
+                model_kwargs=MODEL_KWARGS, replicas=1, max_batch=4,
+                max_delay_ms=5.0, heartbeat_s=0.2)
+    base.update(kw)
+    return ServeConfig(**base)
+
+
+class TestBitIdentity:
+    def test_batched_serving_matches_offline_full_volume(self, checkpoint):
+        """A prediction served in a micro-batch is bit-identical to a
+        solo offline full_volume_inference call on the same volume --
+        batching amortises dispatch, never changes arithmetic."""
+        vols = volumes(6)
+        with ModelServer(serve_config(checkpoint, replicas=2)) as server:
+            futs = [server.submit(v) for v in vols]
+            server.drain(timeout_s=60)
+            responses = [f.result() for f in futs]
+        # the burst really was coalesced (full batches of max_batch=4)
+        assert max(r.batch_size for r in responses) == 4
+        assert {r.strategy for r in responses} == {"full_volume"}
+        reference = full_volume_inference(
+            make_model(), np.stack(vols)).prediction
+        for i, r in enumerate(responses):
+            assert r.prediction.shape == vols[i].shape
+            assert np.array_equal(reference[i], r.prediction)
+
+    def test_large_volume_routes_to_sliding_window(self, checkpoint):
+        cfg = serve_config(checkpoint, full_volume_max_voxels=4 ** 3,
+                           patch_shape=(4, 4, 4), overlap=0.5,
+                           max_delay_ms=0.0)
+        (vol,) = volumes(1)
+        with ModelServer(cfg) as server:
+            assert server.route(vol) == "sliding_window"
+            fut = server.submit(vol)
+            server.drain(timeout_s=60)
+            response = fut.result()
+        assert response.strategy == "sliding_window"
+        reference = sliding_window_inference(
+            make_model(), vol[None], patch_shape=(4, 4, 4),
+            overlap=0.5).prediction
+        assert np.array_equal(reference[0], response.prediction)
+
+
+class TestMicroBatching:
+    def test_deadline_flushes_partial_batch(self, checkpoint):
+        """Two requests against max_batch=8 never fill the batch; the
+        max_delay_ms deadline must release them anyway."""
+        cfg = serve_config(checkpoint, max_batch=8, max_delay_ms=40.0)
+        with ModelServer(cfg) as server:
+            t0 = time.monotonic()
+            futs = [server.submit(v) for v in volumes(2)]
+            server.step()
+            # before the deadline nothing is dispatched
+            assert server.batcher.depth() == 2
+            server.drain(timeout_s=60)
+            elapsed = time.monotonic() - t0
+            responses = [f.result() for f in futs]
+        assert [r.batch_size for r in responses] == [2, 2]
+        assert elapsed >= 0.040  # held for the coalescing window
+
+    def test_immediate_dispatch_when_batch_fills(self, checkpoint):
+        cfg = serve_config(checkpoint, max_batch=2, max_delay_ms=10_000.0)
+        with ModelServer(cfg) as server:
+            futs = [server.submit(v) for v in volumes(2)]
+            server.step()
+            assert server.batcher.depth() == 0  # no deadline wait
+            server.drain(timeout_s=60)
+            assert [f.result().batch_size for f in futs] == [2, 2]
+
+
+# A deliberately slow request mix for the kill tests: 16^3 volumes routed
+# to sliding-window with overlap 0.75 take ~0.5 s *each* on this host, so
+# the window between the batch's "started" message and its completion is
+# seconds wide -- killing the replica inside it is not a race.
+SLOW_KW = dict(full_volume_max_voxels=4 ** 3, patch_shape=(4, 4, 4),
+               overlap=0.75, max_delay_ms=0.0)
+SLOW_SHAPE = (1, 16, 16, 16)
+
+
+def kill_serving_replica(server):
+    """Wait for the (single) in-flight batch to start, then SIGKILL the
+    replica serving it.  Returns once the process is reaped."""
+    deadline = time.monotonic() + 30.0
+    while not any(b.worker is not None
+                  for b in server._inflight.values()):
+        assert time.monotonic() < deadline, "batch never started"
+        server.step()
+        time.sleep(0.005)
+    (batch,) = server._inflight.values()
+    victim = server.executor._procs[batch.worker]
+    os.kill(victim.pid, signal.SIGKILL)
+    victim.join(timeout=10.0)
+    assert not victim.is_alive()
+
+
+class TestFailOver:
+    def test_killed_replica_requests_complete_via_retry(self, checkpoint):
+        """SIGKILL the replica serving a batch: its in-flight requests
+        are resubmitted (not dropped) and answered by a respawned
+        replica, bit-identically."""
+        cfg = serve_config(checkpoint, replicas=1, max_batch=2,
+                           max_retries=2, **SLOW_KW)
+        vols = volumes(2, shape=SLOW_SHAPE)
+        with ModelServer(cfg) as server:
+            futs = [server.submit(v) for v in vols]
+            server.step()  # dispatches one full batch of 2
+            assert len(server._inflight) == 1
+            kill_serving_replica(server)
+            server.drain(timeout_s=120)
+            responses = [f.result() for f in futs]
+            # the pool healed back to its target size
+            assert server.executor.worker_count() == 1
+        assert all(r.attempt >= 1 for r in responses)
+        assert {r.strategy for r in responses} == {"sliding_window"}
+        model = make_model()
+        for vol, r in zip(vols, responses):
+            reference = sliding_window_inference(
+                model, vol[None], patch_shape=(4, 4, 4),
+                overlap=0.75).prediction
+            assert np.array_equal(reference[0], r.prediction)
+
+    def test_retry_budget_exhaustion_fails_requests(self, checkpoint):
+        """max_retries=0: a killed replica's requests fail loudly
+        instead of hanging the drain."""
+        cfg = serve_config(checkpoint, replicas=1, max_batch=2,
+                           max_retries=0, **SLOW_KW)
+        with ModelServer(cfg) as server:
+            futs = [server.submit(v) for v in volumes(2, shape=SLOW_SHAPE)]
+            server.step()
+            kill_serving_replica(server)
+            server.drain(timeout_s=60)
+            for fut in futs:
+                assert fut.done()
+                with pytest.raises(RuntimeError, match="died mid-batch"):
+                    fut.result()
+
+
+class TestAutoscaling:
+    def test_backlog_scales_up_and_idle_retires(self, checkpoint):
+        cfg = serve_config(
+            checkpoint, replicas=1, max_batch=1, max_delay_ms=0.0,
+            autoscale=True,
+            autoscaler=AutoscalerConfig(
+                min_replicas=1, max_replicas=2, backlog_per_replica=2.0,
+                scale_up_streak=1, idle_streak=3, cooldown_s=0.0))
+        with ModelServer(cfg) as server:
+            futs = [server.submit(v) for v in volumes(8)]
+            server.step()  # backlog of 8 > 2 per replica: scale up
+            assert server.executor.worker_count() == 2
+            assert server._target_replicas == 2
+            server.drain(timeout_s=60)
+            assert all(f.result() is not None for f in futs)
+            # sustained idle: the autoscaler retires back to the floor
+            deadline = time.monotonic() + 30.0
+            while server.executor.worker_count() > 1:
+                assert time.monotonic() < deadline, "never retired"
+                server.step()
+                time.sleep(0.01)
+            assert server._target_replicas == 1
+            # a retiring drain is not a failure, and serving continues
+            assert server.executor.dead_workers() == []
+            fut = server.submit(volumes(1)[0])
+            server.drain(timeout_s=60)
+            assert fut.result().prediction.shape == (1, 8, 8, 8)

@@ -16,6 +16,7 @@ class TestParser:
         assert commands == {
             "table1", "fig4", "train", "search", "simulate", "profile",
             "calibrate", "report", "summary", "telemetry", "top", "bench",
+            "serve-bench",
         }
 
     def test_missing_command_errors(self):

@@ -50,6 +50,28 @@ class TestInference:
         assert res.overcompute_factor() > 2.0
         assert res.forward_passes > 2
 
+    def test_forward_passes_count_samples_not_batches(self, net, images):
+        """Regression: ``forward_passes`` is per sample forwarded, so it
+        is invariant to ``batch_size`` and consistent with both
+        ``voxels_computed`` and the full-volume strategy (the old
+        per-batch count deflated sub-patch compute by ``batch_size``)."""
+        results = [
+            sliding_window_inference(net, images, patch_shape=(4, 4, 4),
+                                     overlap=0.0, batch_size=bs)
+            for bs in (1, 4, 64)
+        ]
+        # 8/4 = 2 per axis -> 8 patches per subject x 2 subjects
+        assert [r.forward_passes for r in results] == [16, 16, 16]
+        # the invocation count is what batching actually changes
+        assert [r.model_invocations for r in results] == [16, 4, 2]
+        patch_voxels = 1 * 4 * 4 * 4
+        for r in results:
+            assert r.voxels_computed == r.forward_passes * patch_voxels
+
+    def test_full_volume_invocation_accounting(self, net, images):
+        res = full_volume_inference(net, images)
+        assert res.model_invocations == res.forward_passes == 2
+
     def test_zero_overlap_matches_tiling(self, net, images):
         res = sliding_window_inference(net, images, patch_shape=(4, 4, 4),
                                        overlap=0.0)

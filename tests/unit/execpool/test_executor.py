@@ -120,6 +120,54 @@ class TestPool:
             with pytest.raises(TrialExecutionError, match="hopeless"):
                 run_trials_parallel(pool, [{}], raise_on_error=True)
 
+    def test_add_worker_scales_up_and_serves_tasks(self):
+        with ProcessPoolTrialExecutor(quadratic_trainable,
+                                      max_workers=1) as pool:
+            assert pool.worker_count() == 1
+            wid = pool.add_worker()
+            assert wid == 1
+            assert pool.worker_count() == 2
+            trials = run_trials_parallel(pool, [{"x": float(i)}
+                                                for i in range(4)],
+                                         metric="score")
+            assert all(t.status is TrialStatus.TERMINATED for t in trials)
+
+    def test_retire_worker_drains_then_exits(self):
+        with ProcessPoolTrialExecutor(quadratic_trainable,
+                                      max_workers=2) as pool:
+            pool.retire_worker(1)
+            pool.retire_worker(1)          # idempotent
+            # the retiring worker announces itself then exits
+            deadline = 10.0
+            import time as _time
+
+            t0 = _time.monotonic()
+            retired = False
+            while _time.monotonic() - t0 < deadline:
+                kind, *payload = pool.next_message(timeout=deadline)
+                if kind == "retired":
+                    assert payload[0] == 1
+                    retired = True
+                    break
+            assert retired
+            t0 = _time.monotonic()
+            while pool._procs[1].is_alive():
+                assert _time.monotonic() - t0 < deadline
+                _time.sleep(0.01)
+            # a retired worker is a drain, not a failure
+            assert pool.dead_workers() == []
+            assert pool.worker_count() == 1
+            # the surviving worker still serves the queue
+            trials = run_trials_parallel(pool, [{"x": 2.0}],
+                                         metric="score")
+            assert trials[0].status is TrialStatus.TERMINATED
+
+    def test_retire_validates_worker_id(self):
+        with ProcessPoolTrialExecutor(quadratic_trainable,
+                                      max_workers=1) as pool:
+            with pytest.raises(ValueError):
+                pool.retire_worker(7)
+
     def test_requires_exactly_one_trainable(self):
         with pytest.raises(ValueError):
             ProcessPoolTrialExecutor()

@@ -1,0 +1,78 @@
+"""Autoscaler unit tests: streak hysteresis and cooldown, no clocks."""
+
+import pytest
+
+from repro.serve import Autoscaler, AutoscalerConfig
+
+
+def cfg(**kw):
+    base = dict(min_replicas=1, max_replicas=4, backlog_per_replica=2.0,
+                scale_up_streak=3, idle_streak=4, cooldown_s=5.0)
+    base.update(kw)
+    return AutoscalerConfig(**base)
+
+
+class TestAutoscaler:
+    def test_sustained_backlog_scales_up(self):
+        a = Autoscaler(cfg())
+        # threshold for 1 replica is depth > 2
+        assert a.observe(queue_depth=5, inflight=0, replicas=1,
+                         now=0.0) == "hold"
+        assert a.observe(queue_depth=5, inflight=0, replicas=1,
+                         now=1.0) == "hold"
+        assert a.observe(queue_depth=5, inflight=0, replicas=1,
+                         now=2.0) == "scale_up"
+
+    def test_one_burst_does_not_flap(self):
+        a = Autoscaler(cfg())
+        a.observe(queue_depth=9, inflight=0, replicas=1, now=0.0)
+        a.observe(queue_depth=9, inflight=0, replicas=1, now=1.0)
+        # one clear window resets the streak entirely
+        a.observe(queue_depth=0, inflight=1, replicas=1, now=2.0)
+        assert a.observe(queue_depth=9, inflight=0, replicas=1,
+                         now=3.0) == "hold"
+
+    def test_cooldown_delays_next_action(self):
+        a = Autoscaler(cfg(scale_up_streak=1, cooldown_s=10.0))
+        assert a.observe(queue_depth=9, inflight=0, replicas=1,
+                         now=0.0) == "scale_up"
+        # pressure persists but the cooldown gates the next decision...
+        assert a.observe(queue_depth=9, inflight=0, replicas=2,
+                         now=5.0) == "hold"
+        # ...and expires on monotonic time
+        assert a.observe(queue_depth=9, inflight=0, replicas=2,
+                         now=10.0) == "scale_up"
+
+    def test_never_beyond_max_replicas(self):
+        a = Autoscaler(cfg(scale_up_streak=1, cooldown_s=0.0,
+                           max_replicas=2))
+        assert a.observe(queue_depth=99, inflight=0, replicas=2,
+                         now=0.0) == "hold"
+
+    def test_sustained_idle_retires_down_to_min(self):
+        a = Autoscaler(cfg(idle_streak=2, cooldown_s=0.0))
+        assert a.observe(queue_depth=0, inflight=0, replicas=3,
+                         now=0.0) == "hold"
+        assert a.observe(queue_depth=0, inflight=0, replicas=3,
+                         now=1.0) == "retire"
+        # at the floor, idleness is tolerated forever
+        for t in range(2, 10):
+            assert a.observe(queue_depth=0, inflight=0, replicas=1,
+                             now=float(t)) == "hold"
+
+    def test_inflight_work_is_not_idle(self):
+        a = Autoscaler(cfg(idle_streak=1, cooldown_s=0.0))
+        assert a.observe(queue_depth=0, inflight=2, replicas=3,
+                         now=0.0) == "hold"
+
+    def test_config_validation(self):
+        with pytest.raises(ValueError):
+            AutoscalerConfig(min_replicas=0)
+        with pytest.raises(ValueError):
+            AutoscalerConfig(min_replicas=3, max_replicas=2)
+        with pytest.raises(ValueError):
+            AutoscalerConfig(backlog_per_replica=0.0)
+        with pytest.raises(ValueError):
+            AutoscalerConfig(scale_up_streak=0)
+        with pytest.raises(ValueError):
+            AutoscalerConfig(cooldown_s=-1.0)

@@ -1,0 +1,73 @@
+"""Micro-batcher unit tests: pure logic under synthetic monotonic time."""
+
+import pytest
+
+from repro.serve import BatchKey, MicroBatcher
+
+KEY = BatchKey(strategy="full_volume", shape=(1, 8, 8, 8),
+               dtype="float64")
+KEY_SW = BatchKey(strategy="sliding_window", shape=(1, 64, 64, 64),
+                  dtype="float64")
+
+
+class TestMicroBatcher:
+    def test_full_batch_releases_immediately(self):
+        mb = MicroBatcher(max_batch=3, max_delay_s=10.0)
+        for i in range(3):
+            mb.add(f"r{i}", KEY, now=0.0)
+        # deadline far away: size alone triggers the release
+        assert mb.due(now=0.0) == [(KEY, ["r0", "r1", "r2"])]
+        assert mb.depth() == 0
+
+    def test_partial_batch_waits_for_deadline(self):
+        mb = MicroBatcher(max_batch=4, max_delay_s=0.01)
+        mb.add("r0", KEY, now=0.0)
+        mb.add("r1", KEY, now=0.002)
+        assert mb.due(now=0.005) == []          # oldest only 5 ms old
+        assert mb.depth() == 2
+        # the *oldest* arrival sets the deadline, not the newest
+        assert mb.due(now=0.01) == [(KEY, ["r0", "r1"])]
+        assert mb.depth() == 0
+
+    def test_overfull_group_splits_and_keeps_remainder(self):
+        mb = MicroBatcher(max_batch=2, max_delay_s=10.0)
+        for i in range(5):
+            mb.add(f"r{i}", KEY, now=0.0)
+        assert mb.due(now=0.0) == [(KEY, ["r0", "r1"]),
+                                   (KEY, ["r2", "r3"])]
+        assert mb.depth() == 1                  # r4 waits for company
+        assert mb.due(now=10.0) == [(KEY, ["r4"])]
+
+    def test_incompatible_requests_never_share_a_batch(self):
+        mb = MicroBatcher(max_batch=2, max_delay_s=0.0)
+        mb.add("small", KEY, now=0.0)
+        mb.add("large", KEY_SW, now=0.0)
+        other_dtype = BatchKey(strategy="full_volume",
+                               shape=(1, 8, 8, 8), dtype="float32")
+        mb.add("f32", other_dtype, now=0.0)
+        released = dict(mb.due(now=1.0))
+        assert released == {KEY: ["small"], KEY_SW: ["large"],
+                            other_dtype: ["f32"]}
+
+    def test_next_deadline_tracks_oldest_pending(self):
+        mb = MicroBatcher(max_batch=4, max_delay_s=0.01)
+        assert mb.next_deadline() is None
+        mb.add("r0", KEY, now=5.0)
+        mb.add("r1", KEY_SW, now=4.0)
+        assert mb.next_deadline() == pytest.approx(4.01)
+        mb.due(now=4.02)                        # flushes the sliding group
+        assert mb.next_deadline() == pytest.approx(5.01)
+
+    def test_flush_releases_everything(self):
+        mb = MicroBatcher(max_batch=8, max_delay_s=100.0)
+        mb.add("r0", KEY, now=0.0)
+        mb.add("r1", KEY_SW, now=0.0)
+        assert dict(mb.flush()) == {KEY: ["r0"], KEY_SW: ["r1"]}
+        assert mb.depth() == 0
+        assert mb.flush() == []
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            MicroBatcher(max_batch=0)
+        with pytest.raises(ValueError):
+            MicroBatcher(max_delay_s=-1.0)

@@ -106,6 +106,16 @@ class TestWorkerHealthBoard:
         b.mark_dead(0, now=0.1)
         assert b.check(now=0.2) == [0]   # no waiting out the window
 
+    def test_wall_clock_jump_does_not_stall_workers(self):
+        """Stall windows are monotonic arithmetic: a wall-clock step
+        (NTP) must neither stall nor un-stall anyone.  The wall reading
+        only feeds the exported ``last_seen_wall``."""
+        b = self.board()
+        b.on_heartbeat(_hb(0), now=0.0, wall=1e9)
+        assert b.check(now=1.0) == []          # 1s of monotonic silence
+        (row,) = b.snapshot()
+        assert row["last_seen_wall"] == 1e9
+
     def test_snapshot_rows_are_jsonable(self):
         b = self.board()
         b.on_heartbeat(_hb(0, state="busy", trial_id="trial_0001",
@@ -176,6 +186,25 @@ class TestLiveMonitor:
         (snap,) = [e for e in read_events(tmp_path / EVENTS_JSONL)
                    if e["type"] == "snapshot"]
         assert snap["alerts_firing"] == ["backlog"]
+
+    def test_wall_clock_jump_does_not_flap_alerts(self, tmp_path):
+        """Hysteresis counts snapshot windows on the monotonic tick
+        clock; wall-clock steps between ticks only move the exported
+        timestamps, never the firing decision."""
+        rules = [AlertRule.parse("backlog", "queue_depth > 3 for 2 windows")]
+        hub, mon = self.monitor(tmp_path, rules=rules)
+        hub.metrics.gauge("tune_trials_pending").set(9)
+        mon.tick(now=0.0, wall=1000.0)            # window 1: streak only
+        assert hub.alerts == []
+        # NTP steps the wall back an hour between windows
+        mon.tick(now=1.5, wall=1000.0 - 3600.0)   # window 2: fires
+        assert [(a.rule, a.state) for a in hub.alerts] \
+            == [("backlog", "firing")]
+        assert hub.alerts[0].fired_at_wall == 1000.0 - 3600.0
+        # a forward jump must not spuriously resolve it either
+        mon.tick(now=3.0, wall=1000.0 + 7200.0)
+        assert [(a.rule, a.state) for a in hub.alerts] \
+            == [("backlog", "firing")]
 
     def test_heartbeats_append_events_and_feed_health(self, tmp_path):
         hub, mon = self.monitor(tmp_path)
@@ -271,6 +300,24 @@ class TestTopView:
         out = view.render(now=0.0)
         assert "ALERTS FIRING" in out and "boom" in out
         assert "STALLED" in out
+
+    def test_heartbeat_freshness_is_seq_ordered_not_wall(self):
+        """A wall-clock step must not make a fresh heartbeat look stale:
+        row refresh is ordered by event ``seq``, and the rendered
+        snapshot age clamps at zero."""
+        view = TopView()
+        view.ingest([
+            {"seq": 0, "t_wall": 100.0, "type": "snapshot", "values": {},
+             "buckets": {}, "workers": [
+                 {"worker_id": 0, "state": "idle", "trial_id": None,
+                  "busy_seconds": 0.0, "stalled": False}]},
+            # newer event, older wall stamp (clock stepped backwards)
+            {"seq": 1, "t_wall": 50.0, "type": "heartbeat", "worker_id": 0,
+             "state": "busy", "trial_id": "trial_0007", "busy_seconds": 1.0},
+        ])
+        out = view.render(now=0.0)
+        assert "trial_0007" in out
+        assert "age   0.0s" in out
 
     def test_render_before_any_snapshot(self):
         assert "no snapshots" in TopView().render()

@@ -5,9 +5,15 @@ the trajectory schema (``repro.perf.regression``).
 Checks, per file: valid JSON object; required keys (``benchmark``,
 ``smoke``, ``host``); smoke records only on ``*_smoke.json`` filenames
 (and vice versa -- a smoke run must never masquerade as a trajectory
-point); at least one trackable numeric metric.  Exits non-zero with one
-line per violation, so ``make lint`` fails before a malformed or
-quarantine-violating record lands on the trajectory.
+point); at least one trackable numeric metric; per-benchmark required
+metrics (``REQUIRED_METRICS``: a ``BENCH_serving.json`` record must
+carry ``latency_seconds.p50/.p95/.p99`` and ``throughput_rps``).
+Exits non-zero with one line per violation, so ``make lint`` fails
+before a malformed or quarantine-violating record lands on the
+trajectory.
+
+Arguments may be directories (every ``BENCH_*.json`` inside is linted)
+or individual record files; the default is the repo's ``benchmarks/``.
 """
 
 from __future__ import annotations
@@ -22,9 +28,12 @@ from repro.perf.regression import validate_record  # noqa: E402
 
 
 def main(argv: list[str]) -> int:
-    bench_dir = Path(argv[1]) if len(argv) > 1 else \
-        Path(__file__).resolve().parents[1] / "benchmarks"
-    files = sorted(bench_dir.glob("BENCH_*.json"))
+    targets = [Path(a) for a in argv[1:]] or [
+        Path(__file__).resolve().parents[1] / "benchmarks"]
+    files: list[Path] = []
+    for target in targets:
+        files.extend(sorted(target.glob("BENCH_*.json"))
+                     if target.is_dir() else [target])
     problems: list[str] = []
     for path in files:
         try:
