@@ -85,16 +85,26 @@ bench-parallel:
 	PYTHONPATH=src $(PYTHON) -m pytest \
 		benchmarks/test_process_parallel_speedup.py -q -s
 
-# GEMM vs reference conv backend on a per-replica U-Net train step;
-# writes benchmarks/BENCH_kernels.json (speedup floor, parity, host info)
+# reference vs gemm vs fused conv backends (x float64/float32) on a
+# per-replica U-Net train step; writes benchmarks/BENCH_kernels.json
+# (speedup floors, parity, per-backend rows, host info)
 bench-kernels:
 	PYTHONPATH=src $(PYTHON) -m pytest \
 		benchmarks/test_kernel_backends.py -q -s
 
-# regression gate over the committed trajectory baselines
+# regression gate over the committed trajectory baselines; the parallel
+# point only gates where a full-size BENCH_parallel.json exists (a full
+# bench-parallel run needs a multi-core host)
 bench-compare:
 	PYTHONPATH=src $(PYTHON) -m repro.cli bench compare \
 		benchmarks/BENCH_kernels.json
+	@if [ -f benchmarks/BENCH_parallel.json ]; then \
+		PYTHONPATH=src $(PYTHON) -m repro.cli bench compare \
+			benchmarks/BENCH_parallel.json; \
+	else \
+		echo "bench-compare: no BENCH_parallel.json trajectory point" \
+		     "(full-size bench-parallel needs a multi-core host); skipped"; \
+	fi
 
 examples:
 	for ex in examples/*.py; do echo "== $$ex"; $(PYTHON) $$ex || exit 1; done

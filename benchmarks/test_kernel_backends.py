@@ -1,24 +1,31 @@
-"""E18 -- the GEMM conv backend must beat the einsum reference 2x.
+"""E18 -- the kernel-backend ladder: reference < gemm < fused.
 
 The im2col/GEMM lowering in ``repro.nn.kernels.gemm`` only earns its
 complexity if a *full* U-Net train step (forward, Dice loss, backward,
 Adam update) is at least twice as fast as the ``reference`` einsum
-backend on the same weights and data.  The workload is the paper's
-4-modality U-Net (base_filters=8, depth=4) on a batch-1 volume: with
-the paper's global batch of 2 sharded across data-parallel replicas
-(Section IV-B), batch 1 is exactly what each worker steps on.
+backend; the depth-sliced fused backend (``repro.nn.kernels.fused``)
+must in turn beat ``gemm`` by 1.5x on the float32 fast path that ``distmis
+search`` defaults to.  The workload is the paper's 4-modality U-Net
+(base_filters=8, depth=4) on a batch-1 volume: with the paper's global
+batch of 2 sharded across data-parallel replicas (Section IV-B), batch
+1 is exactly what each worker steps on.
 
-Both backends run the identical model state; besides speed, the run
-asserts numerical parity (float64 predictions and flat gradients to
-rtol 1e-9, and the opt-in float32 path to rtol 1e-4) so the speedup is
-never bought with accuracy.  Each backend is timed ``REPEATS`` times
-over ``STEPS`` steps and the best run is compared; a machine-readable
-summary -- including the pinned BLAS thread counts and CPU metadata
-that make the numbers comparable across hosts -- lands in
-``BENCH_kernels.json`` next to this file.  ``DISTMIS_BENCH_SMOKE=1``
-shrinks the workload so the benchmark doubles as a smoke test; the
-speedup bound is only enforced on the full-size run (at smoke scale
-the step is interpreter-bound, not GEMM-bound).
+Every backend x dtype combination (reference/gemm/fused x
+float64/float32) is timed on identical model state and recorded as its
+own row under ``backends.<name>.<dtype>`` -- the per-backend rows
+``make lint`` requires of a ``kernel_backends`` record -- plus a
+larger-volume float32 point (gemm vs fused) probing the cache regime
+the tiling targets.  Besides speed, the run asserts numerical parity
+(float64 predictions and flat gradients to rtol 1e-9, and the float32
+path to rtol 1e-4) so no speedup is ever bought with accuracy.  Each
+combination is timed ``REPEATS`` times over ``STEPS`` steps and the
+best run is kept; a machine-readable summary -- including the pinned
+BLAS thread counts and CPU metadata that make the numbers comparable
+across hosts -- lands in ``BENCH_kernels.json`` next to this file.
+``DISTMIS_BENCH_SMOKE=1`` shrinks the workload so the benchmark
+doubles as a smoke test over all three backends; the speedup floors
+are only enforced on the full-size run (at smoke scale the step is
+interpreter-bound, not GEMM-bound).
 """
 
 import json
@@ -43,29 +50,35 @@ from repro.perf.regression import (
 
 SMOKE = is_smoke_env()
 REPEATS = 2 if SMOKE else 3
-MIN_SPEEDUP = 2.0
+BACKENDS = ("reference", "gemm", "fused")
+DTYPES = ("float64", "float32")
+MIN_SPEEDUP = 2.0          # gemm over reference, float64
+MIN_FUSED_SPEEDUP = 1.5    # fused over gemm, float32 fast path
 # Smoke runs are quarantined onto BENCH_kernels_smoke.json so they can
 # never overwrite the committed trajectory point.
 OUT = bench_output_path(__file__, "kernels", smoke=SMOKE)
 
 if SMOKE:
     VOLUME, BASE_FILTERS, DEPTH, STEPS = (8, 8, 8), 2, 2, 1
+    LARGE_VOLUME, LARGE_STEPS, LARGE_REPEATS = (16, 16, 16), 1, 1
 else:
     VOLUME, BASE_FILTERS, DEPTH, STEPS = (32, 32, 32), 8, 4, 2
+    LARGE_VOLUME, LARGE_STEPS, LARGE_REPEATS = (48, 48, 48), 1, 2
 BATCH = 1  # per-replica shard of the paper's global batch 2
 
 
-def _build(dtype=None):
+def _build(dtype=None, volume=None):
     net = UNet3D(4, 1, base_filters=BASE_FILTERS, depth=DEPTH,
                  norm="batch", rng=np.random.default_rng(7), dtype=dtype)
     net.train()
     return net
 
 
-def _data(dtype=np.float64):
+def _data(dtype=np.float64, volume=None):
+    volume = VOLUME if volume is None else volume
     rng = np.random.default_rng(11)
-    x = rng.normal(size=(BATCH, 4, *VOLUME)).astype(dtype, copy=False)
-    t = (rng.uniform(size=(BATCH, 1, *VOLUME)) > 0.9).astype(dtype)
+    x = rng.normal(size=(BATCH, 4, *volume)).astype(dtype, copy=False)
+    t = (rng.uniform(size=(BATCH, 1, *volume)) > 0.9).astype(dtype)
     return x, t
 
 
@@ -78,29 +91,33 @@ def _train_step(net, opt, loss_fn, x, t):
     return pred
 
 
-def _time_backend(name: str) -> tuple[float, dict[str, float]]:
-    """Best-of-REPEATS seconds for STEPS train steps under ``name``."""
-    x, t = _data()
+def _time_backend(name: str, dtype: str = "float64", volume=None,
+                  steps=None, repeats=None) -> tuple[float, dict[str, float]]:
+    """Best-of-repeats *per-step* seconds under ``name`` at ``dtype``."""
+    steps = STEPS if steps is None else steps
+    repeats = REPEATS if repeats is None else repeats
+    np_dtype = np.float32 if dtype == "float32" else np.float64
+    x, t = _data(np_dtype, volume)
     loss_fn = SoftDiceLoss()
     best = float("inf")
     kernels: dict[str, float] = {}
-    with use_backend(name):
-        for _ in range(REPEATS):
-            net = _build()
+    with use_backend(name), use_compute_dtype(dtype):
+        for _ in range(repeats):
+            net = _build(dtype=dtype)
             opt = Adam(net, lr=1e-3)
             _train_step(net, opt, loss_fn, x, t)  # warm the workspace
             consume_kernel_seconds()
             t0 = time.perf_counter()
-            for _ in range(STEPS):
+            for _ in range(steps):
                 _train_step(net, opt, loss_fn, x, t)
             elapsed = time.perf_counter() - t0
             if elapsed < best:
                 best = elapsed
                 kernels = {
-                    f"{b}/{op}": round(s, 4)
+                    f"{b}/{op}": round(s / steps, 4)
                     for (b, op), s in consume_kernel_seconds().items()
                 }
-    return best, kernels
+    return best / steps, kernels
 
 
 def _grads_and_pred(name: str, dtype=None):
@@ -116,25 +133,46 @@ def _grads_and_pred(name: str, dtype=None):
         return pred, net.get_flat_grads()
 
 
-def test_gemm_backend_parity_and_speedup():
-    # -- parity first: same weights, same data, both backends ----------
+def test_backend_ladder_parity_and_speedup():
+    # -- parity first: same weights, same data, all backends -----------
     pred_ref, grads_ref = _grads_and_pred("reference")
-    pred_gemm, grads_gemm = _grads_and_pred("gemm")
-    np.testing.assert_allclose(pred_gemm, pred_ref, rtol=1e-9, atol=1e-12)
-    np.testing.assert_allclose(grads_gemm, grads_ref, rtol=1e-9, atol=1e-12)
+    for name in ("gemm", "fused"):
+        pred, grads = _grads_and_pred(name)
+        np.testing.assert_allclose(pred, pred_ref, rtol=1e-9, atol=1e-12)
+        np.testing.assert_allclose(grads, grads_ref, rtol=1e-9, atol=1e-12)
 
     with use_compute_dtype("float32"):
         pred_ref32, grads_ref32 = _grads_and_pred("reference", "float32")
-        pred_gemm32, grads_gemm32 = _grads_and_pred("gemm", "float32")
-    assert pred_ref32.dtype == np.float32 and pred_gemm32.dtype == np.float32
-    np.testing.assert_allclose(pred_gemm32, pred_ref32, rtol=1e-4, atol=1e-5)
-    np.testing.assert_allclose(grads_gemm32, grads_ref32,
-                               rtol=1e-4, atol=1e-5)
+        assert pred_ref32.dtype == np.float32
+        for name in ("gemm", "fused"):
+            pred32, grads32 = _grads_and_pred(name, "float32")
+            assert pred32.dtype == np.float32
+            np.testing.assert_allclose(pred32, pred_ref32,
+                                       rtol=1e-4, atol=1e-5)
+            np.testing.assert_allclose(grads32, grads_ref32,
+                                       rtol=1e-4, atol=1e-5)
 
-    # -- then the race -------------------------------------------------
-    ref_s, ref_kernels = _time_backend("reference")
-    gemm_s, gemm_kernels = _time_backend("gemm")
-    speedup = ref_s / gemm_s
+    # -- then the race: every backend x dtype row ----------------------
+    rows: dict[str, dict[str, dict]] = {}
+    for name in BACKENDS:
+        rows[name] = {}
+        for dtype in DTYPES:
+            step_s, kernels = _time_backend(name, dtype)
+            rows[name][dtype] = {
+                "step_seconds": round(step_s, 4),
+                "kernel_seconds": kernels,
+            }
+
+    speedup = (rows["reference"]["float64"]["step_seconds"]
+               / rows["gemm"]["float64"]["step_seconds"])
+    fused_speedup = (rows["gemm"]["float32"]["step_seconds"]
+                     / rows["fused"]["float32"]["step_seconds"])
+
+    # -- larger-volume float32 point (the cache regime tiling targets) -
+    gemm_large, _ = _time_backend("gemm", "float32", LARGE_VOLUME,
+                                  LARGE_STEPS, LARGE_REPEATS)
+    fused_large, _ = _time_backend("fused", "float32", LARGE_VOLUME,
+                                   LARGE_STEPS, LARGE_REPEATS)
 
     summary = {
         "benchmark": "kernel_backends",
@@ -145,24 +183,45 @@ def test_gemm_backend_parity_and_speedup():
         "volume_shape": list(VOLUME),
         "base_filters": BASE_FILTERS,
         "depth": DEPTH,
-        "reference_seconds": round(ref_s, 4),
-        "gemm_seconds": round(gemm_s, 4),
+        "backends": rows,
+        # legacy flat fields, kept so the committed trajectory stays
+        # comparable across schema generations
+        "reference_seconds": round(
+            rows["reference"]["float64"]["step_seconds"] * STEPS, 4),
+        "gemm_seconds": round(
+            rows["gemm"]["float64"]["step_seconds"] * STEPS, 4),
         "speedup": round(speedup, 3),
+        "fused_speedup_vs_gemm": round(fused_speedup, 3),
         "min_speedup": MIN_SPEEDUP,
+        "min_fused_speedup": MIN_FUSED_SPEEDUP,
+        "large_volume": {
+            "volume_shape": list(LARGE_VOLUME),
+            "steps": LARGE_STEPS,
+            "dtype": "float32",
+            "gemm_step_seconds": round(gemm_large, 4),
+            "fused_step_seconds": round(fused_large, 4),
+            "fused_speedup_vs_gemm": round(gemm_large / fused_large, 3),
+        },
         "workspace_stats": workspace().stats(),
-        "kernel_seconds": {"reference": ref_kernels, "gemm": gemm_kernels},
         "host": host_metadata(),
     }
     OUT.write_text(json.dumps(summary, indent=2) + "\n")
-    print(f"\nreference {ref_s:.3f}s  gemm {gemm_s:.3f}s  "
-          f"speedup {speedup:.2f}x (floor {MIN_SPEEDUP:.1f}x) -> {OUT.name}")
+    print(f"\nref {rows['reference']['float64']['step_seconds']:.3f}s  "
+          f"gemm {rows['gemm']['float64']['step_seconds']:.3f}s  "
+          f"speedup {speedup:.2f}x (floor {MIN_SPEEDUP:.1f}x)")
+    print(f"float32: gemm {rows['gemm']['float32']['step_seconds']:.3f}s  "
+          f"fused {rows['fused']['float32']['step_seconds']:.3f}s  "
+          f"speedup {fused_speedup:.2f}x (floor {MIN_FUSED_SPEEDUP:.1f}x) "
+          f"-> {OUT.name}")
 
     if SMOKE:
         import pytest
 
-        pytest.skip("smoke scale: interpreter-bound step; speedup recorded, "
-                    "floor enforced on the full run")
+        pytest.skip("smoke scale: interpreter-bound step; rows recorded, "
+                    "floors enforced on the full run")
     assert speedup >= MIN_SPEEDUP, (
         f"GEMM backend only {speedup:.2f}x faster than reference "
-        f"(floor {MIN_SPEEDUP:.1f}x): reference {ref_s:.3f}s vs "
-        f"gemm {gemm_s:.3f}s for {STEPS} train steps")
+        f"(floor {MIN_SPEEDUP:.1f}x)")
+    assert fused_speedup >= MIN_FUSED_SPEEDUP, (
+        f"fused backend only {fused_speedup:.2f}x faster than gemm at "
+        f"float32 (floor {MIN_FUSED_SPEEDUP:.1f}x)")

@@ -103,13 +103,21 @@ def _add_scale_args(p: argparse.ArgumentParser) -> None:
                    help="resolution steps (paper: 4)")
     p.add_argument("--seed", type=int, default=0)
     p.add_argument("--kernel-backend", default=None,
-                   choices=["gemm", "reference"],
+                   choices=["gemm", "reference", "fused"],
                    help="convolution compute backend (default: gemm, or "
-                        "DISTMIS_KERNEL_BACKEND)")
+                        "DISTMIS_KERNEL_BACKEND; 'fused' adds tiled "
+                        "im2col and Conv+BN+ReLU fusion)")
     p.add_argument("--compute-dtype", default=None,
                    choices=["float64", "float32"],
-                   help="parameter/activation dtype (default: float64, or "
+                   help="parameter/activation dtype (default: float64 -- "
+                        "except 'search', which defaults to float32 -- or "
                         "DISTMIS_COMPUTE_DTYPE)")
+
+
+#: Undo actions recorded by :func:`_apply_compute_flags`, drained by
+#: :func:`main` after the command returns so in-process callers (tests)
+#: never observe a leaked global backend/dtype policy.
+_policy_restores: list = []
 
 
 def _apply_compute_flags(args) -> None:
@@ -118,11 +126,13 @@ def _apply_compute_flags(args) -> None:
     if getattr(args, "kernel_backend", None):
         from .nn.kernels import set_backend
 
-        set_backend(args.kernel_backend)
+        prev = set_backend(args.kernel_backend)
+        _policy_restores.append(lambda: set_backend(prev))
     if getattr(args, "compute_dtype", None):
         from .nn.dtypes import set_compute_dtype
 
-        set_compute_dtype(args.compute_dtype)
+        prev = set_compute_dtype(args.compute_dtype)
+        _policy_restores.append(lambda: set_compute_dtype(prev))
 
 
 def _settings(args):
@@ -184,8 +194,16 @@ def cmd_train(args) -> int:
 
 
 def cmd_search(args) -> int:
+    import os
+
     from .core import DistMISRunner, HyperparameterSpace
 
+    # Search workloads trade a little precision for throughput: default
+    # to the float32 fast path unless the user (flag or env) said
+    # otherwise.  Gradcheck/parity tooling keeps the float64 default.
+    if (args.compute_dtype is None
+            and not os.environ.get("DISTMIS_COMPUTE_DTYPE", "").strip()):
+        args.compute_dtype = "float32"
     _apply_compute_flags(args)
     space = HyperparameterSpace(
         {"learning_rate": args.lr, "loss": args.losses}
@@ -830,7 +848,11 @@ def build_parser() -> argparse.ArgumentParser:
 
 def main(argv: list[str] | None = None) -> int:
     args = build_parser().parse_args(argv)
-    return args.fn(args)
+    try:
+        return args.fn(args)
+    finally:
+        while _policy_restores:
+            _policy_restores.pop()()
 
 
 if __name__ == "__main__":  # pragma: no cover

@@ -18,6 +18,7 @@ from .gradcheck import check_module_gradients, numeric_gradient, relative_error
 from .kernels import (
     available_backends,
     get_backend,
+    kernel_threads,
     set_backend,
     use_backend,
     workspace,
@@ -35,6 +36,7 @@ from .layers import (
     Conv3D,
     ConvTranspose3D,
     Dropout,
+    FusedConvBNReLU3D,
     GroupNorm,
     Identity,
     InstanceNorm,
@@ -93,6 +95,7 @@ __all__ = [
     "set_backend",
     "use_backend",
     "available_backends",
+    "kernel_threads",
     "workspace",
     "workspace_bytes",
     "get_compute_dtype",
@@ -104,6 +107,7 @@ __all__ = [
     "Sequential",
     "Conv3D",
     "ConvTranspose3D",
+    "FusedConvBNReLU3D",
     "MaxPool3D",
     "AvgPool3D",
     "BatchNorm",

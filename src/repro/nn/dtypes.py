@@ -9,8 +9,12 @@ backend, at ~1e-6 relative accuracy.
 Selection, in priority order: :func:`set_compute_dtype` /
 :func:`use_compute_dtype` > the ``DISTMIS_COMPUTE_DTYPE`` environment
 variable > ``float64``.  The CLI exposes the same choice as
-``--compute-dtype``.  Initializers and layers consult the policy at
-*construction* time via :func:`resolve_dtype`, so a model built inside
+``--compute-dtype``; ``distmis search`` alone flips the *default* to
+``float32`` (hyper-parameter ranking is insensitive to the ~1e-6
+relative error, and the fast path roughly halves the step time) while
+``--compute-dtype float64`` restores the old behaviour.  Initializers
+and layers consult the policy at *construction* time via
+:func:`resolve_dtype`, so a model built inside
 :func:`use_compute_dtype` keeps its dtype after the block exits.
 """
 

@@ -40,6 +40,9 @@ __all__ = [
     "pad_volume",
     "conv3d_forward",
     "conv3d_backward",
+    "conv3d_bn_relu_forward",
+    "conv3d_bn_relu_backward",
+    "fused_conv_bn_relu_supported",
     "conv_transpose3d_forward",
     "conv_transpose3d_backward",
     "release_conv_ctx",
@@ -111,6 +114,88 @@ def conv3d_backward(
     t0 = perf_counter()
     out = backend.conv3d_backward(dy, x, w, s, p, with_bias, ctx)
     record_kernel_seconds(backend.name, "conv3d_backward", perf_counter() - t0)
+    return out
+
+
+def fused_conv_bn_relu_supported() -> bool:
+    """True when the active backend implements the fused
+    Conv3D+BatchNorm+ReLU pair (layers fall back to the sequential
+    conv/norm/act chain otherwise)."""
+    return bool(getattr(get_backend(), "supports_fusion", False))
+
+
+def conv3d_bn_relu_forward(
+    x: np.ndarray,
+    w: np.ndarray,
+    b: np.ndarray | None,
+    gamma: np.ndarray,
+    beta: np.ndarray,
+    running_mean: np.ndarray,
+    running_var: np.ndarray,
+    eps: float = 1e-5,
+    stride=1,
+    pad=0,
+    training: bool = True,
+    ctx: dict | None = None,
+):
+    """Fused ``relu(batchnorm(conv3d(x)))`` on a fusion-capable backend.
+
+    Returns ``(y, mean, var)``: the batch statistics in training mode
+    (the caller owns the running-statistics update), the running
+    statistics unchanged in eval mode.  Raises ``NotImplementedError``
+    when the active backend lacks fusion -- check
+    :func:`fused_conv_bn_relu_supported` first.
+    """
+    s, p = _triple(stride), _triple(pad)
+    if x.ndim != 5 or w.ndim != 5:
+        raise ValueError("conv3d_bn_relu expects 5-D activations and weights")
+    if x.shape[1] != w.shape[1]:
+        raise ValueError(
+            f"channel mismatch: input has {x.shape[1]}, weight expects {w.shape[1]}"
+        )
+    co = w.shape[0]
+    for name, v in (("gamma", gamma), ("beta", beta),
+                    ("running_mean", running_mean),
+                    ("running_var", running_var)):
+        if v.shape != (co,):
+            raise ValueError(
+                f"{name} must have shape ({co},), got {v.shape}")
+    backend = get_backend()
+    t0 = perf_counter()
+    out = backend.conv3d_bn_relu_forward(
+        x, w, b, gamma, beta, running_mean, running_var, eps, s, p,
+        training, ctx)
+    record_kernel_seconds(backend.name, "conv3d_bn_relu_forward",
+                          perf_counter() - t0)
+    return out
+
+
+def conv3d_bn_relu_backward(
+    dy: np.ndarray,
+    x: np.ndarray,
+    w: np.ndarray,
+    gamma: np.ndarray,
+    stride=1,
+    pad=0,
+    with_bias: bool = True,
+    ctx: dict | None = None,
+    need_dx: bool = True,
+):
+    """Gradients of :func:`conv3d_bn_relu_forward` (training mode).
+
+    Returns ``(dx, dw, db, dgamma, dbeta)``; ``ctx`` must be the dict
+    the matching forward call populated (it is consumed here).  Pass
+    ``need_dx=False`` for a network's first layer: the input carries no
+    gradient and skipping ``dx`` saves the largest gather of the
+    backward pass (``dx`` comes back as ``None``).
+    """
+    s, p = _triple(stride), _triple(pad)
+    backend = get_backend()
+    t0 = perf_counter()
+    out = backend.conv3d_bn_relu_backward(dy, x, w, gamma, s, p, with_bias,
+                                          ctx, need_dx=need_dx)
+    record_kernel_seconds(backend.name, "conv3d_bn_relu_backward",
+                          perf_counter() - t0)
     return out
 
 

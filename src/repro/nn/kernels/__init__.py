@@ -1,7 +1,7 @@
 """Convolution compute backends: registry, workspace arena, kernels.
 
-Importing this package registers both built-in backends (``reference``
-and ``gemm``); the active one is resolved lazily by
+Importing this package registers the built-in backends (``reference``,
+``gemm`` and ``fused``); the active one is resolved lazily by
 :func:`~repro.nn.kernels.registry.get_backend`.
 """
 
@@ -34,8 +34,10 @@ from .workspace import (
 # Backend registration side effects.
 from . import gemm as _gemm  # noqa: F401,E402
 from . import reference as _reference  # noqa: F401,E402
+from .fused import kernel_threads  # noqa: E402  (also registers "fused")
 
 __all__ = [
+    "kernel_threads",
     "KernelBackend",
     "register_backend",
     "available_backends",

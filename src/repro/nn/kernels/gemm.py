@@ -59,7 +59,18 @@ def _padded(ws, x: np.ndarray, pad) -> np.ndarray:
         return x
     n, c, D, H, W = x.shape
     xp = ws.acquire((n, c, D + 2 * pd, H + 2 * ph, W + 2 * pw), x.dtype)
-    xp.fill(0.0)
+    # Zero only the pad margins -- the interior is fully overwritten by
+    # the copy below, and skipping its redundant fill saves one complete
+    # write pass over the (recycled, hence dirty) arena buffer.
+    if pd:
+        xp[:, :, :pd].fill(0.0)
+        xp[:, :, pd + D:].fill(0.0)
+    if ph:
+        xp[:, :, pd : pd + D, :ph].fill(0.0)
+        xp[:, :, pd : pd + D, ph + H:].fill(0.0)
+    if pw:
+        xp[:, :, pd : pd + D, ph : ph + H, :pw].fill(0.0)
+        xp[:, :, pd : pd + D, ph : ph + H, pw + W:].fill(0.0)
     xp[:, :, pd : pd + D, ph : ph + H, pw : pw + W] = x
     return xp
 
@@ -270,13 +281,25 @@ class GemmBackend(KernelBackend):
     # -- ctx management ----------------------------------------------------
     def release_ctx(self, ctx: dict | None) -> None:
         """Reclaim scratch a forward pass parked for a backward that
-        never ran (e.g. a training-mode forward used for evaluation)."""
+        never ran (e.g. a training-mode forward used for evaluation).
+
+        Releases *every* arena array in ``ctx``, not just this backend's
+        own keys, so a ctx stashed under one backend is still reclaimed
+        when another is active at cleanup time (layers may outlive a
+        ``use_backend`` block)."""
         if not ctx:
             return
         ws = workspace()
-        buf = ctx.pop("cols", None)
-        if buf is not None:
-            ws.release(buf)
+        for buf in ctx.values():
+            if isinstance(buf, np.ndarray):
+                ws.release(buf)
+            elif isinstance(buf, (list, tuple)):
+                # e.g. the fused backend's (d0, d1, cols) tile stash
+                for item in buf:
+                    for part in (item if isinstance(item, tuple) else (item,)):
+                        if isinstance(part, np.ndarray):
+                            ws.release(part)
+        ctx.clear()
 
 
 register_backend(GemmBackend())

@@ -8,6 +8,11 @@ Every 3D convolution in the model dispatches through one active
   cross-validated against (gradcheck + allclose parity tests).
 * ``gemm`` -- im2col/col2im lowering to one contiguous BLAS GEMM per
   convolution, with workspace-arena scratch reuse (the default).
+* ``fused`` -- the GEMM lowering tiled over output-depth chunks so the
+  patches matrix stays cache-resident, plus a fused
+  Conv3D+BatchNorm+ReLU forward/backward (``supports_fusion``) and
+  optional thread-pool execution of independent tiles
+  (``DISTMIS_KERNEL_THREADS``).
 
 Selection, in priority order: :func:`set_backend` /
 :func:`use_backend` > the ``DISTMIS_KERNEL_BACKEND`` environment
@@ -58,6 +63,12 @@ class KernelBackend:
 
     name: str = "abstract"
 
+    #: True when the backend implements the fused Conv3D+BN+ReLU pair
+    #: below; layers consult this (via
+    #: :func:`repro.nn.functional.fused_conv_bn_relu_supported`) before
+    #: routing through the fused path.
+    supports_fusion: bool = False
+
     def conv3d_forward(self, x, w, b, stride, pad, ctx=None):
         raise NotImplementedError
 
@@ -70,6 +81,31 @@ class KernelBackend:
     def conv_transpose3d_backward(self, dy, x, w, stride, with_bias,
                                   ctx=None):
         raise NotImplementedError
+
+    # -- optional fused Conv3D+BatchNorm+ReLU (supports_fusion) -------------
+    def conv3d_bn_relu_forward(self, x, w, b, gamma, beta, running_mean,
+                               running_var, eps, stride, pad, training,
+                               ctx=None):
+        """Fused ``relu(batchnorm(conv3d(x)))``.
+
+        Returns ``(y, mean, var)`` -- batch statistics in training mode
+        (the layer folds them into its running estimates), the running
+        statistics unchanged in eval mode.
+        """
+        raise NotImplementedError(
+            f"backend {self.name!r} does not support conv/BN/ReLU fusion")
+
+    def conv3d_bn_relu_backward(self, dy, x, w, gamma, stride, pad,
+                                with_bias, ctx=None, need_dx=True):
+        """Gradients of :meth:`conv3d_bn_relu_forward` (training mode).
+
+        Returns ``(dx, dw, db, dgamma, dbeta)``; requires the ``ctx``
+        the forward call populated.  ``need_dx=False`` lets the backend
+        skip the input gradient (``dx`` is then ``None``) -- e.g. for a
+        network's first layer, whose input carries no gradient.
+        """
+        raise NotImplementedError(
+            f"backend {self.name!r} does not support conv/BN/ReLU fusion")
 
     def release_ctx(self, ctx: dict | None) -> None:
         """Return any scratch stashed in ``ctx`` to its pool (no-op by

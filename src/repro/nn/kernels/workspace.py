@@ -96,9 +96,18 @@ class WorkspaceArena:
         if buf is None:
             return
         with self._lock:
-            key = self._out.pop(id(buf), None)
+            key = self._out.get(id(buf))
             if key is None:
                 return
+            if buf.shape != key[0] or buf.dtype.str != key[1]:
+                # ``id`` reuse: a checkout leaked (its ctx was dropped
+                # without release), the buffer was collected, and this
+                # *foreign* array landed on the same address.  Filing it
+                # under the stale key would hand a wrong-shaped buffer
+                # to a later acquire -- drop the entry, ignore the array.
+                del self._out[id(buf)]
+                return
+            del self._out[id(buf)]
             self.in_use_bytes -= buf.nbytes
             if buf.nbytes > self.max_bytes:
                 self.evictions += 1  # too big to ever retain

@@ -6,10 +6,12 @@ from .groupnorm import GroupNorm, InstanceNorm
 from .conv3d import Conv3D
 from .conv_transpose3d import ConvTranspose3D
 from .dropout import Dropout
+from .fused_block import FusedConvBNReLU3D
 from .pooling import AvgPool3D, MaxPool3D
 
 __all__ = [
     "Conv3D",
+    "FusedConvBNReLU3D",
     "ConvTranspose3D",
     "MaxPool3D",
     "AvgPool3D",

@@ -37,6 +37,7 @@ from .layers.dropout import Dropout
 from .layers.groupnorm import GroupNorm, InstanceNorm
 from .layers.conv3d import Conv3D
 from .layers.conv_transpose3d import ConvTranspose3D
+from .layers.fused_block import FusedConvBNReLU3D
 from .layers.pooling import MaxPool3D
 from .module import Module, Sequential
 
@@ -66,7 +67,16 @@ def _make_norm(kind: str | None, channels: int, dtype=None) -> Module | None:
 
 
 class ConvBlock(Module):
-    """Two (Conv3D 3x3x3 -> norm -> ReLU) stages (paper: BatchNorm)."""
+    """Two (Conv3D 3x3x3 -> norm -> ReLU) stages (paper: BatchNorm).
+
+    With the paper's BatchNorm each stage is a
+    :class:`~repro.nn.layers.fused_block.FusedConvBNReLU3D` composite:
+    on a fusion-capable backend the whole triple runs as one fused
+    kernel call, and on every other backend (or under sync-BN /
+    instrumentation) it transparently degrades to the sequential
+    conv/bn/act chain with identical arithmetic.  Other norms keep the
+    flat ``Sequential`` wiring.
+    """
 
     def __init__(
         self,
@@ -76,28 +86,41 @@ class ConvBlock(Module):
         rng: np.random.Generator | None = None,
         norm: str | None = "__from_flag__",
         dtype=None,
+        input_grad: bool = True,
     ):
         super().__init__()
         if norm == "__from_flag__":
             norm = "batch" if use_batchnorm else None
         dtype = resolve_dtype(dtype)
         init = TruncatedNormal(dtype=dtype)
-        layers: list[Module] = [
-            Conv3D(in_channels, out_channels, 3, padding="same",
-                   kernel_initializer=init, rng=rng, dtype=dtype)
-        ]
-        n1 = _make_norm(norm, out_channels, dtype=dtype)
-        if n1 is not None:
-            layers.append(n1)
-        layers.append(ReLU())
-        layers.append(
-            Conv3D(out_channels, out_channels, 3, padding="same",
-                   kernel_initializer=init, rng=rng, dtype=dtype)
-        )
-        n2 = _make_norm(norm, out_channels, dtype=dtype)
-        if n2 is not None:
-            layers.append(n2)
-        layers.append(ReLU())
+        layers: list[Module] = []
+        if norm == "batch":
+            # ``input_grad=False`` (the network's first block) lets the
+            # fused backward skip the dx of the first stage entirely.
+            layers.append(FusedConvBNReLU3D(
+                in_channels, out_channels, 3, padding="same",
+                kernel_initializer=init, rng=rng, dtype=dtype,
+                input_grad=input_grad))
+            layers.append(FusedConvBNReLU3D(
+                out_channels, out_channels, 3, padding="same",
+                kernel_initializer=init, rng=rng, dtype=dtype))
+        else:
+            layers.append(
+                Conv3D(in_channels, out_channels, 3, padding="same",
+                       kernel_initializer=init, rng=rng, dtype=dtype)
+            )
+            n1 = _make_norm(norm, out_channels, dtype=dtype)
+            if n1 is not None:
+                layers.append(n1)
+            layers.append(ReLU())
+            layers.append(
+                Conv3D(out_channels, out_channels, 3, padding="same",
+                       kernel_initializer=init, rng=rng, dtype=dtype)
+            )
+            n2 = _make_norm(norm, out_channels, dtype=dtype)
+            if n2 is not None:
+                layers.append(n2)
+            layers.append(ReLU())
         self.body = Sequential(*layers)
         self.out_channels = out_channels
 
@@ -177,7 +200,7 @@ class UNet3D(Module):
         self.pools: list[MaxPool3D] = []
         for s in range(depth):
             blk = ConvBlock(ci, filters[s], use_batchnorm, rng, norm=norm,
-                            dtype=self.dtype)
+                            dtype=self.dtype, input_grad=(s > 0))
             setattr(self, f"enc{s}", blk)
             self.enc_blocks.append(blk)
             ci = filters[s]

@@ -57,6 +57,13 @@ SCHEMA_REQUIRED_KEYS = ("benchmark", "smoke", "host")
 REQUIRED_METRICS = {
     "serving": ("latency_seconds.p50", "latency_seconds.p95",
                 "latency_seconds.p99", "throughput_rps"),
+    # every backend x dtype row must be present, so a kernel record that
+    # silently dropped a backend can never join the trajectory
+    "kernel_backends": tuple(
+        f"backends.{b}.{d}.step_seconds"
+        for b in ("reference", "gemm", "fused")
+        for d in ("float64", "float32")
+    ) + ("speedup", "fused_speedup_vs_gemm"),
 }
 
 # A candidate regresses when it moves past the larger of these bands.

@@ -108,6 +108,12 @@ def run_serve_bench(server, volumes, rps: float, duration_s: float,
         },
         "service_seconds_mean": float(
             np.mean([r.model_seconds for r in responses])),
+        # Replica-side kernel attribution ("backend/op" -> seconds),
+        # drained per batch so long-lived replicas stay bounded.
+        "kernel_seconds": {
+            key: float(v)
+            for key, v in sorted(server.kernel_seconds().items())
+        },
     }
 
 

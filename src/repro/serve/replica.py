@@ -30,6 +30,7 @@ import numpy as np
 
 from ..core.checkpoint import load_checkpoint
 from ..core.inference import full_volume_inference, sliding_window_inference
+from ..nn.kernels import consume_kernel_seconds
 
 __all__ = ["replica_factory", "STRATEGIES"]
 
@@ -70,6 +71,14 @@ def replica_factory(checkpoint: str, model_builder, model_kwargs=None):
             )
         else:
             raise ValueError(f"unknown inference strategy {strategy!r}")
+        # Drain the per-{backend,op} kernel-seconds ledger every batch:
+        # long-lived replicas must not accumulate it unboundedly (the
+        # trainer drains it per step; nothing else in this process
+        # does), and the attribution rides back with the result.
+        kernel_seconds = {
+            f"{backend}/{op}": seconds
+            for (backend, op), seconds in consume_kernel_seconds().items()
+        }
         return {
             "prediction": res.prediction,
             "seconds": res.seconds,
@@ -77,6 +86,7 @@ def replica_factory(checkpoint: str, model_builder, model_kwargs=None):
             "model_invocations": res.model_invocations,
             "strategy": strategy,
             "checkpoint_epoch": meta.get("epoch"),
+            "kernel_seconds": kernel_seconds,
         }
 
     return serve_batch

@@ -182,6 +182,13 @@ class ModelServer:
             "serve_latency_seconds", "admission-to-response latency")
         self._h_batch = m.histogram(
             "serve_batch_size", "requests coalesced per dispatched batch")
+        # Same counter name the trainer drains its ledger into, so the
+        # profiler's per-backend compute split covers serving too.
+        self._c_kernel = m.counter(
+            "kernel_seconds_total",
+            "replica kernel time by backend and op",
+            ("backend", "op"))
+        self._kernel_seconds: dict[str, float] = {}
         self._g_replicas.set(self.executor.worker_count())
 
     # -- admission ----------------------------------------------------------
@@ -221,6 +228,11 @@ class ModelServer:
     def pending_count(self) -> int:
         """Requests admitted but not yet answered (queued + in flight)."""
         return len(self._pending)
+
+    def kernel_seconds(self) -> dict[str, float]:
+        """Cumulative replica kernel time by ``"backend/op"`` across every
+        completed batch (serve-bench reports this attribution)."""
+        return dict(self._kernel_seconds)
 
     # -- dispatch -----------------------------------------------------------
     def _dispatch(self, key: BatchKey, request_ids: list,
@@ -361,6 +373,13 @@ class ModelServer:
         worker = batch.worker
         if worker is None and stats:
             worker = stats.get("worker_id")
+        # Per-batch kernel attribution the replica drained from its
+        # ledger ("backend/op" -> seconds).
+        for key, seconds in (final.get("kernel_seconds") or {}).items():
+            backend, _, op = key.partition("/")
+            self._c_kernel.labels(backend=backend, op=op).inc(seconds)
+            self._kernel_seconds[key] = (
+                self._kernel_seconds.get(key, 0.0) + float(seconds))
         prediction = np.asarray(final["prediction"])
         for i, rid in enumerate(batch.request_ids):
             pending = self._pending.pop(rid, None)

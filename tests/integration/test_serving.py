@@ -86,6 +86,25 @@ class TestBitIdentity:
         assert np.array_equal(reference[0], response.prediction)
 
 
+class TestKernelAttribution:
+    def test_server_accumulates_per_backend_kernel_seconds(self, checkpoint):
+        """Replicas drain the kernel-seconds ledger every batch and the
+        attribution rides back to the server's counter."""
+        vols = volumes(4)
+        with ModelServer(serve_config(checkpoint)) as server:
+            futs = [server.submit(v) for v in vols]
+            server.drain(timeout_s=60)
+            for f in futs:
+                f.result()
+            ledger = server.kernel_seconds()
+        assert ledger, "no kernel attribution reached the server"
+        assert all("/" in key for key in ledger)  # "backend/op" keys
+        backends = {key.split("/", 1)[0] for key in ledger}
+        assert backends <= {"reference", "gemm", "fused"}
+        assert all(seconds >= 0 for seconds in ledger.values())
+        assert any(seconds > 0 for seconds in ledger.values())
+
+
 class TestMicroBatching:
     def test_deadline_flushes_partial_batch(self, checkpoint):
         """Two requests against max_batch=8 never fill the batch; the

@@ -93,6 +93,61 @@ class TestCommands:
         assert rc == 0
         assert "best:" in capsys.readouterr().out
 
+    def test_search_defaults_to_float32_and_restores_policy(self, capsys,
+                                                            monkeypatch):
+        """``search`` flips the compute-dtype default to the float32
+        fast path for the duration of the command only: ``main`` must
+        hand the process back with the global policy untouched, so
+        in-process callers (this suite!) never inherit float32."""
+        import numpy as np
+
+        from repro.nn.dtypes import get_compute_dtype
+        from repro.nn.layers.conv3d import Conv3D
+
+        monkeypatch.delenv("DISTMIS_COMPUTE_DTYPE", raising=False)
+        before = get_compute_dtype()
+        seen = {}
+        orig_init = Conv3D.__init__
+
+        def spy(self, *a, **kw):
+            orig_init(self, *a, **kw)
+            seen.setdefault("dtype", self.w.value.dtype)
+
+        monkeypatch.setattr(Conv3D, "__init__", spy)
+        rc = main([
+            "search", "--subjects", "6", "--volume", "8", "8", "8",
+            "--epochs", "1", "--base-filters", "2", "--depth", "2",
+            "--lr", "0.003",
+        ])
+        assert rc == 0
+        assert seen["dtype"] == np.float32      # the fast path was on
+        assert get_compute_dtype() == before    # ...and was handed back
+        capsys.readouterr()
+
+    def test_search_compute_dtype_flag_overrides_fast_path(self, capsys,
+                                                           monkeypatch):
+        import numpy as np
+
+        from repro.nn.layers.conv3d import Conv3D
+
+        monkeypatch.delenv("DISTMIS_COMPUTE_DTYPE", raising=False)
+        seen = {}
+        orig_init = Conv3D.__init__
+
+        def spy(self, *a, **kw):
+            orig_init(self, *a, **kw)
+            seen.setdefault("dtype", self.w.value.dtype)
+
+        monkeypatch.setattr(Conv3D, "__init__", spy)
+        rc = main([
+            "search", "--subjects", "6", "--volume", "8", "8", "8",
+            "--epochs", "1", "--base-filters", "2", "--depth", "2",
+            "--lr", "0.003", "--compute-dtype", "float64",
+        ])
+        assert rc == 0
+        assert seen["dtype"] == np.float64
+        capsys.readouterr()
+
     def test_summary_command(self, capsys):
         rc = main(["summary", "--volume", "16", "16", "16"])
         assert rc == 0

@@ -1,9 +1,14 @@
-"""Cross-validation of the GEMM conv backend against the reference.
+"""Cross-validation of the GEMM-family conv backends against the
+reference.
 
 The ``reference`` einsum kernels are the ground truth; the ``gemm``
-im2col lowering must agree with them (and with finite differences) at
-every stride/padding/kernel combination the U-Net uses -- plus the
-registry plumbing that selects between them.
+im2col lowering and the tiled ``fused`` backend must agree with them
+(and with finite differences) at every stride/padding/kernel
+combination the U-Net uses -- plus the registry plumbing that selects
+between them.  The fused backend is additionally pinned with tiling
+*forced on* (tiny ``DISTMIS_KERNEL_TILE_MB``) and under thread-pool
+tile execution (``DISTMIS_KERNEL_THREADS``), which must stay
+bit-identical to the serial run.
 """
 
 import numpy as np
@@ -15,6 +20,7 @@ from repro.nn import (
     UNet3D,
     check_module_gradients,
     use_compute_dtype,
+    workspace,
 )
 from repro.nn.functional import (
     conv3d_backward,
@@ -62,9 +68,14 @@ def _conv_tensors(kernel, cin=2, cout=3, shape=(6, 5, 4)):
 
 
 class TestRegistry:
-    def test_both_backends_registered(self):
+    def test_all_three_backends_registered(self):
         names = available_backends()
-        assert "gemm" in names and "reference" in names
+        assert {"reference", "gemm", "fused"} <= set(names)
+
+    def test_only_fused_supports_fusion(self):
+        for name in available_backends():
+            with use_backend(name) as backend:
+                assert backend.supports_fusion == (name == "fused")
 
     def test_default_backend_is_gemm(self):
         assert registry.DEFAULT_BACKEND == "gemm"
@@ -114,34 +125,40 @@ class TestRegistry:
         assert snap.get(("gemm", "conv3d_forward"), 0.0) > 0.0
 
 
+CANDIDATES = ("gemm", "fused")
+
+
 class TestConv3DParity:
+    @pytest.mark.parametrize("backend", CANDIDATES)
     @pytest.mark.parametrize("kernel,stride,pad", CONV_CONFIGS)
-    def test_forward_matches_reference(self, kernel, stride, pad):
+    def test_forward_matches_reference(self, backend, kernel, stride, pad):
         x, w, b = _conv_tensors(kernel)
         pad = _resolve_pad(pad, kernel)
         with use_backend("reference"):
             y_ref = conv3d_forward(x, w, b, stride, pad)
-        with use_backend("gemm"):
-            y_gemm = conv3d_forward(x, w, b, stride, pad)
-        np.testing.assert_allclose(y_gemm, y_ref, rtol=1e-9, atol=1e-11)
+        with use_backend(backend):
+            y = conv3d_forward(x, w, b, stride, pad)
+        np.testing.assert_allclose(y, y_ref, rtol=1e-9, atol=1e-11)
 
+    @pytest.mark.parametrize("backend", CANDIDATES)
     @pytest.mark.parametrize("kernel,stride,pad", CONV_CONFIGS)
-    def test_backward_matches_reference(self, kernel, stride, pad):
+    def test_backward_matches_reference(self, backend, kernel, stride, pad):
         x, w, b = _conv_tensors(kernel)
         pad = _resolve_pad(pad, kernel)
         with use_backend("reference"):
             y = conv3d_forward(x, w, b, stride, pad)
             dy = rng.normal(size=y.shape)
             ref = conv3d_backward(dy, x, w, stride, pad)
-        with use_backend("gemm"):
-            gemm = conv3d_backward(dy, x, w, stride, pad)
-        for g, r, label in zip(gemm, ref, ("dx", "dw", "db")):
+        with use_backend(backend):
+            out = conv3d_backward(dy, x, w, stride, pad)
+        for g, r, label in zip(out, ref, ("dx", "dw", "db")):
             np.testing.assert_allclose(g, r, rtol=1e-9, atol=1e-11,
                                        err_msg=label)
 
+    @pytest.mark.parametrize("backend", CANDIDATES)
     @pytest.mark.parametrize("kernel,stride,pad", CONV_CONFIGS)
-    def test_backward_with_ctx_reuse_matches_reference(self, kernel, stride,
-                                                       pad):
+    def test_backward_with_ctx_reuse_matches_reference(self, backend, kernel,
+                                                       stride, pad):
         """The stashed im2col patches must give the same gradients."""
         x, w, b = _conv_tensors(kernel)
         pad = _resolve_pad(pad, kernel)
@@ -149,20 +166,21 @@ class TestConv3DParity:
             y = conv3d_forward(x, w, b, stride, pad)
             dy = rng.normal(size=y.shape)
             ref = conv3d_backward(dy, x, w, stride, pad)
-        with use_backend("gemm"):
+        with use_backend(backend):
             ctx: dict = {}
             conv3d_forward(x, w, b, stride, pad, ctx=ctx)
-            gemm = conv3d_backward(dy, x, w, stride, pad, ctx=ctx)
+            out = conv3d_backward(dy, x, w, stride, pad, ctx=ctx)
             release_conv_ctx(ctx)
-        for g, r, label in zip(gemm, ref, ("dx", "dw", "db")):
+        for g, r, label in zip(out, ref, ("dx", "dw", "db")):
             np.testing.assert_allclose(g, r, rtol=1e-9, atol=1e-11,
                                        err_msg=label)
 
 
 class TestConvTransposeParity:
+    @pytest.mark.parametrize("backend", CANDIDATES)
     @pytest.mark.parametrize("kernel,stride", [(2, 2), (3, 2), (2, 1),
                                                (3, 1)])
-    def test_forward_backward_match_reference(self, kernel, stride):
+    def test_forward_backward_match_reference(self, backend, kernel, stride):
         x = rng.normal(size=(2, 3, 4, 3, 2))
         w = rng.normal(size=(3, 2, kernel, kernel, kernel))
         b = rng.normal(size=2)
@@ -170,47 +188,118 @@ class TestConvTransposeParity:
             y_ref = conv_transpose3d_forward(x, w, b, stride)
             dy = rng.normal(size=y_ref.shape)
             ref = conv_transpose3d_backward(dy, x, w, stride)
-        with use_backend("gemm"):
-            y_gemm = conv_transpose3d_forward(x, w, b, stride)
-            gemm = conv_transpose3d_backward(dy, x, w, stride)
-        np.testing.assert_allclose(y_gemm, y_ref, rtol=1e-9, atol=1e-11)
-        for g, r, label in zip(gemm, ref, ("dx", "dw", "db")):
+        with use_backend(backend):
+            y = conv_transpose3d_forward(x, w, b, stride)
+            out = conv_transpose3d_backward(dy, x, w, stride)
+        np.testing.assert_allclose(y, y_ref, rtol=1e-9, atol=1e-11)
+        for g, r, label in zip(out, ref, ("dx", "dw", "db")):
             np.testing.assert_allclose(g, r, rtol=1e-9, atol=1e-11,
                                        err_msg=label)
 
 
-class TestGradcheckUnderGemm:
+class TestGradcheck:
     """Finite differences against the layers the U-Net instantiates."""
 
+    @pytest.mark.parametrize("backend", CANDIDATES)
     @pytest.mark.parametrize("kernel,stride,pad", [
         (3, 1, "same"),   # every ConvBlock conv
         (1, 1, 0),        # the 1x1x1 segmentation head
         (3, 2, 1),        # strided variant
         (2, 1, "valid"),  # even kernel
     ])
-    def test_conv3d_gradients(self, kernel, stride, pad):
+    def test_conv3d_gradients(self, backend, kernel, stride, pad):
         layer = Conv3D(2, 3, kernel, stride=stride, padding=pad,
                        rng=np.random.default_rng(0))
         x = np.random.default_rng(1).normal(size=(2, 2, 5, 5, 4))
-        with use_backend("gemm"):
+        with use_backend(backend):
             errs = check_module_gradients(layer, x)
         assert max(errs.values()) < 1e-6, errs
 
-    def test_conv_transpose3d_gradients(self):
+    @pytest.mark.parametrize("backend", CANDIDATES)
+    def test_conv_transpose3d_gradients(self, backend):
         layer = ConvTranspose3D(3, 2, 2, stride=2,
                                 rng=np.random.default_rng(0))
         x = np.random.default_rng(1).normal(size=(2, 3, 3, 3, 2))
-        with use_backend("gemm"):
+        with use_backend(backend):
+            errs = check_module_gradients(layer, x)
+        assert max(errs.values()) < 1e-6, errs
+
+    def test_conv3d_gradients_with_tiling_forced(self, monkeypatch):
+        """Tiny tile budget: the fused lowering must split every conv
+        into many output-depth tiles and still pass finite differences."""
+        monkeypatch.setenv("DISTMIS_KERNEL_TILE_MB", "0.0001")
+        layer = Conv3D(2, 3, 3, padding="same",
+                       rng=np.random.default_rng(0))
+        x = np.random.default_rng(1).normal(size=(2, 2, 5, 5, 4))
+        with use_backend("fused"):
             errs = check_module_gradients(layer, x)
         assert max(errs.values()) < 1e-6, errs
 
 
+class TestFusedTilingAndThreads:
+    """The fused backend's tiled path (forced on via a tiny tile budget)
+    against the reference, serially and on the tile thread-pool."""
+
+    def _run(self, backend):
+        g = np.random.default_rng(1234)  # identical tensors every call
+        x = g.normal(size=(2, 2, 8, 7, 6))
+        w = g.normal(size=(3, 2, 3, 3, 3))
+        b = g.normal(size=3)
+        with use_backend(backend):
+            ctx: dict = {}
+            y = conv3d_forward(x, w, b, 1, 1, ctx=ctx)
+            dy = np.random.default_rng(9).normal(size=y.shape)
+            dx, dw, db = conv3d_backward(dy, x, w, 1, 1, ctx=ctx)
+            release_conv_ctx(ctx)
+        return y, dx, dw, db
+
+    def test_tiled_path_matches_reference(self, monkeypatch):
+        ref = self._run("reference")
+        monkeypatch.setenv("DISTMIS_KERNEL_TILE_MB", "0.001")
+        out = self._run("fused")
+        for o, r, label in zip(out, ref, ("y", "dx", "dw", "db")):
+            np.testing.assert_allclose(o, r, rtol=1e-9, atol=1e-11,
+                                       err_msg=label)
+
+    def test_threaded_tiles_bit_identical_to_serial(self, monkeypatch):
+        """Thread-pool tile execution is a scheduling choice, not a
+        numerical one: every output must match the serial run exactly,
+        and no tile may scribble over another's workspace buffer."""
+        monkeypatch.setenv("DISTMIS_KERNEL_TILE_MB", "0.001")
+        serial = self._run("fused")
+        monkeypatch.setenv("DISTMIS_KERNEL_THREADS", "4")
+        threaded = self._run("fused")
+        for s, t, label in zip(serial, threaded, ("y", "dx", "dw", "db")):
+            assert np.array_equal(s, t), f"{label} differs under threads"
+
+    def test_workspace_balanced_after_tiled_run(self, monkeypatch):
+        # delta, not absolute: earlier tests' layers may still hold a
+        # live forward ctx (released lazily on their next forward)
+        monkeypatch.setenv("DISTMIS_KERNEL_TILE_MB", "0.001")
+        monkeypatch.setenv("DISTMIS_KERNEL_THREADS", "2")
+        before = workspace().stats()["in_use_bytes"]
+        self._run("fused")
+        assert workspace().stats()["in_use_bytes"] == before
+
+    def test_outputs_do_not_alias_workspace(self, monkeypatch):
+        """Forward/backward results must be freshly allocated -- a later
+        kernel call reusing arena scratch must not mutate them."""
+        monkeypatch.setenv("DISTMIS_KERNEL_TILE_MB", "0.001")
+        y1, dx1, dw1, db1 = self._run("fused")
+        snap = (y1.copy(), dx1.copy(), dw1.copy(), db1.copy())
+        self._run("fused")  # reuses the same arena buffers
+        for a, b, label in zip((y1, dx1, dw1, db1), snap,
+                               ("y", "dx", "dw", "db")):
+            assert np.array_equal(a, b), f"{label} aliases the workspace"
+
+
 class TestModelLevelParity:
-    def test_unet_step_grads_match_reference(self):
+    @pytest.mark.parametrize("backend", CANDIDATES)
+    def test_unet_step_grads_match_reference(self, backend):
         x = np.random.default_rng(5).normal(size=(1, 2, 8, 8, 8))
 
-        def grads(backend):
-            with use_backend(backend):
+        def grads(name):
+            with use_backend(name):
                 net = UNet3D(2, 1, base_filters=2, depth=2, norm="none",
                              rng=np.random.default_rng(3))
                 net.train()
@@ -220,12 +309,12 @@ class TestModelLevelParity:
                 return pred, net.get_flat_grads()
 
         pred_ref, g_ref = grads("reference")
-        pred_gemm, g_gemm = grads("gemm")
-        np.testing.assert_allclose(pred_gemm, pred_ref, rtol=1e-9,
-                                   atol=1e-12)
-        np.testing.assert_allclose(g_gemm, g_ref, rtol=1e-9, atol=1e-12)
+        pred, g = grads(backend)
+        np.testing.assert_allclose(pred, pred_ref, rtol=1e-9, atol=1e-12)
+        np.testing.assert_allclose(g, g_ref, rtol=1e-9, atol=1e-12)
 
-    def test_float32_path_parity(self):
+    @pytest.mark.parametrize("backend", CANDIDATES)
+    def test_float32_path_parity(self, backend):
         x64 = np.random.default_rng(5).normal(size=(2, 2, 6, 6, 4))
         with use_compute_dtype("float32"):
             layer = Conv3D(2, 3, 3, padding="same",
@@ -237,11 +326,11 @@ class TestModelLevelParity:
                 layer.zero_grad()
                 layer.backward(np.ones_like(y_ref))
                 gw_ref = layer.w.grad.copy()
-            with use_backend("gemm"):
-                y_gemm = layer(x)
+            with use_backend(backend):
+                y = layer(x)
                 layer.zero_grad()
-                layer.backward(np.ones_like(y_gemm))
-                gw_gemm = layer.w.grad.copy()
-        assert y_ref.dtype == np.float32 and y_gemm.dtype == np.float32
-        np.testing.assert_allclose(y_gemm, y_ref, rtol=1e-4, atol=1e-5)
-        np.testing.assert_allclose(gw_gemm, gw_ref, rtol=1e-4, atol=1e-4)
+                layer.backward(np.ones_like(y))
+                gw = layer.w.grad.copy()
+        assert y_ref.dtype == np.float32 and y.dtype == np.float32
+        np.testing.assert_allclose(y, y_ref, rtol=1e-4, atol=1e-5)
+        np.testing.assert_allclose(gw, gw_ref, rtol=1e-4, atol=1e-4)

@@ -46,6 +46,19 @@ class TestArenaBasics:
         ws.release(None)
         assert ws.free_bytes == 0 and ws.in_use_bytes == 0
 
+    def test_stale_checkout_id_never_poisons_pool(self):
+        """A checkout leaked without release leaves a stale ``id`` entry;
+        a foreign array recycled onto the same address must not be filed
+        under the old key (acquire would then return the wrong shape)."""
+        ws = WorkspaceArena(max_bytes=1 << 20)
+        key = ws._key((16, 4), np.float64)
+        foreign = np.zeros(3)
+        ws._out[id(foreign)] = key  # simulate the id collision
+        ws.release(foreign)
+        assert id(foreign) not in ws._out
+        assert ws.free_bytes == 0  # the foreign array was not retained
+        assert ws.acquire((16, 4)).shape == (16, 4)
+
     def test_double_release_is_harmless(self):
         ws = WorkspaceArena(max_bytes=1 << 20)
         a = ws.acquire((8,))

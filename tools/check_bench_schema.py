@@ -7,7 +7,10 @@ Checks, per file: valid JSON object; required keys (``benchmark``,
 (and vice versa -- a smoke run must never masquerade as a trajectory
 point); at least one trackable numeric metric; per-benchmark required
 metrics (``REQUIRED_METRICS``: a ``BENCH_serving.json`` record must
-carry ``latency_seconds.p50/.p95/.p99`` and ``throughput_rps``).
+carry ``latency_seconds.p50/.p95/.p99`` and ``throughput_rps``; a
+``BENCH_kernels.json`` record must carry every
+``backends.<reference|gemm|fused>.<float64|float32>.step_seconds`` row
+plus ``speedup`` and ``fused_speedup_vs_gemm``).
 Exits non-zero with one line per violation, so ``make lint`` fails
 before a malformed or quarantine-violating record lands on the
 trajectory.
