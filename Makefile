@@ -12,6 +12,8 @@ test:
 
 # ruff when available, else the dependency-free fallback in tools/lint.py;
 # always gate the committed benchmark baselines on the trajectory schema
+# and the Chrome-trace export contract (self-test exercises the real
+# merged-trace writer including the request-tracing spans)
 lint:
 	@if command -v ruff >/dev/null 2>&1; then \
 		ruff check src tests tools examples; \
@@ -20,6 +22,7 @@ lint:
 		$(PYTHON) tools/lint.py src tests tools examples; \
 	fi
 	$(PYTHON) tools/check_bench_schema.py
+	PYTHONPATH=src $(PYTHON) tools/check_trace_schema.py
 
 smoke: profile-smoke monitor-smoke serve-smoke
 	PYTHONPATH=src $(PYTHON) examples/quickstart.py
@@ -56,14 +59,20 @@ monitor-smoke:
 	print(f'monitor-smoke OK: {len(evs)} events')"
 
 # tiny checkpoint served by 2 replicas under open-loop load: asserts
-# the quarantined serving record lands with its latency percentiles
+# the quarantined serving record lands with its latency percentiles,
+# the kept request traces render as waterfalls, and the exported
+# merged trace satisfies the viewer contract
 serve-smoke:
 	PYTHONPATH=src $(PYTHON) -m repro.cli serve-bench \
 		--rps 25 --duration 2 --replicas 2 \
 		--volume 8 8 8 --base-filters 2 --depth 2 \
-		--smoke --out /tmp/distmis_serve_smoke/BENCH_serving_smoke.json
+		--smoke --out /tmp/distmis_serve_smoke/BENCH_serving_smoke.json \
+		--telemetry /tmp/distmis_serve_smoke/run
 	$(PYTHON) tools/check_bench_schema.py \
 		/tmp/distmis_serve_smoke/BENCH_serving_smoke.json
+	PYTHONPATH=src $(PYTHON) -m repro.cli trace /tmp/distmis_serve_smoke/run
+	PYTHONPATH=src $(PYTHON) tools/check_trace_schema.py \
+		/tmp/distmis_serve_smoke/run/trace.json
 	PYTHONPATH=src $(PYTHON) -c "\
 	import json; \
 	rec = json.load(open( \

@@ -41,6 +41,7 @@ MAX_OVERHEAD = 0.05
 # Smoke runs are quarantined onto *_smoke.json trajectory-safe names.
 OUT = bench_output_path(__file__, "profiler_overhead", smoke=SMOKE)
 OUT_LIVE = bench_output_path(__file__, "live_overhead", smoke=SMOKE)
+OUT_TRACE = bench_output_path(__file__, "trace_overhead", smoke=SMOKE)
 
 
 def _settings() -> ExperimentSettings:
@@ -159,3 +160,80 @@ def test_live_export_overhead_under_5pct():
     assert overhead < MAX_OVERHEAD, (
         f"live export cost {overhead:.1%} (> {MAX_OVERHEAD:.0%}) on the "
         f"serial executor: null {baseline_s:.2f}s vs live {live_s:.2f}s")
+
+
+def test_request_tracing_overhead_under_5pct():
+    """Request tracing at the default tail-based sampling must stay
+    inside the same budget on the serving hot path: per request it adds
+    a handful of ``monotonic`` stamps, one sampler decision and (for
+    the kept minority) a few span records."""
+    import numpy as np
+
+    from repro.core.checkpoint import CheckpointManager
+    from repro.nn import UNet3D
+    from repro.serve import ModelServer, ServeConfig
+    from repro.telemetry import TracingConfig
+
+    model_kwargs = dict(in_channels=1, out_channels=1,
+                        base_filters=2 if SMOKE else 4, depth=2,
+                        use_batchnorm=False)
+    shape = (1, 8, 8, 8) if SMOKE else (1, 16, 16, 16)
+    n_requests = 16 if SMOKE else 64
+    rng = np.random.default_rng(0)
+    vols = [rng.normal(size=shape) for _ in range(n_requests)]
+
+    with tempfile.TemporaryDirectory() as ckpt_dir:
+        mgr = CheckpointManager(ckpt_dir)
+        mgr.save(UNet3D(rng=np.random.default_rng(7), **model_kwargs),
+                 epoch=1, val_dice=0.5)
+
+        def _time_burst(tracing: TracingConfig) -> float:
+            cfg = ServeConfig(checkpoint=str(mgr.best_path),
+                              model_builder=UNet3D,
+                              model_kwargs=model_kwargs, replicas=1,
+                              max_batch=4, max_delay_ms=1.0,
+                              tracing=tracing)
+            best = float("inf")
+            for _ in range(REPEATS):
+                with ModelServer(cfg, telemetry=NULL_HUB) as server:
+                    t0 = time.perf_counter()
+                    futs = [server.submit(v) for v in vols]
+                    server.drain(timeout_s=600)
+                    elapsed = time.perf_counter() - t0
+                    assert all(f.result().batch_size >= 1 for f in futs)
+                    if tracing.enabled:
+                        # default sampling really decided something
+                        assert server.latency_quantile(0.5) > 0
+                best = min(best, elapsed)
+            return best
+
+        baseline_s = _time_burst(TracingConfig(enabled=False))
+        traced_s = _time_burst(TracingConfig())  # default sampling
+
+    overhead = traced_s / baseline_s - 1.0
+    summary = {
+        "benchmark": "trace_overhead",
+        "smoke": SMOKE,
+        "repeats": REPEATS,
+        "requests": n_requests,
+        "volume_shape": list(shape[1:]),
+        "baseline_seconds": round(baseline_s, 4),
+        "traced_seconds": round(traced_s, 4),
+        "overhead_fraction": round(overhead, 4),
+        "budget_fraction": MAX_OVERHEAD,
+        "host": host_metadata(),
+    }
+    OUT_TRACE.write_text(json.dumps(summary, indent=2) + "\n")
+    print(f"\nuntraced {baseline_s:.2f}s  traced {traced_s:.2f}s  "
+          f"overhead {overhead:+.1%} (budget {MAX_OVERHEAD:.0%}) "
+          f"-> {OUT_TRACE.name}")
+
+    if SMOKE:
+        import pytest
+
+        pytest.skip("smoke scale: workload too short for a stable ratio; "
+                    "overhead recorded, bound enforced on the full run")
+    assert overhead < MAX_OVERHEAD, (
+        f"request tracing cost {overhead:.1%} (> {MAX_OVERHEAD:.0%}) on "
+        f"the serving path: untraced {baseline_s:.2f}s vs "
+        f"traced {traced_s:.2f}s")

@@ -18,6 +18,9 @@ surface:
   Prometheus text / merged Chrome trace);
 * ``distmis top``      -- live (or post-hoc) text view over a run's
   ``events.jsonl`` stream: worker liveness, step-time buckets, alerts;
+* ``distmis trace``    -- per-request phase waterfalls over a serve
+  run's kept traces (``requests.jsonl``): queue_wait / batch_wait /
+  dispatch / compute / stitch, naming the dominant phase;
 * ``distmis bench``    -- the benchmark-regression gate: ``compare`` a
   fresh ``BENCH_*.json`` against the committed trajectory, ``record``
   a full-size run onto the trajectory history;
@@ -440,6 +443,55 @@ def cmd_top(args) -> int:
                    interval_s=args.interval, max_frames=args.frames)
 
 
+def cmd_trace(args) -> int:
+    from .telemetry import REQUESTS_JSONL, load_request_traces
+    from .telemetry.tracing import render_waterfall
+
+    traces = load_request_traces(args.run_dir)
+    if not traces:
+        print(f"no {REQUESTS_JSONL} in {args.run_dir} -- serve with a "
+              "--telemetry run directory (kept traces are written at "
+              "flush time)", file=sys.stderr)
+        return 1
+    if args.request is not None:
+        chosen = [t for t in traces if t.request_id == args.request
+                  or t.trace_id == args.request]
+        if not chosen:
+            print(f"no kept trace for request {args.request!r} "
+                  f"({len(traces)} kept traces; it may have been "
+                  "sampled out)", file=sys.stderr)
+            return 1
+        for t in chosen:
+            print(render_waterfall(t))
+        return 0
+    ranked = sorted(traces, key=lambda t: t.latency_s, reverse=True)
+    if args.slowest is not None:
+        for i, t in enumerate(ranked[:args.slowest]):
+            if i:
+                print()
+            print(render_waterfall(t))
+        return 0
+    # default: a summary plus the slowest request's waterfall
+    reasons: dict[str, int] = {}
+    for t in traces:
+        reasons[t.keep_reason] = reasons.get(t.keep_reason, 0) + 1
+    kept = ", ".join(f"{k}: {v}" for k, v in sorted(reasons.items()))
+    print(f"{len(traces)} kept request trace(s) ({kept})")
+    dominant: dict[str, int] = {}
+    for t in traces:
+        phase = t.dominant_phase()
+        if phase is not None:
+            dominant[phase] = dominant.get(phase, 0) + 1
+    if dominant:
+        top_phase = max(sorted(dominant), key=lambda p: dominant[p])
+        print(f"dominant phase across kept traces: {top_phase} "
+              f"({dominant[top_phase]}/{len(traces)} requests)")
+    print()
+    print("slowest kept request:")
+    print(render_waterfall(ranked[0]))
+    return 0
+
+
 def cmd_bench_compare(args) -> int:
     from pathlib import Path
 
@@ -751,6 +803,18 @@ def build_parser() -> argparse.ArgumentParser:
                    help="stop after this many rendered frames (useful in "
                         "non-TTY smoke runs)")
     p.set_defaults(fn=cmd_top)
+
+    p = sub.add_parser("trace",
+                       help="per-request phase waterfalls from a serve "
+                            "run's kept traces (requests.jsonl)")
+    p.add_argument("run_dir",
+                   help="run directory written by a served --telemetry "
+                        "run (needs requests.jsonl)")
+    p.add_argument("--request", default=None, metavar="ID",
+                   help="render one request by request id or trace id")
+    p.add_argument("--slowest", type=int, default=None, metavar="N",
+                   help="render the N slowest kept requests")
+    p.set_defaults(fn=cmd_trace)
 
     p = sub.add_parser("bench", help="benchmark-regression tracking")
     bsub = p.add_subparsers(dest="bench_command", required=True)

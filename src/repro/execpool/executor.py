@@ -283,7 +283,8 @@ class ProcessPoolTrialExecutor:
                  max_workers: int | None = None,
                  start_method: str | None = None,
                  telemetry=None,
-                 heartbeat_s: float = 1.0):
+                 heartbeat_s: float = 1.0,
+                 worker_telemetry: bool | None = None):
         if (trainable is None) == (trainable_factory is None):
             raise ValueError(
                 "pass exactly one of trainable / trainable_factory"
@@ -303,7 +304,12 @@ class ProcessPoolTrialExecutor:
             start_method or _default_start_method())
         self._task_q = self._ctx.Queue()
         self._result_q = self._ctx.Queue()
-        self._profile = bool(getattr(telemetry, "profile", False))
+        # Worker-side telemetry (a process-local hub + frames streamed
+        # back over the result queue) follows the hub's profile flag by
+        # default; ``worker_telemetry`` forces it on for drivers that
+        # need worker spans without full profiling (request tracing).
+        self._profile = (bool(getattr(telemetry, "profile", False))
+                         or bool(worker_telemetry))
         self._worker_args = (trainable, trainable_factory, factory_kwargs)
         self._control_qs = []
         self._procs = []

@@ -188,7 +188,40 @@ def validate_record(obj, path=None) -> list[str]:
             problems.append(
                 f"{where}benchmark {obj.get('benchmark')!r} requires "
                 f"metric {needed!r}")
+    if obj.get("benchmark") == "serving":
+        problems += _validate_latency_histogram(obj, where)
     return problems
+
+
+def _validate_latency_histogram(obj: dict, where: str) -> list[str]:
+    """Structural check for the serving record's SLO histogram: a
+    non-empty list of ``[edge_seconds, cumulative_count]`` pairs with
+    strictly increasing edges and non-decreasing counts.  Stored as a
+    list precisely so :func:`_flatten_numeric` (dicts only) never turns
+    raw bucket counts into gated trajectory metrics."""
+    hist = obj.get("latency_histogram")
+    if not isinstance(hist, dict) or "buckets" not in hist:
+        return [f"{where}serving record requires "
+                "'latency_histogram.buckets'"]
+    buckets = hist["buckets"]
+    if not isinstance(buckets, list) or not buckets:
+        return [f"{where}'latency_histogram.buckets' must be a non-empty "
+                "list of [edge_seconds, cumulative_count] pairs"]
+    prev_edge, prev_count = -math.inf, 0
+    for pair in buckets:
+        if (not isinstance(pair, (list, tuple)) or len(pair) != 2
+                or not all(isinstance(v, (int, float))
+                           and not isinstance(v, bool) for v in pair)):
+            return [f"{where}malformed latency_histogram bucket {pair!r}"]
+        edge, count = float(pair[0]), pair[1]
+        if edge <= prev_edge:
+            return [f"{where}latency_histogram bucket edges must be "
+                    "strictly increasing"]
+        if count < prev_count:
+            return [f"{where}latency_histogram cumulative counts must be "
+                    "non-decreasing"]
+        prev_edge, prev_count = edge, count
+    return []
 
 
 def load_bench_record(path) -> BenchRecord:

@@ -100,6 +100,13 @@ def run_serve_bench(server, volumes, rps: float, duration_s: float,
             "retried": sum(1 for r in responses if r.attempt > 0),
         },
         "latency_seconds": _percentiles([r.latency_s for r in responses]),
+        # The fixed SLO bucket grid as [edge_seconds, cumulative_count]
+        # pairs.  A *list* (not a dict) on purpose: the regression
+        # gate's flattener only descends dicts, so raw bucket counts
+        # never become gated trajectory metrics (the percentiles above
+        # are the gated summary), while the full distribution is still
+        # persisted for cross-run histogram diffs.
+        "latency_histogram": {"buckets": server.latency_histogram()},
         "throughput_rps": len(responses) / elapsed,
         "batch_size": {
             "mean": float(np.mean([r.batch_size for r in responses])),

@@ -55,22 +55,41 @@ def replica_factory(checkpoint: str, model_builder, model_kwargs=None):
     meta = load_checkpoint(checkpoint, model)
 
     def serve_batch(config, reporter):
+        from ..telemetry import get_hub
+
         volumes = np.asarray(config["volumes"])
         if volumes.ndim != 5:
             raise ValueError(
                 f"expected a (N, C, D, H, W) batch, got {volumes.shape}")
         strategy = config.get("strategy", "full_volume")
-        if strategy == "full_volume":
-            res = full_volume_inference(model, volumes)
-        elif strategy == "sliding_window":
-            res = sliding_window_inference(
-                model, volumes,
-                patch_shape=tuple(config["patch_shape"]),
-                overlap=float(config.get("overlap", 0.5)),
-                batch_size=int(config.get("sw_batch_size", 4)),
-            )
-        else:
-            raise ValueError(f"unknown inference strategy {strategy!r}")
+        # Trace-context re-attachment: the driver ships the per-request
+        # contexts inside the task dict; recording the compute span on
+        # this process's hub (streamed back as a telemetry frame) is
+        # what parents replica work -- with its real pid -- into the
+        # per-request timelines of the merged Chrome trace.
+        trace = config.get("trace") or {}
+        contexts = trace.get("contexts") or {}
+        hub = get_hub()
+        with hub.tracer.span(
+                "replica_compute", category="serve",
+                batch_id=str(trace.get("batch_id", "")),
+                attempt=int(trace.get("attempt", 0)),
+                strategy=strategy,
+                request_ids=sorted(contexts),
+                trace_ids=sorted({str(c.get("trace_id", ""))
+                                  for c in contexts.values()})):
+            if strategy == "full_volume":
+                res = full_volume_inference(model, volumes)
+            elif strategy == "sliding_window":
+                res = sliding_window_inference(
+                    model, volumes,
+                    patch_shape=tuple(config["patch_shape"]),
+                    overlap=float(config.get("overlap", 0.5)),
+                    batch_size=int(config.get("sw_batch_size", 4)),
+                )
+            else:
+                raise ValueError(
+                    f"unknown inference strategy {strategy!r}")
         # Drain the per-{backend,op} kernel-seconds ledger every batch:
         # long-lived replicas must not accumulate it unboundedly (the
         # trainer drains it per step; nothing else in this process
@@ -79,6 +98,11 @@ def replica_factory(checkpoint: str, model_builder, model_kwargs=None):
             f"{backend}/{op}": seconds
             for (backend, op), seconds in consume_kernel_seconds().items()
         }
+        # Per-op children of the compute span (ending now, PR 8 ledger)
+        for key, seconds in kernel_seconds.items():
+            hub.tracer.add_completed(
+                f"kernel:{key}", float(seconds), category="kernel",
+                batch_id=str(trace.get("batch_id", "")))
         return {
             "prediction": res.prediction,
             "seconds": res.seconds,

@@ -36,6 +36,9 @@ from typing import Callable
 import numpy as np
 
 from ..execpool import ProcessPoolTrialExecutor
+from ..telemetry.metrics import Histogram
+from ..telemetry.tracing import (SERVE_LATENCY_BUCKETS, RequestTracer,
+                                 TracingConfig)
 from .autoscaler import Autoscaler, AutoscalerConfig
 from .batcher import BatchKey, MicroBatcher
 from .replica import replica_factory
@@ -65,6 +68,7 @@ class ServeConfig:
     autoscaler: AutoscalerConfig | None = None
     heartbeat_s: float = 0.5
     start_method: str | None = None
+    tracing: TracingConfig | None = None  # None -> TracingConfig()
 
     def __post_init__(self):
         if self.replicas < 1:
@@ -88,6 +92,14 @@ class InferenceResponse:
     attempt: int                  # >0 means the request survived retry
     model_seconds: float          # replica-side inference time (batch)
     checkpoint_epoch: int | None = None
+    # Per-request phase decomposition (telescoping: queue_wait +
+    # batch_wait + dispatch + compute + stitch == latency_s exactly).
+    trace_id: str = ""
+    queue_wait_s: float = 0.0     # admission -> micro-batch release
+    batch_wait_s: float = 0.0     # release -> a replica picked it up
+    dispatch_s: float = 0.0       # queue hand-off/pickling overhead
+    compute_s: float = 0.0        # replica-measured inference window
+    stitch_s: float = 0.0         # result message -> resolved future
 
 
 class ServeFuture:
@@ -118,6 +130,11 @@ class _Pending:
     key: BatchKey
     future: ServeFuture
     arrival_mono: float
+    # Trace context lives driver-side with the pending request, so a
+    # SIGKILL-retried batch resubmits under the *same* trace_id -- one
+    # request, one trace, however many attempts it took.
+    ctx: object = None            # TraceContext
+    released_mono: float | None = None  # micro-batcher let the batch go
 
 
 @dataclass
@@ -126,6 +143,7 @@ class _Inflight:
     request_ids: list
     attempt: int
     worker: int | None = None     # unknown until "started" arrives
+    started_mono: float | None = None   # when "started" arrived
 
 
 class ModelServer:
@@ -144,6 +162,12 @@ class ModelServer:
             telemetry = get_hub()
         self.config = config
         self.telemetry = telemetry
+        self.tracing = config.tracing or TracingConfig()
+        self.request_tracer = RequestTracer(telemetry=telemetry,
+                                            config=self.tracing)
+        attach = getattr(telemetry, "attach_request_tracer", None)
+        if attach is not None:
+            attach(self.request_tracer)
         self.batcher = MicroBatcher(max_batch=config.max_batch,
                                     max_delay_s=config.max_delay_ms / 1e3)
         self.autoscaler = Autoscaler(
@@ -157,6 +181,12 @@ class ModelServer:
             start_method=config.start_method,
             telemetry=telemetry,
             heartbeat_s=config.heartbeat_s,
+            # replica compute spans must flow back even when the hub is
+            # not in full profile mode -- that is what parents them into
+            # the per-request timelines
+            worker_telemetry=(self.tracing.enabled
+                              and bool(getattr(telemetry, "enabled",
+                                               False))),
         )
         self._target_replicas = config.replicas
         self._pending: dict[str, _Pending] = {}
@@ -179,9 +209,22 @@ class ModelServer:
             "serve_batch_retries_total",
             "batches resubmitted after a replica failure")
         self._h_latency = m.histogram(
-            "serve_latency_seconds", "admission-to-response latency")
+            "serve_latency_seconds", "admission-to-response latency",
+            buckets=SERVE_LATENCY_BUCKETS)
         self._h_batch = m.histogram(
             "serve_batch_size", "requests coalesced per dispatched batch")
+        # A local always-on copy of the latency histogram: quantile
+        # gauges, SLO alerts and the serve-bench histogram export must
+        # work even when the ambient hub is the null hub.
+        self._latency_hist = Histogram(
+            "serve_latency_seconds", "admission-to-response latency",
+            buckets=SERVE_LATENCY_BUCKETS)
+        self._g_p50 = m.gauge(
+            "serve_latency_p50", "median serve latency (bucket estimate)")
+        self._g_p95 = m.gauge(
+            "serve_latency_p95", "p95 serve latency (bucket estimate)")
+        self._g_p99 = m.gauge(
+            "serve_latency_p99", "p99 serve latency (bucket estimate)")
         # Same counter name the trainer drains its ledger into, so the
         # profiler's per-backend compute split covers serving too.
         self._c_kernel = m.counter(
@@ -220,7 +263,8 @@ class ModelServer:
         future = ServeFuture(request_id)
         now = time.monotonic()
         self._pending[request_id] = _Pending(
-            volume=volume, key=key, future=future, arrival_mono=now)
+            volume=volume, key=key, future=future, arrival_mono=now,
+            ctx=self.request_tracer.begin(request_id))
         self.batcher.add(request_id, key, now)
         self._g_queue.set(len(self._pending))
         return future
@@ -234,11 +278,36 @@ class ModelServer:
         completed batch (serve-bench reports this attribution)."""
         return dict(self._kernel_seconds)
 
+    def request_traces(self):
+        """The kept per-request timelines (tail-sampled), oldest first."""
+        return self.request_tracer.traces()
+
+    def latency_quantile(self, q: float) -> float:
+        """Bucket-estimated latency quantile over every answered
+        request (NaN before the first response)."""
+        return self._latency_hist.quantile(q)
+
+    def latency_histogram(self) -> list[list[float]]:
+        """Cumulative ``[edge_seconds, count]`` pairs -- the fixed
+        SLO bucket grid serve-bench persists."""
+        cum = 0
+        out = []
+        for edge, n in zip(self._latency_hist.buckets,
+                           self._latency_hist.bucket_counts):
+            cum += n
+            out.append([float(edge), int(cum)])
+        return out
+
     # -- dispatch -----------------------------------------------------------
     def _dispatch(self, key: BatchKey, request_ids: list,
-                  attempt: int = 0) -> None:
+                  attempt: int = 0, now: float | None = None) -> None:
         batch_id = f"batch_{self._n_batches:06d}"
         self._n_batches += 1
+        now = time.monotonic() if now is None else now
+        for rid in request_ids:
+            pending = self._pending.get(rid)
+            if pending is not None and pending.released_mono is None:
+                pending.released_mono = now  # queue_wait ends here
         self._submit_batch(batch_id, key, request_ids, attempt)
         if attempt == 0:
             self._h_batch.observe(len(request_ids))
@@ -252,6 +321,19 @@ class ModelServer:
             task["patch_shape"] = tuple(self.config.patch_shape)
             task["overlap"] = float(self.config.overlap)
             task["sw_batch_size"] = int(self.config.sw_batch_size)
+        # Trace-context propagation: the contexts ride the task dict
+        # over the existing pickle path and are re-attached by the
+        # replica's worker-side span.  Retries resubmit the same
+        # contexts (they live in _Pending), keeping one trace_id per
+        # request across attempts.
+        contexts = {
+            rid: self._pending[rid].ctx.to_dict()
+            for rid in request_ids
+            if getattr(self._pending.get(rid), "ctx", None) is not None
+        }
+        if contexts and self.tracing.enabled:
+            task["trace"] = {"batch_id": batch_id, "attempt": int(attempt),
+                             "contexts": contexts}
         self._inflight[batch_id] = _Inflight(
             key=key, request_ids=list(request_ids), attempt=attempt)
         self.executor.submit(batch_id, task, attempt=attempt)
@@ -273,6 +355,17 @@ class ModelServer:
                 continue
             pending.future._error = reason
             self._c_requests.labels(status="failed").inc()
+            if pending.ctx is not None:
+                # error traces are always kept by the tail sampler
+                self.request_tracer.complete(
+                    pending.ctx, rid,
+                    arrival=pending.arrival_mono,
+                    released=pending.released_mono,
+                    started=batch.started_mono,
+                    completed=time.monotonic(),
+                    attempt=batch.attempt, strategy=batch.key.strategy,
+                    batch_id=batch_id, batch_size=len(batch.request_ids),
+                    replica=batch.worker, error=reason)
 
     # -- the driver loop ----------------------------------------------------
     def step(self, now: float | None = None) -> int:
@@ -286,7 +379,7 @@ class ModelServer:
             return 0
         now = time.monotonic() if now is None else now
         for key, rids in self.batcher.due(now):
-            self._dispatch(key, rids)
+            self._dispatch(key, rids, now=now)
         processed = 0
         while True:
             msg = self.executor.poll_message()
@@ -306,9 +399,21 @@ class ModelServer:
         self._g_inflight.set(inflight_requests)
         self._g_replicas.set(self.executor.worker_count())
         live = getattr(self.telemetry, "live", None)
+        quantiles = {}
+        if self._latency_hist.count:
+            quantiles = {"serve_latency_p50": self._latency_hist.quantile(.5),
+                         "serve_latency_p95": self._latency_hist.quantile(.95),
+                         "serve_latency_p99": self._latency_hist.quantile(.99)}
+            self._g_p50.set(quantiles["serve_latency_p50"])
+            self._g_p95.set(quantiles["serve_latency_p95"])
+            self._g_p99.set(quantiles["serve_latency_p99"])
         if live is not None:
             live.set_value("serve_queue_depth", float(len(self._pending)))
             live.set_value("serve_inflight", float(inflight_requests))
+            live.set_value("serve_replicas",
+                           float(self.executor.worker_count()))
+            for name, value in quantiles.items():
+                live.set_value(name, value)  # feeds serve_p99_slo alerts
         self.telemetry.live_tick()
         return processed
 
@@ -352,6 +457,7 @@ class ModelServer:
             batch = self._inflight.get(batch_id)
             if batch is not None and batch.attempt == attempt:
                 batch.worker = worker_id
+                batch.started_mono = time.monotonic()  # batch_wait ends
         elif kind == "report":
             pass  # replicas never call the reporter
         elif kind == "done":
@@ -360,7 +466,7 @@ class ModelServer:
             if batch is None or batch.attempt != attempt:
                 return  # stale: already failed over to a new attempt
             self._inflight.pop(batch_id)
-            self._complete(batch, final, stats)
+            self._complete(batch_id, batch, final, stats)
         elif kind == "error":
             _, batch_id, attempt, message, _stats = msg
             batch = self._inflight.get(batch_id)
@@ -368,24 +474,44 @@ class ModelServer:
                 return
             self._retry_batch(batch_id, batch, message)
 
-    def _complete(self, batch: _Inflight, final: dict, stats) -> None:
-        now = time.monotonic()
+    def _complete(self, batch_id: str, batch: _Inflight, final: dict,
+                  stats) -> None:
+        done = time.monotonic()   # the result message reached the driver
         worker = batch.worker
         if worker is None and stats:
             worker = stats.get("worker_id")
+        replica_pid = stats.get("pid") if stats else None
         # Per-batch kernel attribution the replica drained from its
         # ledger ("backend/op" -> seconds).
-        for key, seconds in (final.get("kernel_seconds") or {}).items():
+        kernel = {k: float(v)
+                  for k, v in (final.get("kernel_seconds") or {}).items()}
+        for key, seconds in kernel.items():
             backend, _, op = key.partition("/")
             self._c_kernel.labels(backend=backend, op=op).inc(seconds)
             self._kernel_seconds[key] = (
-                self._kernel_seconds.get(key, 0.0) + float(seconds))
+                self._kernel_seconds.get(key, 0.0) + seconds)
         prediction = np.asarray(final["prediction"])
         for i, rid in enumerate(batch.request_ids):
             pending = self._pending.pop(rid, None)
             if pending is None:
                 continue
-            latency = now - pending.arrival_mono
+            completed = time.monotonic()
+            trace = self.request_tracer.complete(
+                pending.ctx, rid,
+                arrival=pending.arrival_mono,
+                released=pending.released_mono,
+                started=batch.started_mono,
+                done=done, completed=completed,
+                # the request waits on the whole batch's compute window
+                compute_s=float(final["seconds"]),
+                attempt=batch.attempt, strategy=final["strategy"],
+                batch_id=batch_id, batch_size=len(batch.request_ids),
+                replica=worker, replica_pid=replica_pid,
+                kernel_seconds=kernel)
+            phases = trace.phase_durations()
+            # latency from the trace so the five phase durations sum to
+            # it exactly (same clock, same endpoints)
+            latency = trace.latency_s
             pending.future._response = InferenceResponse(
                 request_id=rid,
                 prediction=prediction[i],
@@ -396,8 +522,17 @@ class ModelServer:
                 attempt=batch.attempt,
                 model_seconds=float(final["seconds"]),
                 checkpoint_epoch=final.get("checkpoint_epoch"),
+                trace_id=trace.trace_id,
+                queue_wait_s=phases["queue_wait"],
+                batch_wait_s=phases["batch_wait"],
+                dispatch_s=phases["dispatch"],
+                compute_s=phases["compute"],
+                stitch_s=phases["stitch"],
             )
-            self._h_latency.observe(latency)
+            self._latency_hist.observe(latency)
+            self._h_latency.observe(
+                latency, exemplar={"trace_id": trace.trace_id,
+                                   "request_id": rid})
             self._c_requests.labels(status="completed").inc()
 
     # -- failure and scale --------------------------------------------------

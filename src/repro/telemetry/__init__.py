@@ -28,7 +28,12 @@ a search framework's value hinges on a uniform telemetry stream):
   ``events.jsonl`` snapshots, worker heartbeats with stall detection,
   declarative SLO alert rules, and the ``distmis top`` text view
   (:mod:`~repro.telemetry.live`, :mod:`~repro.telemetry.alerts`,
-  :mod:`~repro.telemetry.top`).
+  :mod:`~repro.telemetry.top`);
+* :class:`TraceContext` / :class:`RequestTracer` / :class:`TailSampler`
+  -- end-to-end request tracing for the serving stack: a trace context
+  propagated across the process boundary, per-request phase spans, SLO
+  latency buckets with exemplars, tail-based sampling, and the
+  ``distmis trace`` waterfall (:mod:`~repro.telemetry.tracing`).
 """
 
 from .aggregate import (
@@ -68,6 +73,18 @@ from .profiler import (
 )
 from .spans import Span, Tracer
 from .top import TopView, run_top
+from .tracing import (
+    PHASES,
+    REQUESTS_JSONL,
+    SERVE_LATENCY_BUCKETS,
+    RequestTrace,
+    RequestTracer,
+    TailSampler,
+    TraceContext,
+    TracingConfig,
+    load_request_traces,
+    render_waterfall,
+)
 
 __all__ = [
     "Counter",
@@ -110,4 +127,14 @@ __all__ = [
     "analyze",
     "analyze_run_dir",
     "build_profile_data",
+    "TraceContext",
+    "TracingConfig",
+    "TailSampler",
+    "RequestTrace",
+    "RequestTracer",
+    "render_waterfall",
+    "load_request_traces",
+    "SERVE_LATENCY_BUCKETS",
+    "REQUESTS_JSONL",
+    "PHASES",
 ]

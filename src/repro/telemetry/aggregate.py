@@ -68,11 +68,23 @@ def capture_frame(hub, worker_id: int, since: int = 0) -> tuple[dict, int]:
     """
     with hub.tracer._lock:
         spans = list(hub.tracer.spans[since:])
+    # Open spans are skipped but the cursor advances past them: when
+    # such a span later closes, ``Tracer._finish`` re-appends it beyond
+    # the cursor, so it is captured exactly once by a later frame.  The
+    # identity dedupe guards the converse -- a span listed twice that
+    # closed before this capture must not be emitted twice.
+    seen: set[int] = set()
+    closed = []
+    for s in spans:
+        if s.end is None or id(s) in seen:
+            continue
+        seen.add(id(s))
+        closed.append(s)
     frame = {
         "worker_id": worker_id,
         "pid": os.getpid(),
         "anchor_wall": hub.tracer.wall_t0,
-        "spans": [span_to_dict(s) for s in spans if s.end is not None],
+        "spans": [span_to_dict(s) for s in closed],
         "samples": hub.metrics.samples(),
     }
     return frame, since + len(spans)
@@ -228,6 +240,13 @@ def merge_registries(sample_sets) -> MetricsRegistry:
                         prev = cum
                 child.sum += row["sum"]
                 child.count += row["count"]
+                exemplars = row.get("exemplars")
+                if isinstance(exemplars, dict):
+                    # last-write-wins per bucket edge, like gauges: an
+                    # exemplar is "a recent observation here", not a sum
+                    child.exemplars.update(
+                        {str(e): dict(x) for e, x in exemplars.items()
+                         if isinstance(x, dict)})
     return reg
 
 

@@ -257,6 +257,10 @@ DEFAULT_RULE_SPECS = (
     ("serve_backlog", "serve_queue_depth > 16 for 3 windows", "warning",
      "serving admission queue backlog: arrivals outpace the replica "
      "pool -- scale up or shed load"),
+    ("serve_p99_slo", "serve_latency_p99 > 0.5 for 3 windows", "critical",
+     "serving p99 latency breaches the 500 ms SLO -- inspect the kept "
+     "request traces (`distmis trace <run-dir> --slowest 5`) for the "
+     "dominant phase"),
 )
 
 

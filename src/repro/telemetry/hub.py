@@ -37,6 +37,7 @@ METRICS_JSONL = "metrics.jsonl"
 METRICS_PROM = "metrics.prom"
 TRACE_JSON = "trace.json"
 PROFILE_JSON = "profile.json"
+REQUESTS_JSONL = "requests.jsonl"
 
 # Narrow per-element latency buckets: input-pipeline stages run well
 # below the default sub-second grid's resolution on laptop volumes.
@@ -62,6 +63,7 @@ class TelemetryHub:
         self.tracer = Tracer()
         self.last_manifest: RunManifest | None = None
         self.live = None        # LiveMonitor once attach_live is called
+        self.request_tracer = None  # RequestTracer once attached
         self.alerts: list = []  # Alert records the live monitor produced
         self._timelines: list = []
         self._attributions: list = []
@@ -112,6 +114,11 @@ class TelemetryHub:
         StepAttribution` (simulated runs have no measured buckets) for
         the profile export."""
         self._attributions.append(attribution)
+
+    def attach_request_tracer(self, tracer) -> None:
+        """Install a :class:`~repro.telemetry.tracing.RequestTracer`;
+        its kept traces land in ``requests.jsonl`` at flush time."""
+        self.request_tracer = tracer
 
     # -- live monitoring ----------------------------------------------------
     def attach_live(self, monitor) -> None:
@@ -195,6 +202,9 @@ class TelemetryHub:
             self.metrics.export_prometheus(run_dir / METRICS_PROM)
             self.tracer.to_chrome_trace(run_dir / TRACE_JSON,
                                         extra_timelines=self._timelines)
+        if self.request_tracer is not None and self.request_tracer.kept:
+            atomic_write_text(run_dir / REQUESTS_JSONL,
+                              self.request_tracer.to_jsonl())
         if self.profile:
             from .profiler import build_profile_data
 
@@ -257,8 +267,11 @@ class _NullMetric:
     def set(self, value: float) -> None:
         pass
 
-    def observe(self, value: float) -> None:
+    def observe(self, value: float, exemplar: dict | None = None) -> None:
         pass
+
+    def quantile(self, q: float) -> float:
+        return float("nan")
 
 
 _NULL_METRIC = _NullMetric()
@@ -338,6 +351,7 @@ class NullHub:
     last_manifest = None
     aggregator = None
     live = None
+    request_tracer = None
     alerts: list = []
 
     def __init__(self):
@@ -345,6 +359,9 @@ class NullHub:
         self.tracer = _NullTracer()
 
     def attach_live(self, monitor) -> None:
+        pass
+
+    def attach_request_tracer(self, tracer) -> None:
         pass
 
     def live_tick(self, force: bool = False) -> None:

@@ -54,9 +54,12 @@ class EventLog:
 
     Each event is one line ``{"seq": n, "t_wall": ..., "type": ..., ...}``;
     ``seq`` is strictly increasing so downstream consumers (``top``,
-    tests) can detect duplication.  The file handle is opened lazily and
-    kept line-buffered; :meth:`append` is a single ``write`` + ``flush``
-    so a crash can tear at most the final line.
+    tests) can detect duplication -- including across a process restart:
+    appending to an existing file resumes numbering after the highest
+    ``seq`` already on disk, so a reader's ``seq``-based dedup cursor
+    never silently drops a restarted run's events.  The file handle is
+    opened lazily and kept line-buffered; :meth:`append` is a single
+    ``write`` + ``flush`` so a crash can tear at most the final line.
     """
 
     def __init__(self, path):
@@ -66,13 +69,20 @@ class EventLog:
         self._lock = threading.Lock()
 
     def append(self, type: str, **payload) -> dict:
-        event = {"seq": self.seq, "t_wall": payload.pop("t_wall", None)
-                 or time.time(), "type": type, **payload}
-        line = json.dumps(event, sort_keys=True, default=str) + "\n"
         with self._lock:
             if self._fh is None:
                 self.path.parent.mkdir(parents=True, exist_ok=True)
+                if self.seq == 0 and self.path.exists():
+                    # restart: resume strictly-increasing numbering
+                    existing = read_events(self.path)
+                    if existing:
+                        self.seq = max(
+                            int(e.get("seq", -1)) for e in existing) + 1
                 self._fh = open(self.path, "a", encoding="utf-8")
+            event = {"seq": self.seq,
+                     "t_wall": payload.pop("t_wall", None) or time.time(),
+                     "type": type, **payload}
+            line = json.dumps(event, sort_keys=True, default=str) + "\n"
             self._fh.write(line)
             self._fh.flush()
             self.seq += 1

@@ -150,6 +150,10 @@ class Histogram(_Metric):
         self.bucket_counts = [0] * len(self.buckets)
         self.sum = 0.0
         self.count = 0
+        # OpenMetrics-style exemplars: per bucket edge, the most recent
+        # observation's trace labels -- the jump from "p99 regressed"
+        # to "this traced request is why".
+        self.exemplars: dict[str, dict] = {}
 
     def labels(self, **labels) -> "Histogram":
         key = _label_key(self.labelnames, labels)
@@ -161,20 +165,54 @@ class Histogram(_Metric):
             self._children[key] = child
         return child
 
-    def observe(self, value: float) -> None:
+    def observe(self, value: float, exemplar: dict | None = None) -> None:
         self.sum += value
         self.count += 1
         for i, edge in enumerate(self.buckets):
             if value <= edge:
                 self.bucket_counts[i] += 1
+                if exemplar:
+                    self.exemplars[str(edge)] = {
+                        **{k: str(v) for k, v in exemplar.items()},
+                        "value": float(value),
+                    }
                 break
+        else:
+            if exemplar:
+                self.exemplars["+Inf"] = {
+                    **{k: str(v) for k, v in exemplar.items()},
+                    "value": float(value),
+                }
 
     def mean(self) -> float:
         return self.sum / self.count if self.count else math.nan
 
+    def quantile(self, q: float) -> float:
+        """Estimate the ``q`` quantile by linear interpolation inside
+        the owning bucket (the textbook ``histogram_quantile``).
+
+        Exact quantiles are unavailable by design -- buckets are the
+        fixed-cost aggregation -- so this is an estimate whose error is
+        bounded by the bucket width; observations beyond the last edge
+        clamp to it.  NaN on an empty histogram.
+        """
+        if not 0.0 <= q <= 1.0:
+            raise ValueError("quantile must be in [0, 1]")
+        if self.count == 0:
+            return math.nan
+        rank = q * self.count
+        cum = 0
+        lo = 0.0
+        for edge, n in zip(self.buckets, self.bucket_counts):
+            if n and cum + n >= rank:
+                return lo + (edge - lo) * max(0.0, rank - cum) / n
+            cum += n
+            lo = edge
+        return self.buckets[-1]
+
     def _samples(self):
         for key, child in self._series():
-            yield key, {
+            sample = {
                 "sum": child.sum,
                 "count": child.count,
                 "buckets": {
@@ -182,6 +220,11 @@ class Histogram(_Metric):
                     for i, edge in enumerate(child.buckets)
                 },
             }
+            if child.exemplars:
+                sample["exemplars"] = {
+                    e: dict(x) for e, x in child.exemplars.items()
+                }
+            yield key, sample
 
 
 class MetricsRegistry:

@@ -178,7 +178,22 @@ class Tracer:
         return len(self.spans)
 
     def closed_spans(self) -> list[Span]:
-        return [s for s in self.spans if s.end is not None]
+        """Finished spans only, each exactly once.
+
+        Open (in-flight) spans are excluded -- they have no duration to
+        emit -- and identity-deduplicated: a span object inserted into
+        ``spans`` while still open (live progress views do this) is
+        appended *again* by ``_finish`` when it closes, and must not be
+        double-counted by exports.
+        """
+        seen: set[int] = set()
+        out: list[Span] = []
+        for s in self.spans:
+            if s.end is None or id(s) in seen:
+                continue
+            seen.add(id(s))
+            out.append(s)
+        return out
 
     def to_timeline(self):
         """Convert to a :class:`repro.cluster.trace.Timeline` so the

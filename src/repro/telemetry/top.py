@@ -122,13 +122,32 @@ class TopView:
         else:
             lines.append("alerts: none firing")
 
+        serve = {k: v for k, v in values.items()
+                 if k.startswith("serve_")}
+        if serve:
+            # a serve run: queue/in-flight/replica gauges and the SLO
+            # latency quantiles replace the training-centric buckets
+            lines.append(
+                "serving:  queue "
+                f"{int(serve.get('serve_queue_depth', 0))}  "
+                f"in-flight {int(serve.get('serve_inflight', 0))}  "
+                f"replicas {int(serve.get('serve_replicas', 0))}")
+            if "serve_latency_p50" in serve:
+                lines.append(
+                    "  latency  "
+                    f"p50 {serve.get('serve_latency_p50', 0.0) * 1e3:.1f}ms"
+                    f"  p95 {serve.get('serve_latency_p95', 0.0) * 1e3:.1f}"
+                    "ms"
+                    f"  p99 {serve.get('serve_latency_p99', 0.0) * 1e3:.1f}"
+                    "ms")
         window, total = self._bucket_window()
-        lines.append("step-time buckets (last window):")
-        for bucket in STEP_BUCKETS:
-            sec = window.get(bucket, 0.0)
-            frac = sec / total if total > 0 else 0.0
-            lines.append(f"  {bucket:<11} {_bar(frac)} {sec:8.3f}s "
-                         f"{frac * 100:5.1f}%")
+        if not serve or total > 0:
+            lines.append("step-time buckets (last window):")
+            for bucket in STEP_BUCKETS:
+                sec = window.get(bucket, 0.0)
+                frac = sec / total if total > 0 else 0.0
+                lines.append(f"  {bucket:<11} {_bar(frac)} {sec:8.3f}s "
+                             f"{frac * 100:5.1f}%")
 
         workers = self._workers()
         if workers:

@@ -15,8 +15,8 @@ class TestParser:
         commands = set(subparsers.choices)
         assert commands == {
             "table1", "fig4", "train", "search", "simulate", "profile",
-            "calibrate", "report", "summary", "telemetry", "top", "bench",
-            "serve-bench",
+            "calibrate", "report", "summary", "telemetry", "top", "trace",
+            "bench", "serve-bench",
         }
 
     def test_missing_command_errors(self):

@@ -64,6 +64,68 @@ class TestEventLog:
         log.close()
         assert len(read_events(tmp_path / EVENTS_JSONL)) == 1
 
+    def test_read_under_concurrent_appender(self, tmp_path):
+        # a reader racing a writer mid-line must see only whole events,
+        # each exactly once, and never raise
+        import threading
+
+        path = tmp_path / EVENTS_JSONL
+        log = EventLog(path)
+        stop = threading.Event()
+        errors: list[BaseException] = []
+
+        def writer():
+            try:
+                for i in range(200):
+                    log.append("snapshot", values={"i": i})
+            except BaseException as exc:  # surfaced by the main thread
+                errors.append(exc)
+            finally:
+                stop.set()
+
+        t = threading.Thread(target=writer)
+        t.start()
+        try:
+            while not stop.is_set():
+                events = read_events(path)
+                seqs = [e["seq"] for e in events]
+                assert seqs == sorted(set(seqs))  # whole, in order, unique
+        finally:
+            t.join()
+            log.close()
+        assert not errors
+        assert [e["seq"] for e in read_events(path)] == list(range(200))
+
+    def test_seq_resumes_after_restart(self, tmp_path):
+        # a process restart reopening the same events.jsonl must keep
+        # seq strictly increasing, or tail cursors silently drop events
+        path = tmp_path / EVENTS_JSONL
+        log = EventLog(path)
+        for _ in range(3):
+            log.append("snapshot")
+        log.close()
+        restarted = EventLog(path)  # fresh instance, same file
+        ev = restarted.append("snapshot")
+        assert ev["seq"] == 3
+        restarted.append("health")
+        restarted.close()
+        seqs = [e["seq"] for e in read_events(path)]
+        assert seqs == [0, 1, 2, 3, 4]
+
+    def test_seq_resumes_past_torn_tail(self, tmp_path):
+        path = tmp_path / EVENTS_JSONL
+        log = EventLog(path)
+        log.append("snapshot")
+        log.close()
+        with open(path, "a", encoding="utf-8") as fh:
+            fh.write('{"seq": 99, "type": "torn')  # crash mid-write
+        restarted = EventLog(path)
+        ev = restarted.append("snapshot")
+        restarted.close()
+        # the torn line is unreadable, so numbering resumes after the
+        # highest *parseable* seq -- still strictly increasing
+        assert ev["seq"] == 1
+
 
 class TestWorkerHealthBoard:
     def board(self, registry=None):
@@ -321,6 +383,38 @@ class TestTopView:
 
     def test_render_before_any_snapshot(self):
         assert "no snapshots" in TopView().render()
+
+    def test_render_serve_run_shows_gauges_and_quantiles(self):
+        view = TopView()
+        view.ingest([
+            {"seq": 0, "t_wall": 0.0, "type": "alert",
+             "rule": "serve_p99_slo", "state": "firing",
+             "severity": "critical", "message": "p99 over SLO"},
+            {"seq": 1, "t_wall": 0.0, "type": "snapshot", "values": {
+                "serve_queue_depth": 7.0, "serve_inflight": 4.0,
+                "serve_replicas": 2.0, "serve_latency_p50": 0.0123,
+                "serve_latency_p95": 0.0456, "serve_latency_p99": 0.6},
+             "buckets": {}, "workers": []},
+        ])
+        out = view.render(now=0.0)
+        assert "serving:  queue 7  in-flight 4  replicas 2" in out
+        assert "p50 12.3ms" in out and "p95 45.6ms" in out
+        assert "p99 600.0ms" in out
+        assert "serve_p99_slo" in out and "ALERTS FIRING" in out
+        # a serve run with no step activity drops the training buckets
+        assert "step-time buckets" not in out
+
+    def test_render_serve_gauges_without_quantiles(self):
+        view = TopView()
+        view.ingest([
+            {"seq": 0, "t_wall": 0.0, "type": "snapshot", "values": {
+                "serve_queue_depth": 0.0, "serve_inflight": 0.0,
+                "serve_replicas": 1.0},
+             "buckets": {}, "workers": []},
+        ])
+        out = view.render(now=0.0)
+        assert "serving:  queue 0" in out
+        assert "latency" not in out  # no histogram observations yet
 
     def test_run_top_non_tty_oneshot_and_missing_dir(self, tmp_path):
         run_dir = self.events_for_run(tmp_path / "run")

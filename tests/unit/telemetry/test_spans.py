@@ -119,3 +119,59 @@ class TestChromeExport:
         tids = {e["name"]: e["tid"] for e in events}
         assert tids["a"] == tids["c"]
         assert tids["a"] != tids["b"]
+
+
+class TestOpenSpans:
+    """Open (end is None) spans must never leak into exports -- not as
+    a crash, not as a dur-less event, and never twice once closed."""
+
+    def test_open_span_excluded_from_closed_and_chrome(self):
+        from repro.telemetry import Span
+
+        tr = Tracer()
+        open_sp = Span(name="inflight", start=tr.now())
+        with tr._lock:
+            tr.spans.append(open_sp)  # a live progress view does this
+        tr.record_span("finished", 0.0, 1.0)
+        assert [s.name for s in tr.closed_spans()] == ["finished"]
+        events = tr.to_chrome_trace()
+        assert "inflight" not in {e["name"] for e in events}
+
+    def test_span_closing_after_early_insert_emitted_once(self):
+        tr = Tracer()
+        active = tr.span("watched")
+        with tr._lock:
+            tr.spans.append(active.span)  # inserted while still open
+        assert tr.closed_spans() == []    # not finished yet
+        active.__exit__(None, None, None)  # _finish re-appends it
+        closed = tr.closed_spans()
+        assert [s.name for s in closed] == ["watched"]
+        events = tr.to_chrome_trace()
+        assert sum(1 for e in events if e["name"] == "watched") == 1
+
+    def test_open_span_skipped_across_frame_boundaries(self):
+        # the execpool worker streams incremental frames; a span open at
+        # frame N must appear exactly once (in the frame after it closes)
+        from repro.telemetry import TelemetryHub, capture_frame
+
+        hub = TelemetryHub()
+        active = hub.tracer.span("long_compute", category="serve")
+        with hub.tracer._lock:
+            hub.tracer.spans.append(active.span)
+        frame1, cursor = capture_frame(hub, worker_id=0)
+        assert [s["name"] for s in frame1["spans"]] == []
+        active.__exit__(None, None, None)
+        frame2, cursor = capture_frame(hub, worker_id=0, since=cursor)
+        assert [s["name"] for s in frame2["spans"]] == ["long_compute"]
+        frame3, _ = capture_frame(hub, worker_id=0, since=cursor)
+        assert frame3["spans"] == []  # never a second copy
+
+    def test_closed_before_capture_listed_twice_emitted_once(self):
+        from repro.telemetry import TelemetryHub, capture_frame
+
+        hub = TelemetryHub()
+        sp = hub.tracer.record_span("done", 0.0, 0.5)
+        with hub.tracer._lock:
+            hub.tracer.spans.append(sp)  # duplicate identity in the list
+        frame, _ = capture_frame(hub, worker_id=1)
+        assert [s["name"] for s in frame["spans"]] == ["done"]

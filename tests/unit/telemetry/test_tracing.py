@@ -1,0 +1,319 @@
+"""Request tracing: context, tail sampler, phase telescoping, waterfall."""
+
+import json
+import math
+
+import pytest
+
+from repro.telemetry import (
+    NULL_HUB,
+    PHASES,
+    SERVE_LATENCY_BUCKETS,
+    MetricsRegistry,
+    RequestTrace,
+    RequestTracer,
+    TailSampler,
+    TelemetryHub,
+    TraceContext,
+    TracingConfig,
+    load_request_traces,
+    render_waterfall,
+)
+from repro.telemetry.tracing import _hash_unit
+
+
+class TestTraceContext:
+    def test_mint_is_unique(self):
+        a, b = TraceContext.mint(), TraceContext.mint()
+        assert a.trace_id != b.trace_id
+        assert len(a.trace_id) == 16
+        assert len(a.span_id) == 8
+
+    def test_child_shares_trace_id_with_fresh_span(self):
+        parent = TraceContext.mint(sampled=False)
+        child = parent.child()
+        assert child.trace_id == parent.trace_id
+        assert child.span_id != parent.span_id
+        assert child.sampled is False
+
+    def test_dict_roundtrip_survives_pickle_path(self):
+        ctx = TraceContext.mint()
+        # the context crosses the process boundary as a plain dict
+        wire = json.loads(json.dumps(ctx.to_dict()))
+        assert TraceContext.from_dict(wire) == ctx
+
+
+class TestTracingConfig:
+    def test_defaults_valid(self):
+        cfg = TracingConfig()
+        assert cfg.enabled and 0 < cfg.sample_rate < 1
+
+    @pytest.mark.parametrize("kwargs", [
+        {"sample_rate": -0.1},
+        {"sample_rate": 1.5},
+        {"slow_quantile": 0.0},
+        {"slow_quantile": 1.0},
+        {"latency_window": 0},
+        {"min_window": 0},
+    ])
+    def test_invalid_rejected(self, kwargs):
+        with pytest.raises(ValueError):
+            TracingConfig(**kwargs)
+
+
+class TestTailSampler:
+    def test_error_and_retried_always_kept(self):
+        s = TailSampler(TracingConfig(sample_rate=0.0))
+        assert s.decide("t0", 0.001, error=True) == (True, "error")
+        assert s.decide("t1", 0.001, retried=True) == (True, "retried")
+
+    def test_no_slow_keeps_while_warming(self):
+        cfg = TracingConfig(sample_rate=0.0, min_window=20)
+        s = TailSampler(cfg)
+        # fewer than min_window samples: nothing qualifies as "slow"
+        for i in range(cfg.min_window - 1):
+            keep, reason = s.decide(f"warm{i}", 100.0 + i)
+            assert (keep, reason) == (False, "dropped")
+
+    def test_slow_tail_kept_after_warmup(self):
+        cfg = TracingConfig(sample_rate=0.0, min_window=20)
+        s = TailSampler(cfg)
+        for i in range(50):
+            s.decide(f"base{i}", 0.010)
+        keep, reason = s.decide("outlier", 5.0)
+        assert (keep, reason) == (True, "slow")
+        # well below the p90 threshold: dropped
+        assert s.decide("fast", 0.001) == (False, "dropped")
+
+    def test_threshold_computed_before_appending(self):
+        # the decision for sample N must not include sample N in its
+        # own window (it would always be "slow" relative to itself)
+        cfg = TracingConfig(sample_rate=0.0, min_window=2)
+        s = TailSampler(cfg)
+        s.decide("a", 0.010)
+        threshold_before = s.slow_threshold()
+        s.decide("b", 99.0)
+        assert threshold_before is None or threshold_before <= 0.010
+
+    def test_hash_sampling_is_deterministic(self):
+        s1 = TailSampler(TracingConfig(sample_rate=0.5, min_window=10**6))
+        s2 = TailSampler(TracingConfig(sample_rate=0.5, min_window=10**6))
+        ids = [f"trace{i}" for i in range(200)]
+        d1 = [s1.decide(t, 0.01) for t in ids]
+        d2 = [s2.decide(t, 0.01) for t in ids]
+        assert d1 == d2
+        kept = sum(1 for keep, _ in d1 if keep)
+        assert 0 < kept < len(ids)  # rate 0.5 keeps some, not all
+
+    def test_hash_unit_in_range(self):
+        for t in ("", "abc", "x" * 64):
+            assert 0.0 <= _hash_unit(t) < 1.0
+
+    def test_rate_extremes(self):
+        keep_all = TailSampler(TracingConfig(sample_rate=1.0,
+                                             min_window=10**6))
+        keep_none = TailSampler(TracingConfig(sample_rate=0.0,
+                                              min_window=10**6))
+        assert keep_all.decide("t", 0.01) == (True, "sampled")
+        assert keep_none.decide("t", 0.01) == (False, "dropped")
+
+
+def _tracer(**cfg):
+    cfg.setdefault("sample_rate", 1.0)
+    return RequestTracer(telemetry=NULL_HUB, config=TracingConfig(**cfg))
+
+
+class TestPhaseTelescoping:
+    def test_durations_sum_exactly_to_latency(self):
+        rt = _tracer()
+        ctx = rt.begin("r0")
+        t = rt.complete(ctx, "r0", arrival=10.0, released=10.002,
+                        started=10.005, done=10.011, completed=10.012,
+                        compute_s=0.004)
+        durs = t.phase_durations()
+        assert set(durs) == set(PHASES)
+        assert sum(durs.values()) == pytest.approx(t.latency_s, abs=1e-12)
+        assert t.latency_s == pytest.approx(0.012)
+        assert durs["queue_wait"] == pytest.approx(0.002)
+        assert durs["batch_wait"] == pytest.approx(0.003)
+        assert durs["compute"] == pytest.approx(0.004)
+        assert durs["dispatch"] == pytest.approx(0.002)
+        assert durs["stitch"] == pytest.approx(0.001)
+
+    def test_missing_stamps_collapse_to_zero(self):
+        rt = _tracer()
+        ctx = rt.begin("r1")
+        t = rt.complete(ctx, "r1", arrival=5.0, completed=5.1,
+                        error="replica died")
+        durs = t.phase_durations()
+        # missing stamps collapse onto arrival, so the whole latency
+        # falls into the final (completed - done) residual
+        assert durs["stitch"] == pytest.approx(0.1)
+        for p in ("queue_wait", "batch_wait", "dispatch", "compute"):
+            assert durs[p] == 0.0
+        assert sum(durs.values()) == pytest.approx(t.latency_s)
+
+    def test_compute_capped_to_driver_window(self):
+        # a replica-reported compute longer than the started->done
+        # window must not drive dispatch negative
+        rt = _tracer()
+        t = rt.complete(rt.begin("r2"), "r2", arrival=0.0, released=0.001,
+                        started=0.002, done=0.004, completed=0.005,
+                        compute_s=99.0)
+        durs = t.phase_durations()
+        assert durs["compute"] == pytest.approx(0.002)
+        assert durs["dispatch"] == 0.0
+        assert all(d >= 0 for d in durs.values())
+
+    def test_out_of_order_stamps_clamped_monotone(self):
+        rt = _tracer()
+        t = rt.complete(rt.begin("r3"), "r3", arrival=1.0, released=0.5,
+                        started=0.2, done=0.1, completed=1.05)
+        assert all(d >= 0 for d in t.phase_durations().values())
+        assert sum(t.phase_durations().values()) == pytest.approx(
+            t.latency_s)
+
+    def test_retried_request_always_kept(self):
+        rt = _tracer(sample_rate=0.0)
+        t = rt.complete(rt.begin("r4"), "r4", arrival=0.0, completed=0.01,
+                        attempt=1)
+        assert t.kept and t.keep_reason == "retried"
+
+    def test_spans_land_on_hub_tracer_with_trace_id(self):
+        hub = TelemetryHub()
+        rt = RequestTracer(telemetry=hub,
+                           config=TracingConfig(sample_rate=1.0))
+        import time
+
+        t0 = time.monotonic() - 0.02
+        ctx = rt.begin("req_007")
+        rt.complete(ctx, "req_007", arrival=t0, released=t0 + 0.004,
+                    started=t0 + 0.008, done=t0 + 0.016,
+                    completed=t0 + 0.02, compute_s=0.006)
+        serve = [s for s in hub.tracer.closed_spans()
+                 if s.category == "serve"]
+        names = {s.name for s in serve}
+        assert "request" in names
+        assert {"queue_wait", "batch_wait", "compute"} <= names
+        for s in serve:
+            assert s.attrs["trace_id"] == ctx.trace_id
+            assert s.attrs["request_id"] == "req_007"
+            assert s.end >= s.start
+
+    def test_disabled_records_no_spans_but_still_decides(self):
+        hub = TelemetryHub()
+        rt = RequestTracer(telemetry=hub, config=TracingConfig(
+            enabled=False, sample_rate=1.0))
+        t = rt.complete(rt.begin("r5"), "r5", arrival=0.0, completed=0.01)
+        assert t.kept  # the decision is made either way
+        assert not [s for s in hub.tracer.closed_spans()
+                    if s.category == "serve"]
+        assert rt.traces() == []
+
+    def test_kept_retention_bounded(self):
+        rt = _tracer(max_traces=4)
+        for i in range(10):
+            rt.complete(rt.begin(f"r{i}"), f"r{i}", arrival=0.0,
+                        completed=0.01)
+        assert len(rt.traces()) == 4
+        assert rt.traces()[-1].request_id == "r9"
+
+
+class TestRequestTraceRoundtrip:
+    def test_jsonl_roundtrip(self, tmp_path):
+        rt = _tracer()
+        rt.complete(rt.begin("ra"), "ra", arrival=0.0, released=0.001,
+                    started=0.002, done=0.008, completed=0.009,
+                    compute_s=0.005, strategy="full_volume",
+                    batch_id="b0", batch_size=3, replica=1,
+                    replica_pid=777, kernel_seconds={"gemm:conv": 0.004})
+        (tmp_path / "requests.jsonl").write_text(rt.to_jsonl())
+        loaded = load_request_traces(tmp_path)
+        assert len(loaded) == 1
+        t = loaded[0]
+        assert t.request_id == "ra" and t.replica_pid == 777
+        assert t.kernel_seconds == {"gemm:conv": 0.004}
+        assert t.phase_durations()["compute"] == pytest.approx(0.005)
+
+    def test_load_tolerates_torn_tail(self, tmp_path):
+        rt = _tracer()
+        rt.complete(rt.begin("rb"), "rb", arrival=0.0, completed=0.01)
+        text = rt.to_jsonl() + '{"request_id": "torn", "latency'
+        (tmp_path / "requests.jsonl").write_text(text)
+        loaded = load_request_traces(tmp_path)
+        assert [t.request_id for t in loaded] == ["rb"]
+
+    def test_missing_file_is_empty(self, tmp_path):
+        assert load_request_traces(tmp_path) == []
+
+
+class TestWaterfall:
+    def _trace(self, **over):
+        rt = _tracer()
+        kwargs = dict(arrival=0.0, released=0.002, started=0.003,
+                      done=0.009, completed=0.010, compute_s=0.005)
+        kwargs.update(over)
+        return rt.complete(rt.begin("req_042"), "req_042", **kwargs)
+
+    def test_header_and_dominant_phase(self):
+        out = render_waterfall(self._trace(batch_size=4))
+        assert "req_042" in out and "trace " in out
+        assert "batch 4" in out
+        assert "dominant phase: compute" in out
+        for p in PHASES:
+            assert p in out
+
+    def test_error_line(self):
+        out = render_waterfall(self._trace(error="worker killed"))
+        assert "ERROR: worker killed" in out
+
+    def test_zero_latency_does_not_divide_by_zero(self):
+        rt = _tracer()
+        t = rt.complete(rt.begin("rz"), "rz", arrival=1.0, completed=1.0)
+        out = render_waterfall(t)
+        assert "rz" in out
+
+    def test_dominant_phase_none_without_phases(self):
+        t = RequestTrace(request_id="x", trace_id="t", latency_s=0.0)
+        assert t.dominant_phase() is None
+        assert "dominant" not in render_waterfall(t)
+
+
+class TestLatencyHistogramQuantiles:
+    def test_quantile_interpolates_and_clamps(self):
+        reg = MetricsRegistry()
+        h = reg.histogram("lat", buckets=SERVE_LATENCY_BUCKETS)
+        assert math.isnan(h.quantile(0.5))
+        for _ in range(100):
+            h.observe(0.004)   # lands in (0.0025, 0.005]
+        q = h.quantile(0.5)
+        assert 0.0025 < q <= 0.005
+        h2 = reg.histogram("lat2", buckets=(1.0, 2.0))
+        h2.observe(50.0)       # beyond the last edge: clamp
+        assert h2.quantile(0.99) == 2.0
+
+    def test_quantile_range_checked(self):
+        h = MetricsRegistry().histogram("lat")
+        with pytest.raises(ValueError):
+            h.quantile(1.5)
+
+    def test_exemplar_stored_at_owning_edge(self):
+        h = MetricsRegistry().histogram("lat", buckets=(0.01, 0.1))
+        h.observe(0.05, exemplar={"trace_id": "abc123"})
+        assert h.exemplars["0.1"]["trace_id"] == "abc123"
+        assert h.exemplars["0.1"]["value"] == 0.05
+        h.observe(5.0, exemplar={"trace_id": "tail"})
+        assert h.exemplars["+Inf"]["trace_id"] == "tail"
+
+    def test_exemplars_in_samples_and_merge(self):
+        from repro.telemetry import merge_registries
+
+        reg = MetricsRegistry()
+        h = reg.histogram("lat", buckets=(0.01,))
+        h.observe(0.005, exemplar={"trace_id": "keep-me"})
+        ((_, sample),) = h._samples()
+        assert sample["exemplars"]["0.01"]["trace_id"] == "keep-me"
+        merged = merge_registries([reg.samples(), reg.samples()])
+        out = merged.get("lat")
+        assert out.exemplars["0.01"]["trace_id"] == "keep-me"
+        assert out.count == 2 * h.count  # counts sum, exemplars don't

@@ -1,0 +1,192 @@
+#!/usr/bin/env python
+"""Lint gate: exported Chrome traces must satisfy the viewer contract.
+
+Validates the JSON event lists written by
+``repro.telemetry.spans.Tracer.to_chrome_trace`` and
+``repro.telemetry.aggregate.merged_chrome_trace``:
+
+* every ``"ph": "X"`` event carries numeric ``ts``/``dur`` (``dur`` >= 0)
+  and integer ``pid``/``tid`` -- the row-assignment contract Perfetto
+  needs;
+* exactly one ``clock_anchor`` metadata event with a numeric
+  ``wall_t0_unix`` (the cross-process alignment anchor);
+* when spans live under more than one ``pid``, every pid has a
+  ``process_name`` metadata event (driver / worker-N rows stay named);
+* every ``"cat": "serve"`` span (the request-tracing lanes) carries an
+  ``args.trace_id`` (or, for a replica's whole-batch span, a non-empty
+  ``args.trace_ids`` list) -- a serve span that lost its context can
+  never be stitched back into a per-request timeline.
+
+Arguments are trace JSON files (or directories scanned for
+``trace.json``/``merged_trace.json``).  With no arguments the checker
+runs a **self test**: it builds a driver tracer plus a synthetic worker
+frame, records request phase spans through
+``repro.telemetry.tracing.RequestTracer``, exports the merged trace and
+validates it -- so ``make lint`` exercises the real export path on every
+run without needing a committed trace artefact.
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parents[1] / "src"))
+
+
+def validate_trace_events(events, where: str = "") -> list[str]:
+    """Schema problems of one Chrome-trace event list (empty = valid)."""
+    prefix = f"{where}: " if where else ""
+    if not isinstance(events, list):
+        return [f"{prefix}trace must be a JSON array of events"]
+    problems: list[str] = []
+    pids_with_spans: set = set()
+    named_pids: set = set()
+    anchors = 0
+    for i, ev in enumerate(events):
+        if not isinstance(ev, dict):
+            problems.append(f"{prefix}event #{i} is not an object")
+            continue
+        ph = ev.get("ph")
+        if ph == "X":
+            for field in ("ts", "dur"):
+                v = ev.get(field)
+                if not isinstance(v, (int, float)) or isinstance(v, bool):
+                    problems.append(
+                        f"{prefix}X event #{i} ({ev.get('name')!r}) has "
+                        f"non-numeric {field!r}: {v!r}")
+            if isinstance(ev.get("dur"), (int, float)) and ev["dur"] < 0:
+                problems.append(
+                    f"{prefix}X event #{i} ({ev.get('name')!r}) has "
+                    f"negative dur {ev['dur']!r}")
+            for field in ("pid", "tid"):
+                v = ev.get(field)
+                if not isinstance(v, int) or isinstance(v, bool):
+                    problems.append(
+                        f"{prefix}X event #{i} ({ev.get('name')!r}) has "
+                        f"non-integer {field!r}: {v!r}")
+            if isinstance(ev.get("pid"), int):
+                pids_with_spans.add(ev["pid"])
+            if ev.get("cat") == "serve":
+                # per-request spans carry trace_id; a replica's batch
+                # span covers several requests and carries trace_ids
+                args = ev.get("args")
+                ids = args.get("trace_ids") if isinstance(args, dict) \
+                    else None
+                if not isinstance(args, dict) or not (
+                        args.get("trace_id")
+                        or (isinstance(ids, (list, tuple)) and ids)):
+                    problems.append(
+                        f"{prefix}serve span #{i} ({ev.get('name')!r}) "
+                        "lacks args.trace_id(s) -- it cannot be "
+                        "stitched into a per-request timeline")
+        elif ph == "M":
+            name = ev.get("name")
+            if name == "clock_anchor":
+                anchors += 1
+                wall = (ev.get("args") or {}).get("wall_t0_unix")
+                if not isinstance(wall, (int, float)) \
+                        or isinstance(wall, bool):
+                    problems.append(
+                        f"{prefix}clock_anchor lacks a numeric "
+                        f"args.wall_t0_unix: {wall!r}")
+            elif name == "process_name" and isinstance(ev.get("pid"), int):
+                named_pids.add(ev["pid"])
+        else:
+            problems.append(
+                f"{prefix}event #{i} has unknown phase {ph!r} "
+                "(only X spans and M metadata are emitted)")
+    if events and anchors == 0:
+        problems.append(f"{prefix}no clock_anchor metadata event -- "
+                        "cross-process alignment is impossible")
+    if anchors > 1:
+        problems.append(f"{prefix}{anchors} clock_anchor events "
+                        "(expected exactly one)")
+    if len(pids_with_spans) > 1:
+        for pid in sorted(pids_with_spans - named_pids):
+            problems.append(
+                f"{prefix}pid {pid} has spans but no process_name "
+                "metadata row")
+    return problems
+
+
+def _self_test() -> list[str]:
+    """Exercise the real export path: driver phase spans + a synthetic
+    worker frame through the merged-trace writer, then validate."""
+    from repro.telemetry.aggregate import (
+        TraceAggregator,
+        merged_chrome_trace,
+    )
+    from repro.telemetry.hub import TelemetryHub
+    from repro.telemetry.tracing import RequestTracer, TracingConfig
+
+    hub = TelemetryHub()
+    tracer = RequestTracer(
+        telemetry=hub, config=TracingConfig(sample_rate=1.0))
+    ctx = tracer.begin("req_000000")
+    import time
+
+    t0 = time.monotonic() - 0.01
+    tracer.complete(ctx, "req_000000", arrival=t0, released=t0 + 0.002,
+                    started=t0 + 0.004, done=t0 + 0.009,
+                    completed=t0 + 0.01, compute_s=0.004,
+                    strategy="full_volume", batch_id="batch_000000",
+                    batch_size=2, replica=0, replica_pid=4242)
+    agg = TraceAggregator()
+    agg.add_frame({
+        "worker_id": 0, "pid": 4242,
+        "anchor_wall": hub.tracer.wall_t0,
+        "spans": [{"name": "replica_compute", "start": 0.0, "end": 0.004,
+                   "category": "serve", "resource": "replica",
+                   "attrs": {"trace_id": ctx.trace_id,
+                             "batch_id": "batch_000000"}}],
+        "samples": [],
+    })
+    events = merged_chrome_trace(hub.tracer, agg)
+    problems = validate_trace_events(events, where="self-test")
+    if not any(ev.get("cat") == "serve" and ev.get("ph") == "X"
+               for ev in events):
+        problems.append("self-test: no serve-category spans were exported")
+    return problems
+
+
+def main(argv: list[str]) -> int:
+    targets = [Path(a) for a in argv[1:]]
+    if not targets:
+        problems = _self_test()
+        if problems:
+            for p in problems:
+                print(p, file=sys.stderr)
+            print(f"check_trace_schema: {len(problems)} problem(s) in "
+                  "self-test", file=sys.stderr)
+            return 1
+        print("check_trace_schema: self-test OK")
+        return 0
+    files: list[Path] = []
+    for target in targets:
+        if target.is_dir():
+            files.extend(sorted(target.rglob("trace.json")))
+            files.extend(sorted(target.rglob("merged_trace.json")))
+        else:
+            files.append(target)
+    problems = []
+    for path in files:
+        try:
+            events = json.loads(path.read_text())
+        except (OSError, json.JSONDecodeError) as exc:
+            problems.append(f"{path}: unreadable ({exc})")
+            continue
+        problems.extend(validate_trace_events(events, where=str(path)))
+    if problems:
+        for p in problems:
+            print(p, file=sys.stderr)
+        print(f"check_trace_schema: {len(problems)} problem(s) in "
+              f"{len(files)} file(s)", file=sys.stderr)
+        return 1
+    print(f"check_trace_schema: {len(files)} file(s) OK")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main(sys.argv))
