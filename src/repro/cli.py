@@ -583,16 +583,101 @@ def cmd_serve_bench(args) -> int:
         checkpoint = str(mgr.best_path)
     volumes = [rng.normal(size=(args.channels, *args.volume))
                for _ in range(8)]
-    config = ServeConfig(
-        checkpoint=checkpoint, model_builder=UNet3D,
-        model_kwargs=model_kwargs, replicas=args.replicas,
-        max_batch=args.max_batch, max_delay_ms=args.max_delay_ms,
-        autoscale=args.autoscale,
-    )
-    try:
+    large_volumes = None
+    if args.large_every:
+        large_volumes = [rng.normal(size=(args.channels,
+                                          *args.large_volume))
+                         for _ in range(4)]
+    priority_mix = None
+    if args.priority_mix is not None:
+        high, normal, low = args.priority_mix
+        priority_mix = {"high": high, "normal": normal, "low": low}
+
+    def build_config(**overrides):
+        base = dict(
+            checkpoint=checkpoint, model_builder=UNet3D,
+            model_kwargs=model_kwargs, replicas=args.replicas,
+            max_batch=args.max_batch, max_delay_ms=args.max_delay_ms,
+            autoscale=args.autoscale,
+            full_volume_max_voxels=args.full_volume_max_voxels,
+            patch_shape=tuple(args.patch_size),
+            overlap=args.overlap, sw_batch_size=args.sw_batch_size,
+            scatter_gather=not args.no_scatter,
+            shed_backlog=args.shed_backlog,
+            compute_dtype=args.compute_dtype,
+        )
+        base.update(overrides)
+        return ServeConfig(**base)
+
+    def bench_once(config):
         with ModelServer(config, telemetry=hub) as server:
-            record = run_serve_bench(server, volumes, rps=args.rps,
-                                     duration_s=args.duration, smoke=smoke)
+            return run_serve_bench(
+                server, volumes, rps=args.rps, duration_s=args.duration,
+                smoke=smoke, priority_mix=priority_mix,
+                large_volumes=large_volumes,
+                large_every=args.large_every, seed=args.seed)
+
+    try:
+        record = bench_once(build_config())
+        if args.dispatch_compare:
+            # same offered load through legacy whole-request dispatch:
+            # the head-of-line-blocking baseline the scatter--gather
+            # small-request p99 win is measured against
+            whole = bench_once(build_config(scatter_gather=False))
+            if args.large_every:
+                scatter_p99 = (
+                    record["mixed_workload"]["small"]
+                    ["latency_seconds"]["p99"])
+                whole_p99 = (
+                    whole["mixed_workload"]["small"]
+                    ["latency_seconds"]["p99"])
+                record["mixed_workload"]["whole_request_small"] = (
+                    whole["mixed_workload"]["small"])
+                record["mixed_workload"]["small_p99_speedup"] = (
+                    whole_p99 / scatter_p99 if scatter_p99 > 0 else 0.0)
+            else:
+                scatter_p99 = record["latency_seconds"]["p99"]
+                whole_p99 = whole["latency_seconds"]["p99"]
+                record["dispatch_compare"] = {
+                    "whole_request": whole["latency_seconds"],
+                    "p99_speedup": (whole_p99 / scatter_p99
+                                    if scatter_p99 > 0 else 0.0),
+                }
+        if args.dtype_compare and args.compute_dtype != "float32":
+            # float32 serving mode (ROADMAP 1c): latency win plus the
+            # identity cost versus the float64-served reference,
+            # recorded as a labelled row of the serving record
+            from .core.inference import full_volume_inference
+            from .core.checkpoint import load_checkpoint
+
+            with ModelServer(build_config(compute_dtype="float32"),
+                             telemetry=hub) as server32:
+                rec32 = run_serve_bench(
+                    server32, volumes, rps=args.rps,
+                    duration_s=args.duration, smoke=smoke,
+                    priority_mix=priority_mix,
+                    large_volumes=large_volumes,
+                    large_every=args.large_every, seed=args.seed)
+                probe = server32.submit(volumes[0])
+                server32.drain(timeout_s=60)
+                pred32 = probe.result().prediction
+            ref_model = UNet3D(rng=np.random.default_rng(args.seed),
+                               **model_kwargs)
+            load_checkpoint(checkpoint, ref_model)
+            ref = full_volume_inference(
+                ref_model, np.asarray(volumes[0])[None]).prediction[0]
+            diff = float(np.max(np.abs(
+                pred32.astype(np.float64) - ref)))
+            p99_64 = record["latency_seconds"]["p99"]
+            p99_32 = rec32["latency_seconds"]["p99"]
+            record["float32_mode"] = {
+                "latency_seconds": rec32["latency_seconds"],
+                "throughput_rps": rec32["throughput_rps"],
+                "p99_speedup_vs_float64": (p99_64 / p99_32
+                                           if p99_32 > 0 else 0.0),
+                "max_abs_diff_vs_float64": diff,
+                "bit_identical_to_float64": diff == 0.0,
+            }
     finally:
         if tmp is not None:
             tmp.cleanup()
@@ -607,12 +692,33 @@ def cmd_serve_bench(args) -> int:
     req = record["requests"]
     print(f"serving: {req['completed']}/{req['sent']} requests on "
           f"{args.replicas} replica(s) ({req['failed']} failed, "
-          f"{req['retried']} retried)")
+          f"{req['shed']} shed, {req['retried']} retried)")
     print(f"  latency  p50 {lat['p50'] * 1e3:.1f} ms   "
           f"p95 {lat['p95'] * 1e3:.1f} ms   "
           f"p99 {lat['p99'] * 1e3:.1f} ms")
     print(f"  throughput {record['throughput_rps']:.1f} rps "
           f"(offered {args.rps:g})")
+    if priority_mix or args.shed_backlog:
+        for level in ("high", "normal", "low"):
+            block = record["priorities"][level]
+            if not (block["count"] or block["shed"]):
+                continue
+            print(f"  {level:>6}: {block['count']} served, "
+                  f"{block['shed']} shed, "
+                  f"p99 {block['latency_seconds']['p99'] * 1e3:.1f} ms")
+    mixed = record.get("mixed_workload")
+    if mixed:
+        print(f"  small p99 {mixed['small']['latency_seconds']['p99'] * 1e3:.1f} ms"
+              f"   large p99 {mixed['large']['latency_seconds']['p99'] * 1e3:.1f} ms"
+              + (f"   small-p99 speedup vs whole-request "
+                 f"{mixed['small_p99_speedup']:.1f}x"
+                 if "small_p99_speedup" in mixed else ""))
+    f32 = record.get("float32_mode")
+    if f32:
+        print(f"  float32 mode: p99 "
+              f"{f32['latency_seconds']['p99'] * 1e3:.1f} ms "
+              f"({f32['p99_speedup_vs_float64']:.2f}x vs float64), "
+              f"max |diff| {f32['max_abs_diff_vs_float64']:.3g}")
     hist = record["batch_size"]["histogram"]
     sizes = ", ".join(f"{k}x{hist[k]}"
                       for k in sorted(hist, key=int))
@@ -621,11 +727,16 @@ def cmd_serve_bench(args) -> int:
         kind="serve-bench",
         config={"rps": args.rps, "duration": args.duration,
                 "replicas": args.replicas, "max_batch": args.max_batch,
-                "max_delay_ms": args.max_delay_ms},
+                "max_delay_ms": args.max_delay_ms,
+                "scatter_gather": not args.no_scatter,
+                "shed_backlog": args.shed_backlog,
+                "priority_mix": priority_mix or {},
+                "large_every": args.large_every},
         seed=args.seed,
         final_metrics={"latency_p50_s": lat["p50"],
                        "latency_p99_s": lat["p99"],
-                       "throughput_rps": record["throughput_rps"]},
+                       "throughput_rps": record["throughput_rps"],
+                       "shed": float(req["shed"])},
     )
     if run_dir is not None:
         print(f"telemetry written to {run_dir}")
@@ -857,6 +968,47 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--autoscale", action="store_true",
                    help="let the backlog-driven autoscaler resize the "
                         "pool during the run")
+    p.add_argument("--priority-mix", type=float, nargs=3, default=None,
+                   metavar=("HIGH", "NORMAL", "LOW"),
+                   help="offered fraction per priority (e.g. 0.2 0.6 "
+                        "0.2); default: all normal")
+    p.add_argument("--shed-backlog", type=int, default=0,
+                   help="backlog at which low-priority admissions are "
+                        "shed (0 = no shedding)")
+    p.add_argument("--no-scatter", action="store_true",
+                   help="whole-request dispatch for sliding-window "
+                        "volumes (legacy mode; default scatters them "
+                        "into patch-chunk tasks)")
+    p.add_argument("--dispatch-compare", action="store_true",
+                   help="also run the same load through whole-request "
+                        "dispatch and record the small-request p99 "
+                        "speedup of scatter-gather")
+    p.add_argument("--dtype-compare", action="store_true",
+                   help="also run the bench in float32 serving mode and "
+                        "record the latency/identity trade-off row")
+    p.add_argument("--compute-dtype", default=None,
+                   choices=["float64", "float32"],
+                   help="replica kernel dtype policy (default float64; "
+                        "float32 trades offline bit-identity for speed)")
+    p.add_argument("--large-every", type=int, default=0,
+                   help="replace every Nth request with a large "
+                        "sliding-window volume (0 = uniform small "
+                        "traffic)")
+    p.add_argument("--large-volume", type=int, nargs=3,
+                   default=(16, 16, 16), metavar=("D", "H", "W"),
+                   help="shape of the large mixed-workload volume")
+    p.add_argument("--full-volume-max-voxels", type=int,
+                   default=64 ** 3,
+                   help="volumes above this spatial voxel count route "
+                        "to sliding-window inference")
+    p.add_argument("--patch-size", type=int, nargs=3,
+                   default=(16, 16, 16), metavar=("D", "H", "W"),
+                   help="sliding-window patch shape")
+    p.add_argument("--overlap", type=float, default=0.5,
+                   help="sliding-window patch overlap in [0, 1)")
+    p.add_argument("--sw-batch-size", type=int, default=4,
+                   help="patches per sliding-window model invocation "
+                        "(the scatter-gather chunk size)")
     p.add_argument("--volume", type=int, nargs=3, default=(16, 16, 16),
                    metavar=("D", "H", "W"),
                    help="served volume shape (paper: 240 240 155)")

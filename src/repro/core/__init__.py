@@ -16,8 +16,11 @@ from .report import build_report
 from .tracking import RunTracker, TrialRecord, resume_search
 from .inference import (
     InferenceResult,
+    chunk_bounds,
     full_volume_inference,
     sliding_window_inference,
+    sliding_window_spec,
+    stitch_chunks,
     train_on_patches,
 )
 from .config import (
@@ -62,8 +65,11 @@ __all__ = [
     "save_checkpoint",
     "load_checkpoint",
     "InferenceResult",
+    "chunk_bounds",
     "full_volume_inference",
     "sliding_window_inference",
+    "sliding_window_spec",
+    "stitch_chunks",
     "train_on_patches",
     "RunTracker",
     "TrialRecord",

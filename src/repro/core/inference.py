@@ -34,8 +34,71 @@ __all__ = [
     "InferenceResult",
     "full_volume_inference",
     "sliding_window_inference",
+    "sliding_window_spec",
+    "chunk_bounds",
+    "stitch_chunks",
     "train_on_patches",
 ]
+
+
+def sliding_window_spec(
+    patch_shape: tuple[int, int, int], overlap: float
+) -> PatchSpec:
+    """The patch/stride geometry sliding-window inference uses.
+
+    ``overlap`` in [0, 1) sets the stride to ``patch * (1 - overlap)``.
+    Factored out so scatter--gather serving (:mod:`repro.serve`)
+    decomposes a request over *exactly* the grid offline inference
+    walks -- bit-identity depends on identical geometry.
+    """
+    if not 0.0 <= overlap < 1.0:
+        raise ValueError("overlap must be in [0, 1)")
+    stride = tuple(
+        max(1, int(round(p * (1.0 - overlap)))) for p in patch_shape)
+    return PatchSpec(patch_shape=patch_shape, stride=stride)
+
+
+def chunk_bounds(n_patches: int, batch_size: int) -> list[tuple[int, int]]:
+    """The ``[start, end)`` patch ranges of each model invocation.
+
+    One chunk is one ``model.predict`` call of up to ``batch_size``
+    patches -- the unit scatter--gather serving schedules across
+    replicas.  Served chunks must match these bounds exactly: a
+    batched matmul is not bitwise-identical to a differently-grouped
+    one on this BLAS, so regrouping patches would break the served ==
+    offline identity.
+    """
+    if n_patches < 1:
+        raise ValueError("n_patches must be >= 1")
+    if batch_size < 1:
+        raise ValueError("batch_size must be >= 1")
+    return [(start, min(start + batch_size, n_patches))
+            for start in range(0, n_patches, batch_size)]
+
+
+def stitch_chunks(
+    chunk_preds: dict[int, np.ndarray],
+    offsets: list[tuple[int, int, int]],
+    volume_shape: tuple[int, int, int],
+) -> np.ndarray:
+    """Stitch per-chunk patch predictions back into one volume.
+
+    ``chunk_preds`` maps chunk index -> that chunk's ``(n, C, *patch)``
+    predictions, however (and in whatever order) they arrived.  The
+    chunks are concatenated in *canonical index order* before the one
+    overlap-averaging pass, so the result is independent of arrival
+    order **by construction** -- float accumulation happens in exactly
+    the order offline :func:`sliding_window_inference` uses, making
+    driver-side stitching of scattered chunks bit-identical to the
+    offline path (pinned by the stitch-order-permutation test).
+    """
+    if set(chunk_preds) != set(range(len(chunk_preds))):
+        raise ValueError(
+            f"chunk indices must be 0..{len(chunk_preds) - 1}, got "
+            f"{sorted(chunk_preds)}")
+    ordered = np.concatenate(
+        [chunk_preds[i] for i in range(len(chunk_preds))], axis=0)
+    return stitch_patches(ordered, offsets, volume_shape)
 
 
 @dataclass
@@ -96,12 +159,12 @@ def sliding_window_inference(
     """Tile each subject, run the model per patch batch, stitch back.
 
     ``overlap`` in [0, 1) sets the stride to ``patch * (1 - overlap)``,
-    the usual sliding-window configuration.
+    the usual sliding-window configuration.  Geometry and chunking come
+    from :func:`sliding_window_spec` / :func:`chunk_bounds` -- the same
+    plan scatter--gather serving distributes across replicas, so the
+    two paths stay bit-identical by construction.
     """
-    if not 0.0 <= overlap < 1.0:
-        raise ValueError("overlap must be in [0, 1)")
-    stride = tuple(max(1, int(round(p * (1.0 - overlap)))) for p in patch_shape)
-    spec = PatchSpec(patch_shape=patch_shape, stride=stride)
+    spec = sliding_window_spec(patch_shape, overlap)
 
     t0 = time.perf_counter()
     out = []
@@ -110,21 +173,19 @@ def sliding_window_inference(
     voxels = 0
     for i in range(images.shape[0]):
         patches, offsets = extract_patches(images[i], spec)
-        preds = []
-        for start in range(0, len(patches), batch_size):
-            chunk = patches[start : start + batch_size]
+        preds = {}
+        for ci, (start, end) in enumerate(
+                chunk_bounds(len(patches), batch_size)):
+            chunk = patches[start:end]
             pred = model.predict(chunk)
-            preds.append(pred)
+            preds[ci] = pred
             # per-sample accounting: a batch of k patches is k forward
             # passes of work (matches voxels_computed and the full-volume
             # strategy), however the invocation groups them
             passes += int(chunk.shape[0])
             invocations += 1
             voxels += int(np.prod(pred.shape))
-        pred_patches = np.concatenate(preds, axis=0)
-        out.append(
-            stitch_patches(pred_patches, offsets, images.shape[2:])
-        )
+        out.append(stitch_chunks(preds, offsets, images.shape[2:]))
     prediction = np.stack(out)
     return InferenceResult(
         prediction=prediction,

@@ -55,8 +55,15 @@ SCHEMA_REQUIRED_KEYS = ("benchmark", "smoke", "host")
 # claiming one of these benchmark names must carry them, so a serving
 # run that lost its percentiles can never silently join the trajectory.
 REQUIRED_METRICS = {
+    # the per-priority block must carry every standard level (the bench
+    # zero-fills unused ones) and the shed count, so a serving record
+    # that lost its overload accounting can never join the trajectory
     "serving": ("latency_seconds.p50", "latency_seconds.p95",
-                "latency_seconds.p99", "throughput_rps"),
+                "latency_seconds.p99", "throughput_rps",
+                "priorities.high.latency_seconds.p99",
+                "priorities.normal.latency_seconds.p99",
+                "priorities.low.latency_seconds.p99",
+                "requests.shed"),
     # every backend x dtype row must be present, so a kernel record that
     # silently dropped a backend can never join the trajectory
     "kernel_backends": tuple(

@@ -9,19 +9,35 @@ replica crashes, and a telemetry-driven autoscaler.  ``distmis
 serve-bench`` load-tests the stack and records the serving latency
 trajectory (``BENCH_serving.json``).
 
-Served predictions are bit-identical to offline
-:func:`repro.core.inference.full_volume_inference` on the same volume
--- see :mod:`repro.serve.replica` for why micro-batching amortises
-dispatch, never the GEMM.
+Large requests are served scatter--gather: the driver decomposes a
+sliding-window request into patch-chunk tasks, the weighted-fair
+micro-batcher interleaves chunks across requests (so small requests
+are never stuck behind a large request's fan-out), and the driver
+stitches the gathered chunks.  ``submit(..., priority=)`` weights the
+fair scheduler via :data:`PRIORITIES` and, past a configurable
+backlog, low-priority admissions are shed at submit.
+
+Served predictions are bit-identical to the offline strategies
+(:func:`repro.core.inference.full_volume_inference` /
+:func:`repro.core.inference.sliding_window_inference`) on the same
+volume -- see :mod:`repro.serve.replica` for why micro-batching and
+chunk scheduling amortise dispatch, never regroup the GEMM.
 """
 
 from .autoscaler import Autoscaler, AutoscalerConfig
 from .batcher import BatchKey, MicroBatcher
 from .bench import run_serve_bench, write_serving_record
 from .replica import replica_factory
-from .server import InferenceResponse, ModelServer, ServeConfig, ServeFuture
+from .server import (
+    PRIORITIES,
+    InferenceResponse,
+    ModelServer,
+    ServeConfig,
+    ServeFuture,
+)
 
 __all__ = [
+    "PRIORITIES",
     "Autoscaler",
     "AutoscalerConfig",
     "BatchKey",

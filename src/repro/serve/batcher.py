@@ -1,13 +1,33 @@
-"""Dynamic micro-batching: coalesce requests up to a batch/deadline budget.
+"""Dynamic micro-batching with weighted-fair, priority-aware release.
 
-The admission queue groups compatible requests (same inference strategy,
-per-sample shape and dtype -- a batch must stack into one array) and
-releases a group as soon as it fills to ``max_batch`` *or* its oldest
-request has waited ``max_delay_s``.  Batching here amortises the
-per-invocation dispatch cost (queue hand-off, pickling the volume across
-the process boundary, one ``model.predict`` call per request); the
+The admission queue groups compatible work items (same inference
+strategy, per-sample shape and dtype -- a batch must stack into one
+array, or share one replica task) and releases a group as soon as it
+fills to ``max_batch`` *or* its oldest item has waited ``max_delay_s``.
+Batching amortises the per-invocation dispatch cost (queue hand-off,
+pickling across the process boundary, one task per batch); the
 per-sample forward time itself is batch-invariant because replicas run
-the bit-identical per-sample loop (see :mod:`repro.serve.replica`).
+the bit-identical per-sample/per-chunk loop (:mod:`repro.serve.replica`).
+
+Scatter--gather serving (ISSUE 10) turns one sliding-window request
+into many patch-chunk work items, so release order is no longer plain
+FIFO: items carry a ``request_id`` and a priority ``weight``, and the
+batcher interleaves items of *different* requests by **stride
+scheduling** (weighted fair queuing): each request has a virtual
+``pass`` value advanced by ``1 / weight`` per released item, and the
+next slot always goes to the request with the smallest pass.  A newly
+arrived request starts at the scheduler's current virtual clock, so a
+small request admitted behind a 100-chunk volume is released after at
+most ~one batch of the large request's chunks instead of all of them
+-- the head-of-line-blocking fix measured in ``BENCH_serving.json``.
+Items of the *same* request always release in arrival (chunk) order,
+and with one item per request (classic full-volume traffic) the
+schedule degenerates to exact FIFO.
+
+``due(now, limit=...)`` lets the server cap how many batches leave per
+step (dispatch credits): whatever is not released keeps accumulating
+here -- where arrival order and fairness state live -- instead of
+head-of-line-blocking the replicas' shared FIFO task queue.
 
 Pure logic over caller-supplied monotonic timestamps -- no clock reads,
 no threads -- so tests drive it with synthetic time exactly like the
@@ -16,6 +36,7 @@ health board in :mod:`repro.telemetry.live`.
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass
 
 __all__ = ["BatchKey", "MicroBatcher"]
@@ -23,15 +44,23 @@ __all__ = ["BatchKey", "MicroBatcher"]
 
 @dataclass(frozen=True)
 class BatchKey:
-    """What must match for requests to share a batch."""
+    """What must match for work items to share a batch."""
 
-    strategy: str            # "full_volume" | "sliding_window"
-    shape: tuple             # per-sample (C, D, H, W)
+    strategy: str            # "full_volume" | "sliding_window" | "sw_chunk"
+    shape: tuple             # per-sample (C, D, H, W) / per-patch shape
     dtype: str
 
 
+@dataclass
+class _Item:
+    item_id: str
+    arrival: float
+    request_id: str
+    weight: float
+
+
 class MicroBatcher:
-    """Deadline/size-triggered request coalescing.
+    """Deadline/size-triggered coalescing with weighted-fair ordering.
 
     >>> mb = MicroBatcher(max_batch=4, max_delay_s=0.01)
     >>> mb.add("r0", key, now=0.0)
@@ -48,48 +77,146 @@ class MicroBatcher:
             raise ValueError("max_delay_s must be >= 0")
         self.max_batch = int(max_batch)
         self.max_delay_s = float(max_delay_s)
-        # key -> [(request_id, arrival_mono)], arrival order preserved
-        self._groups: dict[BatchKey, list[tuple[str, float]]] = {}
+        # key -> [_Item], arrival order preserved within the group
+        self._groups: dict[BatchKey, list[_Item]] = {}
+        # weighted-fair state, global across groups: one virtual pass
+        # per request with pending items, advanced 1/weight per release
+        self._pass: dict[str, float] = {}
+        self._vclock = 0.0
 
-    def add(self, request_id: str, key: BatchKey, now: float) -> None:
-        self._groups.setdefault(key, []).append((request_id, float(now)))
+    def add(self, item_id: str, key: BatchKey, now: float,
+            request_id: str | None = None, weight: float = 1.0) -> None:
+        """Admit one work item.  ``request_id`` groups items for the
+        fair scheduler (chunks of one request share it; default: the
+        item is its own request); ``weight`` scales its share of
+        release slots (priority weight, higher = more slots)."""
+        if weight <= 0:
+            raise ValueError("weight must be > 0")
+        rid = item_id if request_id is None else request_id
+        # a request joins (or rejoins) at the current virtual clock so
+        # it neither starves nor erases credit it already consumed
+        if rid not in self._pass:
+            self._pass[rid] = self._vclock
+        self._groups.setdefault(key, []).append(
+            _Item(item_id, float(now), rid, float(weight)))
 
     def depth(self) -> int:
-        """Requests admitted but not yet released to a replica."""
+        """Work items admitted but not yet released to a replica."""
         return sum(len(g) for g in self._groups.values())
 
+    def pending_requests(self) -> int:
+        """Distinct requests with at least one item still held here."""
+        return len({it.request_id
+                    for g in self._groups.values() for it in g})
+
+    def _oldest(self, group: list[_Item]) -> float:
+        return min(it.arrival for it in group)
+
     def next_deadline(self) -> float | None:
-        """Monotonic time of the earliest pending deadline flush."""
-        oldest = [g[0][1] for g in self._groups.values() if g]
-        return min(oldest) + self.max_delay_s if oldest else None
+        """Monotonic time of the earliest pending release.
 
-    def due(self, now: float) -> list[tuple[BatchKey, list[str]]]:
-        """Release every batch that is full or past its deadline.
+        A group already holding a *full* batch is due **now**: its
+        entry is the (past) arrival of its oldest item, so a caller
+        sleeping until the returned instant wakes immediately instead
+        of stalling a releasable batch for up to ``max_delay_s``.
+        """
+        deadlines = []
+        for group in self._groups.values():
+            if not group:
+                continue
+            oldest = self._oldest(group)
+            deadlines.append(oldest if len(group) >= self.max_batch
+                             else oldest + self.max_delay_s)
+        return min(deadlines) if deadlines else None
 
-        Full batches release immediately regardless of the deadline; a
-        partial batch releases once its *oldest* member has waited
-        ``max_delay_s`` (the per-request latency bound the capacity
-        model in :mod:`repro.perf.deployment` assumes).
+    # -- weighted-fair selection --------------------------------------------
+    def _take_fair(self, key: BatchKey, count: int) -> list[str]:
+        """Remove and return up to ``count`` item ids from ``key``'s
+        group in stride-scheduled order: the next slot goes to the
+        pending request with the smallest virtual pass (ties: earliest
+        head-item arrival, then request id), whose pass then advances
+        by ``1 / weight``.  Items of one request leave in arrival
+        order."""
+        group = self._groups[key]
+        heads: dict[str, list[_Item]] = {}
+        for it in group:
+            heads.setdefault(it.request_id, []).append(it)
+        taken: list[str] = []
+        for _ in range(min(count, len(group))):
+            rid = min(
+                heads,
+                key=lambda r: (self._pass[r], heads[r][0].arrival, r))
+            item = heads[rid].pop(0)
+            if not heads[rid]:
+                del heads[rid]
+            self._vclock = max(self._vclock, self._pass[rid])
+            self._pass[rid] += 1.0 / item.weight
+            taken.append(item.item_id)
+        taken_set = set(taken)
+        self._groups[key] = [it for it in group
+                             if it.item_id not in taken_set]
+        return taken
+
+    def _prune_pass(self) -> None:
+        """Drop fair-scheduler state for requests with nothing pending
+        (a request resubmitting later re-enters at the virtual clock)."""
+        live = {it.request_id
+                for g in self._groups.values() for it in g}
+        for rid in [r for r in self._pass if r not in live]:
+            del self._pass[rid]
+
+    def due(self, now: float,
+            limit: int | None = None) -> list[tuple[BatchKey, list[str]]]:
+        """Release batches that are full or past their deadline, at
+        most ``limit`` batches (None = all).
+
+        Eligibility is by deadline: a full batch is due at its oldest
+        item's *arrival*, a partial one at ``oldest + max_delay_s``
+        (the per-request latency bound the capacity model in
+        :mod:`repro.perf.deployment` assumes).  *Order* among eligible
+        groups is by the weighted-fair scheduler, not FIFO: the next
+        batch comes from the group holding the request with the
+        smallest virtual pass, so a fresh small request's group
+        outranks the chunk group of a large request that has already
+        consumed release slots -- cross-group head-of-line blocking is
+        bounded by ~one batch, not by the large request's backlog.
+        Whatever ``limit`` leaves behind stays here, still
+        accumulating, and is re-offered next call.
         """
         released: list[tuple[BatchKey, list[str]]] = []
-        for key in list(self._groups):
-            group = self._groups[key]
-            while len(group) >= self.max_batch:
-                take, self._groups[key] = group[: self.max_batch], \
-                    group[self.max_batch:]
-                group = self._groups[key]
-                released.append((key, [rid for rid, _ in take]))
-            if group and now - group[0][1] >= self.max_delay_s:
-                released.append((key, [rid for rid, _ in group]))
-                group = []
-                self._groups[key] = group
-            if not group:
-                del self._groups[key]
+        while limit is None or len(released) < limit:
+            best_key = None
+            best_rank = (math.inf, math.inf, "")
+            for key, group in self._groups.items():
+                if not group:
+                    continue
+                oldest = self._oldest(group)
+                due_at = (oldest if len(group) >= self.max_batch
+                          else oldest + self.max_delay_s)
+                if due_at > now:
+                    continue
+                rank = min((self._pass[it.request_id], it.arrival,
+                            it.request_id) for it in group)
+                if rank < best_rank:
+                    best_rank = rank
+                    best_key = key
+            if best_key is None:
+                break
+            released.append(
+                (best_key, self._take_fair(best_key, self.max_batch)))
+            if not self._groups[best_key]:
+                del self._groups[best_key]
+        self._prune_pass()
         return released
 
     def flush(self) -> list[tuple[BatchKey, list[str]]]:
-        """Release everything pending (server drain/shutdown)."""
-        released = [(key, [rid for rid, _ in group])
-                    for key, group in self._groups.items() if group]
-        self._groups.clear()
+        """Release everything pending (server drain/shutdown), in fair
+        order, split at ``max_batch``."""
+        released: list[tuple[BatchKey, list[str]]] = []
+        for key in list(self._groups):
+            while self._groups[key]:
+                released.append(
+                    (key, self._take_fair(key, self.max_batch)))
+            del self._groups[key]
+        self._prune_pass()
         return released

@@ -12,19 +12,31 @@ Bit-identity contract
 ---------------------
 Replicas answer through :func:`repro.core.inference.full_volume_inference`
 / :func:`~repro.core.inference.sliding_window_inference`, whose inner
-loop forwards **one sample per ``model.predict`` call**.  On this BLAS a
-batched matmul is *not* bitwise-identical to the per-row equivalent, so
-stacking k requests into one forward pass would make served predictions
-diverge from offline inference at the last ulp.  Keeping the per-sample
-loop makes a served prediction bit-identical to a solo
-``full_volume_inference`` call on the same volume, whatever batch the
-request happened to ride in -- micro-batching therefore amortises the
-*dispatch* cost (queue hand-off, volume pickling, Python call overhead),
-not the GEMM, which is exactly how the serving capacity model prices it
+loop forwards **one sample per ``model.predict`` call** (full volume)
+or **one patch chunk per call** (sliding window).  On this BLAS a
+batched matmul is *not* bitwise-identical to a differently-grouped
+equivalent, so regrouping requests or patches into other forward-pass
+shapes would make served predictions diverge from offline inference at
+the last ulp.  Keeping the offline grouping makes a served prediction
+bit-identical to a solo offline call on the same volume, whatever batch
+or chunk task the request happened to ride in -- micro-batching
+therefore amortises the *dispatch* cost (queue hand-off, volume
+pickling, Python call overhead), not the GEMM, which is exactly how the
+serving capacity model prices it
 (:class:`repro.perf.deployment.ServingWorkload`).
+
+Scatter--gather tasks (``strategy="sw_chunks"``) carry patch chunks
+from *several* requests: the replica runs one ``model.predict`` per
+chunk -- each chunk being exactly one of offline
+:func:`~repro.core.inference.chunk_bounds`'s invocations -- and ships
+the per-chunk predictions back for **driver-side** stitching, so
+partial results can come from different replicas and still reassemble
+bit-identically.
 """
 
 from __future__ import annotations
+
+import time
 
 import numpy as np
 
@@ -34,33 +46,43 @@ from ..nn.kernels import consume_kernel_seconds
 
 __all__ = ["replica_factory", "STRATEGIES"]
 
-STRATEGIES = ("full_volume", "sliding_window")
+STRATEGIES = ("full_volume", "sliding_window", "sw_chunks")
 
 
-def replica_factory(checkpoint: str, model_builder, model_kwargs=None):
+def replica_factory(checkpoint: str, model_builder, model_kwargs=None,
+                    compute_dtype=None):
     """Build one serving replica (runs in the worker at startup).
 
     ``model_builder(**model_kwargs)`` must be picklable by reference
     (a class or module-level function, e.g. :class:`repro.nn.UNet3D`);
     the heavyweight weights never cross the process boundary -- each
-    worker reads the checkpoint file itself.
+    worker reads the checkpoint file itself.  ``compute_dtype``
+    installs the worker's kernel dtype policy (float32 serving mode)
+    *before* the model is built, so weights load straight into the
+    serving precision.
 
     Returns the ``(config, reporter) -> dict`` trainable the pool runs
     per task.  A task config is one micro-batch::
 
         {"volumes": (N, C, D, H, W) array, "strategy": "full_volume",
          "patch_shape": ..., "overlap": ..., "sw_batch_size": ...}
+
+    or one scatter--gather chunk task::
+
+        {"strategy": "sw_chunks", "chunks": [(n_i, C, *patch) arrays],
+         "chunk_requests": [request_id per chunk],
+         "chunk_indices": [chunk index within its request]}
     """
+    if compute_dtype is not None:
+        from ..nn.dtypes import set_compute_dtype
+
+        set_compute_dtype(compute_dtype)
     model = model_builder(**dict(model_kwargs or {}))
     meta = load_checkpoint(checkpoint, model)
 
     def serve_batch(config, reporter):
         from ..telemetry import get_hub
 
-        volumes = np.asarray(config["volumes"])
-        if volumes.ndim != 5:
-            raise ValueError(
-                f"expected a (N, C, D, H, W) batch, got {volumes.shape}")
         strategy = config.get("strategy", "full_volume")
         # Trace-context re-attachment: the driver ships the per-request
         # contexts inside the task dict; recording the compute span on
@@ -70,26 +92,20 @@ def replica_factory(checkpoint: str, model_builder, model_kwargs=None):
         trace = config.get("trace") or {}
         contexts = trace.get("contexts") or {}
         hub = get_hub()
-        with hub.tracer.span(
-                "replica_compute", category="serve",
-                batch_id=str(trace.get("batch_id", "")),
-                attempt=int(trace.get("attempt", 0)),
-                strategy=strategy,
-                request_ids=sorted(contexts),
-                trace_ids=sorted({str(c.get("trace_id", ""))
-                                  for c in contexts.values()})):
-            if strategy == "full_volume":
-                res = full_volume_inference(model, volumes)
-            elif strategy == "sliding_window":
-                res = sliding_window_inference(
-                    model, volumes,
-                    patch_shape=tuple(config["patch_shape"]),
-                    overlap=float(config.get("overlap", 0.5)),
-                    batch_size=int(config.get("sw_batch_size", 4)),
-                )
-            else:
-                raise ValueError(
-                    f"unknown inference strategy {strategy!r}")
+        span_attrs = dict(
+            category="serve",
+            batch_id=str(trace.get("batch_id", "")),
+            attempt=int(trace.get("attempt", 0)),
+            strategy=strategy,
+            request_ids=sorted(contexts),
+            trace_ids=sorted({str(c.get("trace_id", ""))
+                              for c in contexts.values()}))
+        if strategy == "sw_chunks":
+            final = _serve_chunks(model, config, contexts, hub,
+                                  span_attrs)
+        else:
+            final = _serve_volumes(model, config, strategy, hub,
+                                   span_attrs)
         # Drain the per-{backend,op} kernel-seconds ledger every batch:
         # long-lived replicas must not accumulate it unboundedly (the
         # trainer drains it per step; nothing else in this process
@@ -103,14 +119,75 @@ def replica_factory(checkpoint: str, model_builder, model_kwargs=None):
             hub.tracer.add_completed(
                 f"kernel:{key}", float(seconds), category="kernel",
                 batch_id=str(trace.get("batch_id", "")))
-        return {
-            "prediction": res.prediction,
-            "seconds": res.seconds,
-            "forward_passes": res.forward_passes,
-            "model_invocations": res.model_invocations,
-            "strategy": strategy,
-            "checkpoint_epoch": meta.get("epoch"),
-            "kernel_seconds": kernel_seconds,
-        }
+        final["strategy"] = strategy
+        final["checkpoint_epoch"] = meta.get("epoch")
+        final["kernel_seconds"] = kernel_seconds
+        return final
 
     return serve_batch
+
+
+def _serve_volumes(model, config, strategy, hub, span_attrs) -> dict:
+    """Whole-volume task: stacked (N, C, D, H, W) batch, per-sample
+    (full volume) or per-chunk (sliding window) loop inside."""
+    volumes = np.asarray(config["volumes"])
+    if volumes.ndim != 5:
+        raise ValueError(
+            f"expected a (N, C, D, H, W) batch, got {volumes.shape}")
+    with hub.tracer.span("replica_compute", **span_attrs):
+        if strategy == "full_volume":
+            res = full_volume_inference(model, volumes)
+        elif strategy == "sliding_window":
+            res = sliding_window_inference(
+                model, volumes,
+                patch_shape=tuple(config["patch_shape"]),
+                overlap=float(config.get("overlap", 0.5)),
+                batch_size=int(config.get("sw_batch_size", 4)),
+            )
+        else:
+            raise ValueError(f"unknown inference strategy {strategy!r}")
+    return {
+        "prediction": res.prediction,
+        "seconds": res.seconds,
+        "forward_passes": res.forward_passes,
+        "model_invocations": res.model_invocations,
+    }
+
+
+def _serve_chunks(model, config, contexts, hub, span_attrs) -> dict:
+    """Scatter--gather task: one ``model.predict`` per patch chunk
+    (offline grouping preserved -- bit-identity), predictions shipped
+    back per chunk for driver-side stitching.  Each chunk gets its own
+    worker-side span carrying the owning request's trace id, so the
+    merged Chrome trace shows the request fanned across worker pids."""
+    chunks = [np.asarray(c) for c in config["chunks"]]
+    owners = [str(r) for r in config.get("chunk_requests",
+                                         [""] * len(chunks))]
+    indices = [int(i) for i in config.get("chunk_indices",
+                                          range(len(chunks)))]
+    predictions = []
+    chunk_seconds = []
+    passes = 0
+    with hub.tracer.span("replica_compute", **span_attrs):
+        for chunk, owner, index in zip(chunks, owners, indices):
+            if chunk.ndim != 5:
+                raise ValueError(
+                    f"expected a (n, C, pd, ph, pw) chunk, got "
+                    f"{chunk.shape}")
+            ctx = contexts.get(owner) or {}
+            t0 = time.perf_counter()
+            with hub.tracer.span(
+                    "sw_chunk", category="serve", request_id=owner,
+                    chunk=index,
+                    trace_id=str(ctx.get("trace_id", ""))):
+                pred = model.predict(chunk)
+            predictions.append(pred)
+            chunk_seconds.append(time.perf_counter() - t0)
+            passes += int(chunk.shape[0])
+    return {
+        "predictions": predictions,
+        "chunk_seconds": chunk_seconds,
+        "seconds": float(sum(chunk_seconds)),
+        "forward_passes": passes,
+        "model_invocations": len(chunks),
+    }

@@ -190,6 +190,12 @@ class RequestTrace:
     keep_reason: str = "sampled"
     t_wall: float = 0.0
     kernel_seconds: dict = field(default_factory=dict)
+    # scatter--gather fan-out: patch-chunk tasks this request split
+    # into (0 = not scattered) and the distinct replicas that served
+    # them -- ``distmis trace`` shows one request across worker pids.
+    priority: str = ""
+    chunks: int = 0
+    chunk_replicas: list = field(default_factory=list)
 
     def phase_durations(self) -> dict:
         return {p["phase"]: p["dur_s"] for p in self.phases}
@@ -217,6 +223,9 @@ class RequestTrace:
             "keep_reason": self.keep_reason,
             "t_wall": self.t_wall,
             "kernel_seconds": dict(self.kernel_seconds),
+            "priority": self.priority,
+            "chunks": self.chunks,
+            "chunk_replicas": list(self.chunk_replicas),
         }
 
     @classmethod
@@ -237,6 +246,9 @@ class RequestTrace:
             keep_reason=str(d.get("keep_reason", "sampled")),
             t_wall=float(d.get("t_wall", 0.0)),
             kernel_seconds=dict(d.get("kernel_seconds", {})),
+            priority=str(d.get("priority", "")),
+            chunks=int(d.get("chunks", 0)),
+            chunk_replicas=list(d.get("chunk_replicas", [])),
         )
 
 
@@ -295,7 +307,8 @@ class RequestTracer:
                  attempt: int = 0, strategy: str = "", batch_id: str = "",
                  batch_size: int = 0, replica: int | None = None,
                  replica_pid: int | None = None, error: str | None = None,
-                 kernel_seconds: dict | None = None) -> RequestTrace:
+                 kernel_seconds: dict | None = None, priority: str = "",
+                 chunk_spans: list | None = None) -> RequestTrace:
         """Assemble, sample and (if kept) record one finished request.
 
         The stamps are ``time.monotonic()`` readings taken by the
@@ -305,6 +318,13 @@ class RequestTracer:
         and ``completed`` (the future resolved).  A missing stamp
         (failed request) collapses the phases it bounds to zero; the
         five durations always sum exactly to ``completed - arrival``.
+
+        ``chunk_spans`` (scatter--gather requests) is one dict per
+        patch-chunk task the request was decomposed into --
+        ``{"chunk": i, "start": mono, "end": mono, "replica": wid,
+        "pid": pid, "attempt": n}`` -- recorded as ``sw_chunk`` child
+        spans of the kept trace, so the merged Chrome trace and
+        ``distmis trace`` show one request fanned across worker pids.
         """
         released = arrival if released is None else max(arrival, released)
         started = released if started is None else max(released, started)
@@ -333,6 +353,7 @@ class RequestTracer:
         keep, reason = self.sampler.decide(
             ctx.trace_id, latency, error=error is not None,
             retried=attempt > 0)
+        chunk_spans = list(chunk_spans or [])
         trace = RequestTrace(
             request_id=request_id, trace_id=ctx.trace_id,
             latency_s=latency,
@@ -343,6 +364,10 @@ class RequestTracer:
             replica_pid=replica_pid, error=error, kept=keep,
             keep_reason=reason, t_wall=self._wall(),
             kernel_seconds=dict(kernel_seconds or {}),
+            priority=priority,
+            chunks=len(chunk_spans),
+            chunk_replicas=sorted({c["replica"] for c in chunk_spans
+                                   if c.get("replica") is not None}),
         )
         self._c_decisions.labels(decision=reason).inc()
         if keep and self.config.enabled:
@@ -360,6 +385,16 @@ class RequestTracer:
                 t0 = arrival + starts[p]
                 self._span(p, t0, t0 + durations[p], request_id, ctx,
                            phase=p, **base)
+            for c in chunk_spans:
+                if c.get("end", 0.0) <= c.get("start", 0.0):
+                    continue
+                self._span(f"sw_chunk_{int(c.get('chunk', 0)):03d}",
+                           float(c["start"]), float(c["end"]),
+                           request_id, ctx,
+                           chunk=int(c.get("chunk", 0)),
+                           replica=c.get("replica"),
+                           replica_pid=c.get("pid"),
+                           attempt=int(c.get("attempt", 0)))
         return trace
 
     # -- export --------------------------------------------------------------
@@ -405,7 +440,13 @@ def render_waterfall(trace: RequestTrace, width: int = 40) -> str:
             f"latency {_fmt_ms(trace.latency_s)}  "
             f"batch {trace.batch_size}  replica {trace.replica}  "
             f"attempt {trace.attempt}  [{trace.keep_reason}]")
+    if trace.priority:
+        head += f"  prio={trace.priority}"
     lines = [head]
+    if trace.chunks:
+        fanned = ", ".join(str(r) for r in trace.chunk_replicas)
+        lines.append(f"  scatter-gather: {trace.chunks} patch chunks "
+                     f"across replicas [{fanned}]")
     if trace.error:
         lines.append(f"  ERROR: {trace.error}")
     for p in trace.phases:

@@ -135,9 +135,11 @@ class TestMicroBatching:
 # A deliberately slow request mix for the kill tests: 16^3 volumes routed
 # to sliding-window with overlap 0.75 take ~0.5 s *each* on this host, so
 # the window between the batch's "started" message and its completion is
-# seconds wide -- killing the replica inside it is not a race.
+# seconds wide -- killing the replica inside it is not a race.  These
+# tests pin the legacy whole-request dispatch path (scatter_gather=False);
+# chunk-granular retry has its own kill test below.
 SLOW_KW = dict(full_volume_max_voxels=4 ** 3, patch_shape=(4, 4, 4),
-               overlap=0.75, max_delay_ms=0.0)
+               overlap=0.75, max_delay_ms=0.0, scatter_gather=False)
 SLOW_SHAPE = (1, 16, 16, 16)
 
 
@@ -197,6 +199,118 @@ class TestFailOver:
                 assert fut.done()
                 with pytest.raises(RuntimeError, match="died mid-batch"):
                     fut.result()
+
+
+class TestScatterGather:
+    def test_scattered_request_bit_identical_across_replicas(self, checkpoint):
+        """The tentpole contract: a sliding-window request decomposed
+        into patch-chunk tasks, balanced across 2 replicas and stitched
+        driver-side, is bit-identical to offline inference -- while
+        small full-volume requests interleave with the chunk stream."""
+        cfg = serve_config(checkpoint, replicas=2, max_batch=2,
+                           full_volume_max_voxels=4 ** 3,
+                           patch_shape=(4, 4, 4), overlap=0.5,
+                           sw_batch_size=2, max_delay_ms=1.0)
+        large = volumes(2, shape=(1, 12, 12, 12), seed=3)
+        small = volumes(3, shape=(1, 4, 4, 4), seed=4)
+        with ModelServer(cfg) as server:
+            large_futs = [server.submit(v) for v in large]
+            small_futs = [server.submit(v, priority="high")
+                          for v in small]
+            server.drain(timeout_s=120)
+            large_rs = [f.result() for f in large_futs]
+            small_rs = [f.result() for f in small_futs]
+        model = make_model()
+        for vol, r in zip(large, large_rs):
+            assert r.strategy == "sliding_window"
+            assert r.chunks > 1           # really was decomposed
+            assert r.priority == "normal"
+            reference = sliding_window_inference(
+                model, vol[None], patch_shape=(4, 4, 4), overlap=0.5,
+                batch_size=2).prediction
+            assert np.array_equal(reference[0], r.prediction)
+        ref_small = full_volume_inference(
+            model, np.stack(small)).prediction
+        for i, r in enumerate(small_rs):
+            assert r.strategy == "full_volume"
+            assert r.priority == "high"
+            assert np.array_equal(ref_small[i], r.prediction)
+
+    def test_killed_replica_retries_only_its_chunks(self, checkpoint):
+        """Chunk-granular fail-over: SIGKILL the replica while a
+        scattered request is partially gathered -- chunks that already
+        returned are kept, only the dead replica's in-flight chunk
+        tasks are resubmitted, and the stitched result stays
+        bit-identical to offline inference."""
+        # 16^3 at overlap 0.75 -> 2197 patches; 256-patch chunks make 9
+        # chunk tasks of ~60 ms each: long enough that SIGKILL lands
+        # mid-task (no race), few enough that the drain stays fast
+        cfg = serve_config(checkpoint, replicas=1, max_batch=1,
+                           max_retries=2, max_delay_ms=0.0,
+                           full_volume_max_voxels=4 ** 3,
+                           patch_shape=(4, 4, 4), overlap=0.75,
+                           sw_batch_size=256)
+        (vol,) = volumes(1, shape=SLOW_SHAPE, seed=5)
+        with ModelServer(cfg) as server:
+            fut = server.submit(vol)
+            (pending,) = server._pending.values()
+            n_chunks = len(pending.bounds)
+            assert n_chunks > 4
+            # drive until some chunks have gathered while others are
+            # still in flight -- the partial-progress window
+            deadline = time.monotonic() + 60.0
+            while not (pending.chunk_results
+                       and any(b.worker is not None
+                               for b in server._inflight.values())):
+                assert time.monotonic() < deadline, "no partial gather"
+                server.step()
+                time.sleep(0.002)
+            gathered_before = set(pending.chunk_results)
+            victim_batch = next(b for b in server._inflight.values()
+                                if b.worker is not None)
+            victim = server.executor._procs[victim_batch.worker]
+            os.kill(victim.pid, signal.SIGKILL)
+            victim.join(timeout=10.0)
+            assert not victim.is_alive()
+            server.drain(timeout_s=120)
+            response = fut.result()
+        # already-gathered chunks were kept, not re-run
+        assert gathered_before <= set(range(n_chunks))
+        assert response.attempt >= 1
+        assert response.chunks == n_chunks
+        reference = sliding_window_inference(
+            make_model(), vol[None], patch_shape=(4, 4, 4),
+            overlap=0.75, batch_size=256).prediction
+        assert np.array_equal(reference[0], response.prediction)
+
+
+class TestPrioritiesAndShedding:
+    def test_backlog_sheds_low_priority_only(self, checkpoint):
+        """With the backlog past shed_backlog, low-priority admissions
+        are rejected at submit (future.shed, result() raises) while
+        high-priority requests still complete."""
+        cfg = serve_config(checkpoint, replicas=1, shed_backlog=2,
+                           max_delay_ms=0.0)
+        vols = volumes(8)
+        with ModelServer(cfg) as server:
+            keep = [server.submit(v, priority="high")
+                    for v in vols[:4]]   # backlog now 4 >= 2
+            shed = [server.submit(v, priority="low") for v in vols[4:6]]
+            late_high = server.submit(vols[6], priority="high")
+            for f in shed:
+                assert f.shed and f.done()
+                with pytest.raises(RuntimeError, match="shed"):
+                    f.result()
+            assert server.shed_count() == 2
+            server.drain(timeout_s=60)
+            for f in keep + [late_high]:
+                assert not f.shed
+                assert f.result().prediction.shape == (1, 8, 8, 8)
+
+    def test_unknown_priority_rejected(self, checkpoint):
+        with ModelServer(serve_config(checkpoint)) as server:
+            with pytest.raises(ValueError, match="unknown priority"):
+                server.submit(volumes(1)[0], priority="bulk")
 
 
 class TestAutoscaling:

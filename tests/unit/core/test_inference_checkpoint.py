@@ -5,12 +5,16 @@ import pytest
 
 from repro.core import (
     CheckpointManager,
+    chunk_bounds,
     full_volume_inference,
     load_checkpoint,
     save_checkpoint,
     sliding_window_inference,
+    sliding_window_spec,
+    stitch_chunks,
     train_on_patches,
 )
+from repro.data.patches import extract_patches, stitch_patches
 from repro.nn import Adam, SGD, SoftDiceLoss, UNet3D
 
 rng = np.random.default_rng(9)
@@ -89,6 +93,64 @@ class TestInference:
     def test_invalid_overlap(self, net, images):
         with pytest.raises(ValueError):
             sliding_window_inference(net, images, (4, 4, 4), overlap=1.0)
+
+
+class TestScatterPlan:
+    """The shared sliding-window plan (spec/chunks/stitch) scatter--
+    gather serving schedules across replicas -- bit-identity to the
+    offline path rests on these helpers."""
+
+    def test_spec_stride_from_overlap(self):
+        spec = sliding_window_spec((4, 4, 4), overlap=0.5)
+        assert spec.patch_shape == (4, 4, 4)
+        assert spec.stride == (2, 2, 2)
+        assert sliding_window_spec((4, 4, 4), 0.0).stride == (4, 4, 4)
+        # stride floors at 1, never 0
+        assert sliding_window_spec((2, 2, 2), 0.9).stride == (1, 1, 1)
+        with pytest.raises(ValueError):
+            sliding_window_spec((4, 4, 4), 1.0)
+        with pytest.raises(ValueError):
+            sliding_window_spec((4, 4, 4), -0.1)
+
+    def test_chunk_bounds_cover_exactly(self):
+        assert chunk_bounds(10, 4) == [(0, 4), (4, 8), (8, 10)]
+        assert chunk_bounds(4, 4) == [(0, 4)]
+        assert chunk_bounds(1, 8) == [(0, 1)]
+        with pytest.raises(ValueError):
+            chunk_bounds(0, 4)
+        with pytest.raises(ValueError):
+            chunk_bounds(4, 0)
+
+    def test_stitch_chunks_order_permutation_bit_identity(self):
+        """ISSUE 10 satellite: driver-side stitching of per-chunk
+        predictions is bitwise identical to the offline one-pass
+        stitch, for *every* chunk arrival order -- chunks are buffered
+        and concatenated canonically before the single
+        overlap-averaging pass, so float accumulation order never
+        depends on which replica answered first."""
+        prng = np.random.default_rng(11)
+        volume = prng.normal(size=(2, 8, 8, 8))
+        spec = sliding_window_spec((4, 4, 4), overlap=0.5)
+        patches, offsets = extract_patches(volume, spec)
+        bounds = chunk_bounds(len(patches), 3)
+        # stand-in "predictions": arbitrary per-patch float payloads
+        preds = prng.normal(size=patches.shape)
+        reference = stitch_patches(preds, offsets, volume.shape[1:])
+        for perm_seed in range(5):
+            order = np.random.default_rng(perm_seed).permutation(
+                len(bounds))
+            gathered = {}
+            for ci in order:
+                start, end = bounds[ci]
+                gathered[int(ci)] = preds[start:end]
+            out = stitch_chunks(gathered, offsets, volume.shape[1:])
+            assert np.array_equal(reference, out)
+
+    def test_stitch_chunks_rejects_gaps(self):
+        with pytest.raises(ValueError):
+            stitch_chunks({0: np.zeros((1, 1, 2, 2, 2)),
+                           2: np.zeros((1, 1, 2, 2, 2))},
+                          [(0, 0, 0), (2, 2, 2)], (4, 4, 4))
 
 
 class TestPatchTraining:

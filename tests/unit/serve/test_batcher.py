@@ -1,6 +1,8 @@
 """Micro-batcher unit tests: pure logic under synthetic monotonic time."""
 
 import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
 
 from repro.serve import BatchKey, MicroBatcher
 
@@ -71,3 +73,102 @@ class TestMicroBatcher:
             MicroBatcher(max_batch=0)
         with pytest.raises(ValueError):
             MicroBatcher(max_delay_s=-1.0)
+        mb = MicroBatcher()
+        with pytest.raises(ValueError):
+            mb.add("r0", KEY, now=0.0, weight=0.0)
+
+    def test_next_deadline_full_group_is_due_now(self):
+        """ISSUE 10 satellite: a group already at max_batch must report
+        a deadline at (or before) its oldest arrival, never ``oldest +
+        max_delay_s`` -- a caller sleeping until the returned instant
+        would stall an immediately-releasable batch."""
+        mb = MicroBatcher(max_batch=2, max_delay_s=10.0)
+        mb.add("r0", KEY, now=3.0)
+        assert mb.next_deadline() == pytest.approx(13.0)  # partial
+        mb.add("r1", KEY, now=4.0)
+        assert mb.next_deadline() == pytest.approx(3.0)   # full: due now
+        assert mb.due(now=3.0) == [(KEY, ["r0", "r1"])]
+
+
+class TestWeightedFairness:
+    def test_small_request_not_blocked_by_large_chunk_fanout(self):
+        """A one-item request admitted behind a large request's chunk
+        backlog is released within ~one batch, not after all of it --
+        the scatter-gather head-of-line-blocking fix."""
+        mb = MicroBatcher(max_batch=4, max_delay_s=0.0)
+        for ci in range(20):
+            mb.add(f"big#c{ci}", KEY, now=0.0, request_id="big")
+        mb.add("small", KEY, now=0.001, request_id="small")
+        released = [rid for _, batch in mb.due(now=1.0)
+                    for rid in batch]
+        assert released.index("small") <= mb.max_batch
+
+    def test_weights_scale_release_share(self):
+        """weight=4 vs weight=1 on one key: the first full batch gives
+        the heavy request ~4x the slots (stride scheduling)."""
+        mb = MicroBatcher(max_batch=5, max_delay_s=0.0)
+        for i in range(10):
+            mb.add(f"hi#{i}", KEY, now=0.0, request_id="hi", weight=4.0)
+            mb.add(f"lo#{i}", KEY, now=0.0, request_id="lo", weight=1.0)
+        (key, first), *_ = mb.due(now=1.0)
+        owners = [item.split("#")[0] for item in first]
+        assert owners.count("hi") == 4
+        assert owners.count("lo") == 1
+
+    def test_single_item_requests_degenerate_to_fifo(self):
+        mb = MicroBatcher(max_batch=3, max_delay_s=0.0)
+        for i in range(7):
+            mb.add(f"r{i}", KEY, now=float(i))
+        released = [rid for _, batch in mb.due(now=100.0)
+                    for rid in batch]
+        assert released == [f"r{i}" for i in range(7)]
+
+    def test_due_limit_caps_released_batches(self):
+        """Dispatch credits: due(limit=n) releases at most n batches;
+        the remainder keeps accumulating in the batcher."""
+        mb = MicroBatcher(max_batch=2, max_delay_s=0.0)
+        for i in range(8):
+            mb.add(f"r{i}", KEY, now=0.0)
+        assert len(mb.due(now=1.0, limit=2)) == 2
+        assert mb.depth() == 4
+        assert len(mb.due(now=1.0, limit=None)) == 2
+        assert mb.depth() == 0
+
+    @settings(max_examples=40, deadline=None)
+    @given(
+        adds=st.lists(
+            st.tuples(st.integers(0, 2),     # key index
+                      st.integers(0, 3)),    # request group within key
+            min_size=1, max_size=40),
+        max_batch=st.integers(1, 5),
+    )
+    def test_arrival_order_per_request_is_preserved(self, adds, max_batch):
+        """Property (ISSUE 10 satellite): however multi-key adds
+        interleave, the released stream keeps each request's items in
+        arrival order, every admitted item is released exactly once,
+        and items never jump between batch keys."""
+        keys = [BatchKey(strategy="full_volume", shape=(1, 4, 4, 4),
+                         dtype=f"dt{k}") for k in range(3)]
+        mb = MicroBatcher(max_batch=max_batch, max_delay_s=0.0)
+        admitted = []
+        for i, (ki, grp) in enumerate(adds):
+            item = f"k{ki}g{grp}#{i}"
+            mb.add(item, keys[ki], now=float(i),
+                   request_id=f"k{ki}g{grp}")
+            admitted.append((item, keys[ki]))
+        released = mb.due(now=float(len(adds) + 1))
+        assert mb.depth() == 0
+        seen = [(item, key) for key, batch in released
+                for item in batch]
+        # exactly-once, and each item under its own key
+        assert sorted(i for i, _ in seen) == sorted(i for i, _ in admitted)
+        assert dict(seen) == dict(admitted)
+        assert all(len(batch) <= max_batch for _, batch in released)
+        # per-request arrival order: the trailing #i index is admission
+        # order, so within one request id it must be increasing
+        per_request: dict = {}
+        for item, _ in seen:
+            rid, idx = item.split("#")
+            per_request.setdefault(rid, []).append(int(idx))
+        for order in per_request.values():
+            assert order == sorted(order)

@@ -7,7 +7,12 @@ Checks, per file: valid JSON object; required keys (``benchmark``,
 (and vice versa -- a smoke run must never masquerade as a trajectory
 point); at least one trackable numeric metric; per-benchmark required
 metrics (``REQUIRED_METRICS``: a ``BENCH_serving.json`` record must
-carry ``latency_seconds.p50/.p95/.p99`` and ``throughput_rps``; a
+carry ``latency_seconds.p50/.p95/.p99``, ``throughput_rps``, the
+per-priority tail latencies
+``priorities.<high|normal|low>.latency_seconds.p99`` and the overload
+accounting ``requests.shed`` -- the serving bench zero-fills priority
+levels a run never offered, so absence always means a malformed
+record, never a quiet run; a
 ``BENCH_kernels.json`` record must carry every
 ``backends.<reference|gemm|fused>.<float64|float32>.step_seconds`` row
 plus ``speedup`` and ``fused_speedup_vs_gemm``).
